@@ -1,0 +1,116 @@
+// Ablation: the tiling design choices behind Sec. III-B / IV-B.
+// (1) GEMV streaming scheme (tiles by rows vs by columns) and tile size
+//     determine which operand is replayed and the total DRAM I/O — the
+//     two Fig. 2 implementations, quantified.
+// (2) The same choice measured in the cycle simulator with bank-metered
+//     readers: larger tiles cut the replay traffic and the cycle count.
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "common/workload.hpp"
+#include "fblas/level2.hpp"
+#include "sim/device.hpp"
+#include "sim/frequency_model.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+
+namespace {
+
+using namespace fblas;
+
+std::uint64_t simulate(const core::GemvConfig& cfg, std::int64_t n) {
+  Workload wl(3);
+  auto a = wl.matrix<float>(n, n);
+  auto x = wl.vector<float>(n);
+  auto y = wl.vector<float>(n);
+  stream::Graph g(stream::Mode::Cycle);
+  const auto f = sim::module_frequency(RoutineKind::Gemv, Precision::Single,
+                                       sim::stratix10());
+  const double bpc = sim::stratix10().bank_bandwidth_gbs * 1e9 / (f.mhz * 1e6);
+  auto& bank_a = g.bank("ddr0", bpc);
+  auto& bank_v = g.bank("ddr1", bpc);
+  auto& ca = g.channel<float>("A", 128);
+  auto& cx = g.channel<float>("x", 128);
+  auto& cy = g.channel<float>("y", 128);
+  auto& out = g.channel<float>("out", 128);
+  g.spawn("read_A",
+          stream::read_matrix<float>(MatrixView<const float>(a.data(), n, n),
+                                     core::gemv_a_schedule(cfg), 1, cfg.width,
+                                     ca, &bank_a));
+  g.spawn("read_x", stream::read_vector<float>(
+                        VectorView<const float>(x.data(), n),
+                        core::gemv_x_repeat(cfg, n, n), cfg.width, cx,
+                        &bank_v));
+  g.spawn("read_y", stream::read_vector<float>(
+                        VectorView<const float>(y.data(), n), 1, cfg.width,
+                        cy, &bank_v));
+  g.spawn("gemv",
+          core::gemv<float>(cfg, n, n, 1.0f, 0.0f, ca, cx, cy, out));
+  g.spawn("sink", stream::sink<float>(n, cfg.width, out));
+  g.run();
+  return g.cycles();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("FBLAS ablation: GEMV tiling scheme and tile size\n");
+  const std::int64_t N = 4096;
+  std::puts("== I/O operations (model, N = M = 4096) ==");
+  TablePrinter t({"Scheme", "Tile", "x replays", "y DRAM passes", "I/O ops",
+                  "vs untiled"});
+  const core::GemvConfig untiled{Transpose::None,
+                                 core::MatrixTiling::TilesByRows, 16, 1, N};
+  const double base = static_cast<double>(core::gemv_io_ops(untiled, N, N));
+  for (const auto tiling :
+       {core::MatrixTiling::TilesByRows, core::MatrixTiling::TilesByCols}) {
+    for (std::int64_t tile : {64L, 256L, 1024L, 4096L}) {
+      const core::GemvConfig cfg{Transpose::None, tiling, 16, tile, tile};
+      const auto io = core::gemv_io_ops(cfg, N, N);
+      t.add_row({tiling == core::MatrixTiling::TilesByRows ? "by rows"
+                                                           : "by cols",
+                 TablePrinter::fmt_int(tile),
+                 TablePrinter::fmt_int(core::gemv_x_repeat(cfg, N, N)),
+                 TablePrinter::fmt_int(core::gemv_y_repeat(cfg, N, N)),
+                 TablePrinter::fmt_int(io),
+                 TablePrinter::fmt(static_cast<double>(io) / base, 3)});
+    }
+  }
+  t.print();
+  std::puts("\nBy-rows I/O shrinks with the *vertical* tile size (fewer x"
+            " replays); by-cols with\nthe *horizontal* one (fewer y round"
+            " trips) — exactly the Sec. III-B formulas.");
+
+  std::puts("\n== Cycle simulation with bank-metered readers"
+            " (N = 1024, W = 16) ==");
+  TablePrinter s({"Scheme", "Tile", "Cycles", "vs best"});
+  std::uint64_t best = ~0ull;
+  struct Row {
+    const char* scheme;
+    std::int64_t tile;
+    std::uint64_t cycles;
+  };
+  std::vector<Row> rows;
+  for (const auto tiling :
+       {core::MatrixTiling::TilesByRows, core::MatrixTiling::TilesByCols}) {
+    for (std::int64_t tile : {32L, 128L, 512L}) {
+      const core::GemvConfig cfg{Transpose::None, tiling, 16, tile, tile};
+      const auto cycles = simulate(cfg, 1024);
+      rows.push_back({tiling == core::MatrixTiling::TilesByRows ? "by rows"
+                                                                : "by cols",
+                      tile, cycles});
+      best = std::min(best, cycles);
+    }
+  }
+  for (const auto& r : rows) {
+    s.add_row({r.scheme, TablePrinter::fmt_int(r.tile),
+               TablePrinter::fmt_int(static_cast<std::int64_t>(r.cycles)),
+               TablePrinter::fmt(static_cast<double>(r.cycles) /
+                                     static_cast<double>(best), 3)});
+  }
+  s.print();
+  std::puts("\nSmall tiles replay vectors through the DDR bank and throttle"
+            " the pipeline; once\nthe replay traffic fits the spare"
+            " bandwidth, all schemes converge to N*M/W cycles.");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Fig. 10 (middle): GEMV performance versus vectorization
+// width (16..256), square tiles of 1024 x 1024, both devices and
+// precisions, with cycle-level validation of the model at a reduced size.
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "common/workload.hpp"
+#include "fblas/level2.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/resource_model.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+
+namespace {
+
+using namespace fblas;
+
+std::uint64_t simulate_gemv_cycles(int w, std::int64_t n) {
+  Workload wl(42);
+  auto a = wl.matrix<float>(n, n);
+  auto x = wl.vector<float>(n);
+  auto y = wl.vector<float>(n);
+  const core::GemvConfig cfg{Transpose::None, core::MatrixTiling::TilesByRows,
+                             w, 256, 256};
+  stream::Graph g(stream::Mode::Cycle);
+  auto& ca = g.channel<float>("A", static_cast<std::size_t>(4 * w));
+  auto& cx = g.channel<float>("x", static_cast<std::size_t>(4 * w));
+  auto& cy = g.channel<float>("y", static_cast<std::size_t>(4 * w));
+  auto& out = g.channel<float>("out", static_cast<std::size_t>(4 * w));
+  std::vector<float> result;
+  g.spawn("read_A",
+          stream::read_matrix<float>(MatrixView<const float>(a.data(), n, n),
+                                     core::gemv_a_schedule(cfg), 1, w, ca));
+  g.spawn("read_x", stream::read_vector<float>(
+                        VectorView<const float>(x.data(), n),
+                        core::gemv_x_repeat(cfg, n, n), w, cx));
+  g.spawn("read_y", stream::read_vector<float>(
+                        VectorView<const float>(y.data(), n), 1, w, cy));
+  g.spawn("gemv",
+          core::gemv<float>(cfg, n, n, 1.0f, 0.0f, ca, cx, cy, out));
+  g.spawn("sink", stream::sink<float>(n, w, out));
+  g.run();
+  return g.cycles();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("FBLAS reproduction: Fig. 10 (middle) — GEMV scaling\n");
+  // The paper uses square tiles of 1024 x 1024 and on-chip data
+  // generation; the model evaluates an 8K x 8K product.
+  const std::int64_t kN = 8192;
+  TablePrinter t({"Device", "Precision", "W", "GOps/s (model)",
+                  "Expected GOps/s", "Freq [MHz]", "Feasible"});
+  for (const auto* dev : {&sim::arria10(), &sim::stratix10()}) {
+    for (const Precision prec : {Precision::Single, Precision::Double}) {
+      for (int w = 16; w <= 256; w *= 2) {
+        const sim::ModuleShape shape{RoutineKind::Gemv, prec, w, 1024, 1024,
+                                     0, 0};
+        if (!sim::place_and_route_feasible(shape, *dev)) {
+          t.add_row({std::string(dev->name), std::string(to_string(prec)),
+                     TablePrinter::fmt_int(w), "-", "-", "-",
+                     "no (P&R fails)"});
+          continue;
+        }
+        const auto timing = sim::gemv_timing(prec, w, kN, kN, *dev);
+        t.add_row({std::string(dev->name), std::string(to_string(prec)),
+                   TablePrinter::fmt_int(w), TablePrinter::fmt(timing.gops, 1),
+                   TablePrinter::fmt(timing.expected_gops, 1),
+                   TablePrinter::fmt(timing.freq_mhz, 0) +
+                       (timing.hyperflex ? " (HyperFlex)" : ""),
+                   "yes"});
+      }
+    }
+  }
+  t.print();
+
+  std::puts("\nModel validation: cycle simulation vs C = CD + N*M/W"
+            " (single, N = M = 1024, tiles 256):");
+  TablePrinter v({"W", "Simulated cycles", "Model cycles", "Ratio"});
+  for (int w : {16, 64}) {
+    const auto sim_cycles = simulate_gemv_cycles(w, 1024);
+    const auto model =
+        sim::gemv_timing(Precision::Single, w, 1024, 1024, sim::stratix10());
+    v.add_row({TablePrinter::fmt_int(w),
+               TablePrinter::fmt_int(static_cast<std::int64_t>(sim_cycles)),
+               TablePrinter::fmt(model.cycles, 0),
+               TablePrinter::fmt(static_cast<double>(sim_cycles) /
+                                     model.cycles, 3)});
+  }
+  v.print();
+
+  std::puts("\nOptimal-width corollary (Sec. IV-B): with one DDR bank at"
+            " 19.2 GB/s and 347 MHz,");
+  const int w_flat = sim::optimal_width(19.2, 347, 4, 2);
+  const int w_tiled = sim::optimal_width_tiled(19.2, 347, 4, 1024, 1024);
+  std::printf("  untiled GEMV needs W = %d; 1024x1024 tiling raises the"
+              " optimum to W = %d\n  (tiling halves the per-cycle operand"
+              " pressure, enabling a faster design).\n",
+              w_flat, w_tiled);
+  return 0;
+}

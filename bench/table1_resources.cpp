@@ -1,0 +1,92 @@
+// Reproduces Table I (SCAL and DOT module resource consumption and
+// latency versus vectorization width, single precision, Stratix 10) and
+// prints the Table II device database the models run against.
+//
+// The resource figures follow the circuit work/depth scaling laws of
+// Sec. IV-A; the paper's measured values are printed alongside for
+// comparison.
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "sim/device.hpp"
+#include "sim/resource_model.hpp"
+#include "sim/work_depth.hpp"
+
+namespace {
+
+using fblas::RoutineKind;
+using fblas::TablePrinter;
+
+// Paper Table I reference values: {W, LUT, FF, DSP, latency}.
+struct PaperRow {
+  int w;
+  int lut, ff, dsp, lat;
+};
+constexpr PaperRow kPaperScal[] = {
+    {2, 98, 192, 2, 50},      {4, 196, 384, 4, 50},   {8, 392, 768, 8, 50},
+    {16, 784, 1536, 16, 50},  {32, 1568, 3072, 32, 50},
+    {64, 3136, 6144, 64, 50},
+};
+constexpr PaperRow kPaperDot[] = {
+    {2, 174, 192, 2, 82},     {4, 242, 320, 4, 85},   {8, 378, 640, 8, 89},
+    {16, 650, 1280, 16, 93},  {32, 1194, 2560, 32, 97},
+    {64, 2474, 5120, 64, 105},
+};
+
+void print_device_table() {
+  std::puts("== Table II: FPGA boards used for evaluation ==");
+  TablePrinter t({"FPGA", "ALM", "FF", "M20K", "DSP", "DRAM", "HyperFlex"});
+  for (const auto* d : {&fblas::sim::arria10(), &fblas::sim::stratix10()}) {
+    t.add_row({std::string(d->name),
+               TablePrinter::fmt_int(d->alm_total) + " (avail " +
+                   TablePrinter::fmt_int(d->alm_avail) + ")",
+               TablePrinter::fmt_int(d->ff_total),
+               TablePrinter::fmt_int(d->m20k_total),
+               TablePrinter::fmt_int(d->dsp_total) + " (avail " +
+                   TablePrinter::fmt_int(d->dsp_avail) + ")",
+               std::to_string(d->ddr_banks) + "x8GB @" +
+                   TablePrinter::fmt(d->bank_bandwidth_gbs, 1) + " GB/s",
+               d->has_hyperflex ? "yes" : "no"});
+  }
+  t.print();
+  std::puts("");
+}
+
+void print_module_table(RoutineKind kind, const char* name,
+                        const PaperRow* paper, int rows) {
+  std::printf("== Table I: %s module circuit vs vectorization width "
+              "(single precision, Stratix 10) ==\n", name);
+  TablePrinter t({"W", "LUTs (model)", "LUTs (paper)", "FFs (model)",
+                  "FFs (paper)", "DSPs (model)", "DSPs (paper)",
+                  "Latency (model)", "Latency (paper)", "CW", "CD"});
+  const auto& dev = fblas::sim::stratix10();
+  for (int i = 0; i < rows; ++i) {
+    const int w = paper[i].w;
+    const auto c = fblas::sim::table1_circuit(kind, w, dev);
+    const auto wd = fblas::sim::analyze(kind, fblas::Precision::Single, w,
+                                        1 << 20, dev);
+    t.add_row({TablePrinter::fmt_int(w),
+               TablePrinter::fmt(c.luts, 0), TablePrinter::fmt_int(paper[i].lut),
+               TablePrinter::fmt(c.ffs, 0), TablePrinter::fmt_int(paper[i].ff),
+               TablePrinter::fmt(c.dsps, 0), TablePrinter::fmt_int(paper[i].dsp),
+               TablePrinter::fmt(c.latency_cycles, 0),
+               TablePrinter::fmt_int(paper[i].lat),
+               TablePrinter::fmt(wd.circuit_work, 0),
+               TablePrinter::fmt(wd.circuit_depth, 0)});
+  }
+  t.print();
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("FBLAS reproduction: Table I / Table II\n");
+  print_device_table();
+  print_module_table(RoutineKind::Scal, "SCAL", kPaperScal, 6);
+  print_module_table(RoutineKind::Dot, "DOT", kPaperDot, 6);
+  std::puts("Model: map-class circuits scale LUT/FF/DSP linearly in CW with"
+            " constant latency;\nreduce-class circuits add a log2(W)-deep"
+            " adder tree to the latency (C = CD + N/W).");
+  return 0;
+}

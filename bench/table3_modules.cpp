@@ -1,0 +1,110 @@
+// Reproduces Table III: full-design resource consumption, frequency and
+// power for the largest synthesized module of each routine/precision on
+// both devices (DOT and GEMV at their maximum widths, GEMM at the largest
+// place-and-routable grids). Paper-measured values printed alongside.
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "sim/frequency_model.hpp"
+#include "sim/power_model.hpp"
+#include "sim/resource_model.hpp"
+
+namespace {
+
+using namespace fblas;
+
+struct PaperRef {
+  double alms_k, dsps, freq, power;
+};
+
+struct Entry {
+  const char* name;
+  sim::ModuleShape shape;
+  PaperRef arria;
+  PaperRef stratix;
+};
+
+// Paper Table III (ALMs in thousands).
+const Entry kEntries[] = {
+    {"SDOT (W=256)",
+     {RoutineKind::Dot, Precision::Single, 256, 0, 0, 0, 0},
+     {9.756, 331, 150, 47.3},
+     {123.1, 328, 358, 68.7}},
+    {"DDOT (W=128)",
+     {RoutineKind::Dot, Precision::Double, 128, 0, 0, 0, 0},
+     {121.4, 512, 150, 47.9},
+     {235.1, 512, 366, 68.8}},
+    {"SGEMV (W=256)",
+     {RoutineKind::Gemv, Precision::Single, 256, 1024, 1024, 0, 0},
+     {21.56, 284, 145, 48.1},
+     {123.4, 274, 347, 68.0}},
+    {"DGEMV (W=128)",
+     {RoutineKind::Gemv, Precision::Double, 128, 1024, 1024, 0, 0},
+     {135.9, 520, 132, 48.6},
+     {275.7, 520, 347, 69.7}},
+};
+
+void print_for_device(const sim::DeviceSpec& dev, bool is_arria) {
+  std::printf("== %s ==\n", std::string(dev.name).c_str());
+  TablePrinter t({"Module", "ALMs model (paper)", "DSPs model (paper)",
+                  "M20Ks", "F [MHz] model (paper)", "P [W] model (paper)",
+                  "Utilization"});
+  auto row = [&](const char* name, const sim::ModuleShape& shape,
+                 const sim::FrequencyEstimate& f, const PaperRef& ref) {
+    const auto r = sim::estimate_design(shape, dev);
+    const double p = sim::board_power_watts(r, f.mhz, dev);
+    t.add_row({std::string(name) + (f.hyperflex ? " [H]" : ""),
+               TablePrinter::fmt(r.alms / 1000, 1) + "K (" +
+                   TablePrinter::fmt(ref.alms_k, 1) + "K)",
+               TablePrinter::fmt(r.dsps, 0) + " (" +
+                   TablePrinter::fmt(ref.dsps, 0) + ")",
+               TablePrinter::fmt(r.m20ks, 0),
+               TablePrinter::fmt(f.mhz, 0) + " (" +
+                   TablePrinter::fmt(ref.freq, 0) + ")",
+               TablePrinter::fmt(p, 1) + " (" +
+                   TablePrinter::fmt(ref.power, 1) + ")",
+               TablePrinter::fmt(100 * sim::utilization(r, dev), 1) + "%"});
+  };
+  for (const Entry& e : kEntries) {
+    const auto f = sim::module_frequency(e.shape.kind, e.shape.prec, dev);
+    row(e.name, e.shape, f, is_arria ? e.arria : e.stratix);
+  }
+  // GEMM at the largest P&R-feasible grids; memory tiles at ratio ~12
+  // (Arria single uses a slightly smaller ratio to fit M20Ks, matching
+  // the paper's 81% M20K usage).
+  for (const Precision prec : {Precision::Single, Precision::Double}) {
+    const auto grid = sim::max_gemm_grid(dev, prec);
+    const int ratio = (is_arria && prec == Precision::Single) ? 10 : 12;
+    sim::ModuleShape shape{RoutineKind::Gemm, prec, 1,
+                           static_cast<std::int64_t>(grid.pe_rows) * ratio,
+                           static_cast<std::int64_t>(grid.pe_cols) * ratio,
+                           grid.pe_rows, grid.pe_cols};
+    const auto f = sim::gemm_frequency(grid.pe_rows, grid.pe_cols, prec, dev);
+    const PaperRef arria_ref =
+        prec == Precision::Single ? PaperRef{102.4, 1086, 197, 52.1}
+                                  : PaperRef{135.8, 622, 222, 49.1};
+    const PaperRef stratix_ref =
+        prec == Precision::Single ? PaperRef{328.5, 3270, 216, 70.5}
+                                  : PaperRef{450.9, 1166, 260, 67.5};
+    const std::string name =
+        std::string(prec == Precision::Single ? "SGEMM " : "DGEMM ") +
+        std::to_string(grid.pe_rows) + "x" + std::to_string(grid.pe_cols);
+    row(name.c_str(), shape, f, is_arria ? arria_ref : stratix_ref);
+  }
+  t.print();
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("FBLAS reproduction: Table III — resource consumption of the"
+            " largest modules\n([H] marks HyperFlex designs; paper-measured"
+            " values in parentheses)\n");
+  print_for_device(sim::arria10(), true);
+  print_for_device(sim::stratix10(), false);
+  std::puts("Shape check (paper): double-precision modules cost ~4x the"
+            " DSPs and an order of\nmagnitude more logic; GEMM dominates"
+            " M20K usage through its double-buffered tiles.");
+  return 0;
+}

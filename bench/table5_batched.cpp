@@ -1,0 +1,114 @@
+// Reproduces Table V: fully-unrolled small-size GEMM and TRSM (size 4)
+// against the CPU's batched routines, for 8K and 32K invocations. The
+// fully-unrolled circuits start a new problem every cycle, so the run is
+// DRAM-bound end to end; a correctness pass also runs the actual batched
+// reference routines at a reduced batch count.
+#include <chrono>
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "common/workload.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
+#include "refblas/batched.hpp"
+#include "sim/cpu_model.hpp"
+#include "sim/perf_model.hpp"
+
+namespace {
+
+using namespace fblas;
+using Clock = std::chrono::steady_clock;
+
+struct PaperRef {
+  double cpu_us, fpga_us;
+};
+
+void run_kind(RoutineKind kind, const char* name) {
+  std::printf("== Batched %s, matrices of size 4 ==\n", name);
+  TablePrinter t({"P", "Batch", "CPU model (paper)", "FPGA model (paper)",
+                  "FPGA/CPU", "F [MHz]"});
+  // Paper Table V reference values in usec.
+  auto paper = [&](Precision p, std::int64_t batch) -> PaperRef {
+    if (kind == RoutineKind::Gemm) {
+      if (p == Precision::Single) {
+        return batch == 8192 ? PaperRef{128.2, 144.7} : PaperRef{457.4, 275.3};
+      }
+      return batch == 8192 ? PaperRef{108.3, 187.52} : PaperRef{404.9, 461.0};
+    }
+    if (p == Precision::Single) {
+      return batch == 8192 ? PaperRef{248.4, 144.0} : PaperRef{749.9, 341.6};
+    }
+    return batch == 8192 ? PaperRef{248.4, 184.1} : PaperRef{731.6, 589.2};
+  };
+  for (const Precision prec : {Precision::Single, Precision::Double}) {
+    for (const std::int64_t batch : {std::int64_t{8192}, std::int64_t{32768}}) {
+      const auto fpga = sim::batched_unrolled_timing(kind, prec, 4, batch,
+                                                     sim::stratix10());
+      const double cpu = sim::cpu_batched_seconds(kind, prec, 4, batch);
+      const auto ref = paper(prec, batch);
+      t.add_row({prec == Precision::Single ? "S" : "D",
+                 batch == 8192 ? "8K" : "32K",
+                 TablePrinter::fmt(cpu * 1e6, 1) + " us (" +
+                     TablePrinter::fmt(ref.cpu_us, 1) + ")",
+                 TablePrinter::fmt(fpga.seconds * 1e6, 1) + " us (" +
+                     TablePrinter::fmt(ref.fpga_us, 1) + ")",
+                 TablePrinter::fmt(fpga.seconds / cpu, 2),
+                 TablePrinter::fmt(fpga.freq_mhz, 0) +
+                     (fpga.hyperflex ? " (HyperFlex)" : "")});
+    }
+  }
+  t.print();
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("FBLAS reproduction: Table V — batched fully-unrolled routines"
+            "\n(paper-measured values in parentheses)\n");
+  run_kind(RoutineKind::Gemm, "GEMM");
+  run_kind(RoutineKind::Trsm, "TRSM");
+
+  // Correctness pass: the reference batched routines at batch = 512.
+  Workload wl(31);
+  const std::int64_t batch = 512, n = 4;
+  auto a = wl.vector<float>(batch * n * n);
+  auto b = wl.vector<float>(batch * n * n);
+  std::vector<float> c(batch * n * n, 0.0f);
+  const auto t0 = Clock::now();
+  ref::gemm_batched<float>(batch, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  const double local =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  double checksum = 0;
+  for (float x : c) checksum += x;
+  std::printf("Local correctness pass: %lld x %lldx%lld sgemm_batched in"
+              " %.1f us (checksum %.3f)\n",
+              static_cast<long long>(batch), static_cast<long long>(n),
+              static_cast<long long>(n), local * 1e6, checksum);
+
+  // Cycle-level validation: the fully-unrolled streaming module through
+  // the host API retires ~one problem per cycle, and the run is DRAM
+  // bound — the two properties the Table V model rests on.
+  {
+    host::Device dev(sim::DeviceId::Stratix10);
+    host::Context ctx(dev, stream::Mode::Cycle);
+    host::Buffer<float> ba(dev, batch * n * n, 0);
+    host::Buffer<float> bb(dev, batch * n * n, 1);
+    host::Buffer<float> bc(dev, batch * n * n, 2);
+    ba.write(a);
+    bb.write(b);
+    ctx.gemm_batched<float>(n, batch, 1.0f, ba, bb, bc);
+    const double err = rel_error(bc.to_host(), c);
+    std::printf("Cycle simulation (host API, batch %lld): %llu cycles ="
+                " %.2f cycles/problem, rel. error %.1e\n",
+                static_cast<long long>(batch),
+                static_cast<unsigned long long>(ctx.last_cycles()),
+                static_cast<double>(ctx.last_cycles()) /
+                    static_cast<double>(batch),
+                err);
+  }
+  std::puts("\nShape check (paper): at large batch counts the DRAM-bound"
+            " FPGA circuits out-run the\nCPU's batched routines, provided"
+            " enough memory bandwidth is available.");
+  return 0;
+}

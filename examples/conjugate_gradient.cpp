@@ -1,0 +1,92 @@
+// A real numerical application on top of the host API: the conjugate
+// gradient method for an SPD system A x = b, built entirely from FBLAS
+// calls (GEMV, DOT, AXPY, SCAL, COPY, NRM2) on device buffers — the
+// "FPGA as the main execution platform" usage the paper recommends,
+// where operands stay resident in device DRAM across iterations.
+//
+// Build & run:  ./build/examples/conjugate_gradient [n] [max_iters]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/workload.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
+#include "refblas/level2.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fblas;
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 256;
+  const int max_iters = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  // Build a well-conditioned SPD matrix A = M^T M + n*I.
+  Workload wl(1234);
+  auto m = wl.matrix<float>(n, n, -0.5, 0.5);
+  std::vector<float> a(n * n, 0.0f);
+  {
+    MatrixView<const float> M(m.data(), n, n);
+    MatrixView<float> A(a.data(), n, n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        float acc = 0;
+        for (std::int64_t k = 0; k < n; ++k) acc += M(k, i) * M(k, j);
+        A(i, j) = acc + (i == j ? static_cast<float>(n) : 0.0f);
+      }
+    }
+  }
+  auto xref = wl.vector<float>(n);
+  std::vector<float> b(n, 0.0f);
+  ref::gemv<float>(Transpose::None, 1.0f,
+                   MatrixView<const float>(a.data(), n, n),
+                   VectorView<const float>(xref.data(), n), 0.0f,
+                   VectorView<float>(b.data(), n));
+
+  host::Device device(sim::DeviceId::Stratix10);
+  host::Context ctx(device);
+  ctx.config().width = 16;
+  ctx.config().tile_rows = 128;
+  ctx.config().tile_cols = 128;
+
+  // All operands live in device DRAM for the whole solve.
+  host::Buffer<float> A(device, n * n, 0);
+  host::Buffer<float> x(device, n, 1);
+  host::Buffer<float> r(device, n, 2 % device.bank_count());
+  host::Buffer<float> p(device, n, 3 % device.bank_count());
+  host::Buffer<float> ap(device, n, 1);
+  A.write(a);
+  x.write(std::vector<float>(n, 0.0f));
+  r.write(b);  // r0 = b - A x0 = b
+  p.write(b);
+
+  std::printf("CG on a %lldx%lld SPD system (device-resident operands)\n",
+              static_cast<long long>(n), static_cast<long long>(n));
+  float rr = ctx.dot<float>(n, r, 1, r, 1);
+  const float rr0 = rr;
+  int iters = 0;
+  for (; iters < max_iters; ++iters) {
+    if (rr <= 1e-10f * rr0) break;
+    // ap = A p
+    ctx.gemv<float>(Transpose::None, n, n, 1.0f, A, p, 1, 0.0f, ap, 1);
+    const float pap = ctx.dot<float>(n, p, 1, ap, 1);
+    const float alpha = rr / pap;
+    // x += alpha p;  r -= alpha Ap
+    ctx.axpy<float>(n, alpha, p, 1, x, 1);
+    ctx.axpy<float>(n, -alpha, ap, 1, r, 1);
+    const float rr_new = ctx.dot<float>(n, r, 1, r, 1);
+    const float beta = rr_new / rr;
+    rr = rr_new;
+    // p = r + beta p   (scal then axpy keeps everything on device)
+    ctx.scal<float>(n, beta, p, 1);
+    ctx.axpy<float>(n, 1.0f, r, 1, p, 1);
+    if (iters < 5 || iters % 10 == 0) {
+      std::printf("  iter %3d  ||r||^2 = %.3e\n", iters, double(rr));
+    }
+  }
+  const auto xs = x.to_host();
+  const double err = rel_error(xs, xref);
+  std::printf("converged in %d iterations; solution rel. error vs ground"
+              " truth: %.2e\n", iters, err);
+  std::printf("total FBLAS calls executed on device: %s\n",
+              err < 1e-3 ? "solution verified" : "VERIFICATION FAILED");
+  return err < 1e-3 ? 0 : 1;
+}

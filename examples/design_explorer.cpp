@@ -1,0 +1,73 @@
+// Space/time trade-off explorer (Sec. IV): for a chosen routine and
+// device, sweeps the vectorization width and reports circuit work/depth,
+// resources, expected performance and feasibility; then applies the
+// optimal-width formulas to dimension a module against the memory
+// interface instead of overprovisioning it.
+//
+// Build & run:  ./build/examples/design_explorer [dot|gemv] [arria10|stratix10]
+#include <cstdio>
+#include <string>
+
+#include "common/table_printer.hpp"
+#include "sim/frequency_model.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/power_model.hpp"
+#include "sim/resource_model.hpp"
+#include "sim/work_depth.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fblas;
+  const std::string routine = argc > 1 ? argv[1] : "dot";
+  const std::string device = argc > 2 ? argv[2] : "stratix10";
+  const RoutineKind kind = routine_from_name(routine);
+  const auto& dev = sim::device(sim::device_from_name(device));
+
+  std::printf("Space/time exploration: %s on %s\n\n", routine.c_str(),
+              std::string(dev.name).c_str());
+  TablePrinter t({"W", "CW", "CD", "ALMs", "DSPs", "M20Ks",
+                  "Expected GOps/s", "P [W]", "Utilization", "Feasible"});
+  for (int w = 2; w <= 512; w *= 2) {
+    const sim::ModuleShape shape{kind, Precision::Single, w, 1024, 1024, 0,
+                                 0};
+    const auto wd =
+        sim::analyze(kind, Precision::Single, w, 1 << 20, dev);
+    const auto r = sim::estimate_design(shape, dev);
+    const auto f = sim::module_frequency(kind, Precision::Single, dev);
+    const auto timing =
+        sim::level1_timing(kind, Precision::Single, w, 100'000'000, dev);
+    const bool feasible = sim::place_and_route_feasible(shape, dev);
+    t.add_row({TablePrinter::fmt_int(w), TablePrinter::fmt(wd.circuit_work, 0),
+               TablePrinter::fmt(wd.circuit_depth, 0),
+               TablePrinter::fmt(r.alms, 0), TablePrinter::fmt(r.dsps, 0),
+               TablePrinter::fmt(r.m20ks, 0),
+               TablePrinter::fmt(timing.expected_gops, 1),
+               TablePrinter::fmt(sim::board_power_watts(r, f.mhz, dev), 1),
+               TablePrinter::fmt(100 * sim::utilization(r, dev), 1) + "%",
+               feasible ? "yes" : "no"});
+  }
+  t.print();
+
+  std::puts("\n== Dimensioning against the memory interface (Sec. IV-B) ==");
+  const auto f = sim::module_frequency(kind, Precision::Single, dev);
+  const auto& info = routine_info(kind);
+  for (int banks = 1; banks <= dev.ddr_banks; ++banks) {
+    const double bw = banks * dev.bank_bandwidth_gbs;
+    const int w = sim::optimal_width(bw, f.mhz, 4, info.operands_per_width);
+    std::printf("  %d bank(s) @ %.1f GB/s, %.0f MHz -> optimal W = %d"
+                " (%d operands per W per cycle)\n",
+                banks, bw, f.mhz, w, info.operands_per_width);
+  }
+  std::puts("\n== Tiling lowers the pressure (GEMV) ==");
+  for (std::int64_t tile : {std::int64_t{8}, std::int64_t{64},
+                            std::int64_t{1024}}) {
+    const int w =
+        sim::optimal_width_tiled(dev.bank_bandwidth_gbs, f.mhz, 4, tile, tile);
+    std::printf("  %4lldx%-4lld tiles -> optimal W = %d\n",
+                static_cast<long long>(tile), static_cast<long long>(tile),
+                w);
+  }
+  std::puts("\nLarger tiles approach W = B/(F*S): double the untiled width,"
+            " because the x\noperand is fetched once per tile instead of"
+            " once per element.");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "apps/axpydot.hpp"
+
+#include <vector>
+
+#include "fblas/level1.hpp"
+#include "refblas/level1.hpp"
+#include "sim/frequency_model.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+
+namespace fblas::apps {
+
+template <typename T>
+AxpydotResult<T> axpydot_streaming(const sim::DeviceSpec& dev,
+                                   stream::Mode mode, int width,
+                                   VectorView<const T> w,
+                                   VectorView<const T> v,
+                                   VectorView<const T> u, T alpha) {
+  const std::int64_t n = w.size();
+  FBLAS_REQUIRE(v.size() == n && u.size() == n, "axpydot: length mismatch");
+  stream::Graph g(mode);
+  // The three input vectors live on separate DDR banks (Sec. VI-A: no
+  // automatic interleaving, manual placement).
+  const auto f = sim::composition_frequency(0, PrecisionTraits<T>::value, dev);
+  const double bpc = dev.bank_bandwidth_gbs * 1e9 / (f.mhz * 1e6);
+  auto& bank_w = g.bank("ddr0", bpc);
+  auto& bank_v = g.bank("ddr1", bpc);
+  auto& bank_u = g.bank(dev.ddr_banks >= 3 ? "ddr2" : "ddr0_u", bpc);
+  const std::size_t cap = static_cast<std::size_t>(std::max(64, 2 * width));
+  auto& cw = g.channel<T>("w", cap);
+  auto& cv = g.channel<T>("v", cap);
+  auto& cu = g.channel<T>("u", cap);
+  auto& cz = g.channel<T>("z", cap);
+  auto& cres = g.channel<T>("beta", 2);
+  std::vector<T> out;
+  g.spawn("read_w", stream::read_vector<T>(w, 1, width, cw, &bank_w));
+  g.spawn("read_v", stream::read_vector<T>(v, 1, width, cv, &bank_v));
+  g.spawn("read_u", stream::read_vector<T>(u, 1, width, cu, &bank_u));
+  // z = (-alpha) * v + w, streamed straight into the DOT module.
+  g.spawn("axpy", core::axpy<T>({width}, n, -alpha, cv, cw, cz));
+  g.spawn("dot", core::dot<T>({width}, n, cz, cu, cres));
+  g.spawn("collect", stream::collect<T>(1, cres, out));
+  g.run();
+  return {out.at(0), g.cycles()};
+}
+
+template <typename T>
+AxpydotResult<T> axpydot_host_layer(host::Context& ctx,
+                                    VectorView<const T> w,
+                                    VectorView<const T> v,
+                                    VectorView<const T> u, T alpha) {
+  const std::int64_t n = w.size();
+  host::Device& dev = ctx.device();
+  // w, v, u on their own banks; the COPY target z shares w's bank, so the
+  // AXPY phase reads and writes z through one memory module.
+  host::Buffer<T> bw(dev, n, 0);
+  host::Buffer<T> bv(dev, n, 1 % dev.bank_count());
+  host::Buffer<T> bu(dev, n, 2 % dev.bank_count());
+  host::Buffer<T> bz(dev, n, 0);
+  {
+    std::vector<T> host(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) host[static_cast<std::size_t>(i)] = w[i];
+    bw.write(host);
+    for (std::int64_t i = 0; i < n; ++i) host[static_cast<std::size_t>(i)] = v[i];
+    bv.write(host);
+    for (std::int64_t i = 0; i < n; ++i) host[static_cast<std::size_t>(i)] = u[i];
+    bu.write(host);
+  }
+  std::uint64_t cycles = 0;
+  ctx.copy<T>(n, bw, 1, bz, 1);
+  cycles += ctx.last_cycles();
+  ctx.axpy<T>(n, -alpha, bv, 1, bz, 1);
+  cycles += ctx.last_cycles();
+  const T beta = ctx.dot<T>(n, bz, 1, bu, 1);
+  cycles += ctx.last_cycles();
+  return {beta, cycles};
+}
+
+template <typename T>
+T axpydot_cpu(VectorView<const T> w, VectorView<const T> v,
+              VectorView<const T> u, T alpha) {
+  const std::int64_t n = w.size();
+  std::vector<T> z(static_cast<std::size_t>(n));
+  ref::copy<T>(w, VectorView<T>(z.data(), n));
+  ref::axpy<T>(-alpha, v, VectorView<T>(z.data(), n));
+  return ref::dot<T>(VectorView<const T>(z.data(), n), u);
+}
+
+mdag::Mdag axpydot_mdag(std::int64_t n) {
+  mdag::Mdag g;
+  const int rv = g.add_interface("read_v");
+  const int rw = g.add_interface("read_w");
+  const int ru = g.add_interface("read_u");
+  const int wb = g.add_interface("write_beta");
+  const int axpy = g.add_compute("axpy", RoutineKind::Axpy, 12);
+  const int dot = g.add_compute("dot", RoutineKind::Dot, 30);
+  g.connect(rv, axpy, mdag::StreamSig::vec(n));
+  g.connect(rw, axpy, mdag::StreamSig::vec(n));
+  g.connect(axpy, dot, mdag::StreamSig::vec(n));
+  g.connect(ru, dot, mdag::StreamSig::vec(n));
+  g.connect(dot, wb, mdag::StreamSig::vec(1));
+  return g;
+}
+
+#define FBLAS_APP_AXPYDOT_INSTANTIATE(T)                                     \
+  template AxpydotResult<T> axpydot_streaming<T>(                            \
+      const sim::DeviceSpec&, stream::Mode, int, VectorView<const T>,        \
+      VectorView<const T>, VectorView<const T>, T);                          \
+  template AxpydotResult<T> axpydot_host_layer<T>(                           \
+      host::Context&, VectorView<const T>, VectorView<const T>,              \
+      VectorView<const T>, T);                                               \
+  template T axpydot_cpu<T>(VectorView<const T>, VectorView<const T>,        \
+                            VectorView<const T>, T);
+
+FBLAS_APP_AXPYDOT_INSTANTIATE(float)
+FBLAS_APP_AXPYDOT_INSTANTIATE(double)
+#undef FBLAS_APP_AXPYDOT_INSTANTIATE
+
+}  // namespace fblas::apps

@@ -1,0 +1,146 @@
+#include "apps/bicg.hpp"
+
+#include "fblas/level2.hpp"
+#include "refblas/level2.hpp"
+#include "sim/frequency_model.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+
+namespace fblas::apps {
+
+template <typename T>
+BicgResult<T> bicg_streaming(const sim::DeviceSpec& dev, stream::Mode mode,
+                             int width, std::int64_t tile,
+                             MatrixView<const T> A, VectorView<const T> p,
+                             VectorView<const T> r) {
+  const std::int64_t n = A.rows(), m = A.cols();
+  FBLAS_REQUIRE(p.size() == m && r.size() == n, "bicg: shape mismatch");
+  const core::GemvConfig cfg_n{Transpose::None,
+                               core::MatrixTiling::TilesByRows, width, tile,
+                               tile};
+  const core::GemvConfig cfg_t{Transpose::Trans,
+                               core::MatrixTiling::TilesByRows, width, tile,
+                               tile};
+  // Both modules consume A in the identical schedule, so one interface
+  // module reads A once and duplicates it on chip (Fig. 7).
+  FBLAS_REQUIRE(core::gemv_a_schedule(cfg_n) == core::gemv_a_schedule(cfg_t),
+                "bicg: the two GEMVs must share one tiling schedule");
+  stream::Graph g(mode);
+  const auto f = sim::composition_frequency(2, PrecisionTraits<T>::value, dev);
+  const double bpc = dev.bank_bandwidth_gbs * 1e9 / (f.mhz * 1e6);
+  auto& bank_a = g.bank("ddr0", bpc);
+  auto& bank_vec = g.bank("ddr1", bpc);
+  const std::size_t cap = static_cast<std::size_t>(std::max(64, 4 * width));
+  auto& ca = g.channel<T>("A", cap);
+  auto& ca1 = g.channel<T>("A_gemv", cap);
+  auto& ca2 = g.channel<T>("A_gemvT", cap);
+  auto& cp = g.channel<T>("p", cap);
+  auto& cr = g.channel<T>("r", cap);
+  auto& cq0 = g.channel<T>("q0", cap);
+  auto& cs0 = g.channel<T>("s0", cap);
+  auto& cq = g.channel<T>("q", cap);
+  auto& cs = g.channel<T>("s", cap);
+  BicgResult<T> result;
+  g.spawn("read_A", stream::read_matrix<T>(A, core::gemv_a_schedule(cfg_n), 1,
+                                           width, ca, &bank_a));
+  g.spawn("fanout_A", stream::fanout2<T>(n * m, width, ca, ca1, ca2));
+  g.spawn("read_p", stream::read_vector<T>(p, core::gemv_x_repeat(cfg_n, n, m),
+                                           width, cp, &bank_vec));
+  g.spawn("read_r", stream::read_vector<T>(r, core::gemv_x_repeat(cfg_t, n, m),
+                                           width, cr, &bank_vec));
+  // beta = 0: the y inputs are zero streams generated on chip.
+  g.spawn("zero_q", stream::generate<T>(n, T(0), width, cq0));
+  g.spawn("zero_s", stream::generate<T>(m, T(0), width, cs0));
+  g.spawn("gemv", core::gemv<T>(cfg_n, n, m, T(1), T(0), ca1, cp, cq0, cq));
+  g.spawn("gemv_T", core::gemv<T>(cfg_t, n, m, T(1), T(0), ca2, cr, cs0, cs));
+  g.spawn("collect_q", stream::collect<T>(n, cq, result.q));
+  g.spawn("collect_s", stream::collect<T>(m, cs, result.s));
+  g.run();
+  result.cycles = g.cycles();
+  return result;
+}
+
+template <typename T>
+BicgResult<T> bicg_host_layer(host::Context& ctx, MatrixView<const T> A,
+                              VectorView<const T> p, VectorView<const T> r) {
+  const std::int64_t n = A.rows(), m = A.cols();
+  host::Device& dev = ctx.device();
+  host::Buffer<T> ba(dev, n * m, 0);
+  host::Buffer<T> bp(dev, m, 1 % dev.bank_count());
+  host::Buffer<T> br(dev, n, 1 % dev.bank_count());
+  host::Buffer<T> bq(dev, n, 2 % dev.bank_count());
+  host::Buffer<T> bs(dev, m, 3 % dev.bank_count());
+  {
+    std::vector<T> host(static_cast<std::size_t>(n * m));
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < m; ++j) {
+        host[static_cast<std::size_t>(i * m + j)] = A(i, j);
+      }
+    }
+    ba.write(host);
+    std::vector<T> hp(static_cast<std::size_t>(m));
+    for (std::int64_t j = 0; j < m; ++j) hp[static_cast<std::size_t>(j)] = p[j];
+    bp.write(hp);
+    std::vector<T> hr(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) hr[static_cast<std::size_t>(i)] = r[i];
+    br.write(hr);
+  }
+  std::uint64_t cycles = 0;
+  ctx.gemv<T>(Transpose::None, n, m, T(1), ba, bp, 1, T(0), bq, 1);
+  cycles += ctx.last_cycles();
+  ctx.gemv<T>(Transpose::Trans, n, m, T(1), ba, br, 1, T(0), bs, 1);
+  cycles += ctx.last_cycles();
+  return {bq.to_host(), bs.to_host(), cycles};
+}
+
+template <typename T>
+BicgResult<T> bicg_cpu(MatrixView<const T> A, VectorView<const T> p,
+                       VectorView<const T> r) {
+  const std::int64_t n = A.rows(), m = A.cols();
+  BicgResult<T> out;
+  out.q.assign(static_cast<std::size_t>(n), T(0));
+  out.s.assign(static_cast<std::size_t>(m), T(0));
+  ref::gemv<T>(Transpose::None, T(1), A, p, T(0),
+               VectorView<T>(out.q.data(), n));
+  ref::gemv<T>(Transpose::Trans, T(1), A, r, T(0),
+               VectorView<T>(out.s.data(), m));
+  return out;
+}
+
+mdag::Mdag bicg_mdag(std::int64_t n, std::int64_t m, std::int64_t tile) {
+  mdag::Mdag g;
+  const int ra = g.add_interface("read_A");
+  const int rp = g.add_interface("read_p");
+  const int rr = g.add_interface("read_r");
+  const int wq = g.add_interface("write_q");
+  const int ws = g.add_interface("write_s");
+  const int gemv = g.add_compute("gemv", RoutineKind::Gemv, 40);
+  const int gemvt = g.add_compute("gemv_T", RoutineKind::Gemv, 40);
+  const stream::TileSchedule sched{Order::RowMajor, Order::RowMajor, tile,
+                                   tile};
+  const auto a_sig = mdag::StreamSig::mat(n, m, sched);
+  g.connect(ra, gemv, a_sig);
+  g.connect(ra, gemvt, a_sig);
+  g.connect(rp, gemv, mdag::StreamSig::vec(m, ceil_div(n, tile)));
+  g.connect(rr, gemvt, mdag::StreamSig::vec(n));
+  g.connect(gemv, wq, mdag::StreamSig::vec(n));
+  g.connect(gemvt, ws, mdag::StreamSig::vec(m));
+  return g;
+}
+
+#define FBLAS_APP_BICG_INSTANTIATE(T)                                        \
+  template BicgResult<T> bicg_streaming<T>(                                  \
+      const sim::DeviceSpec&, stream::Mode, int, std::int64_t,               \
+      MatrixView<const T>, VectorView<const T>, VectorView<const T>);        \
+  template BicgResult<T> bicg_host_layer<T>(                                 \
+      host::Context&, MatrixView<const T>, VectorView<const T>,              \
+      VectorView<const T>);                                                  \
+  template BicgResult<T> bicg_cpu<T>(MatrixView<const T>,                    \
+                                     VectorView<const T>,                    \
+                                     VectorView<const T>);
+
+FBLAS_APP_BICG_INSTANTIATE(float)
+FBLAS_APP_BICG_INSTANTIATE(double)
+#undef FBLAS_APP_BICG_INSTANTIATE
+
+}  // namespace fblas::apps

@@ -1,0 +1,46 @@
+// BICG (Sec. V-A, Fig. 7): q = A p and s = A^T r, the two independent
+// matrix-vector products of the biconjugate gradient method. The
+// streaming composition reads A from DRAM once and broadcasts it on chip
+// to a GEMV and a transposed GEMV that share the same tiling schedule,
+// halving the dominant I/O term (2NM -> NM).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/view.hpp"
+#include "host/context.hpp"
+#include "mdag/graph.hpp"
+#include "sim/device.hpp"
+#include "stream/scheduler.hpp"
+
+namespace fblas::apps {
+
+template <typename T>
+struct BicgResult {
+  std::vector<T> q;  ///< A p   (n elements)
+  std::vector<T> s;  ///< A^T r (m elements)
+  std::uint64_t cycles = 0;
+};
+
+/// Fully-streaming composition: one A reader feeding both GEMVs.
+template <typename T>
+BicgResult<T> bicg_streaming(const sim::DeviceSpec& dev, stream::Mode mode,
+                             int width, std::int64_t tile,
+                             MatrixView<const T> A, VectorView<const T> p,
+                             VectorView<const T> r);
+
+/// Host-layer baseline: two independent GEMV launches (A read twice).
+template <typename T>
+BicgResult<T> bicg_host_layer(host::Context& ctx, MatrixView<const T> A,
+                              VectorView<const T> p, VectorView<const T> r);
+
+/// CPU reference.
+template <typename T>
+BicgResult<T> bicg_cpu(MatrixView<const T> A, VectorView<const T> p,
+                       VectorView<const T> r);
+
+/// The MDAG of the streaming composition.
+mdag::Mdag bicg_mdag(std::int64_t n, std::int64_t m, std::int64_t tile);
+
+}  // namespace fblas::apps

@@ -1,0 +1,251 @@
+#include "apps/gemver.hpp"
+
+#include "fblas/level2.hpp"
+#include "refblas/level2.hpp"
+#include "sim/frequency_model.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+
+namespace fblas::apps {
+
+template <typename T>
+GemverResult<T> gemver_streaming(const sim::DeviceSpec& dev,
+                                 stream::Mode mode, int width,
+                                 std::int64_t tile, T alpha, T beta,
+                                 MatrixView<const T> A,
+                                 VectorView<const T> u1,
+                                 VectorView<const T> v1,
+                                 VectorView<const T> u2,
+                                 VectorView<const T> v2,
+                                 VectorView<const T> y,
+                                 VectorView<const T> z) {
+  const std::int64_t n = A.rows();
+  FBLAS_REQUIRE(A.cols() == n, "gemver: A must be square");
+  const core::GerConfig gcfg{core::MatrixTiling::TilesByRows, width, tile,
+                             tile};
+  const core::GemvConfig tcfg{Transpose::Trans,
+                              core::MatrixTiling::TilesByRows, width, tile,
+                              tile};
+  const core::GemvConfig ncfg{Transpose::None,
+                              core::MatrixTiling::TilesByRows, width, tile,
+                              tile};
+  const auto f = sim::composition_frequency(3, PrecisionTraits<T>::value, dev);
+  const double bpc = dev.bank_bandwidth_gbs * 1e9 / (f.mhz * 1e6);
+  const auto sched = core::ger_a_schedule(gcfg);
+  GemverResult<T> result;
+  result.b.assign(static_cast<std::size_t>(n * n), T(0));
+  result.x.assign(static_cast<std::size_t>(n), T(0));
+  result.w.assign(static_cast<std::size_t>(n), T(0));
+  const std::size_t cap = static_cast<std::size_t>(std::max(64, 4 * width));
+
+  // ---- Component 1: B = A + u1 v1^T + u2 v2^T streamed through two GER
+  // modules; B fans out to DRAM and to the GEMV^T computing x.
+  {
+    stream::Graph g(mode);
+    auto& bank_a = g.bank("ddr0", bpc);
+    auto& bank_b = g.bank("ddr1", bpc);
+    auto& bank_vec = g.bank("ddr2", bpc);
+    auto& ca = g.channel<T>("A", cap);
+    auto& cb1 = g.channel<T>("B_partial", cap);
+    auto& cb = g.channel<T>("B", cap);
+    auto& cb_dram = g.channel<T>("B_to_dram", cap);
+    auto& cb_gemv = g.channel<T>("B_to_gemvT", cap);
+    auto& cu1 = g.channel<T>("u1", cap);
+    auto& cv1 = g.channel<T>("v1", cap);
+    auto& cu2 = g.channel<T>("u2", cap);
+    auto& cv2 = g.channel<T>("v2", cap);
+    auto& cy = g.channel<T>("y", cap);
+    auto& cz = g.channel<T>("z", cap);
+    auto& cx = g.channel<T>("x", cap);
+    g.spawn("read_A", stream::read_matrix<T>(A, sched, 1, width, ca, &bank_a));
+    g.spawn("read_u1", stream::read_vector<T>(
+                           u1, core::ger_x_repeat(gcfg, n, n), width, cu1,
+                           &bank_vec));
+    g.spawn("read_v1", stream::read_vector<T>(
+                           v1, core::ger_y_repeat(gcfg, n, n), width, cv1,
+                           &bank_vec));
+    g.spawn("read_u2", stream::read_vector<T>(
+                           u2, core::ger_x_repeat(gcfg, n, n), width, cu2,
+                           &bank_vec));
+    g.spawn("read_v2", stream::read_vector<T>(
+                           v2, core::ger_y_repeat(gcfg, n, n), width, cv2,
+                           &bank_vec));
+    g.spawn("ger1", core::ger<T>(gcfg, n, n, T(1), ca, cu1, cv1, cb1));
+    g.spawn("ger2", core::ger<T>(gcfg, n, n, T(1), cb1, cu2, cv2, cb));
+    g.spawn("fanout_B", stream::fanout2<T>(n * n, width, cb, cb_dram,
+                                           cb_gemv));
+    g.spawn("store_B",
+            stream::write_matrix<T>(MatrixView<T>(result.b.data(), n, n),
+                                    sched, width, cb_dram, &bank_b));
+    g.spawn("read_y", stream::read_vector<T>(y, 1, width, cy, &bank_vec));
+    g.spawn("read_z", stream::read_vector<T>(z, 1, width, cz, &bank_vec));
+    // x = beta * B^T y + z.
+    g.spawn("gemv_T",
+            core::gemv<T>(tcfg, n, n, beta, T(1), cb_gemv, cy, cz, cx));
+    g.spawn("store_x",
+            stream::write_vector<T>(VectorView<T>(result.x.data(), n), 1,
+                                    width, cx, &bank_vec));
+    g.run();
+    result.cycles += g.cycles();
+  }
+
+  // ---- Component 2: w = alpha B x, with B and x back from DRAM.
+  {
+    stream::Graph g(mode);
+    auto& bank_b = g.bank("ddr1", bpc);
+    auto& bank_vec = g.bank("ddr2", bpc);
+    auto& cb = g.channel<T>("B", cap);
+    auto& cx = g.channel<T>("x", cap);
+    auto& cw0 = g.channel<T>("w0", cap);
+    auto& cw = g.channel<T>("w", cap);
+    g.spawn("read_B",
+            stream::read_matrix<T>(
+                MatrixView<const T>(result.b.data(), n, n),
+                core::gemv_a_schedule(ncfg), 1, width, cb, &bank_b));
+    g.spawn("read_x", stream::read_vector<T>(
+                          VectorView<const T>(result.x.data(), n),
+                          core::gemv_x_repeat(ncfg, n, n), width, cx,
+                          &bank_vec));
+    g.spawn("zero_w", stream::generate<T>(n, T(0), width, cw0));
+    g.spawn("gemv", core::gemv<T>(ncfg, n, n, alpha, T(0), cb, cx, cw0, cw));
+    g.spawn("store_w",
+            stream::write_vector<T>(VectorView<T>(result.w.data(), n), 1,
+                                    width, cw, &bank_vec));
+    g.run();
+    result.cycles += g.cycles();
+  }
+  return result;
+}
+
+template <typename T>
+GemverResult<T> gemver_host_layer(host::Context& ctx, T alpha, T beta,
+                                  MatrixView<const T> A,
+                                  VectorView<const T> u1,
+                                  VectorView<const T> v1,
+                                  VectorView<const T> u2,
+                                  VectorView<const T> v2,
+                                  VectorView<const T> y,
+                                  VectorView<const T> z) {
+  const std::int64_t n = A.rows();
+  host::Device& dev = ctx.device();
+  host::Buffer<T> ba(dev, n * n, 0);
+  host::Buffer<T> bb(dev, n * n, 1 % dev.bank_count());
+  host::Buffer<T> bu1(dev, n, 2 % dev.bank_count());
+  host::Buffer<T> bv1(dev, n, 2 % dev.bank_count());
+  host::Buffer<T> bu2(dev, n, 2 % dev.bank_count());
+  host::Buffer<T> bv2(dev, n, 2 % dev.bank_count());
+  host::Buffer<T> by(dev, n, 3 % dev.bank_count());
+  host::Buffer<T> bx(dev, n, 3 % dev.bank_count());
+  host::Buffer<T> bw(dev, n, 3 % dev.bank_count());
+  {
+    std::vector<T> host(static_cast<std::size_t>(n * n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        host[static_cast<std::size_t>(i * n + j)] = A(i, j);
+      }
+    }
+    ba.write(host);
+    auto load = [n](VectorView<const T> v) {
+      std::vector<T> h(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) h[static_cast<std::size_t>(i)] = v[i];
+      return h;
+    };
+    bu1.write(load(u1));
+    bv1.write(load(v1));
+    bu2.write(load(u2));
+    bv2.write(load(v2));
+    by.write(load(y));
+    bx.write(load(z));  // x starts as z: gemv accumulates beta*B^T y onto it
+  }
+  std::uint64_t cycles = 0;
+  ctx.copy<T>(n * n, ba, 1, bb, 1);
+  cycles += ctx.last_cycles();
+  ctx.ger<T>(n, n, T(1), bu1, 1, bv1, 1, bb);
+  cycles += ctx.last_cycles();
+  ctx.ger<T>(n, n, T(1), bu2, 1, bv2, 1, bb);
+  cycles += ctx.last_cycles();
+  ctx.gemv<T>(Transpose::Trans, n, n, beta, bb, by, 1, T(1), bx, 1);
+  cycles += ctx.last_cycles();
+  std::vector<T> zero(static_cast<std::size_t>(n), T(0));
+  bw.write(zero);
+  ctx.gemv<T>(Transpose::None, n, n, alpha, bb, bx, 1, T(0), bw, 1);
+  cycles += ctx.last_cycles();
+  return {bb.to_host(), bx.to_host(), bw.to_host(), cycles};
+}
+
+template <typename T>
+GemverResult<T> gemver_cpu(T alpha, T beta, MatrixView<const T> A,
+                           VectorView<const T> u1, VectorView<const T> v1,
+                           VectorView<const T> u2, VectorView<const T> v2,
+                           VectorView<const T> y, VectorView<const T> z) {
+  const std::int64_t n = A.rows();
+  GemverResult<T> out;
+  out.b.assign(static_cast<std::size_t>(n * n), T(0));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      out.b[static_cast<std::size_t>(i * n + j)] = A(i, j);
+    }
+  }
+  MatrixView<T> B(out.b.data(), n, n);
+  ref::ger<T>(T(1), u1, v1, B);
+  ref::ger<T>(T(1), u2, v2, B);
+  out.x.assign(static_cast<std::size_t>(n), T(0));
+  for (std::int64_t i = 0; i < n; ++i) out.x[static_cast<std::size_t>(i)] = z[i];
+  ref::gemv<T>(Transpose::Trans, beta, MatrixView<const T>(out.b.data(), n, n),
+               y, T(1), VectorView<T>(out.x.data(), n));
+  out.w.assign(static_cast<std::size_t>(n), T(0));
+  ref::gemv<T>(Transpose::None, alpha,
+               MatrixView<const T>(out.b.data(), n, n),
+               VectorView<const T>(out.x.data(), n), T(0),
+               VectorView<T>(out.w.data(), n));
+  return out;
+}
+
+mdag::Mdag gemver_mdag(std::int64_t n, std::int64_t tile) {
+  mdag::Mdag g;
+  const int ra = g.add_interface("read_A");
+  const int ruv1 = g.add_interface("read_u1v1");
+  const int ruv2 = g.add_interface("read_u2v2");
+  const int ryz = g.add_interface("read_y_z");
+  const int wx = g.add_interface("write_x");
+  const int ww = g.add_interface("write_w");
+  const int ger1 = g.add_compute("ger1", RoutineKind::Ger, 20);
+  const int ger2 = g.add_compute("ger2", RoutineKind::Ger, 20);
+  const int gemvt = g.add_compute("gemv_T", RoutineKind::Gemv, 40);
+  const int gemvw = g.add_compute("gemv_w", RoutineKind::Gemv, 40);
+  const stream::TileSchedule sched{Order::RowMajor, Order::RowMajor, tile,
+                                   tile};
+  const auto m = mdag::StreamSig::mat(n, n, sched);
+  g.connect(ra, ger1, m);
+  g.connect(ruv1, ger1, mdag::StreamSig::vec(2 * n));
+  g.connect(ger1, ger2, m);
+  g.connect(ruv2, ger2, mdag::StreamSig::vec(2 * n));
+  g.connect(ger2, gemvt, m);
+  g.connect(ger2, gemvw, m);
+  g.connect(ryz, gemvt, mdag::StreamSig::vec(2 * n));
+  g.connect(gemvt, gemvw, mdag::StreamSig::vec(n));
+  g.connect(gemvt, wx, mdag::StreamSig::vec(n));
+  g.connect(gemvw, ww, mdag::StreamSig::vec(n));
+  return g;
+}
+
+#define FBLAS_APP_GEMVER_INSTANTIATE(T)                                      \
+  template GemverResult<T> gemver_streaming<T>(                              \
+      const sim::DeviceSpec&, stream::Mode, int, std::int64_t, T, T,         \
+      MatrixView<const T>, VectorView<const T>, VectorView<const T>,         \
+      VectorView<const T>, VectorView<const T>, VectorView<const T>,         \
+      VectorView<const T>);                                                  \
+  template GemverResult<T> gemver_host_layer<T>(                             \
+      host::Context&, T, T, MatrixView<const T>, VectorView<const T>,        \
+      VectorView<const T>, VectorView<const T>, VectorView<const T>,         \
+      VectorView<const T>, VectorView<const T>);                             \
+  template GemverResult<T> gemver_cpu<T>(                                    \
+      T, T, MatrixView<const T>, VectorView<const T>, VectorView<const T>,   \
+      VectorView<const T>, VectorView<const T>, VectorView<const T>,         \
+      VectorView<const T>);
+
+FBLAS_APP_GEMVER_INSTANTIATE(float)
+FBLAS_APP_GEMVER_INSTANTIATE(double)
+#undef FBLAS_APP_GEMVER_INSTANTIATE
+
+}  // namespace fblas::apps

@@ -1,0 +1,67 @@
+// GEMVER (Sec. V-C, Fig. 9): B = A + u1 v1^T + u2 v2^T,
+// x = beta B^T y + z, w = alpha B x. The fully-streaming MDAG is an
+// invalid non-multitree (B reaches the w-computation both directly and
+// through the x-computation), so the composition runs as two sequential
+// streaming components: (1) GER -> GER -> GEMV^T producing B and x, and
+// (2) GEMV producing w — cutting I/O from ~8N^2 to ~3N^2 and completion
+// from ~5N^2 to ~2N^2 despite the sequentialization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/view.hpp"
+#include "host/context.hpp"
+#include "mdag/graph.hpp"
+#include "sim/device.hpp"
+#include "stream/scheduler.hpp"
+
+namespace fblas::apps {
+
+template <typename T>
+struct GemverResult {
+  std::vector<T> b;  ///< n x n
+  std::vector<T> x;  ///< n
+  std::vector<T> w;  ///< n
+  std::uint64_t cycles = 0;  ///< sum over the two components
+};
+
+struct GemverInputs {
+  // All operands are length-n vectors except A (n x n), alpha and beta.
+};
+
+/// Two-component streaming schedule.
+template <typename T>
+GemverResult<T> gemver_streaming(const sim::DeviceSpec& dev,
+                                 stream::Mode mode, int width,
+                                 std::int64_t tile, T alpha, T beta,
+                                 MatrixView<const T> A,
+                                 VectorView<const T> u1,
+                                 VectorView<const T> v1,
+                                 VectorView<const T> u2,
+                                 VectorView<const T> v2,
+                                 VectorView<const T> y,
+                                 VectorView<const T> z);
+
+/// Host-layer baseline: COPY + GER + GER + GEMV^T + GEMV, one by one.
+template <typename T>
+GemverResult<T> gemver_host_layer(host::Context& ctx, T alpha, T beta,
+                                  MatrixView<const T> A,
+                                  VectorView<const T> u1,
+                                  VectorView<const T> v1,
+                                  VectorView<const T> u2,
+                                  VectorView<const T> v2,
+                                  VectorView<const T> y,
+                                  VectorView<const T> z);
+
+/// CPU reference.
+template <typename T>
+GemverResult<T> gemver_cpu(T alpha, T beta, MatrixView<const T> A,
+                           VectorView<const T> u1, VectorView<const T> v1,
+                           VectorView<const T> u2, VectorView<const T> v2,
+                           VectorView<const T> y, VectorView<const T> z);
+
+/// The fully-streaming (invalid) MDAG, for analysis.
+mdag::Mdag gemver_mdag(std::int64_t n, std::int64_t tile);
+
+}  // namespace fblas::apps

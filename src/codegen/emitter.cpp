@@ -1,0 +1,374 @@
+#include "codegen/emitter.hpp"
+
+#include <sstream>
+
+namespace fblas::codegen {
+namespace {
+
+const char* ctype(Precision p) {
+  return p == Precision::Single ? "float" : "double";
+}
+
+std::string chan(const RoutineSpec& s, const char* operand) {
+  return s.user_name + "_ch_" + operand;
+}
+
+void emit_channel_decls(std::ostringstream& os, const RoutineSpec& s,
+                        const std::vector<std::string>& chans) {
+  for (const std::string& c : chans) {
+    os << "channel " << ctype(s.precision) << " " << c
+       << " __attribute__((depth(" << 2 * s.width << ")));\n";
+  }
+}
+
+void emit_read_vector(std::ostringstream& os, const RoutineSpec& s,
+                      const char* operand) {
+  const char* t = ctype(s.precision);
+  os << "__kernel void " << s.user_name << "_read_" << operand
+     << "(__global const " << t << "* restrict mem, int n, int repeat) {\n"
+     << "  for (int r = 0; r < repeat; r++)\n"
+     << "    for (int i = 0; i < n; i++)\n"
+     << "      write_channel_intel(" << chan(s, operand) << ", mem[i]);\n"
+     << "}\n\n";
+}
+
+void emit_write_vector(std::ostringstream& os, const RoutineSpec& s,
+                       const char* operand) {
+  const char* t = ctype(s.precision);
+  os << "__kernel void " << s.user_name << "_write_" << operand
+     << "(__global " << t << "* restrict mem, int n) {\n"
+     << "  for (int i = 0; i < n; i++)\n"
+     << "    mem[i] = read_channel_intel(" << chan(s, operand) << ");\n"
+     << "}\n\n";
+}
+
+void emit_map_module(std::ostringstream& os, const RoutineSpec& s) {
+  // The SCAL-style module of Fig. 4, specialized per routine body.
+  const char* t = ctype(s.precision);
+  const RoutineInfo& info = routine_info(s.kind);
+  os << "__kernel void " << s.user_name << "(" << t << " alpha, int N) {\n"
+     << "  for (int it = 0; it < N / " << s.width << "; it++) {\n"
+     << "    #pragma unroll\n"
+     << "    for (int i = 0; i < " << s.width << "; i++) {\n";
+  switch (s.kind) {
+    case RoutineKind::Scal:
+      os << "      " << t << " x = read_channel_intel(" << chan(s, "x")
+         << ");\n"
+         << "      write_channel_intel(" << chan(s, "out")
+         << ", alpha * x);\n";
+      break;
+    case RoutineKind::Copy:
+      os << "      write_channel_intel(" << chan(s, "out")
+         << ", read_channel_intel(" << chan(s, "x") << "));\n";
+      break;
+    case RoutineKind::Axpy:
+      os << "      " << t << " x = read_channel_intel(" << chan(s, "x")
+         << ");\n"
+         << "      " << t << " y = read_channel_intel(" << chan(s, "y")
+         << ");\n"
+         << "      write_channel_intel(" << chan(s, "out")
+         << ", alpha * x + y);\n";
+      break;
+    case RoutineKind::Swap:
+    case RoutineKind::Rot:
+    case RoutineKind::Rotm:
+      os << "      " << t << " x = read_channel_intel(" << chan(s, "x")
+         << ");\n"
+         << "      " << t << " y = read_channel_intel(" << chan(s, "y")
+         << ");\n"
+         << "      write_channel_intel(" << chan(s, "out_x")
+         << ", /* elementwise 2x2 transform */ y);\n"
+         << "      write_channel_intel(" << chan(s, "out_y") << ", x);\n";
+      break;
+    default:
+      os << "      /* " << info.name << " elementwise body */\n";
+      break;
+  }
+  os << "    }\n  }\n}\n\n";
+}
+
+void emit_reduce_module(std::ostringstream& os, const RoutineSpec& s) {
+  // The DOT-style module of Fig. 5: W-wide unrolled tree + accumulator.
+  const char* t = ctype(s.precision);
+  const bool two_inputs =
+      s.kind == RoutineKind::Dot || s.kind == RoutineKind::Sdsdot;
+  const char* acc_t =
+      s.kind == RoutineKind::Sdsdot ? "double" : ctype(s.precision);
+  os << "__kernel void " << s.user_name << "(int N) {\n"
+     << "  " << acc_t << " res = 0;\n"
+     << "  for (int it = 0; it < N / " << s.width << "; it++) {\n"
+     << "    " << acc_t << " acc = 0;\n"
+     << "    #pragma unroll\n"
+     << "    for (int i = 0; i < " << s.width << "; i++) {\n"
+     << "      " << t << " x = read_channel_intel(" << chan(s, "x") << ");\n";
+  if (two_inputs) {
+    os << "      " << t << " y = read_channel_intel(" << chan(s, "y")
+       << ");\n"
+       << "      acc += x * y;\n";
+  } else if (s.kind == RoutineKind::Nrm2) {
+    os << "      acc += x * x;\n";
+  } else {
+    os << "      acc += fabs(x);\n";
+  }
+  os << "    }\n"
+     << "    res += acc;\n"
+     << "  }\n";
+  if (s.kind == RoutineKind::Nrm2) {
+    os << "  write_channel_intel(" << chan(s, "res") << ", sqrt(res));\n";
+  } else {
+    os << "  write_channel_intel(" << chan(s, "res") << ", res);\n";
+  }
+  os << "}\n\n";
+}
+
+void emit_gemv_module(std::ostringstream& os, const RoutineSpec& s) {
+  const char* t = ctype(s.precision);
+  const bool by_rows = s.tiling == core::MatrixTiling::TilesByRows;
+  os << "// GEMV variant: A " << (s.trans == Transpose::Trans ? "^T " : "")
+     << "in tiles by " << (by_rows ? "rows" : "columns") << ", TN="
+     << s.tile_rows << ", TM=" << s.tile_cols << "\n"
+     << "__kernel void " << s.user_name << "(" << t << " alpha, " << t
+     << " beta, int N, int M) {\n"
+     << "  " << t << " local_x[" << (by_rows ? s.tile_cols : s.tile_cols)
+     << "];\n"
+     << "  " << t << " local_y[" << s.tile_rows << "];\n"
+     << "  for (int ti = 0; ti < N / " << s.tile_rows << "; ti++) {\n"
+     << "    for (int tj = 0; tj < M / " << s.tile_cols << "; tj++) {\n"
+     << "      for (int i = 0; i < " << s.tile_rows << "; i++) {\n"
+     << "        " << t << " acc = 0;\n"
+     << "        #pragma unroll " << s.width << "\n"
+     << "        for (int j = 0; j < " << s.tile_cols << "; j++)\n"
+     << "          acc += read_channel_intel(" << chan(s, "A")
+     << ") * local_x[j];\n"
+     << "        local_y[i] += alpha * acc;\n"
+     << "      }\n    }\n"
+     << "    // push the finished y block\n"
+     << "    for (int i = 0; i < " << s.tile_rows << "; i++)\n"
+     << "      write_channel_intel(" << chan(s, "out") << ", local_y[i]);\n"
+     << "  }\n}\n\n";
+}
+
+void emit_systolic_module(std::ostringstream& os, const RoutineSpec& s) {
+  const char* t = ctype(s.precision);
+  os << "// Systolic GEMM: " << s.pe_rows << "x" << s.pe_cols
+     << " PE grid, compute tile " << s.tile_rows << "x" << s.tile_cols
+     << " (single-kernel formulation with shift registers)\n"
+     << t << " pe(" << t << " a, " << t << " b, " << t << " *acc) {\n"
+     << "  *acc += a * b;\n  return *acc;\n}\n\n"
+     << "__kernel void " << s.user_name << "(int N, int M, int K) {\n"
+     << "  " << t << " acc[" << s.tile_rows << "][" << s.tile_cols << "];\n"
+     << "  for (int k = 0; k < K; k++) {\n"
+     << "    " << t << " a_reg[" << s.pe_rows << "], b_reg[" << s.pe_cols
+     << "];\n"
+     << "    #pragma unroll\n"
+     << "    for (int r = 0; r < " << s.pe_rows << "; r++)\n"
+     << "      #pragma unroll\n"
+     << "      for (int c = 0; c < " << s.pe_cols << "; c++)\n"
+     << "        pe(a_reg[r], b_reg[c], &acc[r][c]);\n"
+     << "  }\n"
+     << "  // drain chain: " << s.pe_cols << " results per cycle\n"
+     << "}\n\n";
+}
+
+void emit_unrolled_module(std::ostringstream& os, const RoutineSpec& s) {
+  const char* t = ctype(s.precision);
+  const std::int64_t sz = s.fixed_size;
+  os << "// Fully-unrolled batched " << (s.kind == RoutineKind::Gemm
+                                             ? "GEMM"
+                                             : "TRSM (left, lower)")
+     << " of fixed size " << sz
+     << ": a new problem enters every clock cycle (Table V design)\n"
+     << "__kernel void " << s.user_name << "(" << t
+     << " alpha, int batch) {\n"
+     << "  for (int inv = 0; inv < batch; inv++) {\n"
+     << "    " << t << " a[" << sz << "][" << sz << "], b[" << sz << "]["
+     << sz << "];\n"
+     << "    #pragma unroll\n"
+     << "    for (int i = 0; i < " << sz << "; i++)\n"
+     << "      #pragma unroll\n"
+     << "      for (int j = 0; j < " << sz << "; j++)\n";
+  if (s.kind == RoutineKind::Gemm) {
+    os << "        { " << t << " acc = 0;\n"
+       << "          #pragma unroll\n"
+       << "          for (int k = 0; k < " << sz << "; k++)\n"
+       << "            acc += a[i][k] * b[k][j];\n"
+       << "          write_channel_intel(" << chan(s, "C")
+       << ", alpha * acc); }\n";
+  } else {
+    os << "        { /* fully-unrolled forward substitution row i */ }\n";
+  }
+  os << "  }\n}\n\n";
+}
+
+void emit_triangular_module(std::ostringstream& os, const RoutineSpec& s) {
+  const char* t = ctype(s.precision);
+  os << "// " << (s.kind == RoutineKind::Trsv ? "TRSV" : "TRSM") << ", "
+     << (s.uplo == Uplo::Lower ? "lower" : "upper") << " triangle, "
+     << (s.diag == Diag::Unit ? "unit" : "non-unit") << " diagonal\n"
+     << "__kernel void " << s.user_name << "(int N) {\n"
+     << "  " << t << " x[/* progressive solution buffer */ 1];\n"
+     << "  // rows arrive in solve order through "
+     << chan(s, "A") << "\n"
+     << "}\n\n";
+}
+
+}  // namespace
+
+core::Level1Config GeneratedDesign::level1_config() const {
+  return core::Level1Config{spec.width};
+}
+
+core::GemvConfig GeneratedDesign::gemv_config() const {
+  return core::GemvConfig{spec.trans,     spec.tiling,    spec.width,
+                          spec.tile_rows, spec.tile_cols, spec.elem_order};
+}
+
+core::GerConfig GeneratedDesign::ger_config() const {
+  return core::GerConfig{spec.tiling, spec.width, spec.tile_rows,
+                         spec.tile_cols};
+}
+
+core::BatchedConfig GeneratedDesign::batched_config() const {
+  return core::BatchedConfig{spec.fixed_size};
+}
+
+core::GemmConfig GeneratedDesign::gemm_config() const {
+  return core::GemmConfig{spec.pe_rows, spec.pe_cols, spec.tile_rows,
+                          spec.tile_cols};
+}
+
+GeneratedDesign emit(const RoutineSpec& spec, const sim::DeviceSpec& dev,
+                     bool check_feasibility) {
+  const RoutineInfo& info = routine_info(spec.kind);
+  GeneratedDesign out;
+  out.spec = spec;
+  if (spec.fully_unrolled) {
+    // A fully-unrolled size-s circuit is equivalent to an s x s grid
+    // holding one s x s tile (s^2 parallel MAC lanes, no memory tiles).
+    const int s = static_cast<int>(spec.fixed_size);
+    out.shape = sim::ModuleShape{spec.kind, spec.precision, 1,
+                                 spec.fixed_size, spec.fixed_size, s, s};
+    if (check_feasibility) {
+      // The grid-size P&R ceilings do not apply to these small circuits;
+      // only the resource budget does.
+      sim::check_fits(sim::estimate_design(out.shape, dev), dev);
+    }
+  } else {
+    out.shape = sim::ModuleShape{spec.kind, spec.precision, spec.width,
+                                 spec.tile_rows, spec.tile_cols,
+                                 spec.pe_rows, spec.pe_cols};
+    if (check_feasibility && !sim::place_and_route_feasible(out.shape, dev)) {
+      throw FitError("generated design for " + spec.user_name +
+                     " would fail placement/routing on " +
+                     std::string(dev.name));
+    }
+  }
+
+  std::ostringstream os;
+  os << "// " << spec.user_name << ": " << spec.blas_name()
+     << " generated by the FBLAS code generator for " << dev.name << "\n"
+     << "#pragma OPENCL EXTENSION cl_intel_channels : enable\n\n";
+
+  // Channels and helper kernels depend on the operand set.
+  auto add_vec_io = [&](const char* operand, bool is_input) {
+    out.channel_names.push_back(chan(spec, operand));
+    if (is_input) {
+      emit_read_vector(os, spec, operand);
+      out.kernel_names.push_back(spec.user_name + "_read_" + operand);
+    } else {
+      emit_write_vector(os, spec, operand);
+      out.kernel_names.push_back(spec.user_name + "_write_" + operand);
+    }
+  };
+
+  switch (info.circuit) {
+    case CircuitClass::Map: {
+      std::ostringstream chans;
+      emit_channel_decls(chans, spec,
+                         {chan(spec, "x"), chan(spec, "out")});
+      os << chans.str() << "\n";
+      add_vec_io("x", true);
+      if (info.operands_per_width >= 2) add_vec_io("y", true);
+      add_vec_io("out", false);
+      emit_map_module(os, spec);
+      break;
+    }
+    case CircuitClass::MapReduce: {
+      if (info.level == 1) {
+        emit_channel_decls(os, spec, {chan(spec, "x"), chan(spec, "res")});
+        os << "\n";
+        add_vec_io("x", true);
+        if (info.operands_per_width >= 2) add_vec_io("y", true);
+        add_vec_io("res", false);
+        emit_reduce_module(os, spec);
+      } else if (spec.kind == RoutineKind::Gemv) {
+        emit_channel_decls(
+            os, spec,
+            {chan(spec, "A"), chan(spec, "x"), chan(spec, "y"),
+             chan(spec, "out")});
+        os << "\n";
+        add_vec_io("A", true);
+        add_vec_io("x", true);
+        add_vec_io("y", true);
+        add_vec_io("out", false);
+        emit_gemv_module(os, spec);
+      } else {
+        emit_channel_decls(os, spec, {chan(spec, "A"), chan(spec, "b"),
+                                      chan(spec, "out")});
+        os << "\n";
+        add_vec_io("A", true);
+        add_vec_io("b", true);
+        add_vec_io("out", false);
+        emit_triangular_module(os, spec);
+      }
+      break;
+    }
+    case CircuitClass::Systolic: {
+      if (spec.fully_unrolled) {
+        emit_channel_decls(os, spec, {chan(spec, "A"), chan(spec, "B"),
+                                      chan(spec, "C")});
+        os << "\n";
+        add_vec_io("A", true);
+        add_vec_io("B", true);
+        add_vec_io("C", false);
+        emit_unrolled_module(os, spec);
+        break;
+      }
+      if (spec.kind == RoutineKind::Trsm) {
+        emit_channel_decls(os, spec, {chan(spec, "A"), chan(spec, "B"),
+                                      chan(spec, "X")});
+        os << "\n";
+        add_vec_io("A", true);
+        add_vec_io("B", true);
+        add_vec_io("X", false);
+        emit_triangular_module(os, spec);
+      } else {
+        emit_channel_decls(os, spec, {chan(spec, "A"), chan(spec, "B"),
+                                      chan(spec, "C")});
+        os << "\n";
+        add_vec_io("A", true);
+        add_vec_io("B", true);
+        add_vec_io("C", false);
+        emit_systolic_module(os, spec);
+      }
+      break;
+    }
+  }
+  out.kernel_names.push_back(spec.user_name);
+  out.source = os.str();
+  return out;
+}
+
+std::string emit_file(const SpecFile& spec, bool check_feasibility) {
+  const sim::DeviceSpec& dev = sim::device(spec.device);
+  std::ostringstream os;
+  os << "// Generated by the FBLAS code generator\n"
+     << "// Target device: " << dev.name << "\n"
+     << "// Routines: " << spec.routines.size() << "\n\n";
+  for (const RoutineSpec& r : spec.routines) {
+    os << emit(r, dev, check_feasibility).source << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fblas::codegen

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace fblas::detail {
+
+void throw_config_error(const char* cond, const char* file, int line,
+                        const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [requirement `" << cond << "` failed at " << file << ":"
+     << line << "]";
+  throw ConfigError(os.str());
+}
+
+}  // namespace fblas::detail

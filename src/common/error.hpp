@@ -1,0 +1,55 @@
+// Error types shared by all FBLAS subsystems.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fblas {
+
+/// Base class for all FBLAS errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An invalid routine/module configuration (bad width, tile size, shape...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// The streaming graph can make no further progress: every live module is
+/// blocked on a channel. Mirrors a hardware design that stalls forever
+/// (Sec. V-B of the paper, e.g. the invalid ATAX composition).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// A design does not fit the target device (placement/routing failure in
+/// the paper's terms, e.g. DDOT with W=256 on the Stratix 10).
+class FitError : public Error {
+ public:
+  explicit FitError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input to the code generator (JSON syntax or schema).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_config_error(const char* cond, const char* file,
+                                     int line, const std::string& msg);
+}  // namespace detail
+
+/// Validates a configuration precondition; throws ConfigError on failure.
+#define FBLAS_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::fblas::detail::throw_config_error(#cond, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)
+
+}  // namespace fblas

@@ -1,0 +1,82 @@
+#include "common/table_printer.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fblas {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FBLAS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  FBLAS_REQUIRE(cells.size() == headers_.size(),
+                "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TablePrinter::print() const { std::cout << str() << std::flush; }
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_int(std::int64_t v) {
+  return std::to_string(v);
+}
+
+std::string TablePrinter::fmt_rate(double ops_per_sec) {
+  const char* unit = "Ops/s";
+  double v = ops_per_sec;
+  if (v >= 1e12) {
+    v /= 1e12;
+    unit = "TOps/s";
+  } else if (v >= 1e9) {
+    v /= 1e9;
+    unit = "GOps/s";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    unit = "MOps/s";
+  }
+  return fmt(v, 2) + " " + unit;
+}
+
+std::string TablePrinter::fmt_time(double seconds) {
+  if (seconds < 1e-3) return fmt(seconds * 1e6, 1) + " usec";
+  if (seconds < 1.0) return fmt(seconds * 1e3, 2) + " msec";
+  return fmt(seconds, 2) + " sec";
+}
+
+}  // namespace fblas

@@ -1,0 +1,40 @@
+// Fixed-width table output used by the benchmark harnesses to print
+// paper-style tables (Table I, III, IV, V, VI) and figure series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fblas {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, rule, rows) to a string.
+  std::string str() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(std::int64_t v);
+  /// Human-scaled ops/s, e.g. "12.3 GOps/s".
+  static std::string fmt_rate(double ops_per_sec);
+  /// Seconds rendered with an adaptive unit (usec/msec/sec).
+  static std::string fmt_time(double seconds);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fblas

@@ -1,0 +1,68 @@
+// Core enums and precision traits used across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fblas {
+
+/// Floating-point precision of a routine instance.
+enum class Precision { Single, Double };
+
+/// BLAS operand transposition.
+enum class Transpose { None, Trans };
+
+/// Triangular operand side/storage.
+enum class Uplo { Upper, Lower };
+enum class Diag { NonUnit, Unit };
+enum class Side { Left, Right };
+
+/// Element order of a 2-D traversal: by rows (row-major) or by columns.
+enum class Order { RowMajor, ColMajor };
+
+constexpr std::string_view to_string(Precision p) {
+  return p == Precision::Single ? "single" : "double";
+}
+constexpr std::string_view to_string(Transpose t) {
+  return t == Transpose::None ? "N" : "T";
+}
+constexpr std::string_view to_string(Order o) {
+  return o == Order::RowMajor ? "rows" : "cols";
+}
+
+/// Maps a C++ scalar type to its Precision tag and BLAS prefix.
+template <typename T>
+struct PrecisionTraits;
+
+template <>
+struct PrecisionTraits<float> {
+  static constexpr Precision value = Precision::Single;
+  static constexpr char prefix = 's';
+  /// Accumulator type used by mixed-precision routines (SDSDOT).
+  using Accumulator = double;
+};
+
+template <>
+struct PrecisionTraits<double> {
+  static constexpr Precision value = Precision::Double;
+  static constexpr char prefix = 'd';
+  using Accumulator = double;
+};
+
+/// Size in bytes of one operand of the given precision.
+constexpr std::size_t bytes_of(Precision p) {
+  return p == Precision::Single ? 4 : 8;
+}
+
+/// Integer ceiling division, used pervasively by tiling arithmetic.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b`.
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+}  // namespace fblas

@@ -1,0 +1,42 @@
+#include "common/workload.hpp"
+
+#include <cmath>
+
+namespace fblas {
+
+std::uint64_t Workload::next_u64() {
+  // splitmix64: small, fast, reproducible across platforms.
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Workload::uniform(double lo, double hi) {
+  const double u =
+      static_cast<double>(next_u64() >> 11) * 0x1.0p-53;  // [0, 1)
+  return lo + u * (hi - lo);
+}
+
+template <typename T>
+std::vector<T> Workload::triangular(std::int64_t n, Uplo uplo, Diag diag) {
+  std::vector<T> a(static_cast<std::size_t>(n * n), T(0));
+  MatrixView<T> A(a.data(), n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t j0 = uplo == Uplo::Lower ? 0 : i;
+    const std::int64_t j1 = uplo == Uplo::Lower ? i + 1 : n;
+    for (std::int64_t j = j0; j < j1; ++j) {
+      A(i, j) = static_cast<T>(uniform(-0.5, 0.5) / static_cast<double>(n));
+    }
+    // Dominant diagonal keeps the solve stable.
+    A(i, i) = diag == Diag::Unit ? T(1) : static_cast<T>(1.0 + uniform(0, 1));
+  }
+  return a;
+}
+
+template std::vector<float> Workload::triangular<float>(std::int64_t, Uplo,
+                                                        Diag);
+template std::vector<double> Workload::triangular<double>(std::int64_t, Uplo,
+                                                          Diag);
+
+}  // namespace fblas

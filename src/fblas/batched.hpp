@@ -1,0 +1,146 @@
+// Fully-unrolled small-size batched modules (Sec. III-A / Table V): when
+// the input size is small and known a priori, the routine loops unroll
+// completely and the module starts a new problem every clock cycle, at
+// the cost of size^3-scale resources. The paper evaluates GEMM and TRSM
+// of size 4 against MKL's batched routines; these are the corresponding
+// streaming modules.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "stream/channel.hpp"
+#include "stream/dram.hpp"
+#include "stream/scheduler.hpp"
+#include "stream/task.hpp"
+
+namespace fblas::core {
+
+using stream::Channel;
+using stream::next_cycle;
+using stream::Task;
+
+struct BatchedConfig {
+  std::int64_t size = 4;  ///< matrix dimension (compile-time on the FPGA)
+
+  void validate() const {
+    FBLAS_REQUIRE(size >= 1 && size <= 32,
+                  "fully-unrolled batched modules are for small sizes "
+                  "(1..32); larger problems belong to the tiled routines");
+  }
+};
+
+/// Batched GEMM: for each of `batch` problems pops size^2 elements of A
+/// then size^2 of B (row-major), pushes size^2 of C = alpha * A * B.
+/// One whole problem is processed per clock cycle (fully unrolled).
+template <typename T>
+Task gemm_batched_unrolled(BatchedConfig cfg, std::int64_t batch, T alpha,
+                           Channel<T>& ch_a, Channel<T>& ch_b,
+                           Channel<T>& ch_c) {
+  cfg.validate();
+  const std::int64_t s = cfg.size;
+  std::vector<T> a(static_cast<std::size_t>(s * s));
+  std::vector<T> b(static_cast<std::size_t>(s * s));
+  for (std::int64_t inv = 0; inv < batch; ++inv) {
+    for (auto& v : a) v = co_await ch_a.pop();
+    for (auto& v : b) v = co_await ch_b.pop();
+    // The fully-unrolled multiply: on hardware, s^3 parallel MACs.
+    for (std::int64_t i = 0; i < s; ++i) {
+      for (std::int64_t j = 0; j < s; ++j) {
+        T acc = T(0);
+        for (std::int64_t k = 0; k < s; ++k) {
+          acc += a[static_cast<std::size_t>(i * s + k)] *
+                 b[static_cast<std::size_t>(k * s + j)];
+        }
+        co_await ch_c.push(alpha * acc);
+      }
+    }
+    co_await next_cycle();  // a new problem enters every cycle
+  }
+}
+
+/// Batched TRSM (left, lower, non-unit): for each problem pops the lower
+/// triangle of A row-major (size*(size+1)/2 elements) then size^2 of B,
+/// pushes X = alpha * inv(A) * B. One problem per cycle.
+template <typename T>
+Task trsm_batched_unrolled(BatchedConfig cfg, std::int64_t batch, T alpha,
+                           Channel<T>& ch_a, Channel<T>& ch_b,
+                           Channel<T>& ch_x) {
+  cfg.validate();
+  const std::int64_t s = cfg.size;
+  std::vector<T> a(static_cast<std::size_t>(s * s), T(0));
+  std::vector<T> x(static_cast<std::size_t>(s * s));
+  for (std::int64_t inv = 0; inv < batch; ++inv) {
+    for (std::int64_t i = 0; i < s; ++i) {
+      for (std::int64_t j = 0; j <= i; ++j) {
+        a[static_cast<std::size_t>(i * s + j)] = co_await ch_a.pop();
+      }
+    }
+    for (auto& v : x) v = alpha * co_await ch_b.pop();
+    // Forward substitution, fully unrolled on hardware.
+    for (std::int64_t i = 0; i < s; ++i) {
+      for (std::int64_t c = 0; c < s; ++c) {
+        T acc = x[static_cast<std::size_t>(i * s + c)];
+        for (std::int64_t k = 0; k < i; ++k) {
+          acc -= a[static_cast<std::size_t>(i * s + k)] *
+                 x[static_cast<std::size_t>(k * s + c)];
+        }
+        x[static_cast<std::size_t>(i * s + c)] =
+            acc / a[static_cast<std::size_t>(i * s + i)];
+      }
+    }
+    for (const T v : x) co_await ch_x.push(v);
+    co_await next_cycle();
+  }
+}
+
+/// Streams `batch` contiguous size x size problems from memory (the
+/// Read-A/Read-B helper for the batched modules). In cycle mode a whole
+/// problem is issued per cycle, metered against the bank.
+template <typename T>
+Task read_batched(const T* data, std::int64_t elems_per_problem,
+                  std::int64_t batch, Channel<T>& out,
+                  stream::DramBank* bank = nullptr) {
+  for (std::int64_t inv = 0; inv < batch; ++inv) {
+    const T* p = data + inv * elems_per_problem;
+    std::int64_t sent = 0;
+    while (sent < elems_per_problem) {
+      const std::int64_t got =
+          bank ? bank->grant_elems(elems_per_problem - sent, sizeof(T))
+               : elems_per_problem - sent;
+      for (std::int64_t k = 0; k < got; ++k) {
+        co_await out.push(p[sent + k]);
+      }
+      sent += got;
+      if (sent < elems_per_problem) co_await next_cycle();
+    }
+    co_await next_cycle();
+  }
+}
+
+/// Stores `batch` contiguous problems (the Store-C helper).
+template <typename T>
+Task write_batched(T* data, std::int64_t elems_per_problem,
+                   std::int64_t batch, Channel<T>& in,
+                   stream::DramBank* bank = nullptr) {
+  for (std::int64_t inv = 0; inv < batch; ++inv) {
+    T* p = data + inv * elems_per_problem;
+    std::int64_t recv = 0;
+    while (recv < elems_per_problem) {
+      const std::int64_t got =
+          bank ? bank->grant_elems(elems_per_problem - recv, sizeof(T))
+               : elems_per_problem - recv;
+      for (std::int64_t k = 0; k < got; ++k) {
+        p[recv + k] = co_await in.pop();
+      }
+      recv += got;
+      if (recv < elems_per_problem) co_await next_cycle();
+    }
+    co_await next_cycle();
+  }
+}
+
+}  // namespace fblas::core

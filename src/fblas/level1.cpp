@@ -1,0 +1,24 @@
+#include "fblas/level1.hpp"
+
+namespace fblas::core {
+
+Task sdsdot(Level1Config cfg, std::int64_t n, float sb, Channel<float>& ch_x,
+            Channel<float>& ch_y, Channel<float>& ch_res) {
+  cfg.validate();
+  double res = static_cast<double>(sb);
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const float x = co_await ch_x.pop();
+      const float y = co_await ch_y.pop();
+      acc += static_cast<double>(x) * static_cast<double>(y);
+    }
+    res += acc;
+    it += batch;
+    co_await next_cycle();
+  }
+  co_await ch_res.push(static_cast<float>(res));
+}
+
+}  // namespace fblas::core

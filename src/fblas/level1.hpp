@@ -1,0 +1,275 @@
+// Streaming HLS modules for the BLAS Level-1 routines.
+//
+// Each module is a coroutine with the same structure as the paper's
+// OpenCL kernels (Fig. 4 for SCAL, Fig. 5 for DOT): an outer loop over
+// N/W iterations, an inner "unrolled" loop of width W processing one
+// batch per clock cycle, channels for every vector operand. In cycle mode
+// a module therefore consumes `operands_per_width * W` values per cycle,
+// which is exactly the arrival-rate model of Sec. IV-B.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "refblas/level1.hpp"
+#include "stream/channel.hpp"
+#include "stream/scheduler.hpp"
+#include "stream/task.hpp"
+
+namespace fblas::core {
+
+using stream::Channel;
+using stream::next_cycle;
+using stream::Task;
+
+/// Vectorization width of a Level-1 module (the unroll factor W).
+struct Level1Config {
+  int width = 16;
+
+  void validate() const {
+    FBLAS_REQUIRE(width >= 1, "vectorization width must be >= 1");
+  }
+};
+
+/// SCAL: out = alpha * x (Fig. 4 of the paper).
+template <typename T>
+Task scal(Level1Config cfg, std::int64_t n, T alpha, Channel<T>& ch_x,
+          Channel<T>& ch_out) {
+  cfg.validate();
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      co_await ch_out.push(alpha * co_await ch_x.pop());
+    }
+    it += batch;
+    co_await next_cycle();
+  }
+}
+
+/// COPY: out = x.
+template <typename T>
+Task copy(Level1Config cfg, std::int64_t n, Channel<T>& ch_x,
+          Channel<T>& ch_out) {
+  cfg.validate();
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      co_await ch_out.push(co_await ch_x.pop());
+    }
+    it += batch;
+    co_await next_cycle();
+  }
+}
+
+/// AXPY: out = alpha * x + y.
+template <typename T>
+Task axpy(Level1Config cfg, std::int64_t n, T alpha, Channel<T>& ch_x,
+          Channel<T>& ch_y, Channel<T>& ch_out) {
+  cfg.validate();
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const T x = co_await ch_x.pop();
+      const T y = co_await ch_y.pop();
+      co_await ch_out.push(alpha * x + y);
+    }
+    it += batch;
+    co_await next_cycle();
+  }
+}
+
+/// SWAP: (out_x, out_y) = (y, x).
+template <typename T>
+Task swap(Level1Config cfg, std::int64_t n, Channel<T>& ch_x, Channel<T>& ch_y,
+          Channel<T>& ch_out_x, Channel<T>& ch_out_y) {
+  cfg.validate();
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const T x = co_await ch_x.pop();
+      const T y = co_await ch_y.pop();
+      co_await ch_out_x.push(y);
+      co_await ch_out_y.push(x);
+    }
+    it += batch;
+    co_await next_cycle();
+  }
+}
+
+/// ROT: applies a plane rotation [c s; -s c] element-wise to (x, y).
+template <typename T>
+Task rot(Level1Config cfg, std::int64_t n, T c, T s, Channel<T>& ch_x,
+         Channel<T>& ch_y, Channel<T>& ch_out_x, Channel<T>& ch_out_y) {
+  cfg.validate();
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const T x = co_await ch_x.pop();
+      const T y = co_await ch_y.pop();
+      co_await ch_out_x.push(c * x + s * y);
+      co_await ch_out_y.push(c * y - s * x);
+    }
+    it += batch;
+    co_await next_cycle();
+  }
+}
+
+/// ROTM: applies a modified Givens rotation element-wise to (x, y).
+template <typename T>
+Task rotm(Level1Config cfg, std::int64_t n, ref::RotmParam<T> p,
+          Channel<T>& ch_x, Channel<T>& ch_y, Channel<T>& ch_out_x,
+          Channel<T>& ch_out_y) {
+  cfg.validate();
+  // Expand H once (the hardware specializes on the flag at synthesis).
+  T h11, h12, h21, h22;
+  if (p.flag == T(-2)) {
+    h11 = h22 = T(1);
+    h12 = h21 = T(0);
+  } else if (p.flag == T(-1)) {
+    h11 = p.h11; h12 = p.h12; h21 = p.h21; h22 = p.h22;
+  } else if (p.flag == T(0)) {
+    h11 = T(1); h12 = p.h12; h21 = p.h21; h22 = T(1);
+  } else {
+    h11 = p.h11; h12 = T(1); h21 = T(-1); h22 = p.h22;
+  }
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const T x = co_await ch_x.pop();
+      const T y = co_await ch_y.pop();
+      co_await ch_out_x.push(h11 * x + h12 * y);
+      co_await ch_out_y.push(h21 * x + h22 * y);
+    }
+    it += batch;
+    co_await next_cycle();
+  }
+}
+
+/// ROTG: scalar Givens setup. Pops (a, b), pushes (r, z, c, s).
+template <typename T>
+Task rotg(Channel<T>& ch_in, Channel<T>& ch_out) {
+  T a = co_await ch_in.pop();
+  T b = co_await ch_in.pop();
+  const auto g = ref::rotg(a, b);  // a := r, b := z
+  co_await ch_out.push(a);
+  co_await ch_out.push(b);
+  co_await ch_out.push(g.c);
+  co_await ch_out.push(g.s);
+  co_await next_cycle();
+}
+
+/// ROTMG: scalar modified-Givens setup. Pops (d1, d2, x1, y1), pushes
+/// (flag, h11, h21, h12, h22, d1', d2', x1').
+template <typename T>
+Task rotmg(Channel<T>& ch_in, Channel<T>& ch_out) {
+  T d1 = co_await ch_in.pop();
+  T d2 = co_await ch_in.pop();
+  T x1 = co_await ch_in.pop();
+  const T y1 = co_await ch_in.pop();
+  const auto p = ref::rotmg(d1, d2, x1, y1);
+  co_await ch_out.push(p.flag);
+  co_await ch_out.push(p.h11);
+  co_await ch_out.push(p.h21);
+  co_await ch_out.push(p.h12);
+  co_await ch_out.push(p.h22);
+  co_await ch_out.push(d1);
+  co_await ch_out.push(d2);
+  co_await ch_out.push(x1);
+  co_await next_cycle();
+}
+
+/// DOT: pushes the single value x . y (Fig. 5 of the paper). The W-wide
+/// batch is reduced first (the unrolled tree), then added to the running
+/// accumulator, mirroring the two-stage accumulation of the hardware.
+template <typename T>
+Task dot(Level1Config cfg, std::int64_t n, Channel<T>& ch_x, Channel<T>& ch_y,
+         Channel<T>& ch_res) {
+  cfg.validate();
+  T res = T(0);
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    T acc = T(0);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      acc += co_await ch_x.pop() * co_await ch_y.pop();
+    }
+    res += acc;
+    it += batch;
+    co_await next_cycle();
+  }
+  co_await ch_res.push(res);
+}
+
+/// SDSDOT: single-precision inputs, double-precision accumulation plus an
+/// offset sb (the one mixed-precision routine in the BLAS).
+Task sdsdot(Level1Config cfg, std::int64_t n, float sb, Channel<float>& ch_x,
+            Channel<float>& ch_y, Channel<float>& ch_res);
+
+/// NRM2: pushes ||x||_2. The streaming circuit accumulates x_i^2 and takes
+/// a square root in a tail stage.
+template <typename T>
+Task nrm2(Level1Config cfg, std::int64_t n, Channel<T>& ch_x,
+          Channel<T>& ch_res) {
+  cfg.validate();
+  T res = T(0);
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    T acc = T(0);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const T x = co_await ch_x.pop();
+      acc += x * x;
+    }
+    res += acc;
+    it += batch;
+    co_await next_cycle();
+  }
+  co_await ch_res.push(std::sqrt(res));
+}
+
+/// ASUM: pushes sum |x_i|.
+template <typename T>
+Task asum(Level1Config cfg, std::int64_t n, Channel<T>& ch_x,
+          Channel<T>& ch_res) {
+  cfg.validate();
+  T res = T(0);
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    T acc = T(0);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      acc += std::abs(co_await ch_x.pop());
+    }
+    res += acc;
+    it += batch;
+    co_await next_cycle();
+  }
+  co_await ch_res.push(res);
+}
+
+/// IAMAX: pushes the (0-based) index of the first maximal |x_i|; -1 when
+/// the stream is empty.
+template <typename T>
+Task iamax(Level1Config cfg, std::int64_t n, Channel<T>& ch_x,
+           Channel<std::int64_t>& ch_res) {
+  cfg.validate();
+  std::int64_t best = n > 0 ? 0 : -1;
+  T best_abs = T(0);
+  bool first = true;
+  for (std::int64_t it = 0; it < n;) {
+    const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const T a = std::abs(co_await ch_x.pop());
+      if (first || a > best_abs) {
+        best_abs = a;
+        best = it + i;
+        first = false;
+      }
+    }
+    it += batch;
+    co_await next_cycle();
+  }
+  co_await ch_res.push(best);
+}
+
+}  // namespace fblas::core

@@ -1,0 +1,92 @@
+#include "fblas/level2.hpp"
+
+namespace fblas::core {
+
+void GemvConfig::validate() const {
+  FBLAS_REQUIRE(width >= 1, "vectorization width must be >= 1");
+  FBLAS_REQUIRE(tile_rows >= 1 && tile_cols >= 1,
+                "tile sizes must be positive");
+}
+
+void GerConfig::validate() const {
+  FBLAS_REQUIRE(width >= 1, "vectorization width must be >= 1");
+  FBLAS_REQUIRE(tile_rows >= 1 && tile_cols >= 1,
+                "tile sizes must be positive");
+}
+
+TileSchedule gemv_a_schedule(const GemvConfig& cfg) {
+  return TileSchedule{
+      cfg.tiling == MatrixTiling::TilesByRows ? Order::RowMajor
+                                              : Order::ColMajor,
+      cfg.elem_order, cfg.tile_rows, cfg.tile_cols};
+}
+
+std::int64_t gemv_x_repeat(const GemvConfig& cfg, std::int64_t rows,
+                           std::int64_t cols) {
+  if (cfg.trans == Transpose::None) {
+    // x has `cols` elements; replayed once per tile-row in the by-rows
+    // variant, single pass in the by-columns variant.
+    return cfg.tiling == MatrixTiling::TilesByRows
+               ? ceil_div(rows, cfg.tile_rows)
+               : 1;
+  }
+  // Transposed: x has `rows` elements; replayed per tile-column in the
+  // by-columns variant.
+  return cfg.tiling == MatrixTiling::TilesByCols
+             ? ceil_div(cols, cfg.tile_cols)
+             : 1;
+}
+
+std::int64_t gemv_y_repeat(const GemvConfig& cfg, std::int64_t rows,
+                           std::int64_t cols) {
+  if (cfg.trans == Transpose::None) {
+    // y (length rows) is replayed through DRAM in the by-columns variant.
+    return cfg.tiling == MatrixTiling::TilesByCols
+               ? ceil_div(cols, cfg.tile_cols)
+               : 1;
+  }
+  // Transposed: y (length cols) is replayed in the by-rows variant.
+  return cfg.tiling == MatrixTiling::TilesByRows
+             ? ceil_div(rows, cfg.tile_rows)
+             : 1;
+}
+
+std::int64_t gemv_io_ops(const GemvConfig& cfg, std::int64_t rows,
+                         std::int64_t cols) {
+  // Sec. III-B: N*M for the matrix, the x stream (possibly replayed), and
+  // y in + y out (the replayed variant re-reads/re-writes each pass).
+  const std::int64_t nm = rows * cols;
+  const std::int64_t xlen = cfg.trans == Transpose::None ? cols : rows;
+  const std::int64_t ylen = cfg.trans == Transpose::None ? rows : cols;
+  const std::int64_t xr = gemv_x_repeat(cfg, rows, cols);
+  const std::int64_t yr = gemv_y_repeat(cfg, rows, cols);
+  return nm + xlen * xr + 2 * ylen * yr;
+}
+
+TileSchedule ger_a_schedule(const GerConfig& cfg) {
+  return TileSchedule{
+      cfg.tiling == MatrixTiling::TilesByRows ? Order::RowMajor
+                                              : Order::ColMajor,
+      cfg.elem_order, cfg.tile_rows, cfg.tile_cols};
+}
+
+std::int64_t ger_x_repeat(const GerConfig& cfg, std::int64_t /*rows*/,
+                          std::int64_t cols) {
+  return cfg.tiling == MatrixTiling::TilesByRows ? 1
+                                                 : ceil_div(cols, cfg.tile_cols);
+}
+
+std::int64_t ger_y_repeat(const GerConfig& cfg, std::int64_t rows,
+                          std::int64_t /*cols*/) {
+  return cfg.tiling == MatrixTiling::TilesByRows
+             ? ceil_div(rows, cfg.tile_rows)
+             : 1;
+}
+
+std::int64_t ger_io_ops(const GerConfig& cfg, std::int64_t rows,
+                        std::int64_t cols) {
+  return 2 * rows * cols + rows * ger_x_repeat(cfg, rows, cols) +
+         cols * ger_y_repeat(cfg, rows, cols);
+}
+
+}  // namespace fblas::core

@@ -1,0 +1,464 @@
+// Streaming HLS modules for the BLAS Level-2 routines.
+//
+// Level-2 modules stream their matrix operand in 2-D tiles (Sec. III-B).
+// The tiling scheme is part of the module's *interface*: it fixes the
+// order elements cross the channel, which vector operands must be
+// replayed, and the routine's I/O complexity. GEMV implements both
+// variants of Fig. 2:
+//   * tiles by rows    — reuse over y, x replayed ceil(N/TN) times,
+//                        I/O = N*M + M*ceil(N/TN) + 2N
+//   * tiles by columns — x read once, y replayed ceil(M/TM) times,
+//                        I/O = N*M + M + 2N*ceil(M/TM)
+// The replay FIFO of a replayed *output* (y in the by-columns variant) is
+// an internal buffer standing in for the DRAM round trip; the I/O volume
+// of that round trip is accounted by the MDAG I/O calculus (mdag/).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "stream/channel.hpp"
+#include "stream/scheduler.hpp"
+#include "stream/streamers.hpp"
+#include "stream/task.hpp"
+
+namespace fblas::core {
+
+using stream::Channel;
+using stream::next_cycle;
+using stream::Task;
+using stream::TileSchedule;
+
+/// Whether the matrix operand arrives in tiles ordered by rows or by
+/// columns (the two streaming schemes of Fig. 2).
+enum class MatrixTiling { TilesByRows, TilesByCols };
+
+struct GemvConfig {
+  Transpose trans = Transpose::None;
+  MatrixTiling tiling = MatrixTiling::TilesByRows;
+  int width = 16;
+  std::int64_t tile_rows = 1024;  ///< TN
+  std::int64_t tile_cols = 1024;  ///< TM
+  /// Element order within a tile. Together with `tiling` this covers all
+  /// 4 streaming modes of a matrix interface (Sec. III-B).
+  Order elem_order = Order::RowMajor;
+
+  void validate() const;
+};
+
+/// The schedule the A-interface module must use to feed a GEMV with this
+/// configuration.
+TileSchedule gemv_a_schedule(const GemvConfig& cfg);
+
+/// Replay count of the x operand for a (rows x cols) GEMV.
+std::int64_t gemv_x_repeat(const GemvConfig& cfg, std::int64_t rows,
+                           std::int64_t cols);
+/// Replay count of the y operand (1 means y makes a single pass).
+std::int64_t gemv_y_repeat(const GemvConfig& cfg, std::int64_t rows,
+                           std::int64_t cols);
+/// Total DRAM I/O operations (reads+writes) of a standalone GEMV with this
+/// configuration — the Sec. III-B formulas.
+std::int64_t gemv_io_ops(const GemvConfig& cfg, std::int64_t rows,
+                         std::int64_t cols);
+
+/// GEMV: y = alpha * op(A) * x + beta * y.
+///
+/// `rows` x `cols` is always the shape of A as stored; for trans ==
+/// Transpose::Trans the module computes A^T x (x has `rows` elements and
+/// y has `cols`). A arrives on ch_a following gemv_a_schedule(cfg); x and
+/// y arrive on ch_x / ch_y with the replay counts above; the result
+/// leaves on ch_out in natural order.
+template <typename T>
+Task gemv(GemvConfig cfg, std::int64_t rows, std::int64_t cols, T alpha,
+          T beta, Channel<T>& ch_a, Channel<T>& ch_x, Channel<T>& ch_y,
+          Channel<T>& ch_out) {
+  cfg.validate();
+  const std::int64_t TN = cfg.tile_rows, TM = cfg.tile_cols;
+  const std::int64_t nti = ceil_div(rows, TN), ntj = ceil_div(cols, TM);
+  const int W = cfg.width;
+  // Element traversal within a tile (row- or column-major): the loops
+  // below iterate (outer, inner) and map to (r, c) through these lambdas.
+  const bool row_elems = cfg.elem_order == Order::RowMajor;
+  auto row_of = [row_elems](std::int64_t o, std::int64_t i) {
+    return row_elems ? o : i;
+  };
+  auto col_of = [row_elems](std::int64_t o, std::int64_t i) {
+    return row_elems ? i : o;
+  };
+  std::vector<T> xbuf, acc;
+
+  if (cfg.trans == Transpose::None && cfg.tiling == MatrixTiling::TilesByRows) {
+    // Fig. 2 (left): reuse over y; x replayed once per tile-row.
+    xbuf.resize(static_cast<std::size_t>(TM));
+    acc.resize(static_cast<std::size_t>(TN));
+    std::vector<T> ybuf(static_cast<std::size_t>(TN));
+    for (std::int64_t ti = 0; ti < nti; ++ti) {
+      const std::int64_t th = std::min(TN, rows - ti * TN);
+      for (std::int64_t r = 0; r < th; ++r) {
+        ybuf[r] = beta * co_await ch_y.pop();
+        acc[r] = T(0);
+      }
+      for (std::int64_t tj = 0; tj < ntj; ++tj) {
+        const std::int64_t tw = std::min(TM, cols - tj * TM);
+        for (std::int64_t c = 0; c < tw; ++c) xbuf[c] = co_await ch_x.pop();
+        int in_cycle = 0;
+        const std::int64_t no = row_elems ? th : tw;
+        const std::int64_t ni = row_elems ? tw : th;
+        for (std::int64_t o = 0; o < no; ++o) {
+          for (std::int64_t i = 0; i < ni; ++i) {
+            acc[row_of(o, i)] += co_await ch_a.pop() * xbuf[col_of(o, i)];
+            if (++in_cycle == W) {
+              in_cycle = 0;
+              co_await next_cycle();
+            }
+          }
+        }
+      }
+      for (std::int64_t r = 0; r < th; ++r) {
+        co_await ch_out.push(ybuf[r] + alpha * acc[r]);
+      }
+      co_await next_cycle();
+    }
+  } else if (cfg.trans == Transpose::None &&
+             cfg.tiling == MatrixTiling::TilesByCols) {
+    // Fig. 2 (right): x read once; y (partial results) replayed. The
+    // full-length partial buffer models the DRAM round trip.
+    xbuf.resize(static_cast<std::size_t>(TM));
+    std::vector<T> part(static_cast<std::size_t>(rows), T(0));
+    for (std::int64_t tj = 0; tj < ntj; ++tj) {
+      const std::int64_t tw = std::min(TM, cols - tj * TM);
+      for (std::int64_t c = 0; c < tw; ++c) xbuf[c] = co_await ch_x.pop();
+      for (std::int64_t ti = 0; ti < nti; ++ti) {
+        const std::int64_t th = std::min(TN, rows - ti * TN);
+        if (tj == 0) {
+          for (std::int64_t r = 0; r < th; ++r) {
+            part[ti * TN + r] = beta * co_await ch_y.pop();
+          }
+        }
+        int in_cycle = 0;
+        const std::int64_t no = row_elems ? th : tw;
+        const std::int64_t ni = row_elems ? tw : th;
+        for (std::int64_t o = 0; o < no; ++o) {
+          for (std::int64_t i = 0; i < ni; ++i) {
+            part[ti * TN + row_of(o, i)] +=
+                alpha * co_await ch_a.pop() * xbuf[col_of(o, i)];
+            if (++in_cycle == W) {
+              in_cycle = 0;
+              co_await next_cycle();
+            }
+          }
+        }
+        if (tj == ntj - 1) {
+          for (std::int64_t r = 0; r < th; ++r) {
+            co_await ch_out.push(part[ti * TN + r]);
+          }
+        }
+      }
+      co_await next_cycle();
+    }
+  } else if (cfg.trans == Transpose::Trans &&
+             cfg.tiling == MatrixTiling::TilesByRows) {
+    // y = alpha A^T x + beta y with A in tiles by rows: x (length rows)
+    // read once, block per tile-row; y partials buffered full-length.
+    xbuf.resize(static_cast<std::size_t>(TN));
+    std::vector<T> part(static_cast<std::size_t>(cols));
+    for (std::int64_t c = 0; c < cols; ++c) {
+      part[c] = beta * co_await ch_y.pop();
+    }
+    for (std::int64_t ti = 0; ti < nti; ++ti) {
+      const std::int64_t th = std::min(TN, rows - ti * TN);
+      for (std::int64_t r = 0; r < th; ++r) xbuf[r] = co_await ch_x.pop();
+      for (std::int64_t tj = 0; tj < ntj; ++tj) {
+        const std::int64_t tw = std::min(TM, cols - tj * TM);
+        int in_cycle = 0;
+        const std::int64_t no = row_elems ? th : tw;
+        const std::int64_t ni = row_elems ? tw : th;
+        for (std::int64_t o = 0; o < no; ++o) {
+          for (std::int64_t i = 0; i < ni; ++i) {
+            part[tj * TM + col_of(o, i)] +=
+                alpha * co_await ch_a.pop() * xbuf[row_of(o, i)];
+            if (++in_cycle == W) {
+              in_cycle = 0;
+              co_await next_cycle();
+            }
+          }
+        }
+      }
+    }
+    for (std::int64_t c = 0; c < cols; ++c) co_await ch_out.push(part[c]);
+    co_await next_cycle();
+  } else {
+    // trans, tiles by columns: reuse over y blocks; x replayed per
+    // tile-column.
+    xbuf.resize(static_cast<std::size_t>(TN));
+    acc.resize(static_cast<std::size_t>(TM));
+    std::vector<T> ybuf(static_cast<std::size_t>(TM));
+    for (std::int64_t tj = 0; tj < ntj; ++tj) {
+      const std::int64_t tw = std::min(TM, cols - tj * TM);
+      for (std::int64_t c = 0; c < tw; ++c) {
+        ybuf[c] = beta * co_await ch_y.pop();
+        acc[c] = T(0);
+      }
+      for (std::int64_t ti = 0; ti < nti; ++ti) {
+        const std::int64_t th = std::min(TN, rows - ti * TN);
+        for (std::int64_t r = 0; r < th; ++r) xbuf[r] = co_await ch_x.pop();
+        int in_cycle = 0;
+        const std::int64_t no = row_elems ? th : tw;
+        const std::int64_t ni = row_elems ? tw : th;
+        for (std::int64_t o = 0; o < no; ++o) {
+          for (std::int64_t i = 0; i < ni; ++i) {
+            acc[col_of(o, i)] += co_await ch_a.pop() * xbuf[row_of(o, i)];
+            if (++in_cycle == W) {
+              in_cycle = 0;
+              co_await next_cycle();
+            }
+          }
+        }
+      }
+      for (std::int64_t c = 0; c < tw; ++c) {
+        co_await ch_out.push(ybuf[c] + alpha * acc[c]);
+      }
+      co_await next_cycle();
+    }
+  }
+}
+
+struct GerConfig {
+  MatrixTiling tiling = MatrixTiling::TilesByRows;
+  int width = 16;
+  std::int64_t tile_rows = 1024;
+  std::int64_t tile_cols = 1024;
+  /// Element order within a tile (row- or column-major traversal).
+  Order elem_order = Order::RowMajor;
+
+  void validate() const;
+};
+
+/// The schedule for both the A-in and A-out interfaces of GER/SYR/SYR2.
+TileSchedule ger_a_schedule(const GerConfig& cfg);
+/// Replay counts for the two vector operands of GER.
+std::int64_t ger_x_repeat(const GerConfig& cfg, std::int64_t rows,
+                          std::int64_t cols);
+std::int64_t ger_y_repeat(const GerConfig& cfg, std::int64_t rows,
+                          std::int64_t cols);
+/// Total DRAM I/O operations of a standalone GER.
+std::int64_t ger_io_ops(const GerConfig& cfg, std::int64_t rows,
+                        std::int64_t cols);
+
+/// GER: out = A + alpha * x * y^T, streamed tile by tile.
+template <typename T>
+Task ger(GerConfig cfg, std::int64_t rows, std::int64_t cols, T alpha,
+         Channel<T>& ch_a, Channel<T>& ch_x, Channel<T>& ch_y,
+         Channel<T>& ch_out) {
+  cfg.validate();
+  const std::int64_t TN = cfg.tile_rows, TM = cfg.tile_cols;
+  const std::int64_t nti = ceil_div(rows, TN), ntj = ceil_div(cols, TM);
+  const int W = cfg.width;
+  const bool by_rows = cfg.tiling == MatrixTiling::TilesByRows;
+  std::vector<T> rbuf(static_cast<std::size_t>(TN));
+  std::vector<T> cbuf(static_cast<std::size_t>(TM));
+  const std::int64_t outer = by_rows ? nti : ntj;
+  const std::int64_t inner = by_rows ? ntj : nti;
+  for (std::int64_t to = 0; to < outer; ++to) {
+    for (std::int64_t tin = 0; tin < inner; ++tin) {
+      const std::int64_t ti = by_rows ? to : tin;
+      const std::int64_t tj = by_rows ? tin : to;
+      const std::int64_t th = std::min(TN, rows - ti * TN);
+      const std::int64_t tw = std::min(TM, cols - tj * TM);
+      // The outer-dimension block is loaded once per outer step; the
+      // inner-dimension block is (re)loaded for every tile: that operand
+      // is the replayed one.
+      if (by_rows) {
+        if (tin == 0) {
+          for (std::int64_t r = 0; r < th; ++r) rbuf[r] = co_await ch_x.pop();
+        }
+        for (std::int64_t c = 0; c < tw; ++c) cbuf[c] = co_await ch_y.pop();
+      } else {
+        if (tin == 0) {
+          for (std::int64_t c = 0; c < tw; ++c) cbuf[c] = co_await ch_y.pop();
+        }
+        for (std::int64_t r = 0; r < th; ++r) rbuf[r] = co_await ch_x.pop();
+      }
+      int in_cycle = 0;
+      const bool row_elems = cfg.elem_order == Order::RowMajor;
+      const std::int64_t no = row_elems ? th : tw;
+      const std::int64_t ni = row_elems ? tw : th;
+      for (std::int64_t o = 0; o < no; ++o) {
+        for (std::int64_t i = 0; i < ni; ++i) {
+          const std::int64_t r = row_elems ? o : i;
+          const std::int64_t c = row_elems ? i : o;
+          const T a = co_await ch_a.pop();
+          co_await ch_out.push(a + alpha * rbuf[r] * cbuf[c]);
+          if (++in_cycle == W) {
+            in_cycle = 0;
+            co_await next_cycle();
+          }
+        }
+      }
+    }
+    co_await next_cycle();
+  }
+}
+
+/// SYR: out = A + alpha * x * x^T (generic full-matrix stream; the paper
+/// implements symmetric routines in terms of the generic ones). The module
+/// needs x along both dimensions, hence two x channels with the same
+/// replay pattern as GER's (x, y) pair.
+template <typename T>
+Task syr(GerConfig cfg, std::int64_t n, T alpha, Channel<T>& ch_a,
+         Channel<T>& ch_x_row, Channel<T>& ch_x_col, Channel<T>& ch_out) {
+  return ger<T>(cfg, n, n, alpha, ch_a, ch_x_row, ch_x_col, ch_out);
+}
+
+/// SYR2: out = A + alpha * (x y^T + y x^T); four vector streams (row and
+/// column blocks of both x and y).
+template <typename T>
+Task syr2(GerConfig cfg, std::int64_t n, T alpha, Channel<T>& ch_a,
+          Channel<T>& ch_x_row, Channel<T>& ch_x_col, Channel<T>& ch_y_row,
+          Channel<T>& ch_y_col, Channel<T>& ch_out) {
+  cfg.validate();
+  const std::int64_t TN = cfg.tile_rows, TM = cfg.tile_cols;
+  const std::int64_t nti = ceil_div(n, TN), ntj = ceil_div(n, TM);
+  const int W = cfg.width;
+  const bool by_rows = cfg.tiling == MatrixTiling::TilesByRows;
+  std::vector<T> xr(static_cast<std::size_t>(TN)), yr(static_cast<std::size_t>(TN));
+  std::vector<T> xc(static_cast<std::size_t>(TM)), yc(static_cast<std::size_t>(TM));
+  const std::int64_t outer = by_rows ? nti : ntj;
+  const std::int64_t inner = by_rows ? ntj : nti;
+  for (std::int64_t to = 0; to < outer; ++to) {
+    for (std::int64_t tin = 0; tin < inner; ++tin) {
+      const std::int64_t ti = by_rows ? to : tin;
+      const std::int64_t tj = by_rows ? tin : to;
+      const std::int64_t th = std::min(TN, n - ti * TN);
+      const std::int64_t tw = std::min(TM, n - tj * TM);
+      if (by_rows) {
+        if (tin == 0) {
+          for (std::int64_t r = 0; r < th; ++r) {
+            xr[r] = co_await ch_x_row.pop();
+            yr[r] = co_await ch_y_row.pop();
+          }
+        }
+        for (std::int64_t c = 0; c < tw; ++c) {
+          xc[c] = co_await ch_x_col.pop();
+          yc[c] = co_await ch_y_col.pop();
+        }
+      } else {
+        if (tin == 0) {
+          for (std::int64_t c = 0; c < tw; ++c) {
+            xc[c] = co_await ch_x_col.pop();
+            yc[c] = co_await ch_y_col.pop();
+          }
+        }
+        for (std::int64_t r = 0; r < th; ++r) {
+          xr[r] = co_await ch_x_row.pop();
+          yr[r] = co_await ch_y_row.pop();
+        }
+      }
+      int in_cycle = 0;
+      const bool row_elems = cfg.elem_order == Order::RowMajor;
+      const std::int64_t no = row_elems ? th : tw;
+      const std::int64_t ni = row_elems ? tw : th;
+      for (std::int64_t o = 0; o < no; ++o) {
+        for (std::int64_t i = 0; i < ni; ++i) {
+          const std::int64_t r = row_elems ? o : i;
+          const std::int64_t c = row_elems ? i : o;
+          const T a = co_await ch_a.pop();
+          co_await ch_out.push(a + alpha * (xr[r] * yc[c] + yr[r] * xc[c]));
+          if (++in_cycle == W) {
+            in_cycle = 0;
+            co_await next_cycle();
+          }
+        }
+      }
+    }
+    co_await next_cycle();
+  }
+}
+
+struct TrsvConfig {
+  Uplo uplo = Uplo::Lower;
+  Diag diag = Diag::NonUnit;
+  int width = 16;
+
+  void validate() const {
+    FBLAS_REQUIRE(width >= 1, "vectorization width must be >= 1");
+  }
+};
+
+/// Streams the `uplo` triangle (including the diagonal) of op(A) for an
+/// n x n matrix, in the row order the TRSV/TRSM modules consume (lower:
+/// top-down; upper: bottom-up), i.e. in solve order. `uplo` refers to
+/// op(A): for a transposed solve pass the flipped triangle and
+/// trans == Trans.
+template <typename T>
+Task read_triangular(MatrixView<const T> A, Uplo uplo, int width,
+                     Channel<T>& out, stream::DramBank* bank = nullptr,
+                     Transpose trans = Transpose::None) {
+  const std::int64_t n = A.rows();
+  auto at = [&](std::int64_t i, std::int64_t j) -> T {
+    return trans == Transpose::None ? A(i, j) : A(j, i);
+  };
+  std::int64_t emitted_in_cycle = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::int64_t i = uplo == Uplo::Lower ? k : n - 1 - k;
+    const std::int64_t j0 = uplo == Uplo::Lower ? 0 : i;
+    const std::int64_t j1 = uplo == Uplo::Lower ? i + 1 : n;
+    for (std::int64_t j = j0; j < j1; ++j) {
+      const std::int64_t got = bank ? bank->grant_elems(1, sizeof(T)) : 1;
+      if (got == 0) {
+        co_await next_cycle();
+        --j;
+        continue;
+      }
+      co_await out.push(at(i, j));
+      if (++emitted_in_cycle == width) {
+        emitted_in_cycle = 0;
+        co_await next_cycle();
+      }
+    }
+  }
+  co_await next_cycle();
+}
+
+/// TRSV: solves op(A) x = b for a triangular A streamed in solve order
+/// (see read_triangular). b arrives on ch_b one element per row in solve
+/// order; solutions leave on ch_out in the same order. The progressive
+/// solution buffer is on-chip state (the loop-carried dependency that
+/// keeps TRSV's initiation interval above 1 in hardware).
+template <typename T>
+Task trsv(TrsvConfig cfg, std::int64_t n, Channel<T>& ch_a, Channel<T>& ch_b,
+          Channel<T>& ch_out) {
+  cfg.validate();
+  const int W = cfg.width;
+  std::vector<T> x(static_cast<std::size_t>(n), T(0));
+  int in_cycle = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::int64_t i = cfg.uplo == Uplo::Lower ? k : n - 1 - k;
+    T acc = co_await ch_b.pop();
+    T diag_val = T(1);
+    // Row arrives as (dependencies..., diagonal) for lower and
+    // (diagonal, dependencies...) for upper; consume in arrival order.
+    const std::int64_t j0 = cfg.uplo == Uplo::Lower ? 0 : i;
+    const std::int64_t j1 = cfg.uplo == Uplo::Lower ? i + 1 : n;
+    for (std::int64_t j = j0; j < j1; ++j) {
+      const T a = co_await ch_a.pop();
+      if (j == i) {
+        diag_val = a;
+      } else {
+        acc -= a * x[j];
+      }
+      if (++in_cycle == W) {
+        in_cycle = 0;
+        co_await next_cycle();
+      }
+    }
+    x[i] = cfg.diag == Diag::Unit ? acc : acc / diag_val;
+    co_await ch_out.push(x[i]);
+  }
+  co_await next_cycle();
+}
+
+}  // namespace fblas::core

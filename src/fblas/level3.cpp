@@ -1,0 +1,26 @@
+#include "fblas/level3.hpp"
+
+namespace fblas::core {
+
+void GemmConfig::validate() const {
+  FBLAS_REQUIRE(pe_rows >= 1 && pe_cols >= 1,
+                "systolic grid dimensions must be positive");
+  FBLAS_REQUIRE(tile_rows >= 1 && tile_cols >= 1,
+                "compute tile sizes must be positive");
+  FBLAS_REQUIRE(tile_rows % pe_rows == 0,
+                "TR must be a multiple of PR (each PE owns TR*TC/(PR*PC) "
+                "elements of the C tile)");
+  FBLAS_REQUIRE(tile_cols % pe_cols == 0, "TC must be a multiple of PC");
+}
+
+std::int64_t gemm_io_ops(const GemmConfig& cfg, std::int64_t m,
+                         std::int64_t n, std::int64_t k, bool reads_c) {
+  const std::int64_t nbi = ceil_div(m, cfg.tile_rows);
+  const std::int64_t nbj = ceil_div(n, cfg.tile_cols);
+  // A is streamed once per C tile-column, B once per C tile-row.
+  std::int64_t io = m * k * nbj + k * n * nbi + m * n;
+  if (reads_c) io += m * n;
+  return io;
+}
+
+}  // namespace fblas::core

@@ -1,0 +1,114 @@
+// Batched fully-unrolled host API lowerings (the Table V designs).
+#include "fblas/batched.hpp"
+#include "host/context.hpp"
+#include "host/detail.hpp"
+#include "sim/frequency_model.hpp"
+
+namespace fblas::host {
+namespace {
+
+/// Streams the lower triangles of `batch` dense size x size matrices, one
+/// problem per cycle.
+template <typename T>
+stream::Task read_batched_triangles(const T* data, std::int64_t size,
+                                    std::int64_t batch,
+                                    stream::Channel<T>& out,
+                                    stream::DramBank* bank = nullptr) {
+  const std::int64_t stride = size * size;
+  for (std::int64_t inv = 0; inv < batch; ++inv) {
+    const T* p = data + inv * stride;
+    for (std::int64_t i = 0; i < size; ++i) {
+      for (std::int64_t j = 0; j <= i; ++j) {
+        if (bank != nullptr) {
+          while (bank->grant_elems(1, sizeof(T)) == 0) {
+            co_await stream::next_cycle();
+          }
+        }
+        co_await out.push(p[i * size + j]);
+      }
+    }
+    co_await stream::next_cycle();
+  }
+}
+
+}  // namespace
+
+template <typename T>
+Event Context::gemm_batched_async(std::int64_t size, std::int64_t batch,
+                                  T alpha, const Buffer<T>& a,
+                                  const Buffer<T>& b, Buffer<T>& c) {
+  return enqueue([this, size, batch, alpha, &a, &b, &c] {
+    FBLAS_REQUIRE(a.size() >= batch * size * size &&
+                      b.size() >= batch * size * size &&
+                      c.size() >= batch * size * size,
+                  "gemm_batched: buffers too small for the batch");
+    stream::Graph g(mode_);
+    const auto f = sim::unrolled_frequency(PrecisionTraits<T>::value,
+                                           dev_->spec());
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const core::BatchedConfig cfg{size};
+    const std::int64_t elems = size * size;
+    const std::size_t cap = static_cast<std::size_t>(4 * elems);
+    auto& ca = g.channel<T>("A", cap);
+    auto& cb = g.channel<T>("B", cap);
+    auto& cc = g.channel<T>("C", cap);
+    g.spawn("read_A",
+            core::read_batched<T>(a.cvec(batch * elems).data(), elems,
+                                  batch, ca, banks.at(a.bank())));
+    g.spawn("read_B",
+            core::read_batched<T>(b.cvec(batch * elems).data(), elems,
+                                  batch, cb, banks.at(b.bank())));
+    g.spawn("gemm_batched",
+            core::gemm_batched_unrolled<T>(cfg, batch, alpha, ca, cb, cc));
+    g.spawn("store_C",
+            core::write_batched<T>(c.vec(batch * elems).data(), elems,
+                                   batch, cc, banks.at(c.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::trsm_batched_async(std::int64_t size, std::int64_t batch,
+                                  T alpha, const Buffer<T>& a,
+                                  Buffer<T>& x) {
+  return enqueue([this, size, batch, alpha, &a, &x] {
+    FBLAS_REQUIRE(a.size() >= batch * size * size &&
+                      x.size() >= batch * size * size,
+                  "trsm_batched: buffers too small for the batch");
+    stream::Graph g(mode_);
+    const auto f = sim::unrolled_frequency(PrecisionTraits<T>::value,
+                                           dev_->spec());
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const core::BatchedConfig cfg{size};
+    const std::int64_t elems = size * size;
+    const std::size_t cap = static_cast<std::size_t>(4 * elems);
+    auto& ca = g.channel<T>("A", cap);
+    auto& cb = g.channel<T>("B", cap);
+    auto& cx = g.channel<T>("X", cap);
+    g.spawn("read_A",
+            read_batched_triangles<T>(a.cvec(batch * elems).data(), size,
+                                      batch, ca, banks.at(a.bank())));
+    g.spawn("read_B",
+            core::read_batched<T>(x.cvec(batch * elems).data(), elems,
+                                  batch, cb, banks.at(x.bank())));
+    g.spawn("trsm_batched",
+            core::trsm_batched_unrolled<T>(cfg, batch, alpha, ca, cb, cx));
+    g.spawn("store_X",
+            core::write_batched<T>(x.vec(batch * elems).data(), elems,
+                                   batch, cx, banks.at(x.bank())));
+    run_graph(g);
+  });
+}
+
+#define FBLAS_HOST_BATCHED_INSTANTIATE(T)                                    \
+  template Event Context::gemm_batched_async<T>(                             \
+      std::int64_t, std::int64_t, T, const Buffer<T>&, const Buffer<T>&,     \
+      Buffer<T>&);                                                           \
+  template Event Context::trsm_batched_async<T>(                             \
+      std::int64_t, std::int64_t, T, const Buffer<T>&, Buffer<T>&);
+
+FBLAS_HOST_BATCHED_INSTANTIATE(float)
+FBLAS_HOST_BATCHED_INSTANTIATE(double)
+#undef FBLAS_HOST_BATCHED_INSTANTIATE
+
+}  // namespace fblas::host

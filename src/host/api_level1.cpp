@@ -1,0 +1,329 @@
+// Level-1 host API lowerings: reader -> module -> writer graphs.
+#include "fblas/level1.hpp"
+#include "host/context.hpp"
+#include "host/detail.hpp"
+#include "sim/frequency_model.hpp"
+
+namespace fblas::host {
+namespace {
+
+template <typename T>
+sim::FrequencyEstimate freq_of(RoutineKind kind, const Device& dev) {
+  return sim::module_frequency(kind, PrecisionTraits<T>::value, dev.spec());
+}
+
+}  // namespace
+
+template <typename T>
+ref::Givens<T> Context::rotg(T& a, T& b) {
+  // Scalar setup routines run through the streaming module for fidelity.
+  stream::Graph g(mode_);
+  auto& in = g.channel<T>("ab", 4);
+  auto& out = g.channel<T>("rzcs", 8);
+  std::vector<T> result;
+  g.spawn("feed", stream::feed(std::vector<T>{a, b}, in));
+  g.spawn("rotg", core::rotg<T>(in, out));
+  g.spawn("collect", stream::collect<T>(4, out, result));
+  run_graph(g);
+  a = result[0];
+  b = result[1];
+  return {result[2], result[3]};
+}
+
+template <typename T>
+ref::RotmParam<T> Context::rotmg(T& d1, T& d2, T& x1, T y1) {
+  stream::Graph g(mode_);
+  auto& in = g.channel<T>("in", 4);
+  auto& out = g.channel<T>("out", 8);
+  std::vector<T> result;
+  g.spawn("feed", stream::feed(std::vector<T>{d1, d2, x1, y1}, in));
+  g.spawn("rotmg", core::rotmg<T>(in, out));
+  g.spawn("collect", stream::collect<T>(8, out, result));
+  run_graph(g);
+  d1 = result[5];
+  d2 = result[6];
+  x1 = result[7];
+  return {result[0], result[1], result[2], result[3], result[4]};
+}
+
+template <typename T>
+Event Context::rot_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
+                         Buffer<T>& y, std::int64_t incy, T c, T s) {
+  return enqueue([this, n, &x, incx, &y, incy, c, s] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Rot, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cx = g.channel<T>("x", detail::chan_cap(W));
+    auto& cy = g.channel<T>("y", detail::chan_cap(W));
+    auto& ox = g.channel<T>("ox", detail::chan_cap(W));
+    auto& oy = g.channel<T>("oy", detail::chan_cap(W));
+    g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cx,
+                                             banks.at(x.bank())));
+    g.spawn("read_y", stream::read_vector<T>(y.cvec(n, incy), 1, W, cy,
+                                             banks.at(y.bank())));
+    g.spawn("rot", core::rot<T>({W}, n, c, s, cx, cy, ox, oy));
+    g.spawn("write_x", stream::write_vector<T>(x.vec(n, incx), 1, W, ox,
+                                               banks.at(x.bank())));
+    g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, oy,
+                                               banks.at(y.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::rotm_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
+                          Buffer<T>& y, std::int64_t incy,
+                          ref::RotmParam<T> p) {
+  return enqueue([this, n, &x, incx, &y, incy, p] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Rotm, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cx = g.channel<T>("x", detail::chan_cap(W));
+    auto& cy = g.channel<T>("y", detail::chan_cap(W));
+    auto& ox = g.channel<T>("ox", detail::chan_cap(W));
+    auto& oy = g.channel<T>("oy", detail::chan_cap(W));
+    g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cx,
+                                             banks.at(x.bank())));
+    g.spawn("read_y", stream::read_vector<T>(y.cvec(n, incy), 1, W, cy,
+                                             banks.at(y.bank())));
+    g.spawn("rotm", core::rotm<T>({W}, n, p, cx, cy, ox, oy));
+    g.spawn("write_x", stream::write_vector<T>(x.vec(n, incx), 1, W, ox,
+                                               banks.at(x.bank())));
+    g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, oy,
+                                               banks.at(y.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::swap_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
+                          Buffer<T>& y, std::int64_t incy) {
+  return enqueue([this, n, &x, incx, &y, incy] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Swap, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cx = g.channel<T>("x", detail::chan_cap(W));
+    auto& cy = g.channel<T>("y", detail::chan_cap(W));
+    auto& ox = g.channel<T>("ox", detail::chan_cap(W));
+    auto& oy = g.channel<T>("oy", detail::chan_cap(W));
+    g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cx,
+                                             banks.at(x.bank())));
+    g.spawn("read_y", stream::read_vector<T>(y.cvec(n, incy), 1, W, cy,
+                                             banks.at(y.bank())));
+    g.spawn("swap", core::swap<T>({W}, n, cx, cy, ox, oy));
+    g.spawn("write_x", stream::write_vector<T>(x.vec(n, incx), 1, W, ox,
+                                               banks.at(x.bank())));
+    g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, oy,
+                                               banks.at(y.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::scal_async(std::int64_t n, T alpha, Buffer<T>& x,
+                          std::int64_t incx) {
+  return enqueue([this, n, alpha, &x, incx] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Scal, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cin = g.channel<T>("x", detail::chan_cap(W));
+    auto& cout = g.channel<T>("out", detail::chan_cap(W));
+    g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cin,
+                                             banks.at(x.bank())));
+    g.spawn("scal", core::scal<T>({W}, n, alpha, cin, cout));
+    g.spawn("write_x", stream::write_vector<T>(x.vec(n, incx), 1, W, cout,
+                                               banks.at(x.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::copy_async(std::int64_t n, const Buffer<T>& x,
+                          std::int64_t incx, Buffer<T>& y,
+                          std::int64_t incy) {
+  return enqueue([this, n, &x, incx, &y, incy] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Copy, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cin = g.channel<T>("x", detail::chan_cap(W));
+    auto& cout = g.channel<T>("out", detail::chan_cap(W));
+    g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cin,
+                                             banks.at(x.bank())));
+    g.spawn("copy", core::copy<T>({W}, n, cin, cout));
+    g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, cout,
+                                               banks.at(y.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::axpy_async(std::int64_t n, T alpha, const Buffer<T>& x,
+                          std::int64_t incx, Buffer<T>& y,
+                          std::int64_t incy) {
+  return enqueue([this, n, alpha, &x, incx, &y, incy] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Axpy, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cx = g.channel<T>("x", detail::chan_cap(W));
+    auto& cy = g.channel<T>("y", detail::chan_cap(W));
+    auto& cout = g.channel<T>("out", detail::chan_cap(W));
+    g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cx,
+                                             banks.at(x.bank())));
+    g.spawn("read_y", stream::read_vector<T>(y.cvec(n, incy), 1, W, cy,
+                                             banks.at(y.bank())));
+    g.spawn("axpy", core::axpy<T>({W}, n, alpha, cx, cy, cout));
+    g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, cout,
+                                               banks.at(y.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::dot_async(std::int64_t n, const Buffer<T>& x,
+                         std::int64_t incx, const Buffer<T>& y,
+                         std::int64_t incy, T* result) {
+  return enqueue([this, n, &x, incx, &y, incy, result] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Dot, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cx = g.channel<T>("x", detail::chan_cap(W));
+    auto& cy = g.channel<T>("y", detail::chan_cap(W));
+    auto& res = g.channel<T>("res", 2);
+    std::vector<T> out;
+    g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cx,
+                                             banks.at(x.bank())));
+    g.spawn("read_y", stream::read_vector<T>(y.cvec(n, incy), 1, W, cy,
+                                             banks.at(y.bank())));
+    g.spawn("dot", core::dot<T>({W}, n, cx, cy, res));
+    g.spawn("collect", stream::collect<T>(1, res, out));
+    run_graph(g);
+    *result = out[0];
+  });
+}
+
+Event Context::sdsdot_async(std::int64_t n, float sb, const Buffer<float>& x,
+                            std::int64_t incx, const Buffer<float>& y,
+                            std::int64_t incy, float* result) {
+  return enqueue([this, n, sb, &x, incx, &y, incy, result] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<float>(RoutineKind::Sdsdot, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cx = g.channel<float>("x", detail::chan_cap(W));
+    auto& cy = g.channel<float>("y", detail::chan_cap(W));
+    auto& res = g.channel<float>("res", 2);
+    std::vector<float> out;
+    g.spawn("read_x", stream::read_vector<float>(x.cvec(n, incx), 1, W, cx,
+                                                 banks.at(x.bank())));
+    g.spawn("read_y", stream::read_vector<float>(y.cvec(n, incy), 1, W, cy,
+                                                 banks.at(y.bank())));
+    g.spawn("sdsdot", core::sdsdot({W}, n, sb, cx, cy, res));
+    g.spawn("collect", stream::collect<float>(1, res, out));
+    run_graph(g);
+    *result = out[0];
+  });
+}
+
+template <typename T>
+Event Context::nrm2_async(std::int64_t n, const Buffer<T>& x,
+                          std::int64_t incx, T* result) {
+  return enqueue([this, n, &x, incx, result] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Nrm2, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cx = g.channel<T>("x", detail::chan_cap(W));
+    auto& res = g.channel<T>("res", 2);
+    std::vector<T> out;
+    g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cx,
+                                             banks.at(x.bank())));
+    g.spawn("nrm2", core::nrm2<T>({W}, n, cx, res));
+    g.spawn("collect", stream::collect<T>(1, res, out));
+    run_graph(g);
+    *result = out[0];
+  });
+}
+
+template <typename T>
+Event Context::asum_async(std::int64_t n, const Buffer<T>& x,
+                          std::int64_t incx, T* result) {
+  return enqueue([this, n, &x, incx, result] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Asum, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cx = g.channel<T>("x", detail::chan_cap(W));
+    auto& res = g.channel<T>("res", 2);
+    std::vector<T> out;
+    g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cx,
+                                             banks.at(x.bank())));
+    g.spawn("asum", core::asum<T>({W}, n, cx, res));
+    g.spawn("collect", stream::collect<T>(1, res, out));
+    run_graph(g);
+    *result = out[0];
+  });
+}
+
+template <typename T>
+Event Context::iamax_async(std::int64_t n, const Buffer<T>& x,
+                           std::int64_t incx, std::int64_t* result) {
+  return enqueue([this, n, &x, incx, result] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Iamax, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    auto& cx = g.channel<T>("x", detail::chan_cap(W));
+    auto& res = g.channel<std::int64_t>("res", 2);
+    std::vector<std::int64_t> out;
+    g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cx,
+                                             banks.at(x.bank())));
+    g.spawn("iamax", core::iamax<T>({W}, n, cx, res));
+    g.spawn("collect", stream::collect<std::int64_t>(1, res, out));
+    run_graph(g);
+    *result = out[0];
+  });
+}
+
+// Explicit instantiations for the two supported precisions.
+#define FBLAS_HOST_L1_INSTANTIATE(T)                                          \
+  template ref::Givens<T> Context::rotg<T>(T&, T&);                           \
+  template ref::RotmParam<T> Context::rotmg<T>(T&, T&, T&, T);                \
+  template Event Context::rot_async<T>(std::int64_t, Buffer<T>&,              \
+                                       std::int64_t, Buffer<T>&,              \
+                                       std::int64_t, T, T);                   \
+  template Event Context::rotm_async<T>(std::int64_t, Buffer<T>&,             \
+                                        std::int64_t, Buffer<T>&,             \
+                                        std::int64_t, ref::RotmParam<T>);     \
+  template Event Context::swap_async<T>(std::int64_t, Buffer<T>&,             \
+                                        std::int64_t, Buffer<T>&,             \
+                                        std::int64_t);                        \
+  template Event Context::scal_async<T>(std::int64_t, T, Buffer<T>&,          \
+                                        std::int64_t);                        \
+  template Event Context::copy_async<T>(std::int64_t, const Buffer<T>&,       \
+                                        std::int64_t, Buffer<T>&,             \
+                                        std::int64_t);                        \
+  template Event Context::axpy_async<T>(std::int64_t, T, const Buffer<T>&,    \
+                                        std::int64_t, Buffer<T>&,             \
+                                        std::int64_t);                        \
+  template Event Context::dot_async<T>(std::int64_t, const Buffer<T>&,        \
+                                       std::int64_t, const Buffer<T>&,        \
+                                       std::int64_t, T*);                     \
+  template Event Context::nrm2_async<T>(std::int64_t, const Buffer<T>&,       \
+                                        std::int64_t, T*);                    \
+  template Event Context::asum_async<T>(std::int64_t, const Buffer<T>&,       \
+                                        std::int64_t, T*);                    \
+  template Event Context::iamax_async<T>(std::int64_t, const Buffer<T>&,      \
+                                         std::int64_t, std::int64_t*);
+
+FBLAS_HOST_L1_INSTANTIATE(float)
+FBLAS_HOST_L1_INSTANTIATE(double)
+#undef FBLAS_HOST_L1_INSTANTIATE
+
+}  // namespace fblas::host

@@ -1,0 +1,220 @@
+// Level-2 host API lowerings.
+#include "host/context.hpp"
+#include "host/detail.hpp"
+#include "sim/frequency_model.hpp"
+
+namespace fblas::host {
+namespace {
+
+template <typename T>
+sim::FrequencyEstimate freq_of(RoutineKind kind, const Device& dev) {
+  return sim::module_frequency(kind, PrecisionTraits<T>::value, dev.spec());
+}
+
+}  // namespace
+
+template <typename T>
+Event Context::gemv_async(Transpose trans, std::int64_t rows,
+                          std::int64_t cols, T alpha, const Buffer<T>& a,
+                          const Buffer<T>& x, std::int64_t incx, T beta,
+                          Buffer<T>& y, std::int64_t incy) {
+  return enqueue([this, trans, rows, cols, alpha, &a, &x, incx, beta, &y,
+                  incy] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Gemv, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const core::GemvConfig cfg{trans, cfg_.tiling, cfg_.width, cfg_.tile_rows,
+                               cfg_.tile_cols};
+    const std::int64_t xlen = trans == Transpose::None ? cols : rows;
+    const std::int64_t ylen = trans == Transpose::None ? rows : cols;
+    const int W = cfg_.width;
+    auto& ca = g.channel<T>("A", detail::chan_cap(W));
+    auto& cx = g.channel<T>("x", detail::chan_cap(W));
+    auto& cy = g.channel<T>("y", detail::chan_cap(W));
+    auto& out = g.channel<T>("out", detail::chan_cap(W));
+    g.spawn("read_A",
+            stream::read_matrix<T>(a.cmat(rows, cols),
+                                   core::gemv_a_schedule(cfg), 1, W, ca,
+                                   banks.at(a.bank())));
+    g.spawn("read_x", stream::read_vector<T>(
+                          x.cvec(xlen, incx),
+                          core::gemv_x_repeat(cfg, rows, cols), W, cx,
+                          banks.at(x.bank())));
+    g.spawn("read_y", stream::read_vector<T>(y.cvec(ylen, incy), 1, W, cy,
+                                             banks.at(y.bank())));
+    g.spawn("gemv",
+            core::gemv<T>(cfg, rows, cols, alpha, beta, ca, cx, cy, out));
+    g.spawn("write_y", stream::write_vector<T>(y.vec(ylen, incy), 1, W, out,
+                                               banks.at(y.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::trsv_async(Uplo uplo, Transpose trans, Diag diag,
+                          std::int64_t n, const Buffer<T>& a, Buffer<T>& x,
+                          std::int64_t incx) {
+  return enqueue([this, uplo, trans, diag, n, &a, &x, incx] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Trsv, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    // Transposition flips the triangle op(A) effectively occupies.
+    const Uplo eff = trans == Transpose::None
+                         ? uplo
+                         : (uplo == Uplo::Lower ? Uplo::Upper : Uplo::Lower);
+    const core::TrsvConfig cfg{eff, diag, W};
+    auto& ca = g.channel<T>("A", detail::chan_cap(W));
+    auto& cb = g.channel<T>("b", detail::chan_cap(W));
+    auto& out = g.channel<T>("x", detail::chan_cap(W));
+    g.spawn("read_A", core::read_triangular<T>(a.cmat(n, n), eff, W, ca,
+                                               banks.at(a.bank()), trans));
+    g.spawn("read_b", detail::read_vector_solve_order<T>(
+                          x.cvec(n, incx), eff, W, cb, banks.at(x.bank())));
+    g.spawn("trsv", core::trsv<T>(cfg, n, ca, cb, out));
+    g.spawn("write_x", detail::write_vector_solve_order<T>(
+                           x.vec(n, incx), eff, W, out, banks.at(x.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::ger_async(std::int64_t rows, std::int64_t cols, T alpha,
+                         const Buffer<T>& x, std::int64_t incx,
+                         const Buffer<T>& y, std::int64_t incy,
+                         Buffer<T>& a) {
+  return enqueue([this, rows, cols, alpha, &x, incx, &y, incy, &a] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Ger, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const core::GerConfig cfg{cfg_.tiling, cfg_.width, cfg_.tile_rows,
+                              cfg_.tile_cols};
+    const int W = cfg_.width;
+    const auto sched = core::ger_a_schedule(cfg);
+    auto& ca = g.channel<T>("A", detail::chan_cap(W));
+    auto& cx = g.channel<T>("x", detail::chan_cap(W));
+    auto& cy = g.channel<T>("y", detail::chan_cap(W));
+    auto& out = g.channel<T>("out", detail::chan_cap(W));
+    g.spawn("read_A", stream::read_matrix<T>(a.cmat(rows, cols), sched, 1, W,
+                                             ca, banks.at(a.bank())));
+    g.spawn("read_x", stream::read_vector<T>(
+                          x.cvec(rows, incx),
+                          core::ger_x_repeat(cfg, rows, cols), W, cx,
+                          banks.at(x.bank())));
+    g.spawn("read_y", stream::read_vector<T>(
+                          y.cvec(cols, incy),
+                          core::ger_y_repeat(cfg, rows, cols), W, cy,
+                          banks.at(y.bank())));
+    g.spawn("ger", core::ger<T>(cfg, rows, cols, alpha, ca, cx, cy, out));
+    g.spawn("write_A", stream::write_matrix<T>(a.mat(rows, cols), sched, W,
+                                               out, banks.at(a.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::syr_async(Uplo uplo, std::int64_t n, T alpha,
+                         const Buffer<T>& x, std::int64_t incx,
+                         Buffer<T>& a) {
+  return enqueue([this, uplo, n, alpha, &x, incx, &a] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Syr, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const core::GerConfig cfg{cfg_.tiling, cfg_.width, cfg_.tile_rows,
+                              cfg_.tile_cols};
+    const int W = cfg_.width;
+    const auto sched = core::ger_a_schedule(cfg);
+    auto& ca = g.channel<T>("A", detail::chan_cap(W));
+    auto& cxr = g.channel<T>("x_row", detail::chan_cap(W));
+    auto& cxc = g.channel<T>("x_col", detail::chan_cap(W));
+    auto& out = g.channel<T>("out", detail::chan_cap(W));
+    g.spawn("read_A", stream::read_matrix<T>(a.cmat(n, n), sched, 1, W, ca,
+                                             banks.at(a.bank())));
+    g.spawn("read_x_row",
+            stream::read_vector<T>(x.cvec(n, incx),
+                                   core::ger_x_repeat(cfg, n, n), W, cxr,
+                                   banks.at(x.bank())));
+    g.spawn("read_x_col",
+            stream::read_vector<T>(x.cvec(n, incx),
+                                   core::ger_y_repeat(cfg, n, n), W, cxc,
+                                   banks.at(x.bank())));
+    g.spawn("syr", core::syr<T>(cfg, n, alpha, ca, cxr, cxc, out));
+    // Only the requested triangle is stored back (BLAS semantics).
+    g.spawn("write_A", detail::write_matrix_uplo<T>(a.mat(n, n), sched, uplo,
+                                                    W, out,
+                                                    banks.at(a.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::syr2_async(Uplo uplo, std::int64_t n, T alpha,
+                          const Buffer<T>& x, std::int64_t incx,
+                          const Buffer<T>& y, std::int64_t incy,
+                          Buffer<T>& a) {
+  return enqueue([this, uplo, n, alpha, &x, incx, &y, incy, &a] {
+    stream::Graph g(mode_);
+    const auto f = freq_of<T>(RoutineKind::Syr2, *dev_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const core::GerConfig cfg{cfg_.tiling, cfg_.width, cfg_.tile_rows,
+                              cfg_.tile_cols};
+    const int W = cfg_.width;
+    const auto sched = core::ger_a_schedule(cfg);
+    auto& ca = g.channel<T>("A", detail::chan_cap(W));
+    auto& cxr = g.channel<T>("x_row", detail::chan_cap(W));
+    auto& cxc = g.channel<T>("x_col", detail::chan_cap(W));
+    auto& cyr = g.channel<T>("y_row", detail::chan_cap(W));
+    auto& cyc = g.channel<T>("y_col", detail::chan_cap(W));
+    auto& out = g.channel<T>("out", detail::chan_cap(W));
+    g.spawn("read_A", stream::read_matrix<T>(a.cmat(n, n), sched, 1, W, ca,
+                                             banks.at(a.bank())));
+    g.spawn("read_x_row",
+            stream::read_vector<T>(x.cvec(n, incx),
+                                   core::ger_x_repeat(cfg, n, n), W, cxr,
+                                   banks.at(x.bank())));
+    g.spawn("read_x_col",
+            stream::read_vector<T>(x.cvec(n, incx),
+                                   core::ger_y_repeat(cfg, n, n), W, cxc,
+                                   banks.at(x.bank())));
+    g.spawn("read_y_row",
+            stream::read_vector<T>(y.cvec(n, incy),
+                                   core::ger_x_repeat(cfg, n, n), W, cyr,
+                                   banks.at(y.bank())));
+    g.spawn("read_y_col",
+            stream::read_vector<T>(y.cvec(n, incy),
+                                   core::ger_y_repeat(cfg, n, n), W, cyc,
+                                   banks.at(y.bank())));
+    g.spawn("syr2",
+            core::syr2<T>(cfg, n, alpha, ca, cxr, cxc, cyr, cyc, out));
+    g.spawn("write_A", detail::write_matrix_uplo<T>(a.mat(n, n), sched, uplo,
+                                                    W, out,
+                                                    banks.at(a.bank())));
+    run_graph(g);
+  });
+}
+
+#define FBLAS_HOST_L2_INSTANTIATE(T)                                          \
+  template Event Context::gemv_async<T>(Transpose, std::int64_t,              \
+                                        std::int64_t, T, const Buffer<T>&,    \
+                                        const Buffer<T>&, std::int64_t, T,    \
+                                        Buffer<T>&, std::int64_t);            \
+  template Event Context::trsv_async<T>(Uplo, Transpose, Diag, std::int64_t,  \
+                                        const Buffer<T>&, Buffer<T>&,         \
+                                        std::int64_t);                        \
+  template Event Context::ger_async<T>(std::int64_t, std::int64_t, T,         \
+                                       const Buffer<T>&, std::int64_t,        \
+                                       const Buffer<T>&, std::int64_t,        \
+                                       Buffer<T>&);                           \
+  template Event Context::syr_async<T>(Uplo, std::int64_t, T,                 \
+                                       const Buffer<T>&, std::int64_t,        \
+                                       Buffer<T>&);                           \
+  template Event Context::syr2_async<T>(Uplo, std::int64_t, T,                \
+                                        const Buffer<T>&, std::int64_t,       \
+                                        const Buffer<T>&, std::int64_t,       \
+                                        Buffer<T>&);
+
+FBLAS_HOST_L2_INSTANTIATE(float)
+FBLAS_HOST_L2_INSTANTIATE(double)
+#undef FBLAS_HOST_L2_INSTANTIATE
+
+}  // namespace fblas::host

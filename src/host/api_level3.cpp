@@ -1,0 +1,223 @@
+// Level-3 host API lowerings.
+#include "host/context.hpp"
+#include "host/detail.hpp"
+#include "sim/frequency_model.hpp"
+
+namespace fblas::host {
+namespace {
+
+Uplo flip(Uplo u) { return u == Uplo::Lower ? Uplo::Upper : Uplo::Lower; }
+Transpose flip(Transpose t) {
+  return t == Transpose::None ? Transpose::Trans : Transpose::None;
+}
+
+}  // namespace
+
+template <typename T>
+Event Context::gemm_async(Transpose ta, Transpose tb, std::int64_t m,
+                          std::int64_t n, std::int64_t k, T alpha,
+                          const Buffer<T>& a, const Buffer<T>& b, T beta,
+                          Buffer<T>& c) {
+  return enqueue([this, ta, tb, m, n, k, alpha, &a, &b, beta, &c] {
+    stream::Graph g(mode_);
+    const auto f = sim::gemm_frequency(cfg_.pe_rows, cfg_.pe_cols,
+                                       PrecisionTraits<T>::value,
+                                       dev_->spec());
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const core::GemmConfig cfg{cfg_.pe_rows, cfg_.pe_cols,
+                               cfg_.gemm_tile_rows, cfg_.gemm_tile_cols};
+    auto& ca = g.channel<T>("A", detail::chan_cap(cfg.pe_rows * 4));
+    auto& cb = g.channel<T>("B", detail::chan_cap(cfg.pe_cols * 4));
+    auto& cc = g.channel<T>("Cin", detail::chan_cap(cfg.pe_cols * 4));
+    auto& out = g.channel<T>("out", detail::chan_cap(cfg.pe_cols * 4));
+    g.spawn("read_A",
+            core::read_a_gemm<T>(a.cmat(ta == Transpose::None ? m : k,
+                                        ta == Transpose::None ? k : m),
+                                 cfg, n, ca, banks.at(a.bank()), ta));
+    g.spawn("read_B",
+            core::read_b_gemm<T>(b.cmat(tb == Transpose::None ? k : n,
+                                        tb == Transpose::None ? n : k),
+                                 cfg, m, cb, banks.at(b.bank()), tb));
+    if (beta != T(0)) {
+      g.spawn("read_C",
+              stream::read_matrix<T>(c.cmat(m, n), core::gemm_c_schedule(cfg),
+                                     1, cfg.pe_cols, cc, banks.at(c.bank())));
+    }
+    g.spawn("gemm", core::gemm<T>(cfg, m, n, k, alpha, beta, ca, cb, cc, out));
+    g.spawn("store_C",
+            stream::write_matrix<T>(c.mat(m, n), core::gemm_c_schedule(cfg),
+                                    cfg.pe_cols, out, banks.at(c.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::syrk_async(Uplo uplo, Transpose trans, std::int64_t n,
+                          std::int64_t k, T alpha, const Buffer<T>& a,
+                          T beta, Buffer<T>& c) {
+  return enqueue([this, uplo, trans, n, k, alpha, &a, beta, &c] {
+    stream::Graph g(mode_);
+    const auto f = sim::gemm_frequency(cfg_.pe_rows, cfg_.pe_cols,
+                                       PrecisionTraits<T>::value,
+                                       dev_->spec());
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const core::GemmConfig cfg{cfg_.pe_rows, cfg_.pe_cols,
+                               cfg_.gemm_tile_rows, cfg_.gemm_tile_cols};
+    // SYRK is lowered to the generic GEMM module with both panel streams
+    // reading the same matrix (the second one transposed) and a
+    // triangular Store-C (Sec. VI: specialized routines are implemented
+    // in terms of the generic ones).
+    const auto a_view = a.cmat(trans == Transpose::None ? n : k,
+                               trans == Transpose::None ? k : n);
+    auto& ca = g.channel<T>("A", detail::chan_cap(cfg.pe_rows * 4));
+    auto& cb = g.channel<T>("At", detail::chan_cap(cfg.pe_cols * 4));
+    auto& cc = g.channel<T>("Cin", detail::chan_cap(cfg.pe_cols * 4));
+    auto& out = g.channel<T>("out", detail::chan_cap(cfg.pe_cols * 4));
+    g.spawn("read_A", core::read_a_gemm<T>(a_view, cfg, n, ca,
+                                           banks.at(a.bank()), trans));
+    g.spawn("read_At", core::read_b_gemm<T>(a_view, cfg, n, cb,
+                                            banks.at(a.bank()), flip(trans)));
+    if (beta != T(0)) {
+      g.spawn("read_C",
+              stream::read_matrix<T>(c.cmat(n, n), core::gemm_c_schedule(cfg),
+                                     1, cfg.pe_cols, cc, banks.at(c.bank())));
+    }
+    g.spawn("gemm", core::gemm<T>(cfg, n, n, k, alpha, beta, ca, cb, cc, out));
+    g.spawn("store_C", core::store_c_triangular<T>(c.mat(n, n), cfg, uplo,
+                                                   out, banks.at(c.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::syr2k_async(Uplo uplo, Transpose trans, std::int64_t n,
+                           std::int64_t k, T alpha, const Buffer<T>& a,
+                           const Buffer<T>& b, T beta, Buffer<T>& c) {
+  return enqueue([this, uplo, trans, n, k, alpha, &a, &b, beta, &c] {
+    stream::Graph g(mode_);
+    const auto f = sim::gemm_frequency(cfg_.pe_rows, cfg_.pe_cols,
+                                       PrecisionTraits<T>::value,
+                                       dev_->spec());
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const core::GemmConfig cfg{cfg_.pe_rows, cfg_.pe_cols,
+                               cfg_.gemm_tile_rows, cfg_.gemm_tile_cols};
+    const auto a_view = a.cmat(trans == Transpose::None ? n : k,
+                               trans == Transpose::None ? k : n);
+    const auto b_view = b.cmat(trans == Transpose::None ? n : k,
+                               trans == Transpose::None ? k : n);
+    auto& ca = g.channel<T>("Acol", detail::chan_cap(cfg.pe_rows * 4));
+    auto& cbc = g.channel<T>("Bcol", detail::chan_cap(cfg.pe_rows * 4));
+    auto& cat = g.channel<T>("Atrow", detail::chan_cap(cfg.pe_cols * 4));
+    auto& cbt = g.channel<T>("Btrow", detail::chan_cap(cfg.pe_cols * 4));
+    auto& cc = g.channel<T>("Cin", detail::chan_cap(cfg.pe_cols * 4));
+    auto& out = g.channel<T>("out", detail::chan_cap(cfg.pe_cols * 4));
+    g.spawn("read_A", core::read_a_gemm<T>(a_view, cfg, n, ca,
+                                           banks.at(a.bank()), trans));
+    g.spawn("read_B", core::read_a_gemm<T>(b_view, cfg, n, cbc,
+                                           banks.at(b.bank()), trans));
+    g.spawn("read_At", core::read_b_gemm<T>(a_view, cfg, n, cat,
+                                            banks.at(a.bank()), flip(trans)));
+    g.spawn("read_Bt", core::read_b_gemm<T>(b_view, cfg, n, cbt,
+                                            banks.at(b.bank()), flip(trans)));
+    if (beta != T(0)) {
+      g.spawn("read_C",
+              stream::read_matrix<T>(c.cmat(n, n), core::gemm_c_schedule(cfg),
+                                     1, cfg.pe_cols, cc, banks.at(c.bank())));
+    }
+    g.spawn("syr2k",
+            core::syr2k<T>(cfg, n, k, alpha, beta, ca, cbc, cat, cbt, cc, out));
+    g.spawn("store_C", core::store_c_triangular<T>(c.mat(n, n), cfg, uplo,
+                                                   out, banks.at(c.bank())));
+    run_graph(g);
+  });
+}
+
+template <typename T>
+Event Context::trsm_async(Side side, Uplo uplo, Transpose trans, Diag diag,
+                          std::int64_t m, std::int64_t n, T alpha,
+                          const Buffer<T>& a, Buffer<T>& b) {
+  return enqueue([this, side, uplo, trans, diag, m, n, alpha, &a, &b] {
+    const auto f = sim::module_frequency(RoutineKind::Trsm,
+                                         PrecisionTraits<T>::value,
+                                         dev_->spec());
+    if (side == Side::Left) {
+      stream::Graph g(mode_);
+      detail::BankSet banks(g, *dev_, f.mhz);
+      const int W = cfg_.width;
+      const Uplo eff = trans == Transpose::None ? uplo : flip(uplo);
+      const core::TrsmConfig cfg{eff, diag, W};
+      auto& ca = g.channel<T>("A", detail::chan_cap(W));
+      auto& cb = g.channel<T>("B", detail::chan_cap(W));
+      auto& out = g.channel<T>("X", detail::chan_cap(W));
+      g.spawn("read_A", core::read_triangular<T>(a.cmat(m, m), eff, W, ca,
+                                                 banks.at(a.bank()), trans));
+      g.spawn("read_B", detail::read_rows_solve_order<T>(
+                            b.cmat(m, n), eff, W, cb, banks.at(b.bank())));
+      g.spawn("trsm", core::trsm<T>(cfg, m, n, alpha, ca, cb, out));
+      g.spawn("write_X", detail::write_rows_solve_order<T>(
+                             b.mat(m, n), eff, W, out, banks.at(b.bank())));
+      run_graph(g);
+      return;
+    }
+    // Right side: X op(A) = alpha B  <=>  op(A)^T X^T = alpha B^T. The
+    // host transposes B into scratch, runs the left-side solve with the
+    // opposite transposition, and transposes the result back (the host
+    // layer's equivalent of generating a dedicated right-side variant).
+    std::vector<T> bt(static_cast<std::size_t>(m * n));
+    {
+      auto bv = b.cmat(m, n);
+      MatrixView<T> BT(bt.data(), n, m);
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) BT(j, i) = bv(i, j);
+      }
+    }
+    stream::Graph g(mode_);
+    detail::BankSet banks(g, *dev_, f.mhz);
+    const int W = cfg_.width;
+    const Transpose t2 = flip(trans);
+    const Uplo eff = t2 == Transpose::None ? uplo : flip(uplo);
+    const core::TrsmConfig cfg{eff, diag, W};
+    auto& ca = g.channel<T>("A", detail::chan_cap(W));
+    auto& cb = g.channel<T>("B", detail::chan_cap(W));
+    auto& out = g.channel<T>("X", detail::chan_cap(W));
+    std::vector<T> xt(static_cast<std::size_t>(m * n));
+    g.spawn("read_A", core::read_triangular<T>(a.cmat(n, n), eff, W, ca,
+                                               banks.at(a.bank()), t2));
+    g.spawn("read_B", detail::read_rows_solve_order<T>(
+                          MatrixView<const T>(bt.data(), n, m), eff, W, cb,
+                          banks.at(b.bank())));
+    g.spawn("trsm", core::trsm<T>(cfg, n, m, alpha, ca, cb, out));
+    g.spawn("write_X", detail::write_rows_solve_order<T>(
+                           MatrixView<T>(xt.data(), n, m), eff, W, out,
+                           banks.at(b.bank())));
+    run_graph(g);
+    {
+      auto bv = b.mat(m, n);
+      MatrixView<const T> XT(xt.data(), n, m);
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) bv(i, j) = XT(j, i);
+      }
+    }
+  });
+}
+
+#define FBLAS_HOST_L3_INSTANTIATE(T)                                          \
+  template Event Context::gemm_async<T>(Transpose, Transpose, std::int64_t,   \
+                                        std::int64_t, std::int64_t, T,        \
+                                        const Buffer<T>&, const Buffer<T>&,   \
+                                        T, Buffer<T>&);                       \
+  template Event Context::syrk_async<T>(Uplo, Transpose, std::int64_t,        \
+                                        std::int64_t, T, const Buffer<T>&,    \
+                                        T, Buffer<T>&);                       \
+  template Event Context::syr2k_async<T>(Uplo, Transpose, std::int64_t,       \
+                                         std::int64_t, T, const Buffer<T>&,   \
+                                         const Buffer<T>&, T, Buffer<T>&);    \
+  template Event Context::trsm_async<T>(Side, Uplo, Transpose, Diag,          \
+                                        std::int64_t, std::int64_t, T,        \
+                                        const Buffer<T>&, Buffer<T>&);
+
+FBLAS_HOST_L3_INSTANTIATE(float)
+FBLAS_HOST_L3_INSTANTIATE(double)
+#undef FBLAS_HOST_L3_INSTANTIATE
+
+}  // namespace fblas::host

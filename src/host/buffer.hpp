@@ -1,0 +1,91 @@
+// Device buffers: typed allocations on a specific DDR bank, filled and
+// read back with explicit host<->device copies, following the standard
+// OpenCL programming flow the host API wraps (Sec. II-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/view.hpp"
+#include "host/device.hpp"
+
+namespace fblas::host {
+
+template <typename T>
+class Buffer {
+ public:
+  /// Allocates n elements on the given DDR bank of `dev`.
+  Buffer(Device& dev, std::int64_t n, int bank = 0)
+      : dev_(&dev), bank_(bank) {
+    FBLAS_REQUIRE(n >= 0, "buffer size must be non-negative");
+    // Reserve against the bank budget before touching host memory, so an
+    // oversized allocation fails fast with FitError.
+    dev_->note_alloc(bank_, static_cast<std::uint64_t>(n) * sizeof(T));
+    data_.resize(static_cast<std::size_t>(n));
+  }
+  ~Buffer() {
+    if (dev_ != nullptr) dev_->note_free(bank_, bytes());
+  }
+  Buffer(Buffer&& o) noexcept
+      : dev_(std::exchange(o.dev_, nullptr)),
+        bank_(o.bank_),
+        data_(std::move(o.data_)) {}
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      if (dev_ != nullptr) dev_->note_free(bank_, bytes());
+      dev_ = std::exchange(o.dev_, nullptr);
+      bank_ = o.bank_;
+      data_ = std::move(o.data_);
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  int bank() const { return bank_; }
+  std::uint64_t bytes() const { return data_.size() * sizeof(T); }
+
+  /// Host -> device copy.
+  void write(std::span<const T> host) {
+    FBLAS_REQUIRE(host.size() == data_.size(),
+                  "host/device size mismatch in write");
+    std::copy(host.begin(), host.end(), data_.begin());
+  }
+  /// Device -> host copy.
+  void read(std::span<T> host) const {
+    FBLAS_REQUIRE(host.size() == data_.size(),
+                  "host/device size mismatch in read");
+    std::copy(data_.begin(), data_.end(), host.begin());
+  }
+  std::vector<T> to_host() const { return data_; }
+
+  // Device-side views used by the routine lowerings.
+  VectorView<T> vec(std::int64_t n, std::int64_t inc = 1) {
+    FBLAS_REQUIRE((n - 1) * inc < size(), "vector view out of bounds");
+    return VectorView<T>(data_.data(), n, inc);
+  }
+  VectorView<const T> cvec(std::int64_t n, std::int64_t inc = 1) const {
+    FBLAS_REQUIRE(n == 0 || (n - 1) * inc < size(),
+                  "vector view out of bounds");
+    return VectorView<const T>(data_.data(), n, inc);
+  }
+  MatrixView<T> mat(std::int64_t rows, std::int64_t cols) {
+    FBLAS_REQUIRE(rows * cols <= size(), "matrix view out of bounds");
+    return MatrixView<T>(data_.data(), rows, cols);
+  }
+  MatrixView<const T> cmat(std::int64_t rows, std::int64_t cols) const {
+    FBLAS_REQUIRE(rows * cols <= size(), "matrix view out of bounds");
+    return MatrixView<const T>(data_.data(), rows, cols);
+  }
+
+ private:
+  Device* dev_;
+  int bank_;
+  std::vector<T> data_;
+};
+
+}  // namespace fblas::host

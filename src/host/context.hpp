@@ -1,0 +1,344 @@
+// The FBLAS host API (Sec. II-B): classical BLAS calls executed by
+// lowering each routine to a streaming module graph — interface helper
+// kernels around the module — and running it on the simulated device.
+//
+// Calls come in a synchronous form (e.g. `ctx.scal(...)`) and an
+// asynchronous form (`ctx.scal_async(...)` returning an Event); commands
+// are queued in order and executed when waited on or at finish().
+//
+// Non-functional parameters (vectorization width, tile sizes, tiling
+// scheme, systolic grid) are per-context RoutineConfig knobs — the same
+// knobs the code generator exposes in its JSON routine specification.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/routines.hpp"
+#include "common/types.hpp"
+#include "fblas/level2.hpp"
+#include "fblas/level3.hpp"
+#include "host/buffer.hpp"
+#include "host/device.hpp"
+#include "host/event.hpp"
+#include "refblas/level1.hpp"
+#include "stream/graph.hpp"
+
+namespace fblas::host {
+
+/// Tunable non-functional parameters applied to subsequent calls.
+struct RoutineConfig {
+  int width = 16;                   ///< vectorization width W
+  std::int64_t tile_rows = 256;     ///< TN (Level 2)
+  std::int64_t tile_cols = 256;     ///< TM (Level 2)
+  core::MatrixTiling tiling = core::MatrixTiling::TilesByRows;
+  int pe_rows = 4;                  ///< PR (Level 3)
+  int pe_cols = 4;                  ///< PC (Level 3)
+  std::int64_t gemm_tile_rows = 16; ///< TR (Level 3 memory tile)
+  std::int64_t gemm_tile_cols = 16; ///< TC
+};
+
+class Context {
+ public:
+  explicit Context(Device& dev,
+                   stream::Mode mode = stream::Mode::Functional);
+
+  Device& device() { return *dev_; }
+  RoutineConfig& config() { return cfg_; }
+  const RoutineConfig& config() const { return cfg_; }
+  stream::Mode mode() const { return mode_; }
+
+  /// Cycles of the most recently executed command (cycle mode only).
+  std::uint64_t last_cycles() const { return last_cycles_; }
+  /// Cumulative cycles across all executed commands.
+  std::uint64_t total_cycles() const { return total_cycles_; }
+
+  /// Queue management.
+  Event enqueue(std::function<void()> work);
+  void finish();
+  bool idle() const { return pending_.empty(); }
+
+  // --- Level 1 ----------------------------------------------------------
+  // rotg/rotmg are host-scalar setup routines (synchronous only).
+  template <typename T>
+  ref::Givens<T> rotg(T& a, T& b);
+  template <typename T>
+  ref::RotmParam<T> rotmg(T& d1, T& d2, T& x1, T y1);
+
+  template <typename T>
+  Event rot_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
+                  Buffer<T>& y, std::int64_t incy, T c, T s);
+  template <typename T>
+  Event rotm_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
+                   Buffer<T>& y, std::int64_t incy, ref::RotmParam<T> p);
+  template <typename T>
+  Event swap_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
+                   Buffer<T>& y, std::int64_t incy);
+  template <typename T>
+  Event scal_async(std::int64_t n, T alpha, Buffer<T>& x, std::int64_t incx);
+  template <typename T>
+  Event copy_async(std::int64_t n, const Buffer<T>& x, std::int64_t incx,
+                   Buffer<T>& y, std::int64_t incy);
+  template <typename T>
+  Event axpy_async(std::int64_t n, T alpha, const Buffer<T>& x,
+                   std::int64_t incx, Buffer<T>& y, std::int64_t incy);
+  template <typename T>
+  Event dot_async(std::int64_t n, const Buffer<T>& x, std::int64_t incx,
+                  const Buffer<T>& y, std::int64_t incy, T* result);
+  Event sdsdot_async(std::int64_t n, float sb, const Buffer<float>& x,
+                     std::int64_t incx, const Buffer<float>& y,
+                     std::int64_t incy, float* result);
+  template <typename T>
+  Event nrm2_async(std::int64_t n, const Buffer<T>& x, std::int64_t incx,
+                   T* result);
+  template <typename T>
+  Event asum_async(std::int64_t n, const Buffer<T>& x, std::int64_t incx,
+                   T* result);
+  template <typename T>
+  Event iamax_async(std::int64_t n, const Buffer<T>& x, std::int64_t incx,
+                    std::int64_t* result);
+
+  // Synchronous forms.
+  template <typename T>
+  void rot(std::int64_t n, Buffer<T>& x, std::int64_t incx, Buffer<T>& y,
+           std::int64_t incy, T c, T s) {
+    rot_async(n, x, incx, y, incy, c, s).wait();
+  }
+  template <typename T>
+  void rotm(std::int64_t n, Buffer<T>& x, std::int64_t incx, Buffer<T>& y,
+            std::int64_t incy, const ref::RotmParam<T>& p) {
+    rotm_async(n, x, incx, y, incy, p).wait();
+  }
+  template <typename T>
+  void swap(std::int64_t n, Buffer<T>& x, std::int64_t incx, Buffer<T>& y,
+            std::int64_t incy) {
+    swap_async(n, x, incx, y, incy).wait();
+  }
+  template <typename T>
+  void scal(std::int64_t n, T alpha, Buffer<T>& x, std::int64_t incx = 1) {
+    scal_async(n, alpha, x, incx).wait();
+  }
+  template <typename T>
+  void copy(std::int64_t n, const Buffer<T>& x, std::int64_t incx,
+            Buffer<T>& y, std::int64_t incy) {
+    copy_async(n, x, incx, y, incy).wait();
+  }
+  template <typename T>
+  void axpy(std::int64_t n, T alpha, const Buffer<T>& x, std::int64_t incx,
+            Buffer<T>& y, std::int64_t incy) {
+    axpy_async(n, alpha, x, incx, y, incy).wait();
+  }
+  template <typename T>
+  T dot(std::int64_t n, const Buffer<T>& x, std::int64_t incx,
+        const Buffer<T>& y, std::int64_t incy) {
+    T r{};
+    dot_async(n, x, incx, y, incy, &r).wait();
+    return r;
+  }
+  float sdsdot(std::int64_t n, float sb, const Buffer<float>& x,
+               std::int64_t incx, const Buffer<float>& y, std::int64_t incy) {
+    float r{};
+    sdsdot_async(n, sb, x, incx, y, incy, &r).wait();
+    return r;
+  }
+  template <typename T>
+  T nrm2(std::int64_t n, const Buffer<T>& x, std::int64_t incx = 1) {
+    T r{};
+    nrm2_async(n, x, incx, &r).wait();
+    return r;
+  }
+  template <typename T>
+  T asum(std::int64_t n, const Buffer<T>& x, std::int64_t incx = 1) {
+    T r{};
+    asum_async(n, x, incx, &r).wait();
+    return r;
+  }
+  template <typename T>
+  std::int64_t iamax(std::int64_t n, const Buffer<T>& x,
+                     std::int64_t incx = 1) {
+    std::int64_t r = -1;
+    iamax_async(n, x, incx, &r).wait();
+    return r;
+  }
+
+  // --- Level 2 ----------------------------------------------------------
+  /// y = alpha op(A) x + beta y; A stored row-major rows x cols.
+  template <typename T>
+  Event gemv_async(Transpose trans, std::int64_t rows, std::int64_t cols,
+                   T alpha, const Buffer<T>& a, const Buffer<T>& x,
+                   std::int64_t incx, T beta, Buffer<T>& y,
+                   std::int64_t incy);
+  template <typename T>
+  void gemv(Transpose trans, std::int64_t rows, std::int64_t cols, T alpha,
+            const Buffer<T>& a, const Buffer<T>& x, std::int64_t incx,
+            T beta, Buffer<T>& y, std::int64_t incy) {
+    gemv_async(trans, rows, cols, alpha, a, x, incx, beta, y, incy).wait();
+  }
+
+  /// Solves op(A) x = b in place (x holds b on entry).
+  template <typename T>
+  Event trsv_async(Uplo uplo, Transpose trans, Diag diag, std::int64_t n,
+                   const Buffer<T>& a, Buffer<T>& x, std::int64_t incx);
+  template <typename T>
+  void trsv(Uplo uplo, Transpose trans, Diag diag, std::int64_t n,
+            const Buffer<T>& a, Buffer<T>& x, std::int64_t incx = 1) {
+    trsv_async(uplo, trans, diag, n, a, x, incx).wait();
+  }
+
+  /// A += alpha x y^T.
+  template <typename T>
+  Event ger_async(std::int64_t rows, std::int64_t cols, T alpha,
+                  const Buffer<T>& x, std::int64_t incx, const Buffer<T>& y,
+                  std::int64_t incy, Buffer<T>& a);
+  template <typename T>
+  void ger(std::int64_t rows, std::int64_t cols, T alpha, const Buffer<T>& x,
+           std::int64_t incx, const Buffer<T>& y, std::int64_t incy,
+           Buffer<T>& a) {
+    ger_async(rows, cols, alpha, x, incx, y, incy, a).wait();
+  }
+
+  /// A += alpha x x^T on the `uplo` triangle (generic full-stream update;
+  /// the opposite triangle is preserved).
+  template <typename T>
+  Event syr_async(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& x,
+                  std::int64_t incx, Buffer<T>& a);
+  template <typename T>
+  void syr(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& x,
+           std::int64_t incx, Buffer<T>& a) {
+    syr_async(uplo, n, alpha, x, incx, a).wait();
+  }
+
+  /// A += alpha (x y^T + y x^T) on the `uplo` triangle.
+  template <typename T>
+  Event syr2_async(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& x,
+                   std::int64_t incx, const Buffer<T>& y, std::int64_t incy,
+                   Buffer<T>& a);
+  template <typename T>
+  void syr2(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& x,
+            std::int64_t incx, const Buffer<T>& y, std::int64_t incy,
+            Buffer<T>& a) {
+    syr2_async(uplo, n, alpha, x, incx, y, incy, a).wait();
+  }
+
+  // --- Level 3 ----------------------------------------------------------
+  /// C = alpha op(A) op(B) + beta C; C is m x n, contraction k.
+  template <typename T>
+  Event gemm_async(Transpose ta, Transpose tb, std::int64_t m,
+                   std::int64_t n, std::int64_t k, T alpha,
+                   const Buffer<T>& a, const Buffer<T>& b, T beta,
+                   Buffer<T>& c);
+  template <typename T>
+  void gemm(Transpose ta, Transpose tb, std::int64_t m, std::int64_t n,
+            std::int64_t k, T alpha, const Buffer<T>& a, const Buffer<T>& b,
+            T beta, Buffer<T>& c) {
+    gemm_async(ta, tb, m, n, k, alpha, a, b, beta, c).wait();
+  }
+
+  /// C = alpha op(A) op(A)^T + beta C on the `uplo` triangle.
+  template <typename T>
+  Event syrk_async(Uplo uplo, Transpose trans, std::int64_t n,
+                   std::int64_t k, T alpha, const Buffer<T>& a, T beta,
+                   Buffer<T>& c);
+  template <typename T>
+  void syrk(Uplo uplo, Transpose trans, std::int64_t n, std::int64_t k,
+            T alpha, const Buffer<T>& a, T beta, Buffer<T>& c) {
+    syrk_async(uplo, trans, n, k, alpha, a, beta, c).wait();
+  }
+
+  /// C = alpha (op(A) op(B)^T + op(B) op(A)^T) + beta C on `uplo`.
+  template <typename T>
+  Event syr2k_async(Uplo uplo, Transpose trans, std::int64_t n,
+                    std::int64_t k, T alpha, const Buffer<T>& a,
+                    const Buffer<T>& b, T beta, Buffer<T>& c);
+  template <typename T>
+  void syr2k(Uplo uplo, Transpose trans, std::int64_t n, std::int64_t k,
+             T alpha, const Buffer<T>& a, const Buffer<T>& b, T beta,
+             Buffer<T>& c) {
+    syr2k_async(uplo, trans, n, k, alpha, a, b, beta, c).wait();
+  }
+
+  /// Solves op(A) X = alpha B (Left) or X op(A) = alpha B (Right) in
+  /// place; B is m x n and holds X on return.
+  template <typename T>
+  Event trsm_async(Side side, Uplo uplo, Transpose trans, Diag diag,
+                   std::int64_t m, std::int64_t n, T alpha,
+                   const Buffer<T>& a, Buffer<T>& b);
+  template <typename T>
+  void trsm(Side side, Uplo uplo, Transpose trans, Diag diag, std::int64_t m,
+            std::int64_t n, T alpha, const Buffer<T>& a, Buffer<T>& b) {
+    trsm_async(side, uplo, trans, diag, m, n, alpha, a, b).wait();
+  }
+
+  // --- Specialized matrix routines ---------------------------------------
+  // Implemented in terms of the generic routines, as the paper prescribes
+  // (Sec. VI: "Specialized matrix routines (triangular and symmetric
+  // matrices) must currently be implemented in terms of the generic
+  // routines"): the host expands the stored triangle and runs GEMV.
+
+  /// y = alpha * A * x + beta * y for symmetric A stored in `uplo`.
+  template <typename T>
+  Event symv_async(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& a,
+                   const Buffer<T>& x, std::int64_t incx, T beta,
+                   Buffer<T>& y, std::int64_t incy);
+  template <typename T>
+  void symv(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& a,
+            const Buffer<T>& x, std::int64_t incx, T beta, Buffer<T>& y,
+            std::int64_t incy) {
+    symv_async(uplo, n, alpha, a, x, incx, beta, y, incy).wait();
+  }
+
+  /// x = op(A) * x for triangular A (`uplo`, `diag`).
+  template <typename T>
+  Event trmv_async(Uplo uplo, Transpose trans, Diag diag, std::int64_t n,
+                   const Buffer<T>& a, Buffer<T>& x, std::int64_t incx);
+  template <typename T>
+  void trmv(Uplo uplo, Transpose trans, Diag diag, std::int64_t n,
+            const Buffer<T>& a, Buffer<T>& x, std::int64_t incx = 1) {
+    trmv_async(uplo, trans, diag, n, a, x, incx).wait();
+  }
+
+  // --- Batched fully-unrolled routines (Table V) -------------------------
+  /// C[i] = alpha * A[i] * B[i] for `batch` contiguous size x size
+  /// problems; the fully-unrolled module retires one problem per cycle.
+  template <typename T>
+  Event gemm_batched_async(std::int64_t size, std::int64_t batch, T alpha,
+                           const Buffer<T>& a, const Buffer<T>& b,
+                           Buffer<T>& c);
+  template <typename T>
+  void gemm_batched(std::int64_t size, std::int64_t batch, T alpha,
+                    const Buffer<T>& a, const Buffer<T>& b, Buffer<T>& c) {
+    gemm_batched_async(size, batch, alpha, a, b, c).wait();
+  }
+
+  /// X[i] = alpha * inv(L[i]) * X[i] for `batch` contiguous lower
+  /// triangular (non-unit) systems stored dense.
+  template <typename T>
+  Event trsm_batched_async(std::int64_t size, std::int64_t batch, T alpha,
+                           const Buffer<T>& a, Buffer<T>& x);
+  template <typename T>
+  void trsm_batched(std::int64_t size, std::int64_t batch, T alpha,
+                    const Buffer<T>& a, Buffer<T>& x) {
+    trsm_batched_async(size, batch, alpha, a, x).wait();
+  }
+
+ private:
+  friend class Event;
+  void drain_until(std::uint64_t seq);
+
+  /// Runs a built graph and records its cycle count.
+  void run_graph(stream::Graph& g);
+  /// Per-cycle byte budget of one DDR bank at the given clock.
+  double bank_bytes_per_cycle(double freq_mhz) const;
+
+  Device* dev_;
+  stream::Mode mode_;
+  RoutineConfig cfg_;
+  std::deque<std::function<void()>> pending_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t last_cycles_ = 0;
+  std::uint64_t total_cycles_ = 0;
+};
+
+}  // namespace fblas::host

@@ -1,0 +1,165 @@
+// Internal helpers shared by the host-API routine lowerings.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "host/device.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+
+namespace fblas::host::detail {
+
+/// DDR banks of the simulated device registered with a graph. In cycle
+/// mode every reader/writer is metered against the bank its buffer lives
+/// on; bank contention (several interfaces on one bank) emerges naturally.
+class BankSet {
+ public:
+  BankSet(stream::Graph& g, const Device& dev, double freq_mhz) {
+    const double bytes_per_cycle =
+        dev.spec().bank_bandwidth_gbs * 1e9 / (freq_mhz * 1e6);
+    for (int b = 0; b < dev.bank_count(); ++b) {
+      banks_.push_back(&g.bank("ddr" + std::to_string(b), bytes_per_cycle));
+    }
+  }
+  stream::DramBank* at(int bank) {
+    return banks_[static_cast<std::size_t>(bank)];
+  }
+
+ private:
+  std::vector<stream::DramBank*> banks_;
+};
+
+/// Stores a matrix stream but only keeps the `uplo` triangle (used by the
+/// SYR/SYR2 lowerings, whose generic modules update the full square).
+template <typename T>
+stream::Task write_matrix_uplo(MatrixView<T> A, stream::TileSchedule sched,
+                               Uplo uplo, int width, stream::Channel<T>& in,
+                               stream::DramBank* bank = nullptr) {
+  stream::TileWalker walk(A.rows(), A.cols(), sched);
+  std::int64_t remaining = walk.total();
+  int in_cycle = 0;
+  while (remaining > 0) {
+    std::int64_t i = 0, j = 0;
+    walk.next(i, j);
+    const T v = co_await in.pop();
+    const bool keep = uplo == Uplo::Lower ? j <= i : j >= i;
+    if (keep) {
+      if (bank != nullptr) {
+        while (bank->grant_elems(1, sizeof(T)) == 0) {
+          co_await stream::next_cycle();
+        }
+      }
+      A(i, j) = v;
+    }
+    --remaining;
+    if (++in_cycle == width) {
+      in_cycle = 0;
+      co_await stream::next_cycle();
+    }
+  }
+}
+
+/// Streams a vector in solve order (reversed for Upper solves).
+template <typename T>
+stream::Task read_vector_solve_order(VectorView<const T> v, Uplo uplo,
+                                     int width, stream::Channel<T>& out,
+                                     stream::DramBank* bank = nullptr) {
+  const std::int64_t n = v.size();
+  int in_cycle = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::int64_t i = uplo == Uplo::Lower ? k : n - 1 - k;
+    if (bank != nullptr) {
+      while (bank->grant_elems(1, sizeof(T)) == 0) {
+        co_await stream::next_cycle();
+      }
+    }
+    co_await out.push(v[i]);
+    if (++in_cycle == width) {
+      in_cycle = 0;
+      co_await stream::next_cycle();
+    }
+  }
+  co_await stream::next_cycle();
+}
+
+/// Stores a solve-order stream of n scalars back in natural order.
+template <typename T>
+stream::Task write_vector_solve_order(VectorView<T> v, Uplo uplo, int width,
+                                      stream::Channel<T>& in,
+                                      stream::DramBank* bank = nullptr) {
+  const std::int64_t n = v.size();
+  int in_cycle = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::int64_t i = uplo == Uplo::Lower ? k : n - 1 - k;
+    const T x = co_await in.pop();
+    if (bank != nullptr) {
+      while (bank->grant_elems(1, sizeof(T)) == 0) {
+        co_await stream::next_cycle();
+      }
+    }
+    v[i] = x;
+    if (++in_cycle == width) {
+      in_cycle = 0;
+      co_await stream::next_cycle();
+    }
+  }
+}
+
+/// Streams matrix rows in solve order (for TRSM's B operand).
+template <typename T>
+stream::Task read_rows_solve_order(MatrixView<const T> B, Uplo uplo,
+                                   int width, stream::Channel<T>& out,
+                                   stream::DramBank* bank = nullptr) {
+  const std::int64_t m = B.rows(), n = B.cols();
+  int in_cycle = 0;
+  for (std::int64_t s = 0; s < m; ++s) {
+    const std::int64_t i = uplo == Uplo::Lower ? s : m - 1 - s;
+    for (std::int64_t c = 0; c < n; ++c) {
+      if (bank != nullptr) {
+        while (bank->grant_elems(1, sizeof(T)) == 0) {
+          co_await stream::next_cycle();
+        }
+      }
+      co_await out.push(B(i, c));
+      if (++in_cycle == width) {
+        in_cycle = 0;
+        co_await stream::next_cycle();
+      }
+    }
+  }
+  co_await stream::next_cycle();
+}
+
+/// Stores solve-order rows back in natural order (TRSM's X result).
+template <typename T>
+stream::Task write_rows_solve_order(MatrixView<T> X, Uplo uplo, int width,
+                                    stream::Channel<T>& in,
+                                    stream::DramBank* bank = nullptr) {
+  const std::int64_t m = X.rows(), n = X.cols();
+  int in_cycle = 0;
+  for (std::int64_t s = 0; s < m; ++s) {
+    const std::int64_t i = uplo == Uplo::Lower ? s : m - 1 - s;
+    for (std::int64_t c = 0; c < n; ++c) {
+      const T v = co_await in.pop();
+      if (bank != nullptr) {
+        while (bank->grant_elems(1, sizeof(T)) == 0) {
+          co_await stream::next_cycle();
+        }
+      }
+      X(i, c) = v;
+      if (++in_cycle == width) {
+        in_cycle = 0;
+        co_await stream::next_cycle();
+      }
+    }
+  }
+}
+
+/// Channel capacity used by the lowerings: deep enough for two width-
+/// batches so producer and consumer never false-stall within a cycle.
+inline std::size_t chan_cap(int width) {
+  return static_cast<std::size_t>(std::max(64, 2 * width));
+}
+
+}  // namespace fblas::host::detail

@@ -1,0 +1,38 @@
+#include "host/device.hpp"
+
+#include <sstream>
+
+namespace fblas::host {
+
+Device::Device(sim::DeviceId id)
+    : spec_(&sim::device(id)),
+      allocated_(static_cast<std::size_t>(spec_->ddr_banks), 0) {}
+
+std::uint64_t Device::allocated_bytes(int bank) const {
+  FBLAS_REQUIRE(bank >= 0 && bank < bank_count(), "unknown DDR bank");
+  return allocated_[static_cast<std::size_t>(bank)];
+}
+
+std::uint64_t Device::bank_capacity_bytes() const {
+  return static_cast<std::uint64_t>(spec_->ddr_bank_gib * (1ULL << 30));
+}
+
+void Device::note_alloc(int bank, std::uint64_t bytes) {
+  FBLAS_REQUIRE(bank >= 0 && bank < bank_count(), "unknown DDR bank");
+  auto& used = allocated_[static_cast<std::size_t>(bank)];
+  if (used + bytes > bank_capacity_bytes()) {
+    std::ostringstream os;
+    os << "DDR bank " << bank << " of " << spec_->name << " is full: "
+       << used << " + " << bytes << " > " << bank_capacity_bytes();
+    throw FitError(os.str());
+  }
+  used += bytes;
+}
+
+void Device::note_free(int bank, std::uint64_t bytes) {
+  FBLAS_REQUIRE(bank >= 0 && bank < bank_count(), "unknown DDR bank");
+  auto& used = allocated_[static_cast<std::size_t>(bank)];
+  used = bytes > used ? 0 : used - bytes;
+}
+
+}  // namespace fblas::host

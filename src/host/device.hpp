@@ -1,0 +1,37 @@
+// Simulated FPGA board seen from the host: a device model plus DDR banks
+// with capacity accounting. Mirrors the paper's OpenCL flow where the BSP
+// offers no automatic interleaving and data must be manually allocated to
+// a specific DDR bank (Sec. VI-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/device.hpp"
+
+namespace fblas::host {
+
+class Device {
+ public:
+  explicit Device(sim::DeviceId id = sim::DeviceId::Stratix10);
+
+  const sim::DeviceSpec& spec() const { return *spec_; }
+  int bank_count() const { return spec_->ddr_banks; }
+
+  /// Bytes currently allocated on `bank`.
+  std::uint64_t allocated_bytes(int bank) const;
+  /// Bank capacity in bytes.
+  std::uint64_t bank_capacity_bytes() const;
+
+  /// Allocation bookkeeping (used by Buffer). Throws ConfigError for an
+  /// unknown bank and FitError when the bank is full.
+  void note_alloc(int bank, std::uint64_t bytes);
+  void note_free(int bank, std::uint64_t bytes);
+
+ private:
+  const sim::DeviceSpec* spec_;
+  std::vector<std::uint64_t> allocated_;
+};
+
+}  // namespace fblas::host

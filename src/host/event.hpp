@@ -1,0 +1,30 @@
+// Events: handles to enqueued commands. Library calls can be synchronous
+// (wait immediately) or asynchronous (return an Event; the command runs
+// when the event is waited on or the queue is finished) — Sec. II-B.
+#pragma once
+
+#include <cstdint>
+
+namespace fblas::host {
+
+class Context;
+
+class Event {
+ public:
+  Event() = default;
+
+  /// True once the command has executed.
+  bool done() const;
+
+  /// Executes queued commands up to and including this one.
+  void wait();
+
+ private:
+  friend class Context;
+  Event(Context* ctx, std::uint64_t seq) : ctx_(ctx), seq_(seq) {}
+
+  Context* ctx_ = nullptr;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace fblas::host

@@ -1,0 +1,69 @@
+#include "mdag/io_volume.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fblas::mdag {
+
+std::int64_t total_io_ops(const Mdag& g) {
+  std::int64_t io = 0;
+  for (int n = 0; n < g.node_count(); ++n) {
+    if (g.node(n).type != NodeType::Interface) continue;
+    // A reader interface fetches its data from DRAM once and may
+    // broadcast it to several consumers on chip (the shared-A interface
+    // of BICG): its DRAM traffic is the largest outgoing stream, not the
+    // sum. A writer stores everything it receives.
+    std::int64_t reads = 0, writes = 0;
+    for (const Edge& e : g.edges()) {
+      if (e.from == n) reads = std::max(reads, e.produced.count);
+      if (e.to == n) writes += e.consumed.count;
+    }
+    io += reads + writes;
+  }
+  return io;
+}
+
+double critical_path_latency(const Mdag& g) {
+  const auto order = g.topo_order();
+  std::vector<double> dist(g.nodes().size(), 0);
+  double best = 0;
+  for (const int u : order) {
+    dist[static_cast<std::size_t>(u)] += g.node(u).latency;
+    best = std::max(best, dist[static_cast<std::size_t>(u)]);
+    for (const Edge& e : g.edges()) {
+      if (e.from == u) {
+        dist[static_cast<std::size_t>(e.to)] =
+            std::max(dist[static_cast<std::size_t>(e.to)],
+                     dist[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+  return best;
+}
+
+double streaming_cycles(const Mdag& g, int width) {
+  FBLAS_REQUIRE(width >= 1, "width must be positive");
+  std::int64_t max_volume = 0;
+  for (const Edge& e : g.edges()) {
+    max_volume = std::max(max_volume, e.produced.count);
+  }
+  return critical_path_latency(g) +
+         static_cast<double>(max_volume) / width;
+}
+
+double sequential_cycles(const Mdag& g, int width) {
+  FBLAS_REQUIRE(width >= 1, "width must be positive");
+  double total = 0;
+  for (int u = 0; u < g.node_count(); ++u) {
+    if (g.node(u).type != NodeType::Compute) continue;
+    std::int64_t volume = 0;
+    for (const Edge& e : g.edges()) {
+      if (e.to == u) volume = std::max(volume, e.consumed.count);
+    }
+    total += g.node(u).latency + static_cast<double>(volume) / width;
+  }
+  return total;
+}
+
+}  // namespace fblas::mdag

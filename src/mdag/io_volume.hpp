@@ -1,0 +1,29 @@
+// I/O-volume and completion-time calculus for streaming compositions
+// (Sec. V-A): streaming between modules removes DRAM round trips, and
+// pipeline-parallel execution replaces the sum of module times with the
+// critical-path latency plus a single pass over the data.
+#pragma once
+
+#include <cstdint>
+
+#include "mdag/graph.hpp"
+
+namespace fblas::mdag {
+
+/// DRAM I/O operations of the composition: every element crossing an
+/// edge incident to an interface module is one off-chip read or write.
+std::int64_t total_io_ops(const Mdag& g);
+
+/// Completion cycles of the fully-streaming composition at vectorization
+/// width `width`: critical-path module latency plus one pass over the
+/// largest edge volume (the paper's L_copy + L_axpy + L_dot + N model).
+double streaming_cycles(const Mdag& g, int width);
+
+/// Completion cycles when the modules run one-by-one through the host
+/// layer instead (each module's latency plus its own full data pass).
+double sequential_cycles(const Mdag& g, int width);
+
+/// Sum of module latencies along the longest latency path.
+double critical_path_latency(const Mdag& g);
+
+}  // namespace fblas::mdag

@@ -1,0 +1,29 @@
+// Resource accounting for streaming compositions (Sec. VI-C): chaining
+// modules through on-chip channels removes the DRAM interface kernels of
+// every internal edge, which the paper measures as up to 40% lower
+// resource usage than running the same modules one by one.
+#pragma once
+
+#include "common/types.hpp"
+#include "mdag/graph.hpp"
+#include "sim/resource_model.hpp"
+
+namespace fblas::mdag {
+
+/// Resource cost of one DRAM interface kernel (reader or writer helper)
+/// at the given width.
+sim::Resources interface_kernel_cost(Precision prec, int width);
+
+struct CompositionResources {
+  sim::Resources streamed;    ///< composed design (shared shell, on-chip edges)
+  sim::Resources sequential;  ///< one full design per module, run one by one
+  double saving_fraction;     ///< 1 - streamed/sequential (by ALMs)
+};
+
+/// Compares the composed design against executing each computational
+/// module as its own standalone design (every operand through DRAM).
+CompositionResources composition_resource_savings(const Mdag& g,
+                                                  Precision prec, int width,
+                                                  const sim::DeviceSpec& dev);
+
+}  // namespace fblas::mdag

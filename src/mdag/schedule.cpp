@@ -1,0 +1,85 @@
+#include "mdag/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "mdag/io_volume.hpp"
+
+namespace fblas::mdag {
+namespace {
+
+/// component index of every node; throws if not a partition.
+std::vector<int> component_of(const Mdag& g,
+                              const std::vector<Component>& parts) {
+  std::vector<int> comp(g.nodes().size(), -1);
+  for (int ci = 0; ci < static_cast<int>(parts.size()); ++ci) {
+    for (const int n : parts[static_cast<std::size_t>(ci)].nodes) {
+      FBLAS_REQUIRE(n >= 0 && n < g.node_count(), "unknown node in partition");
+      FBLAS_REQUIRE(comp[static_cast<std::size_t>(n)] == -1,
+                    "node appears in two components");
+      comp[static_cast<std::size_t>(n)] = ci;
+    }
+  }
+  for (int n = 0; n < g.node_count(); ++n) {
+    FBLAS_REQUIRE(comp[static_cast<std::size_t>(n)] != -1,
+                  "node missing from partition: " + g.node(n).name);
+  }
+  return comp;
+}
+
+}  // namespace
+
+void check_partition(const Mdag& g, const std::vector<Component>& parts) {
+  const auto comp = component_of(g, parts);
+  for (const Edge& e : g.edges()) {
+    FBLAS_REQUIRE(comp[static_cast<std::size_t>(e.from)] <=
+                      comp[static_cast<std::size_t>(e.to)],
+                  "edge from " + g.node(e.from).name + " to " +
+                      g.node(e.to).name +
+                      " crosses components backwards; components execute "
+                      "in order");
+  }
+}
+
+Mdag component_subgraph(const Mdag& g, const Component& part) {
+  Mdag sub;
+  std::vector<int> remap(g.nodes().size(), -1);
+  for (const int n : part.nodes) {
+    const Node& node = g.node(n);
+    remap[static_cast<std::size_t>(n)] =
+        node.type == NodeType::Interface
+            ? sub.add_interface(node.name)
+            : sub.add_compute(node.name, node.kind, node.latency);
+  }
+  for (const Edge& e : g.edges()) {
+    const int f = remap[static_cast<std::size_t>(e.from)];
+    const int t = remap[static_cast<std::size_t>(e.to)];
+    if (f != -1 && t != -1) {
+      sub.connect(f, t, e.produced, e.consumed, e.channel_depth);
+    } else if (f != -1) {
+      // Cut edge leaving the component: producer now writes to DRAM.
+      const int w = sub.add_interface("dram_out:" + g.node(e.to).name);
+      sub.connect(f, w, e.produced, e.produced, e.channel_depth);
+    } else if (t != -1) {
+      // Cut edge entering the component: consumer reads from DRAM.
+      const int r = sub.add_interface("dram_in:" + g.node(e.from).name);
+      sub.connect(r, t, e.consumed, e.consumed, e.channel_depth);
+    }
+  }
+  return sub;
+}
+
+PartitionCost partition_cost(const Mdag& g,
+                             const std::vector<Component>& parts, int width) {
+  check_partition(g, parts);
+  PartitionCost cost;
+  cost.components = static_cast<int>(parts.size());
+  for (const Component& part : parts) {
+    const Mdag sub = component_subgraph(g, part);
+    cost.io_ops += total_io_ops(sub);
+    cost.cycles += streaming_cycles(sub, width);
+  }
+  return cost;
+}
+
+}  // namespace fblas::mdag

@@ -1,0 +1,42 @@
+// Sequential multitree scheduling (Sec. V-C): when a composition is not a
+// valid multitree, it can be split into components executed one after the
+// other, with cut edges round-tripping through DRAM — the GEMVER
+// two-component schedule of Fig. 9.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdag/graph.hpp"
+
+namespace fblas::mdag {
+
+/// One sequential component: a subset of the composition's nodes that
+/// stream among themselves.
+struct Component {
+  std::vector<int> nodes;
+};
+
+struct PartitionCost {
+  std::int64_t io_ops = 0;  ///< DRAM ops incl. cut-edge round trips
+  double cycles = 0;        ///< sum of per-component streaming times
+  int components = 0;
+};
+
+/// Checks that `parts` is a partition of the graph's nodes (every node in
+/// exactly one component) and that no edge goes from a later component to
+/// an earlier one (components run in order).
+void check_partition(const Mdag& g, const std::vector<Component>& parts);
+
+/// Cost of executing the composition as the given sequence of streaming
+/// components: intra-component interface edges count once; every cut edge
+/// is written to DRAM by the producer component and read back by the
+/// consumer component.
+PartitionCost partition_cost(const Mdag& g,
+                             const std::vector<Component>& parts, int width);
+
+/// Builds the subgraph of one component with cut edges replaced by
+/// interface modules (useful for per-component validity checks).
+Mdag component_subgraph(const Mdag& g, const Component& part);
+
+}  // namespace fblas::mdag

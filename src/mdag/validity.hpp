@@ -1,0 +1,56 @@
+// Validity analysis of streaming compositions (Sec. V):
+//  * every edge must carry identical counts in identical order;
+//  * a multitree (at most one path between any pair of vertices) with
+//    valid edges is always a valid composition;
+//  * two or more vertex-disjoint paths between a pair (a non-multitree)
+//    stall forever unless a channel on one path buffers the full lag —
+//    the ATAX situation of Fig. 8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mdag/graph.hpp"
+
+namespace fblas::mdag {
+
+struct EdgeIssue {
+  int edge;
+  std::string reason;
+};
+
+/// Checks condition (1)/(2) on every edge; empty result means all valid.
+std::vector<EdgeIssue> validate_edges(const Mdag& g);
+
+/// Number of distinct directed paths from `from` to `to`.
+std::int64_t count_paths(const Mdag& g, int from, int to);
+
+/// True when at most one path exists between every ordered vertex pair.
+bool is_multitree(const Mdag& g);
+
+/// Maximum number of internally-vertex-disjoint paths from `from` to `to`
+/// (Menger's theorem via unit-capacity max-flow on the split graph).
+int vertex_disjoint_paths(const Mdag& g, int from, int to);
+
+/// A vertex pair whose >= 2 vertex-disjoint paths make the composition
+/// invalid for unbounded input sizes.
+struct DisjointPairIssue {
+  int from, to;
+  int paths;
+};
+
+/// All pairs with >= 2 vertex-disjoint paths.
+std::vector<DisjointPairIssue> disjoint_path_issues(const Mdag& g);
+
+/// Overall verdict following the paper's rules. `min_depths` (parallel to
+/// edges) gives the channel depth an edge would need to absorb its lag;
+/// pass the result of required_channel_depths() or user-chosen values.
+struct Validity {
+  bool valid;
+  std::vector<EdgeIssue> edge_issues;
+  std::vector<DisjointPairIssue> disjoint_issues;
+  std::string summary;
+};
+Validity validate(const Mdag& g);
+
+}  // namespace fblas::mdag

@@ -1,0 +1,40 @@
+#include "refblas/batched.hpp"
+
+#include "refblas/level3.hpp"
+
+namespace fblas::ref {
+
+template <typename T>
+void gemm_batched(std::int64_t batch, std::int64_t n, T alpha, const T* a,
+                  const T* b, T beta, T* c) {
+  const std::int64_t stride = n * n;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    gemm<T>(Transpose::None, Transpose::None, alpha,
+            MatrixView<const T>(a + i * stride, n, n),
+            MatrixView<const T>(b + i * stride, n, n), beta,
+            MatrixView<T>(c + i * stride, n, n));
+  }
+}
+
+template <typename T>
+void trsm_batched(std::int64_t batch, std::int64_t n, T alpha, const T* a,
+                  T* x) {
+  const std::int64_t stride = n * n;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    trsm<T>(Side::Left, Uplo::Lower, Transpose::None, Diag::NonUnit, alpha,
+            MatrixView<const T>(a + i * stride, n, n),
+            MatrixView<T>(x + i * stride, n, n));
+  }
+}
+
+template void gemm_batched<float>(std::int64_t, std::int64_t, float,
+                                  const float*, const float*, float, float*);
+template void gemm_batched<double>(std::int64_t, std::int64_t, double,
+                                   const double*, const double*, double,
+                                   double*);
+template void trsm_batched<float>(std::int64_t, std::int64_t, float,
+                                  const float*, float*);
+template void trsm_batched<double>(std::int64_t, std::int64_t, double,
+                                   const double*, double*);
+
+}  // namespace fblas::ref

@@ -1,0 +1,25 @@
+// Batched small-matrix routines: the CPU counterpart of the paper's
+// Table V experiment (fully-unrolled GEMM/TRSM of size 4 versus MKL's
+// batched routines, thousands of invocations over small inputs).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/view.hpp"
+
+namespace fblas::ref {
+
+/// C[b] = alpha * A[b] * B[b] + beta * C[b] for `batch` independent
+/// problems of identical square size n, stored contiguously (stride n*n).
+template <typename T>
+void gemm_batched(std::int64_t batch, std::int64_t n, T alpha, const T* a,
+                  const T* b, T beta, T* c);
+
+/// In-place X[b] <- inv(A[b]) * alpha * X[b] for `batch` lower-triangular
+/// non-unit systems of size n, stored contiguously.
+template <typename T>
+void trsm_batched(std::int64_t batch, std::int64_t n, T alpha, const T* a,
+                  T* x);
+
+}  // namespace fblas::ref

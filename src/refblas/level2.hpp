@@ -1,0 +1,37 @@
+// Reference CPU implementations of the BLAS Level-2 routines used by the
+// paper (GEMV, TRSV, GER, SYR, SYR2). Row-major storage throughout.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/view.hpp"
+
+namespace fblas::ref {
+
+/// y = alpha * op(A) * x + beta * y.  A is rows x cols; op(A)=A or A^T.
+template <typename T>
+void gemv(Transpose trans, T alpha, MatrixView<const T> A,
+          VectorView<const T> x, T beta, VectorView<T> y);
+
+/// Solves op(A) * x = b in place (x enters holding b). A is n x n
+/// triangular per `uplo`; unit diagonal skipped when diag == Unit.
+template <typename T>
+void trsv(Uplo uplo, Transpose trans, Diag diag, MatrixView<const T> A,
+          VectorView<T> x);
+
+/// A += alpha * x * y^T (general rank-1 update).
+template <typename T>
+void ger(T alpha, VectorView<const T> x, VectorView<const T> y,
+         MatrixView<T> A);
+
+/// A += alpha * x * x^T, touching only the `uplo` triangle.
+template <typename T>
+void syr(Uplo uplo, T alpha, VectorView<const T> x, MatrixView<T> A);
+
+/// A += alpha * (x * y^T + y * x^T), touching only the `uplo` triangle.
+template <typename T>
+void syr2(Uplo uplo, T alpha, VectorView<const T> x, VectorView<const T> y,
+          MatrixView<T> A);
+
+}  // namespace fblas::ref

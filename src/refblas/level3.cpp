@@ -1,0 +1,193 @@
+#include "refblas/level3.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fblas::ref {
+
+template <typename T>
+void gemm(Transpose ta, Transpose tb, T alpha, MatrixView<const T> A,
+          MatrixView<const T> B, T beta, MatrixView<T> C) {
+  const std::int64_t m = C.rows(), n = C.cols();
+  const std::int64_t k = ta == Transpose::None ? A.cols() : A.rows();
+  const std::int64_t am = ta == Transpose::None ? A.rows() : A.cols();
+  const std::int64_t bk = tb == Transpose::None ? B.rows() : B.cols();
+  const std::int64_t bn = tb == Transpose::None ? B.cols() : B.rows();
+  FBLAS_REQUIRE(am == m && bk == k && bn == n, "gemm: shape mismatch");
+  auto a = [&](std::int64_t i, std::int64_t p) -> T {
+    return ta == Transpose::None ? A(i, p) : A(p, i);
+  };
+  auto b = [&](std::int64_t p, std::int64_t j) -> T {
+    return tb == Transpose::None ? B(p, j) : B(j, p);
+  };
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      T acc = T(0);
+      for (std::int64_t p = 0; p < k; ++p) acc += a(i, p) * b(p, j);
+      C(i, j) = alpha * acc + beta * C(i, j);
+    }
+  }
+}
+
+template <typename T>
+void gemm_blocked(T alpha, MatrixView<const T> A, MatrixView<const T> B,
+                  T beta, MatrixView<T> C, std::int64_t block) {
+  const std::int64_t m = C.rows(), n = C.cols(), k = A.cols();
+  FBLAS_REQUIRE(A.rows() == m && B.rows() == k && B.cols() == n,
+                "gemm_blocked: shape mismatch");
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) C(i, j) *= beta;
+  }
+  for (std::int64_t ii = 0; ii < m; ii += block) {
+    const std::int64_t iend = std::min(ii + block, m);
+    for (std::int64_t pp = 0; pp < k; pp += block) {
+      const std::int64_t pend = std::min(pp + block, k);
+      for (std::int64_t jj = 0; jj < n; jj += block) {
+        const std::int64_t jend = std::min(jj + block, n);
+        for (std::int64_t i = ii; i < iend; ++i) {
+          for (std::int64_t p = pp; p < pend; ++p) {
+            const T aip = alpha * A(i, p);
+            for (std::int64_t j = jj; j < jend; ++j) {
+              C(i, j) += aip * B(p, j);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void syrk(Uplo uplo, Transpose trans, T alpha, MatrixView<const T> A, T beta,
+          MatrixView<T> C) {
+  const std::int64_t n = C.rows();
+  const std::int64_t k = trans == Transpose::None ? A.cols() : A.rows();
+  FBLAS_REQUIRE(C.cols() == n, "syrk: C must be square");
+  FBLAS_REQUIRE((trans == Transpose::None ? A.rows() : A.cols()) == n,
+                "syrk: shape mismatch");
+  auto a = [&](std::int64_t i, std::int64_t p) -> T {
+    return trans == Transpose::None ? A(i, p) : A(p, i);
+  };
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t j0 = uplo == Uplo::Lower ? 0 : i;
+    const std::int64_t j1 = uplo == Uplo::Lower ? i + 1 : n;
+    for (std::int64_t j = j0; j < j1; ++j) {
+      T acc = T(0);
+      for (std::int64_t p = 0; p < k; ++p) acc += a(i, p) * a(j, p);
+      C(i, j) = alpha * acc + beta * C(i, j);
+    }
+  }
+}
+
+template <typename T>
+void syr2k(Uplo uplo, Transpose trans, T alpha, MatrixView<const T> A,
+           MatrixView<const T> B, T beta, MatrixView<T> C) {
+  const std::int64_t n = C.rows();
+  const std::int64_t k = trans == Transpose::None ? A.cols() : A.rows();
+  FBLAS_REQUIRE(C.cols() == n, "syr2k: C must be square");
+  auto a = [&](std::int64_t i, std::int64_t p) -> T {
+    return trans == Transpose::None ? A(i, p) : A(p, i);
+  };
+  auto b = [&](std::int64_t i, std::int64_t p) -> T {
+    return trans == Transpose::None ? B(i, p) : B(p, i);
+  };
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t j0 = uplo == Uplo::Lower ? 0 : i;
+    const std::int64_t j1 = uplo == Uplo::Lower ? i + 1 : n;
+    for (std::int64_t j = j0; j < j1; ++j) {
+      T acc = T(0);
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += a(i, p) * b(j, p) + b(i, p) * a(j, p);
+      }
+      C(i, j) = alpha * acc + beta * C(i, j);
+    }
+  }
+}
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Transpose trans, Diag diag, T alpha,
+          MatrixView<const T> A, MatrixView<T> B) {
+  const std::int64_t m = B.rows(), n = B.cols();
+  const std::int64_t na = side == Side::Left ? m : n;
+  FBLAS_REQUIRE(A.rows() == na && A.cols() == na, "trsm: shape mismatch");
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) B(i, j) *= alpha;
+  }
+  const bool lower = (uplo == Uplo::Lower) == (trans == Transpose::None);
+  auto a = [&](std::int64_t i, std::int64_t j) -> T {
+    return trans == Transpose::None ? A(i, j) : A(j, i);
+  };
+  if (side == Side::Left) {
+    // Solve op(A) X = B, row block at a time (forward or backward).
+    if (lower) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t p = 0; p < i; ++p) {
+          const T aip = a(i, p);
+          for (std::int64_t j = 0; j < n; ++j) B(i, j) -= aip * B(p, j);
+        }
+        if (diag == Diag::NonUnit) {
+          const T d = a(i, i);
+          for (std::int64_t j = 0; j < n; ++j) B(i, j) /= d;
+        }
+      }
+    } else {
+      for (std::int64_t i = m - 1; i >= 0; --i) {
+        for (std::int64_t p = i + 1; p < m; ++p) {
+          const T aip = a(i, p);
+          for (std::int64_t j = 0; j < n; ++j) B(i, j) -= aip * B(p, j);
+        }
+        if (diag == Diag::NonUnit) {
+          const T d = a(i, i);
+          for (std::int64_t j = 0; j < n; ++j) B(i, j) /= d;
+        }
+      }
+    }
+  } else {
+    // Solve X op(A) = B, column at a time. Column j of X depends on
+    // columns p<j (lower: iterate ascending uses A(p,j) below diagonal —
+    // for X A = B with A lower triangular, B(:,j) -= X(:,p) A(p,j) for
+    // p > j, so iterate descending).
+    if (lower) {
+      for (std::int64_t j = n - 1; j >= 0; --j) {
+        for (std::int64_t p = j + 1; p < n; ++p) {
+          const T apj = a(p, j);
+          for (std::int64_t i = 0; i < m; ++i) B(i, j) -= B(i, p) * apj;
+        }
+        if (diag == Diag::NonUnit) {
+          const T d = a(j, j);
+          for (std::int64_t i = 0; i < m; ++i) B(i, j) /= d;
+        }
+      }
+    } else {
+      for (std::int64_t j = 0; j < n; ++j) {
+        for (std::int64_t p = 0; p < j; ++p) {
+          const T apj = a(p, j);
+          for (std::int64_t i = 0; i < m; ++i) B(i, j) -= B(i, p) * apj;
+        }
+        if (diag == Diag::NonUnit) {
+          const T d = a(j, j);
+          for (std::int64_t i = 0; i < m; ++i) B(i, j) /= d;
+        }
+      }
+    }
+  }
+}
+
+#define FBLAS_REF_L3_INSTANTIATE(T)                                          \
+  template void gemm<T>(Transpose, Transpose, T, MatrixView<const T>,        \
+                        MatrixView<const T>, T, MatrixView<T>);              \
+  template void gemm_blocked<T>(T, MatrixView<const T>, MatrixView<const T>, \
+                                T, MatrixView<T>, std::int64_t);             \
+  template void syrk<T>(Uplo, Transpose, T, MatrixView<const T>, T,          \
+                        MatrixView<T>);                                      \
+  template void syr2k<T>(Uplo, Transpose, T, MatrixView<const T>,            \
+                         MatrixView<const T>, T, MatrixView<T>);             \
+  template void trsm<T>(Side, Uplo, Transpose, Diag, T,                      \
+                        MatrixView<const T>, MatrixView<T>);
+
+FBLAS_REF_L3_INSTANTIATE(float)
+FBLAS_REF_L3_INSTANTIATE(double)
+#undef FBLAS_REF_L3_INSTANTIATE
+
+}  // namespace fblas::ref

@@ -1,0 +1,41 @@
+// Reference CPU implementations of the BLAS Level-3 routines used by the
+// paper (GEMM, SYRK, SYR2K, TRSM). Row-major storage. `gemm` has a blocked
+// variant used as the CPU performance baseline (the MKL stand-in).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/view.hpp"
+
+namespace fblas::ref {
+
+/// C = alpha * op(A) * op(B) + beta * C. C is m x n, the contraction
+/// dimension is k. Simple triple loop — the numerical oracle.
+template <typename T>
+void gemm(Transpose ta, Transpose tb, T alpha, MatrixView<const T> A,
+          MatrixView<const T> B, T beta, MatrixView<T> C);
+
+/// Cache-blocked GEMM (no transposes) used for CPU timing baselines.
+template <typename T>
+void gemm_blocked(T alpha, MatrixView<const T> A, MatrixView<const T> B,
+                  T beta, MatrixView<T> C, std::int64_t block = 64);
+
+/// C = alpha * op(A) * op(A)^T + beta * C on the `uplo` triangle.
+/// trans == None: C (n x n) = A (n x k) A^T;  trans == Trans: A^T A.
+template <typename T>
+void syrk(Uplo uplo, Transpose trans, T alpha, MatrixView<const T> A, T beta,
+          MatrixView<T> C);
+
+/// C = alpha * (op(A) op(B)^T + op(B) op(A)^T) + beta * C on `uplo`.
+template <typename T>
+void syr2k(Uplo uplo, Transpose trans, T alpha, MatrixView<const T> A,
+           MatrixView<const T> B, T beta, MatrixView<T> C);
+
+/// Solves op(A) * X = alpha * B (side == Left) or X * op(A) = alpha * B
+/// (side == Right) in place; B enters holding the right-hand sides.
+template <typename T>
+void trsm(Side side, Uplo uplo, Transpose trans, Diag diag, T alpha,
+          MatrixView<const T> A, MatrixView<T> B);
+
+}  // namespace fblas::ref

@@ -1,0 +1,52 @@
+#include "sim/cpu_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fblas::sim {
+
+const XeonSpec& xeon_e5_2630v4() {
+  static const XeonSpec spec{};
+  return spec;
+}
+
+double cpu_memory_bound_seconds(double io_elems, std::size_t elem_bytes,
+                                const XeonSpec& cpu) {
+  return cpu.call_overhead_s +
+         io_elems * static_cast<double>(elem_bytes) /
+             (cpu.mem_bandwidth_gbs * 1e9);
+}
+
+double cpu_gemm_seconds(double flops, Precision prec, const XeonSpec& cpu) {
+  const double rate = (prec == Precision::Single ? cpu.gemm_gflops_single
+                                                 : cpu.gemm_gflops_double) *
+                      1e9;
+  return cpu.call_overhead_s + flops / rate;
+}
+
+double cpu_batched_seconds(RoutineKind kind, Precision prec,
+                           std::int64_t size, std::int64_t batch,
+                           const XeonSpec& cpu) {
+  FBLAS_REQUIRE(size >= 1 && batch >= 0, "invalid batched query");
+  const double elem_bytes = static_cast<double>(bytes_of(prec));
+  double elems_per_call = 0;
+  if (kind == RoutineKind::Gemm) {
+    elems_per_call = 3.0 * size * size;
+  } else if (kind == RoutineKind::Trsm) {
+    elems_per_call =
+        static_cast<double>(size * (size + 1)) / 2.0 + 2.0 * size * size;
+  } else {
+    throw ConfigError("cpu batched model supports gemm and trsm only");
+  }
+  // Small problems fit in cache: the effective bandwidth is higher than
+  // DRAM but each batch element still pays loop/dispatch overheads.
+  const double eff_bandwidth = 2.0 * cpu.mem_bandwidth_gbs * 1e9;
+  const double per_call_overhead = 8e-9;  // amortized batched dispatch
+  return 60e-6 +  // batched-call launch overhead
+         static_cast<double>(batch) *
+             (elems_per_call * elem_bytes / eff_bandwidth +
+              per_call_overhead);
+}
+
+}  // namespace fblas::sim

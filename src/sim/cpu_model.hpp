@@ -1,0 +1,46 @@
+// Model of the paper's CPU baseline: a 10-core Xeon E5-2630 v4 (2.2 GHz,
+// no HT) with 4-channel DDR4 running MKL 2019. The benches report both
+// this model (for the paper's who-wins comparison) and wall-clock
+// measurements of the bundled reference BLAS on the present machine.
+#pragma once
+
+#include <cstdint>
+
+#include "common/routines.hpp"
+#include "common/types.hpp"
+
+namespace fblas::sim {
+
+struct XeonSpec {
+  double cores = 10;
+  double freq_ghz = 2.2;
+  /// Sustained 4-channel DDR4 bandwidth (GB/s).
+  double mem_bandwidth_gbs = 60.0;
+  /// Sustained MKL GEMM throughput (GFlop/s): the paper's Table IV times
+  /// put MKL essentially at the 2xFMA AVX2 peak of this part
+  /// (10 cores x 2.2 GHz x 32 single flops/cycle).
+  double gemm_gflops_single = 660.0;
+  double gemm_gflops_double = 330.0;
+  /// Per-call overhead of a BLAS launch (seconds).
+  double call_overhead_s = 2e-6;
+};
+
+const XeonSpec& xeon_e5_2630v4();
+
+/// Time for a memory-bound routine touching `io_elems` operands of
+/// `elem_bytes` each (Level 1/2: DOT, GEMV, compositions...).
+double cpu_memory_bound_seconds(double io_elems, std::size_t elem_bytes,
+                                const XeonSpec& cpu = xeon_e5_2630v4());
+
+/// Time for a compute-bound GEMM-class call of `flops` floating-point
+/// operations.
+double cpu_gemm_seconds(double flops, Precision prec,
+                        const XeonSpec& cpu = xeon_e5_2630v4());
+
+/// Batched small-matrix call (Table V): dominated by memory traffic and
+/// per-batch overheads; MKL's batched interface amortizes launches well.
+double cpu_batched_seconds(RoutineKind kind, Precision prec,
+                           std::int64_t size, std::int64_t batch,
+                           const XeonSpec& cpu = xeon_e5_2630v4());
+
+}  // namespace fblas::sim

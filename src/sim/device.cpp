@@ -1,0 +1,100 @@
+#include "sim/device.hpp"
+
+#include "common/error.hpp"
+
+namespace fblas::sim {
+namespace {
+
+constexpr DeviceSpec kArria10{
+    DeviceId::Arria10,
+    "Arria 10 GX 1150",
+    /*alm_total=*/427'000,
+    /*alm_avail=*/392'000,
+    /*ff_total=*/1'700'000,
+    /*ff_avail=*/1'500'000,
+    /*m20k_total=*/2'700,
+    /*m20k_avail=*/2'400,
+    /*dsp_total=*/1'518,
+    /*dsp_avail=*/1'518,
+    /*ddr_banks=*/2,
+    /*ddr_bank_gib=*/8.0,
+    /*bank_bandwidth_gbs=*/17.0,
+    /*hardened_single=*/true,
+    /*hardened_double=*/false,
+    /*add_latency=*/6,
+    /*mul_latency=*/6,
+    /*has_hyperflex=*/false,
+    /*double_dsp_factor=*/4,
+};
+
+constexpr DeviceSpec kStratix10{
+    DeviceId::Stratix10,
+    "Stratix 10 GX 2800",
+    /*alm_total=*/933'000,
+    /*alm_avail=*/692'000,
+    /*ff_total=*/3'700'000,
+    /*ff_avail=*/2'800'000,
+    /*m20k_total=*/11'700,
+    /*m20k_avail=*/8'900,
+    /*dsp_total=*/5'760,
+    /*dsp_avail=*/4'468,
+    /*ddr_banks=*/4,
+    /*ddr_bank_gib=*/8.0,
+    /*bank_bandwidth_gbs=*/19.2,
+    /*hardened_single=*/true,
+    /*hardened_double=*/false,
+    /*add_latency=*/6,
+    /*mul_latency=*/6,
+    /*has_hyperflex=*/true,
+    /*double_dsp_factor=*/4,
+};
+
+constexpr DeviceSpec kStratix10MX{
+    DeviceId::Stratix10MX,
+    "Stratix 10 MX 2100 (HBM2)",
+    /*alm_total=*/702'720,
+    /*alm_avail=*/530'000,
+    /*ff_total=*/2'811'000,
+    /*ff_avail=*/2'100'000,
+    /*m20k_total=*/6'847,
+    /*m20k_avail=*/5'200,
+    /*dsp_total=*/3'960,
+    /*dsp_avail=*/3'100,
+    /*ddr_banks=*/32,  // HBM2 pseudo-channels
+    /*ddr_bank_gib=*/0.5,
+    /*bank_bandwidth_gbs=*/12.8,  // 409.6 GB/s aggregate
+    /*hardened_single=*/true,
+    /*hardened_double=*/false,
+    /*add_latency=*/6,
+    /*mul_latency=*/6,
+    /*has_hyperflex=*/true,
+    /*double_dsp_factor=*/4,
+};
+
+}  // namespace
+
+const DeviceSpec& arria10() { return kArria10; }
+const DeviceSpec& stratix10() { return kStratix10; }
+const DeviceSpec& stratix10mx() { return kStratix10MX; }
+
+const DeviceSpec& device(DeviceId id) {
+  switch (id) {
+    case DeviceId::Arria10:
+      return kArria10;
+    case DeviceId::Stratix10:
+      return kStratix10;
+    case DeviceId::Stratix10MX:
+      return kStratix10MX;
+  }
+  throw ConfigError("unknown device id");
+}
+
+DeviceId device_from_name(std::string_view name) {
+  if (name == "arria10" || name == "arria") return DeviceId::Arria10;
+  if (name == "stratix10" || name == "stratix") return DeviceId::Stratix10;
+  if (name == "stratix10mx" || name == "hbm") return DeviceId::Stratix10MX;
+  throw ConfigError("unknown device name: '" + std::string(name) +
+                    "' (expected arria10, stratix10 or stratix10mx)");
+}
+
+}  // namespace fblas::sim

@@ -1,0 +1,65 @@
+// Device model database: the two evaluation boards of the paper
+// (Table II), plus the DSP/latency behaviour the models need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fblas::sim {
+
+enum class DeviceId {
+  Arria10,
+  Stratix10,
+  /// An HBM2-equipped part (Stratix 10 MX class): the "memory interfaces
+  /// faster than the testbed (e.g., HBM)" the paper sizes wide modules
+  /// for in Sec. VI-B. Not one of the two evaluation boards; used by the
+  /// design-space ablations.
+  Stratix10MX,
+};
+
+struct DeviceSpec {
+  DeviceId id;
+  std::string_view name;
+
+  // Table II: total and BSP-adjusted available resources.
+  std::int64_t alm_total, alm_avail;
+  std::int64_t ff_total, ff_avail;
+  std::int64_t m20k_total, m20k_avail;
+  std::int64_t dsp_total, dsp_avail;
+
+  // Off-chip memory: number of DDR banks and per-bank peak bandwidth.
+  int ddr_banks;
+  double ddr_bank_gib;
+  double bank_bandwidth_gbs;
+
+  // Floating-point behaviour: both devices have hardened single-precision
+  // DSPs (one multiply + one add per cycle, latency 6) and no hardened
+  // double-precision units (4 DSPs and ~an order of magnitude more logic
+  // per operation, Sec. VI-B).
+  bool hardened_single;
+  bool hardened_double;
+  int add_latency;
+  int mul_latency;
+
+  /// HyperFlex register retiming (Stratix 10 only) raises achievable
+  /// frequencies for Level-1/2 designs (Sec. VI-B).
+  bool has_hyperflex;
+
+  /// Extra DSP cost factor for one double-precision operation.
+  int double_dsp_factor;
+
+  double total_bandwidth_gbs() const {
+    return bank_bandwidth_gbs * ddr_banks;
+  }
+};
+
+const DeviceSpec& arria10();
+const DeviceSpec& stratix10();
+const DeviceSpec& stratix10mx();
+const DeviceSpec& device(DeviceId id);
+
+/// Parses "arria10" / "stratix10" (used by benches and the codegen).
+DeviceId device_from_name(std::string_view name);
+
+}  // namespace fblas::sim

@@ -1,0 +1,56 @@
+#include "sim/frequency_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fblas::sim {
+
+FrequencyEstimate module_frequency(RoutineKind kind, Precision prec,
+                                   const DeviceSpec& dev) {
+  const RoutineInfo& info = routine_info(kind);
+  if (dev.id != DeviceId::Arria10) {
+    // HyperFlex designs: ~358-370 MHz for Level-1, ~347 for Level-2.
+    const double base = info.level == 1 ? 365.0 : 347.0;
+    return {base, true};
+  }
+  // Arria 10: ~150 MHz Level-1, slightly lower for Level-2 double.
+  if (info.level == 1) return {150.0, false};
+  return {prec == Precision::Single ? 145.0 : 132.0, false};
+}
+
+FrequencyEstimate gemm_frequency(int pe_rows, int pe_cols, Precision prec,
+                                 const DeviceSpec& dev) {
+  (void)prec;
+  const double pes = std::sqrt(static_cast<double>(pe_rows) *
+                               static_cast<double>(pe_cols));
+  // Larger grids lose frequency to routing; calibrated on Table III
+  // (Stratix 40x80 -> 216 MHz, 16x16 -> 260; Arria 32x32 -> 197,
+  // 16x8 -> 222). HyperFlex is not effective for the systolic designs
+  // with this compiler version (Sec. VI-B).
+  if (dev.id != DeviceId::Arria10) {
+    return {std::max(120.0, 280.0 - 1.13 * pes), false};
+  }
+  return {std::max(100.0, 232.0 - 1.1 * pes), false};
+}
+
+FrequencyEstimate unrolled_frequency(Precision prec, const DeviceSpec& dev) {
+  if (dev.id != DeviceId::Arria10) {
+    return {prec == Precision::Single ? 316.0 : 324.0, true};
+  }
+  return {190.0, false};
+}
+
+FrequencyEstimate composition_frequency(int matrix_modules, Precision prec,
+                                        const DeviceSpec& dev) {
+  if (matrix_modules == 0) {
+    // Pure Level-1 chains keep the module frequency (AXPYDOT: 370 MHz).
+    const auto f = module_frequency(RoutineKind::Axpy, prec, dev);
+    return {f.mhz + (dev.id == DeviceId::Stratix10 ? 5.0 : 0.0), f.hyperflex};
+  }
+  // Matrix-module compositions lose ~1/3 of the single-module frequency
+  // (BICG: 220-238 MHz, GEMVER: 236-275 MHz on Stratix).
+  const auto f = module_frequency(RoutineKind::Gemv, prec, dev);
+  return {f.mhz * 0.68, false};
+}
+
+}  // namespace fblas::sim

@@ -1,0 +1,37 @@
+// Achieved-frequency model, calibrated on the synthesized designs of
+// Tables III-VI: HyperFlex retiming lifts Stratix Level-1/2 designs to
+// ~350-370 MHz; large systolic arrays close timing lower; compositions of
+// several matrix modules lose frequency to routing pressure.
+#pragma once
+
+#include "common/routines.hpp"
+#include "common/types.hpp"
+#include "sim/device.hpp"
+
+namespace fblas::sim {
+
+struct FrequencyEstimate {
+  double mhz;
+  bool hyperflex;  ///< design synthesized with HyperFlex enabled
+};
+
+/// Frequency of a single-module design.
+FrequencyEstimate module_frequency(RoutineKind kind, Precision prec,
+                                   const DeviceSpec& dev);
+
+/// Frequency of a systolic GEMM-family design with a PR x PC grid (larger
+/// grids close timing lower; Fig. 10 right / Table III).
+FrequencyEstimate gemm_frequency(int pe_rows, int pe_cols, Precision prec,
+                                 const DeviceSpec& dev);
+
+/// Frequency of a fully-unrolled small-input design (the batched GEMM /
+/// TRSM circuits of Table V).
+FrequencyEstimate unrolled_frequency(Precision prec, const DeviceSpec& dev);
+
+/// Frequency of a streaming composition containing `matrix_modules`
+/// Level-2/3 modules (0 for pure Level-1 chains such as AXPYDOT, which
+/// keep the single-module frequency; Table VI).
+FrequencyEstimate composition_frequency(int matrix_modules, Precision prec,
+                                        const DeviceSpec& dev);
+
+}  // namespace fblas::sim

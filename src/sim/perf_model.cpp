@@ -1,0 +1,174 @@
+#include "sim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/frequency_model.hpp"
+#include "sim/work_depth.hpp"
+
+namespace fblas::sim {
+namespace {
+
+Timing finish(double cycles, const FrequencyEstimate& f, double useful_ops,
+              double expected_ops_per_cycle, bool memory_bound = false) {
+  Timing t;
+  t.cycles = cycles;
+  t.freq_mhz = f.mhz;
+  t.hyperflex = f.hyperflex;
+  t.seconds = cycles / (f.mhz * 1e6);
+  t.useful_ops = useful_ops;
+  t.gops = useful_ops / t.seconds / 1e9;
+  t.expected_gops = expected_ops_per_cycle * f.mhz * 1e6 / 1e9;
+  t.memory_bound = memory_bound;
+  return t;
+}
+
+}  // namespace
+
+Timing level1_timing(RoutineKind kind, Precision prec, int width,
+                     std::int64_t n, const DeviceSpec& dev) {
+  FBLAS_REQUIRE(width >= 1 && n >= 0, "invalid level-1 timing query");
+  const RoutineInfo& info = routine_info(kind);
+  const WorkDepth wd = analyze(kind, prec, width, n, dev);
+  const double iterations = std::ceil(static_cast<double>(n) / width);
+  const double cycles = pipeline_cycles(wd.circuit_depth, iterations);
+  const auto f = module_frequency(kind, prec, dev);
+  const double ops = static_cast<double>(info.ops_per_element) * n;
+  const double ops_per_cycle = static_cast<double>(info.ops_per_element) * width;
+  return finish(cycles, f, ops, ops_per_cycle);
+}
+
+Timing gemv_timing(Precision prec, int width, std::int64_t rows,
+                   std::int64_t cols, const DeviceSpec& dev) {
+  FBLAS_REQUIRE(width >= 1, "invalid gemv timing query");
+  const WorkDepth wd = analyze(RoutineKind::Gemv, prec, width, rows * cols, dev);
+  const double iterations =
+      std::ceil(static_cast<double>(rows) * cols / width);
+  const double cycles = pipeline_cycles(wd.circuit_depth, iterations);
+  const auto f = module_frequency(RoutineKind::Gemv, prec, dev);
+  const double ops = 2.0 * rows * cols;
+  return finish(cycles, f, ops, 2.0 * width);
+}
+
+Timing trsv_timing(Precision prec, int width, std::int64_t n,
+                   const DeviceSpec& dev) {
+  FBLAS_REQUIRE(width >= 1 && n >= 0, "invalid trsv timing query");
+  const double lat_scale = prec == Precision::Double ? 2.0 : 1.0;
+  const double dep_latency = (dev.add_latency + dev.mul_latency) * lat_scale;
+  // Row i consumes i+1 triangle elements at W per cycle, then stalls for
+  // the dependency chain before row i+1 can commit.
+  const double elem_cycles =
+      static_cast<double>(n) * (static_cast<double>(n) + 1) / 2.0 / width;
+  const double cycles = elem_cycles + static_cast<double>(n) * dep_latency;
+  const auto f = module_frequency(RoutineKind::Trsv, prec, dev);
+  const double ops = static_cast<double>(n) * n;  // ~n^2 MACs + n divides
+  return finish(cycles, f, ops, 2.0 * width);
+}
+
+Timing gemm_timing(Precision prec, const GemmShape& shape, std::int64_t m,
+                   std::int64_t n, std::int64_t k, const DeviceSpec& dev,
+                   double bandwidth_gbs) {
+  FBLAS_REQUIRE(shape.pe_rows >= 1 && shape.pe_cols >= 1 &&
+                    shape.tile_rows >= shape.pe_rows &&
+                    shape.tile_cols >= shape.pe_cols,
+                "invalid gemm shape");
+  const double pes = static_cast<double>(shape.pe_rows) * shape.pe_cols;
+  const double tiles = static_cast<double>(ceil_div(m, shape.tile_rows)) *
+                       static_cast<double>(ceil_div(n, shape.tile_cols));
+  const double tile_elems =
+      static_cast<double>(shape.tile_rows) * shape.tile_cols;
+  const double compute_per_tile = static_cast<double>(k) * tile_elems / pes;
+  const double drain_per_tile = tile_elems / shape.pe_cols;
+  const auto f = gemm_frequency(shape.pe_rows, shape.pe_cols, prec, dev);
+  // Feed pressure: TR + TC elements per K-step of r^2 = tile_elems/pes
+  // cycles; compare against the DRAM interface.
+  const double elem_bytes = static_cast<double>(bytes_of(prec));
+  const double feed_bytes_per_cycle =
+      static_cast<double>(shape.tile_rows + shape.tile_cols) /
+      (tile_elems / pes) * elem_bytes;
+  const double available_bytes_per_cycle =
+      bandwidth_gbs * 1e9 / (f.mhz * 1e6);
+  double compute_cycles = tiles * (compute_per_tile + drain_per_tile);
+  bool memory_bound = false;
+  if (feed_bytes_per_cycle > available_bytes_per_cycle) {
+    compute_cycles *= feed_bytes_per_cycle / available_bytes_per_cycle;
+    memory_bound = true;
+  }
+  const double ops = 2.0 * m * n * k;
+  return finish(compute_cycles, f, ops, 2.0 * pes, memory_bound);
+}
+
+Timing memory_bound_timing(double compute_cycles, double freq_mhz,
+                           double useful_ops, double io_elems,
+                           std::size_t elem_bytes, double bandwidth_gbs,
+                           bool hyperflex) {
+  const double io_cycles = io_elems * static_cast<double>(elem_bytes) /
+                           (bandwidth_gbs * 1e9) * (freq_mhz * 1e6);
+  const bool memory_bound = io_cycles > compute_cycles;
+  const double cycles = std::max(compute_cycles, io_cycles);
+  return finish(cycles, FrequencyEstimate{freq_mhz, hyperflex}, useful_ops,
+                0.0, memory_bound);
+}
+
+int optimal_width(double bandwidth_gbs, double freq_mhz,
+                  std::size_t elem_bytes, int operands_per_width) {
+  FBLAS_REQUIRE(operands_per_width >= 1, "invalid operand rate");
+  const double w = bandwidth_gbs * 1e9 /
+                   (operands_per_width * static_cast<double>(elem_bytes) *
+                    freq_mhz * 1e6);
+  return static_cast<int>(std::max(1.0, std::ceil(w)));
+}
+
+int optimal_width_tiled(double bandwidth_gbs, double freq_mhz,
+                        std::size_t elem_bytes, std::int64_t tile_rows,
+                        std::int64_t tile_cols) {
+  const double tnm = static_cast<double>(tile_rows) * tile_cols;
+  const double w = bandwidth_gbs * 1e9 * tnm /
+                   (freq_mhz * 1e6 * static_cast<double>(elem_bytes) *
+                    (1.0 + tnm));
+  return static_cast<int>(std::max(1.0, std::ceil(w)));
+}
+
+Timing batched_unrolled_timing(RoutineKind kind, Precision prec,
+                               std::int64_t size, std::int64_t batch,
+                               const DeviceSpec& dev) {
+  FBLAS_REQUIRE(size >= 1 && batch >= 0, "invalid batched timing query");
+  const double elem_bytes = static_cast<double>(bytes_of(prec));
+  // Elements moved per invocation: GEMM reads A and B and writes C; TRSM
+  // reads the triangle and B and writes X.
+  double elems_per_call = 0;
+  double ops_per_call = 0;
+  if (kind == RoutineKind::Gemm) {
+    elems_per_call = 3.0 * size * size;
+    ops_per_call = 2.0 * size * size * size;
+  } else if (kind == RoutineKind::Trsm) {
+    elems_per_call = static_cast<double>(size * (size + 1)) / 2.0 +
+                     2.0 * size * size;
+    ops_per_call = static_cast<double>(size * size) * size;
+  } else {
+    throw ConfigError("batched timing supports gemm and trsm only");
+  }
+  const auto f = unrolled_frequency(prec, dev);
+  // Fully-unrolled circuits accept a new problem every cycle; the run is
+  // DRAM-bound. Interleaving across banks gives ~1.5 effective banks on
+  // the testbed; a fixed launch overhead dominates small batches.
+  const double eff_bandwidth = 1.5 * dev.bank_bandwidth_gbs * 1e9;
+  const double launch_overhead_s = 60e-6;
+  const double transfer_s =
+      static_cast<double>(batch) * elems_per_call * elem_bytes /
+      eff_bandwidth;
+  const double seconds = launch_overhead_s + transfer_s;
+  Timing t;
+  t.freq_mhz = f.mhz;
+  t.hyperflex = f.hyperflex;
+  t.seconds = seconds;
+  t.cycles = seconds * f.mhz * 1e6;
+  t.useful_ops = ops_per_call * static_cast<double>(batch);
+  t.gops = t.useful_ops / seconds / 1e9;
+  t.expected_gops = t.useful_ops / transfer_s / 1e9;
+  t.memory_bound = true;
+  return t;
+}
+
+}  // namespace fblas::sim

@@ -1,0 +1,85 @@
+// Performance model (Sec. IV): cycle counts from the pipeline model
+// C = CD + iterations, achieved frequency, expected performance
+// (instantiated compute * frequency, the horizontal bars of Fig. 10),
+// memory-bandwidth ceilings, and the optimal-vectorization-width
+// formulas of Sec. IV-B.
+#pragma once
+
+#include <cstdint>
+
+#include "common/routines.hpp"
+#include "common/types.hpp"
+#include "sim/device.hpp"
+
+namespace fblas::sim {
+
+struct Timing {
+  double cycles = 0;         ///< pipeline cycles to completion
+  double freq_mhz = 0;       ///< achieved clock
+  double seconds = 0;        ///< cycles / frequency
+  double useful_ops = 0;     ///< floating-point operations performed
+  double gops = 0;           ///< useful_ops / seconds / 1e9
+  double expected_gops = 0;  ///< full-throughput bound (Fig. 10 bars)
+  bool hyperflex = false;
+  bool memory_bound = false;  ///< the DRAM interface, not compute, limits
+};
+
+/// Level-1 module at width W over n elements, data generated on chip
+/// (the Fig. 10 left setup).
+Timing level1_timing(RoutineKind kind, Precision prec, int width,
+                     std::int64_t n, const DeviceSpec& dev);
+
+/// GEMV over a rows x cols matrix at width W (Fig. 10 middle; on-chip
+/// data generation, so no bandwidth ceiling is applied).
+Timing gemv_timing(Precision prec, int width, std::int64_t rows,
+                   std::int64_t cols, const DeviceSpec& dev);
+
+/// TRSV over an n x n triangle at width W: unlike the II=1 routines, the
+/// forward/backward substitution carries a loop dependency — each row's
+/// result feeds the next — so every row pays the adder-chain latency on
+/// top of its n/2/W average element work (the reason the paper calls out
+/// TRSV as the hard-to-pipeline Level-2 routine).
+Timing trsv_timing(Precision prec, int width, std::int64_t n,
+                   const DeviceSpec& dev);
+
+/// Systolic GEMM-family shape for the performance model.
+struct GemmShape {
+  int pe_rows, pe_cols;            ///< PR x PC grid
+  std::int64_t tile_rows, tile_cols;  ///< memory tile (TR x TC)
+};
+
+/// GEMM of C[m x n] += A[m x k] B[k x n]: compute cycles from the PE
+/// count, drain overhead per tile, and a feed-bandwidth ceiling of
+/// `bandwidth_gbs` (pass the device bank bandwidth; a larger
+/// compute/memory-tile ratio lowers the pressure — Fig. 10 right).
+Timing gemm_timing(Precision prec, const GemmShape& shape, std::int64_t m,
+                   std::int64_t n, std::int64_t k, const DeviceSpec& dev,
+                   double bandwidth_gbs);
+
+/// Time for a host-layer (non-streamed) routine run whose operands live in
+/// DRAM: max of the compute pipeline and the DRAM traffic at
+/// `bandwidth_gbs`. `io_elems` counts reads+writes of `elem_bytes` each.
+Timing memory_bound_timing(double compute_cycles, double freq_mhz,
+                           double useful_ops, double io_elems,
+                           std::size_t elem_bytes, double bandwidth_gbs,
+                           bool hyperflex);
+
+/// Optimal vectorization width W = ceil(B / (ops_per_width * S * F))
+/// (Sec. IV-B; DOT consumes 2 operands per width unit per cycle).
+int optimal_width(double bandwidth_gbs, double freq_mhz,
+                  std::size_t elem_bytes, int operands_per_width);
+
+/// Tiled refinement for GEMV-style modules:
+/// W = ceil(B*TN*TM / (F*S*(1 + TN*TM))) — approaches B/(F*S) for large
+/// tiles, i.e. double the untiled width.
+int optimal_width_tiled(double bandwidth_gbs, double freq_mhz,
+                        std::size_t elem_bytes, std::int64_t tile_rows,
+                        std::int64_t tile_cols);
+
+/// Fully-unrolled small-size batched routine (Table V): one invocation in
+/// flight per cycle, DRAM-bound end to end.
+Timing batched_unrolled_timing(RoutineKind kind, Precision prec,
+                               std::int64_t size, std::int64_t batch,
+                               const DeviceSpec& dev);
+
+}  // namespace fblas::sim

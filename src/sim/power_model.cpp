@@ -1,0 +1,21 @@
+#include "sim/power_model.hpp"
+
+namespace fblas::sim {
+
+double board_power_watts(const Resources& r, double freq_mhz,
+                         const DeviceSpec& dev) {
+  if (dev.id != DeviceId::Arria10) {
+    return 55.0 + 1.5e-5 * r.alms + 1.0e-3 * r.dsps + 8.0e-4 * r.m20ks +
+           0.02 * freq_mhz;
+  }
+  return 42.0 + 2.0e-5 * r.alms + 2.0e-3 * r.dsps + 1.0e-3 * r.m20ks +
+         0.02 * freq_mhz;
+}
+
+double cpu_power_watts(int level, Precision prec) {
+  // Xeon E5-2630 v4 package + DRAM under the paper's workloads.
+  const double base = level >= 3 ? 80.0 : 77.0;
+  return base + (prec == Precision::Double ? 2.5 : 0.0);
+}
+
+}  // namespace fblas::sim

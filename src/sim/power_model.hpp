@@ -1,0 +1,23 @@
+// Board power model, calibrated on the aocl measurements of Tables
+// III-VI: a static board term plus dynamic terms proportional to used
+// resources and clock frequency. CPU power mirrors the Mammut
+// processor+DRAM readings (~60-88 W depending on the workload).
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/device.hpp"
+#include "sim/resource_model.hpp"
+
+namespace fblas::sim {
+
+/// FPGA board power (whole board, as aocl reports) for a design with the
+/// given resources running at `freq_mhz`.
+double board_power_watts(const Resources& r, double freq_mhz,
+                         const DeviceSpec& dev);
+
+/// CPU package + DRAM power for the baseline runs. `level` is the BLAS
+/// level of the routine (memory-bound Level-1/2 draw a little less than
+/// GEMM-class runs).
+double cpu_power_watts(int level, Precision prec);
+
+}  // namespace fblas::sim

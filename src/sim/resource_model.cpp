@@ -1,0 +1,179 @@
+#include "sim/resource_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fblas::sim {
+
+Resources& Resources::operator+=(const Resources& o) {
+  alms += o.alms;
+  luts += o.luts;
+  ffs += o.ffs;
+  dsps += o.dsps;
+  m20ks += o.m20ks;
+  return *this;
+}
+
+Resources operator+(Resources a, const Resources& b) { return a += b; }
+
+double utilization(const Resources& r, const DeviceSpec& dev) {
+  double u = r.alms / static_cast<double>(dev.alm_avail);
+  u = std::max(u, r.ffs / static_cast<double>(dev.ff_avail));
+  u = std::max(u, r.dsps / static_cast<double>(dev.dsp_avail));
+  u = std::max(u, r.m20ks / static_cast<double>(dev.m20k_avail));
+  return u;
+}
+
+void check_fits(const Resources& r, const DeviceSpec& dev) {
+  auto over = [](double used, std::int64_t avail) {
+    return used > static_cast<double>(avail);
+  };
+  if (over(r.alms, dev.alm_avail) || over(r.ffs, dev.ff_avail) ||
+      over(r.dsps, dev.dsp_avail) || over(r.m20ks, dev.m20k_avail)) {
+    std::ostringstream os;
+    os << "design does not fit " << dev.name << ": needs " << r.alms
+       << " ALMs (" << dev.alm_avail << " available), " << r.ffs << " FFs ("
+       << dev.ff_avail << "), " << r.dsps << " DSPs (" << dev.dsp_avail
+       << "), " << r.m20ks << " M20Ks (" << dev.m20k_avail << ")";
+    throw FitError(os.str());
+  }
+}
+
+ModuleCircuit table1_circuit(RoutineKind kind, int width,
+                             const DeviceSpec& dev) {
+  FBLAS_REQUIRE(width >= 1, "width must be positive");
+  const RoutineInfo& info = routine_info(kind);
+  const double W = width;
+  ModuleCircuit c{};
+  if (info.circuit == CircuitClass::Map) {
+    // SCAL-class: CW = W; LUT = 49 CW, FF = 96 CW, DSP = CW; constant
+    // latency (the multiplier pipeline + a fixed interface overhead).
+    const double cw = W;
+    c.luts = 49 * cw;
+    c.ffs = 96 * cw;
+    c.dsps = cw;
+    c.latency_cycles = 44 + dev.mul_latency;
+  } else {
+    // DOT-class: CW = 2W; LUT ~= 18 CW + const, FF ~= 40 CW, DSP = CW/2;
+    // latency grows with the log-depth reduction tree.
+    const double cw = 2 * W;
+    c.luts = 18 * cw + 102;
+    c.ffs = 40 * cw + 32;
+    c.dsps = cw / 2;
+    c.latency_cycles =
+        70 + dev.mul_latency + (width > 1 ? std::log2(W) : 0) * dev.add_latency;
+  }
+  return c;
+}
+
+Resources shell_overhead(const DeviceSpec& dev) {
+  // The Stratix BSP reserves far more shell logic than the Arria one
+  // (compare the SDOT rows of Table III across devices).
+  if (dev.id != DeviceId::Arria10) {
+    return Resources{115'000, 230'000, 350'000, 30, 700};
+  }
+  return Resources{3'000, 6'000, 8'000, 30, 0};
+}
+
+namespace {
+
+/// Per-unit-width full-design coefficients (calibrated on Table III).
+struct WidthCoeffs {
+  double alm, ff;
+};
+
+WidthCoeffs width_coeffs(const RoutineInfo& info, Precision prec) {
+  if (info.level >= 2) {
+    return prec == Precision::Single ? WidthCoeffs{50, 100}
+                                     : WidthCoeffs{1100, 2100};
+  }
+  if (info.circuit == CircuitClass::MapReduce) {
+    return prec == Precision::Single ? WidthCoeffs{28, 30}
+                                     : WidthCoeffs{930, 2000};
+  }
+  return prec == Precision::Single ? WidthCoeffs{30, 60}
+                                   : WidthCoeffs{900, 1200};
+}
+
+}  // namespace
+
+Resources estimate_design(const ModuleShape& shape, const DeviceSpec& dev) {
+  const RoutineInfo& info = routine_info(shape.kind);
+  const double elem_bytes = static_cast<double>(bytes_of(shape.prec));
+  const double dsp_factor =
+      shape.prec == Precision::Double ? dev.double_dsp_factor : 1.0;
+  Resources r = shell_overhead(dev);
+  if (info.circuit == CircuitClass::Systolic) {
+    FBLAS_REQUIRE(shape.pe_rows >= 1 && shape.pe_cols >= 1,
+                  "GEMM-family shapes need a PE grid");
+    const double pes = static_cast<double>(shape.pe_rows) * shape.pe_cols;
+    const double alm_pe = shape.prec == Precision::Single ? 80 : 1150;
+    const double ff_pe = shape.prec == Precision::Single ? 250 : 2400;
+    r.alms += alm_pe * pes;
+    r.ffs += ff_pe * pes;
+    r.luts += 2 * alm_pe * pes;
+    r.dsps += dsp_factor * pes + 0.5 * shape.pe_cols;  // grid + drain chain
+    // Double-buffered memory tiles plus feeder/drain FIFOs dominate
+    // on-chip memory (an M20K holds 20 Kbit = 2560 bytes).
+    const double tile_elems =
+        static_cast<double>(std::max<std::int64_t>(shape.tile_rows, 1)) *
+        static_cast<double>(std::max<std::int64_t>(shape.tile_cols, 1));
+    r.m20ks += 10.0 * tile_elems * elem_bytes / 2560.0;
+    return r;
+  }
+  FBLAS_REQUIRE(shape.width >= 1, "width must be positive");
+  const double W = shape.width;
+  const WidthCoeffs wc = width_coeffs(info, shape.prec);
+  r.alms += wc.alm * W;
+  r.ffs += wc.ff * W;
+  r.luts += 2 * wc.alm * W;
+  // One hardened DSP per multiply-add lane in single precision.
+  const double lanes = std::max(1.0, info.ops_per_element * W / 2.0);
+  r.dsps += dsp_factor * lanes;
+  // Channel buffering scales with width; Level-2 adds the vector tile
+  // buffers (TN + TM elements each).
+  r.m20ks += 0.8 * W;
+  if (info.level >= 2 && shape.tile_rows > 0) {
+    r.m20ks += 2.0 * static_cast<double>(shape.tile_rows + shape.tile_cols) *
+               elem_bytes / 2560.0;
+  }
+  return r;
+}
+
+GridLimit max_gemm_grid(const DeviceSpec& dev, Precision prec) {
+  // Empirical P&R ceilings reported in Sec. VI-B.
+  if (dev.id == DeviceId::Arria10) {
+    return prec == Precision::Single ? GridLimit{32, 32} : GridLimit{16, 8};
+  }
+  return prec == Precision::Single ? GridLimit{40, 80} : GridLimit{16, 16};
+}
+
+int max_width(const DeviceSpec& dev, Precision prec) {
+  (void)dev;
+  // Single-precision designs were synthesized up to W=256; double fails
+  // routing above 128 on both devices (Sec. VI-B).
+  return prec == Precision::Single ? 256 : 128;
+}
+
+bool place_and_route_feasible(const ModuleShape& shape,
+                              const DeviceSpec& dev) {
+  const RoutineInfo& info = routine_info(shape.kind);
+  try {
+    check_fits(estimate_design(shape, dev), dev);
+  } catch (const FitError&) {
+    return false;
+  }
+  if (info.circuit == CircuitClass::Systolic) {
+    const GridLimit lim = max_gemm_grid(dev, shape.prec);
+    const int lo = std::min(shape.pe_rows, shape.pe_cols);
+    const int hi = std::max(shape.pe_rows, shape.pe_cols);
+    return lo <= std::min(lim.pe_rows, lim.pe_cols) &&
+           hi <= std::max(lim.pe_rows, lim.pe_cols);
+  }
+  return shape.width <= max_width(dev, shape.prec);
+}
+
+}  // namespace fblas::sim

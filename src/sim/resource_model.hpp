@@ -1,0 +1,77 @@
+// Resource model: estimates LUT/ALM/FF/DSP/M20K consumption of a module
+// configuration, following the linear circuit-work scaling laws measured
+// in the paper (Table I for isolated modules, Table III for full designs
+// including the shell/BSP and interface kernels), and the empirical
+// place-and-route feasibility limits of Sec. VI-B.
+#pragma once
+
+#include <cstdint>
+
+#include "common/routines.hpp"
+#include "common/types.hpp"
+#include "sim/device.hpp"
+
+namespace fblas::sim {
+
+struct Resources {
+  double alms = 0;
+  double luts = 0;
+  double ffs = 0;
+  double dsps = 0;
+  double m20ks = 0;
+
+  Resources& operator+=(const Resources& o);
+};
+
+Resources operator+(Resources a, const Resources& b);
+
+/// Fraction of the device's *available* resources a design uses, by the
+/// scarcest resource (1.0 = the device is full).
+double utilization(const Resources& r, const DeviceSpec& dev);
+
+/// Throws FitError when the design exceeds the available resources.
+void check_fits(const Resources& r, const DeviceSpec& dev);
+
+/// Shape of one module instance for estimation purposes.
+struct ModuleShape {
+  RoutineKind kind = RoutineKind::Dot;
+  Precision prec = Precision::Single;
+  int width = 16;                ///< vectorization width (Level 1/2)
+  std::int64_t tile_rows = 0;    ///< TN / memory-tile rows (Level 2/3)
+  std::int64_t tile_cols = 0;    ///< TM / memory-tile cols (Level 2/3)
+  int pe_rows = 0;               ///< PR (GEMM-family only)
+  int pe_cols = 0;               ///< PC (GEMM-family only)
+};
+
+/// Module-only resources and latency, comparable to Table I (single
+/// precision, module circuit without shell or interface kernels).
+struct ModuleCircuit {
+  double luts, ffs, dsps;
+  double latency_cycles;
+};
+ModuleCircuit table1_circuit(RoutineKind kind, int width,
+                             const DeviceSpec& dev);
+
+/// Full-design resources (module + shell + interface kernels), comparable
+/// to Table III.
+Resources estimate_design(const ModuleShape& shape, const DeviceSpec& dev);
+
+/// Shell/BSP + interface-kernel overhead included in estimate_design.
+Resources shell_overhead(const DeviceSpec& dev);
+
+/// Largest synthesizable systolic grid (PR x PC) per device and precision
+/// — the empirical place-and-route ceilings reported in Sec. VI-B.
+struct GridLimit {
+  int pe_rows, pe_cols;
+};
+GridLimit max_gemm_grid(const DeviceSpec& dev, Precision prec);
+
+/// Largest synthesizable vectorization width for Level-1/2 modules
+/// (double-precision designs fail routing above 128, Sec. VI-B).
+int max_width(const DeviceSpec& dev, Precision prec);
+
+/// True when the configuration both fits and respects the empirical
+/// routing ceilings.
+bool place_and_route_feasible(const ModuleShape& shape, const DeviceSpec& dev);
+
+}  // namespace fblas::sim

@@ -1,0 +1,40 @@
+#include "sim/work_depth.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fblas::sim {
+
+WorkDepth analyze(RoutineKind kind, Precision prec, int width,
+                  std::int64_t n, const DeviceSpec& dev) {
+  FBLAS_REQUIRE(width >= 1, "width must be positive");
+  const RoutineInfo& info = routine_info(kind);
+  const double W = width;
+  const double N = static_cast<double>(n);
+  // Without hardened double units the synthesized operators are deeper.
+  const double lat_scale = prec == Precision::Double ? 2.0 : 1.0;
+  const double LA = dev.add_latency * lat_scale;
+  const double LM = dev.mul_latency * lat_scale;
+  WorkDepth wd{};
+  wd.app_work = info.ops_per_element * N;
+  if (info.circuit == CircuitClass::Map) {
+    // Independent per-element work: depth is the operation chain.
+    wd.app_depth = info.ops_per_element <= 1 ? LM : LM + LA;
+    wd.circuit_work = info.ops_per_element * W;
+    wd.circuit_depth = wd.app_depth;
+  } else {
+    // Reduction: binary tree over N (application) / W (circuit).
+    wd.app_work = 2.0 * N - 1.0;
+    wd.app_depth = (n > 1 ? std::log2(N) : 0.0) * LA + LM;
+    wd.circuit_work = 2.0 * W;
+    wd.circuit_depth = (width > 1 ? std::log2(W) : 0.0) * LA + LM;
+  }
+  return wd;
+}
+
+double pipeline_cycles(double circuit_depth, double iterations) {
+  return circuit_depth + iterations;
+}
+
+}  // namespace fblas::sim

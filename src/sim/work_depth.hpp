@@ -1,0 +1,34 @@
+// Work/depth model of Sec. IV-A: application work/depth (the algorithm)
+// and circuit work/depth (the synthesized inner-loop circuit). Circuit
+// work tracks resource consumption; circuit depth is the pipeline latency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/routines.hpp"
+#include "common/types.hpp"
+#include "sim/device.hpp"
+
+namespace fblas::sim {
+
+struct WorkDepth {
+  double app_work;       ///< AW: total operations of the computation
+  double app_depth;      ///< AD: longest input-to-output path (cycles)
+  double circuit_work;   ///< CW: operations implemented in the inner loop
+  double circuit_depth;  ///< CD: latency of the inner-loop circuit (cycles)
+};
+
+/// Work/depth analysis of a Level-1 style module with vectorization width
+/// `width` on `n` elements. For map-class routines (SCAL, AXPY, ...)
+/// CW = ops_per_element * W and CD is the operation-chain latency; for
+/// map-reduce routines (DOT, ...) CW = 2W and CD = log2(W)*LA + LM
+/// (the reduction tree of Fig. 5). Double precision lacks hardened units:
+/// depth roughly doubles (the two-stage accumulation circuit).
+WorkDepth analyze(RoutineKind kind, Precision prec, int width,
+                  std::int64_t n, const DeviceSpec& dev);
+
+/// Pipeline execution model: C = L + I*M cycles; FBLAS modules are
+/// transformed to initiation interval I = 1, so C = circuit_depth + iters.
+double pipeline_cycles(double circuit_depth, double iterations);
+
+}  // namespace fblas::sim

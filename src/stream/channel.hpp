@@ -1,0 +1,133 @@
+// Bounded single-producer/single-consumer typed FIFO channels — the
+// software equivalent of the HLS `channel`/`pipe` abstraction the paper's
+// modules communicate through. push/pop are awaitable: a full push or
+// empty pop suspends the module until its peer makes progress.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stream/scheduler.hpp"
+#include "stream/task.hpp"
+
+namespace fblas::stream {
+
+/// Type-erased channel state: identity, occupancy and waiter bookkeeping
+/// shared by the scheduler's diagnostics.
+class ChannelBase {
+ public:
+  ChannelBase(Scheduler* sched, std::string name, std::size_t capacity);
+  virtual ~ChannelBase() = default;
+  ChannelBase(const ChannelBase&) = delete;
+  ChannelBase& operator=(const ChannelBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  virtual std::size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() >= capacity_; }
+
+  std::uint64_t total_pushed() const { return total_pushed_; }
+  std::uint64_t total_popped() const { return total_popped_; }
+  std::size_t peak_occupancy() const { return peak_; }
+
+ protected:
+  void on_push();
+  void on_pop();
+
+  Scheduler* sched_;
+  std::string name_;
+  std::size_t capacity_;
+  int waiting_consumer_ = -1;
+  int waiting_producer_ = -1;
+  std::uint64_t total_pushed_ = 0;
+  std::uint64_t total_popped_ = 0;
+  std::size_t peak_ = 0;
+
+  template <typename T>
+  friend struct PopAwaiter;
+  template <typename T>
+  friend struct PushAwaiter;
+};
+
+template <typename T>
+struct PopAwaiter;
+template <typename T>
+struct PushAwaiter;
+
+/// Typed bounded FIFO. Storage is a ring buffer of fixed capacity.
+template <typename T>
+class Channel : public ChannelBase {
+ public:
+  Channel(Scheduler* sched, std::string name, std::size_t capacity)
+      : ChannelBase(sched, std::move(name), capacity), buf_(capacity) {}
+
+  std::size_t size() const override { return count_; }
+
+  /// Awaitable pop: `T v = co_await ch.pop();`
+  PopAwaiter<T> pop() { return PopAwaiter<T>{*this}; }
+  /// Awaitable push: `co_await ch.push(v);`
+  PushAwaiter<T> push(T value) { return PushAwaiter<T>{*this, std::move(value)}; }
+
+  // Non-awaitable access used by awaiters and by unit tests.
+  bool try_put(T value) {
+    if (full()) return false;
+    buf_[(head_ + count_) % capacity_] = std::move(value);
+    ++count_;
+    on_push();
+    return true;
+  }
+  bool try_take(T& out) {
+    if (count_ == 0) return false;
+    out = std::move(buf_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    on_pop();
+    return true;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+template <typename T>
+struct PopAwaiter {
+  Channel<T>& ch;
+
+  bool await_ready() const noexcept { return !ch.empty(); }
+  void await_suspend(TaskHandle h) const {
+    TaskPromise& p = h.promise();
+    ch.waiting_consumer_ = p.module_id;
+    p.sched->block_on_pop(p.module_id, ch);
+  }
+  T await_resume() const {
+    T v{};
+    const bool ok = ch.try_take(v);
+    FBLAS_REQUIRE(ok, "pop resumed on empty channel '" + ch.name() + "'");
+    return v;
+  }
+};
+
+template <typename T>
+struct PushAwaiter {
+  Channel<T>& ch;
+  T value;
+
+  bool await_ready() const noexcept { return !ch.full(); }
+  void await_suspend(TaskHandle h) {
+    TaskPromise& p = h.promise();
+    ch.waiting_producer_ = p.module_id;
+    p.sched->block_on_push(p.module_id, ch);
+  }
+  void await_resume() {
+    const bool ok = ch.try_put(std::move(value));
+    FBLAS_REQUIRE(ok, "push resumed on full channel '" + ch.name() + "'");
+  }
+};
+
+}  // namespace fblas::stream

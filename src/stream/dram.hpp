@@ -1,0 +1,50 @@
+// Off-chip memory bank model. A bank has a fixed byte budget per clock
+// cycle shared by every interface module (reader/writer helper kernel)
+// attached to it. This reproduces both the bandwidth ceiling that
+// dimensions the optimal vectorization width (Sec. IV-B) and the
+// same-bank read/write contention that makes the non-streamed AXPYDOT
+// slower than expected (Sec. VI-C).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace fblas::stream {
+
+class Scheduler;
+
+class DramBank {
+ public:
+  /// `bytes_per_cycle` is the bank bandwidth divided by the design clock;
+  /// in functional mode the budget is ignored.
+  DramBank(Scheduler* sched, std::string name, double bytes_per_cycle);
+
+  const std::string& name() const { return name_; }
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+
+  /// Grants up to `want` elements of `elem_bytes` each against this
+  /// cycle's remaining budget; returns the granted element count (possibly
+  /// zero). Unmetered (functional mode) grants return `want`.
+  std::int64_t grant_elems(std::int64_t want, std::size_t elem_bytes);
+
+  /// Called by the scheduler when the clock advances. Unused budget
+  /// accumulates up to one burst so that banks narrower than a single
+  /// element still make progress (a fractional budget must be able to
+  /// add up to one grant) without allowing unbounded bursts.
+  void reset_cycle() {
+    const double burst = std::max(bytes_per_cycle_, 64.0);
+    available_ = std::min(available_ + bytes_per_cycle_, burst);
+  }
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  Scheduler* sched_;
+  std::string name_;
+  double bytes_per_cycle_;
+  double available_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace fblas::stream

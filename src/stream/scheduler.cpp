@@ -1,0 +1,117 @@
+#include "stream/scheduler.hpp"
+
+#include <sstream>
+
+#include "stream/channel.hpp"
+#include "stream/dram.hpp"
+
+namespace fblas::stream {
+
+int Scheduler::add_module(TaskHandle handle, std::string name) {
+  FBLAS_REQUIRE(!ran_, "cannot add modules after run()");
+  const int id = static_cast<int>(modules_.size());
+  handle.promise().sched = this;
+  handle.promise().module_id = id;
+  modules_.push_back(ModuleEntry{handle, std::move(name)});
+  ready_.push_back(id);
+  ++live_;
+  return id;
+}
+
+void Scheduler::block_on_pop(int id, ChannelBase& ch) {
+  modules_[id].state = ModuleState::BlockedPop;
+  modules_[id].blocked_on = &ch;
+}
+
+void Scheduler::block_on_push(int id, ChannelBase& ch) {
+  modules_[id].state = ModuleState::BlockedPush;
+  modules_[id].blocked_on = &ch;
+}
+
+void Scheduler::wait_cycle(int id) {
+  modules_[id].state = ModuleState::WaitCycle;
+  cycle_waiters_.push_back(id);
+}
+
+void Scheduler::wake(int id) {
+  ModuleEntry& m = modules_[id];
+  if (m.state == ModuleState::BlockedPop || m.state == ModuleState::BlockedPush) {
+    m.state = ModuleState::Ready;
+    m.blocked_on = nullptr;
+    ready_.push_back(id);
+  }
+}
+
+void Scheduler::advance_cycle() {
+  if (trace_occupancy_) {
+    occupancy_samples_.resize(channels_.size());
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+      occupancy_samples_[c].push_back(
+          static_cast<std::uint32_t>(channels_[c]->size()));
+    }
+  }
+  ++cycle_;
+  for (DramBank* bank : banks_) bank->reset_cycle();
+  for (const int id : cycle_waiters_) {
+    modules_[id].state = ModuleState::Ready;
+    ready_.push_back(id);
+  }
+  cycle_waiters_.clear();
+}
+
+void Scheduler::run() {
+  FBLAS_REQUIRE(!ran_, "a Scheduler can only run once");
+  ran_ = true;
+  while (live_ > 0) {
+    if (!ready_.empty()) {
+      const int id = ready_.front();
+      ready_.pop_front();
+      ModuleEntry& m = modules_[id];
+      if (m.state != ModuleState::Ready) continue;  // stale queue entry
+      m.state = ModuleState::Running;
+      ++m.resumes;
+      m.handle.resume();
+      if (m.handle.done()) {
+        m.state = ModuleState::Done;
+        --live_;
+        if (m.handle.promise().exception) {
+          std::rethrow_exception(m.handle.promise().exception);
+        }
+      } else if (m.state == ModuleState::Running) {
+        // The module suspended without recording a reason — this would be a
+        // runtime bug, not a user error.
+        throw Error("module '" + m.name + "' suspended with unknown reason");
+      }
+      continue;
+    }
+    if (!cycle_waiters_.empty()) {
+      advance_cycle();
+      continue;
+    }
+    throw DeadlockError(diagnose_deadlock());
+  }
+}
+
+std::string Scheduler::diagnose_deadlock() const {
+  std::ostringstream os;
+  os << "streaming graph stalled forever (invalid composition or "
+        "undersized channel). Blocked modules:\n";
+  for (const ModuleEntry& m : modules_) {
+    if (m.state == ModuleState::BlockedPop ||
+        m.state == ModuleState::BlockedPush) {
+      os << "  module '" << m.name << "' blocked "
+         << (m.state == ModuleState::BlockedPop ? "popping" : "pushing")
+         << " channel '" << m.blocked_on->name() << "' (occupancy "
+         << m.blocked_on->size() << "/" << m.blocked_on->capacity() << ")\n";
+    }
+  }
+  os << "Channel states:\n";
+  for (const ChannelBase* ch : channels_) {
+    os << "  '" << ch->name() << "': " << ch->size() << "/" << ch->capacity()
+       << " buffered, " << ch->total_pushed() << " pushed, "
+       << ch->total_popped() << " popped\n";
+  }
+  return os.str();
+}
+
+}  // namespace fblas::stream

@@ -1,0 +1,131 @@
+// Deterministic cooperative scheduler for streaming module graphs.
+//
+// Two execution modes mirror the two things the paper measures:
+//  * Functional — modules run eagerly; channel backpressure still applies
+//    (bounded FIFOs) but no notion of time. Used for numerical validation.
+//  * Cycle — a module performs at most one batch of work per simulated
+//    clock cycle (it ends each batch with `co_await next_cycle()`), DRAM
+//    banks meter bytes per cycle, and the scheduler counts cycles. Used
+//    for throughput/backpressure/composition experiments.
+//
+// In either mode, if every live module is blocked on a channel the graph
+// has stalled forever; the scheduler throws DeadlockError with a full
+// diagnostic, making the paper's invalid-composition analysis (Sec. V-B)
+// directly observable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stream/task.hpp"
+
+namespace fblas::stream {
+
+class ChannelBase;
+class DramBank;
+
+enum class Mode { Functional, Cycle };
+
+enum class ModuleState : std::uint8_t {
+  Ready,
+  Running,
+  BlockedPop,
+  BlockedPush,
+  WaitCycle,
+  Done,
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(Mode mode) : mode_(mode) {}
+
+  Mode mode() const { return mode_; }
+  bool cycle_mode() const { return mode_ == Mode::Cycle; }
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Registers a module coroutine; returns its module id. The handle's
+  /// frame stays owned by the caller (Graph) and must outlive run().
+  int add_module(TaskHandle handle, std::string name);
+
+  /// Registers a channel / DRAM bank for diagnostics and cycle resets.
+  void register_channel(ChannelBase* ch) { channels_.push_back(ch); }
+  void register_bank(DramBank* bank) { banks_.push_back(bank); }
+
+  /// Runs until every module completes. Throws DeadlockError if the graph
+  /// stalls, and rethrows any exception escaping a module body.
+  void run();
+
+  /// True once run() completed successfully.
+  bool finished() const { return live_ == 0; }
+
+  // --- awaiter interface -------------------------------------------------
+  void block_on_pop(int id, ChannelBase& ch);
+  void block_on_push(int id, ChannelBase& ch);
+  void wait_cycle(int id);
+  /// Moves a blocked module back to the ready queue (channel wakeups).
+  void wake(int id);
+
+  const std::string& module_name(int id) const { return modules_[id].name; }
+  ModuleState module_state(int id) const { return modules_[id].state; }
+  std::size_t module_count() const { return modules_.size(); }
+  /// Times the module was scheduled (in cycle mode, roughly the number of
+  /// cycles it was active — a utilization diagnostic).
+  std::uint64_t module_resumes(int id) const { return modules_[id].resumes; }
+
+  /// Enables per-cycle channel-occupancy sampling (cycle mode only):
+  /// after every simulated cycle the fill level of each registered
+  /// channel is recorded. Useful for locating where backpressure builds
+  /// up in a composition. Call before run().
+  void enable_occupancy_trace() { trace_occupancy_ = true; }
+  /// Occupancy samples of the i-th registered channel (one per cycle).
+  const std::vector<std::uint32_t>& occupancy_trace(std::size_t chan) const {
+    return occupancy_samples_[chan];
+  }
+  std::size_t channel_count() const { return channels_.size(); }
+
+ private:
+  struct ModuleEntry {
+    TaskHandle handle;
+    std::string name;
+    ModuleState state = ModuleState::Ready;
+    const ChannelBase* blocked_on = nullptr;
+    std::uint64_t resumes = 0;
+  };
+
+  std::string diagnose_deadlock() const;
+  void advance_cycle();
+
+  Mode mode_;
+  std::uint64_t cycle_ = 0;
+  std::vector<ModuleEntry> modules_;
+  std::deque<int> ready_;
+  std::vector<int> cycle_waiters_;
+  std::vector<ChannelBase*> channels_;
+  std::vector<DramBank*> banks_;
+  int live_ = 0;
+  bool ran_ = false;
+  bool trace_occupancy_ = false;
+  std::vector<std::vector<std::uint32_t>> occupancy_samples_;
+};
+
+/// Awaitable that parks the current module until the next simulated clock
+/// cycle (no-op in functional mode). Modules call this once per batch of
+/// up to W elements, which is what defines "W elements per cycle".
+struct NextCycle {
+  bool await_ready() const noexcept { return false; }
+  bool await_suspend(TaskHandle h) const {
+    TaskPromise& p = h.promise();
+    if (!p.sched->cycle_mode()) return false;  // resume immediately
+    p.sched->wait_cycle(p.module_id);
+    return true;
+  }
+  void await_resume() const noexcept {}
+};
+
+/// `co_await next_cycle();` — end of this module's work for the cycle.
+inline NextCycle next_cycle() { return {}; }
+
+}  // namespace fblas::stream

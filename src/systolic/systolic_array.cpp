@@ -1,0 +1,117 @@
+#include "systolic/systolic_array.hpp"
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace fblas::systolic {
+
+template <typename T>
+SystolicArray<T>::SystolicArray(int pe_rows, int pe_cols)
+    : pr_(pe_rows), pc_(pe_cols) {
+  FBLAS_REQUIRE(pe_rows >= 1 && pe_cols >= 1,
+                "systolic grid dimensions must be positive");
+  grid_.resize(static_cast<std::size_t>(pr_ * pc_));
+}
+
+template <typename T>
+std::uint64_t SystolicArray<T>::total_macs() const {
+  std::uint64_t total = 0;
+  for (const auto& pe : grid_) total += pe.macs;
+  return total;
+}
+
+template <typename T>
+void SystolicArray<T>::run_tile(MatrixView<const T> A, MatrixView<const T> B,
+                                MatrixView<T> C, std::int64_t row0,
+                                std::int64_t col0, std::int64_t th,
+                                std::int64_t tw, std::int64_t k) {
+  auto pe = [&](int r, int c) -> Pe<T>& {
+    return grid_[static_cast<std::size_t>(r * pc_ + c)];
+  };
+  for (auto& p : grid_) {
+    p.acc = T(0);
+    p.a_valid = p.b_valid = p.drain_valid = false;
+  }
+  // ---- Compute phase: skewed wavefronts ------------------------------
+  // Feed-A(r) injects A(row0+r, t-r) at cycle t; Feed-B(c) injects
+  // B(t-c, col0+c). Operands meet at PE(r, c) after r+c forwarding hops.
+  const std::int64_t last_cycle = (k - 1) + (pr_ - 1) + (pc_ - 1);
+  for (std::int64_t t = 0; t <= last_cycle; ++t) {
+    // Register transfer: latch new operands from the left/top neighbour
+    // (edge PEs latch from the feeders), sweeping from the far corner so
+    // each PE reads its neighbour's *previous* value.
+    for (int r = pr_ - 1; r >= 0; --r) {
+      for (int c = pc_ - 1; c >= 0; --c) {
+        Pe<T>& p = pe(r, c);
+        if (c > 0) {
+          p.a_reg = pe(r, c - 1).a_reg;
+          p.a_valid = pe(r, c - 1).a_valid;
+        } else {
+          const std::int64_t j = t - r;
+          p.a_valid = r < th && j >= 0 && j < k;
+          if (p.a_valid) p.a_reg = A(row0 + r, j);
+        }
+        if (r > 0) {
+          p.b_reg = pe(r - 1, c).b_reg;
+          p.b_valid = pe(r - 1, c).b_valid;
+        } else {
+          const std::int64_t j = t - c;
+          p.b_valid = c < tw && j >= 0 && j < k;
+          if (p.b_valid) p.b_reg = B(j, col0 + c);
+        }
+      }
+    }
+    // MAC on the freshly latched pair.
+    for (auto& p : grid_) {
+      if (p.a_valid && p.b_valid) {
+        p.acc += p.a_reg * p.b_reg;
+        ++p.macs;
+      }
+    }
+  }
+  // ---- Drain phase: accumulators shift down the column chains --------
+  for (auto& p : grid_) {
+    p.drain_reg = p.acc;
+    p.drain_valid = true;
+  }
+  for (int step = 0; step < pr_; ++step) {
+    // Bottom row currently holds the values of original row pr-1-step.
+    const std::int64_t r_orig = pr_ - 1 - step;
+    if (r_orig < th) {
+      for (int c = 0; c < std::min<std::int64_t>(pc_, tw); ++c) {
+        C(row0 + r_orig, col0 + c) = pe(pr_ - 1, c).drain_reg;
+      }
+    }
+    // Shift every column chain down by one.
+    for (int r = pr_ - 1; r > 0; --r) {
+      for (int c = 0; c < pc_; ++c) {
+        pe(r, c).drain_reg = pe(r - 1, c).drain_reg;
+      }
+    }
+  }
+}
+
+template <typename T>
+std::uint64_t SystolicArray<T>::multiply(MatrixView<const T> A,
+                                         MatrixView<const T> B,
+                                         MatrixView<T> C) {
+  const std::int64_t m = A.rows(), k = A.cols(), n = B.cols();
+  FBLAS_REQUIRE(B.rows() == k && C.rows() == m && C.cols() == n,
+                "systolic multiply: shape mismatch");
+  std::uint64_t cycles = 0;
+  for (std::int64_t row0 = 0; row0 < m; row0 += pr_) {
+    const std::int64_t th = std::min<std::int64_t>(pr_, m - row0);
+    for (std::int64_t col0 = 0; col0 < n; col0 += pc_) {
+      const std::int64_t tw = std::min<std::int64_t>(pc_, n - col0);
+      run_tile(A, B, C, row0, col0, th, tw, k);
+      cycles += cycles_per_tile(k);
+    }
+  }
+  return cycles;
+}
+
+template class SystolicArray<float>;
+template class SystolicArray<double>;
+
+}  // namespace fblas::systolic

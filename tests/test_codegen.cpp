@@ -1,0 +1,344 @@
+// Code generator tests: JSON parser, routine-spec schema, OpenCL
+// emission, feasibility gating, and the generated-config -> simulator
+// round trip (a generated GEMV design runs and matches the oracle).
+#include <gtest/gtest.h>
+
+#include "codegen/emitter.hpp"
+#include "codegen/json.hpp"
+#include "codegen/routine_spec.hpp"
+#include "common/workload.hpp"
+#include "refblas/level2.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+
+namespace fblas::codegen {
+namespace {
+
+// ---- JSON parser -------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").as_number(), -1250);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("\"hi\\n\\\"there\\\"\"").as_string(),
+            "hi\n\"there\"");
+}
+
+TEST(Json, ParsesNested) {
+  const auto j = Json::parse(R"({
+    "a": [1, 2, {"b": true}],
+    "c": {"d": null},
+    "e": "x"
+  })");
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j.at("a").size(), 3u);
+  EXPECT_EQ(j.at("a").at(2).at("b").as_bool(), true);
+  EXPECT_TRUE(j.at("c").at("d").is_null());
+  EXPECT_TRUE(j.contains("e"));
+  EXPECT_FALSE(j.contains("zz"));
+  EXPECT_TRUE(j.get("zz").is_null());
+}
+
+TEST(Json, UnicodeEscapeBasicLatin) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_THROW(Json::parse("\"\\u00e9\""), ParseError);
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": [1, 2\n}");
+    FAIL() << "should have thrown";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+  EXPECT_THROW(Json::parse(""), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\": 1,}"), ParseError);
+  EXPECT_THROW(Json::parse("[1 2]"), ParseError);
+  EXPECT_THROW(Json::parse("12x"), ParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const auto j = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(j.as_string(), ConfigError);
+  EXPECT_THROW(j.at(0), ConfigError);
+  EXPECT_THROW(j.at("missing"), ConfigError);
+  EXPECT_THROW(Json::parse("1.5").as_int(), ConfigError);
+}
+
+TEST(Json, DumpRoundTrips) {
+  const std::string text = R"({"a":[1,2.5,"s"],"b":{"c":true,"d":null}})";
+  const auto j = Json::parse(text);
+  const auto j2 = Json::parse(j.dump());
+  EXPECT_EQ(j2.at("a").at(1).as_number(), 2.5);
+  EXPECT_EQ(j2.at("b").at("c").as_bool(), true);
+  // Pretty dump also parses back.
+  const auto j3 = Json::parse(j.dump(2));
+  EXPECT_EQ(j3.at("a").size(), 3u);
+}
+
+// ---- Spec parsing --------------------------------------------------------
+
+constexpr const char* kSpec = R"({
+  "device": "stratix10",
+  "routines": [
+    {"blas": "dot", "precision": "single", "user_name": "my_sdot",
+     "width": 32},
+    {"blas": "gemv", "precision": "double", "width": 16,
+     "transposed": true, "tiles_by": "cols",
+     "tile_rows": 512, "tile_cols": 256},
+    {"blas": "gemm", "precision": "single",
+     "pe_rows": 16, "pe_cols": 16, "tile_rows": 64, "tile_cols": 64},
+    {"blas": "trsv", "uplo": "upper", "diag": "unit"}
+  ]
+})";
+
+TEST(Spec, ParsesAllFields) {
+  const auto spec = parse_spec(kSpec);
+  EXPECT_EQ(spec.device, sim::DeviceId::Stratix10);
+  ASSERT_EQ(spec.routines.size(), 4u);
+  const auto& dot = spec.routines[0];
+  EXPECT_EQ(dot.kind, RoutineKind::Dot);
+  EXPECT_EQ(dot.user_name, "my_sdot");
+  EXPECT_EQ(dot.width, 32);
+  EXPECT_EQ(dot.blas_name(), "sdot");
+  const auto& gemv = spec.routines[1];
+  EXPECT_EQ(gemv.precision, Precision::Double);
+  EXPECT_EQ(gemv.trans, Transpose::Trans);
+  EXPECT_EQ(gemv.tiling, core::MatrixTiling::TilesByCols);
+  EXPECT_EQ(gemv.tile_rows, 512);
+  EXPECT_EQ(gemv.blas_name(), "dgemv");
+  EXPECT_EQ(gemv.user_name, "fblas_dgemv");  // default name
+  const auto& trsv = spec.routines[3];
+  EXPECT_EQ(trsv.uplo, Uplo::Upper);
+  EXPECT_EQ(trsv.diag, Diag::Unit);
+}
+
+TEST(Spec, SchemaViolations) {
+  EXPECT_THROW(parse_spec("[]"), ParseError);
+  EXPECT_THROW(parse_spec("{\"routines\": []}"), ParseError);
+  EXPECT_THROW(parse_spec("{\"routines\": [{\"width\": 4}]}"), ParseError);
+  EXPECT_THROW(parse_spec(R"({"routines": [{"blas": "fft"}]})"), ParseError);
+  EXPECT_THROW(parse_spec(R"({"routines": [{"blas": "dot", "width": 0}]})"),
+               ParseError);
+  EXPECT_THROW(
+      parse_spec(R"({"routines": [{"blas": "dot"}], "device": "virtex"})"),
+      ParseError);
+  EXPECT_THROW(parse_spec(R"({"routines":
+      [{"blas": "gemm", "pe_rows": 4, "pe_cols": 4,
+        "tile_rows": 10, "tile_cols": 8}]})"),
+               ParseError);
+  EXPECT_THROW(
+      parse_spec(R"({"routines": [{"blas": "gemv", "tiles_by": "diag"}]})"),
+      ParseError);
+}
+
+TEST(Spec, RoundTripThroughJson) {
+  const auto spec = parse_spec(kSpec);
+  const auto spec2 = parse_spec(spec_to_json(spec));
+  ASSERT_EQ(spec2.routines.size(), spec.routines.size());
+  EXPECT_EQ(spec2.routines[1].tile_rows, spec.routines[1].tile_rows);
+  EXPECT_EQ(spec2.routines[1].trans, spec.routines[1].trans);
+  EXPECT_EQ(spec2.routines[3].uplo, spec.routines[3].uplo);
+}
+
+// ---- Emission -------------------------------------------------------------
+
+TEST(Emitter, DotKernelStructure) {
+  RoutineSpec s;
+  s.kind = RoutineKind::Dot;
+  s.width = 32;
+  s.user_name = "my_sdot";
+  const auto design = emit(s, sim::stratix10());
+  EXPECT_NE(design.source.find("cl_intel_channels"), std::string::npos);
+  EXPECT_NE(design.source.find("__kernel void my_sdot(int N)"),
+            std::string::npos);
+  EXPECT_NE(design.source.find("#pragma unroll"), std::string::npos);
+  EXPECT_NE(design.source.find("i < 32"), std::string::npos);
+  EXPECT_NE(design.source.find("read_channel_intel(my_sdot_ch_x)"),
+            std::string::npos);
+  // Helper kernels for both inputs and the result.
+  EXPECT_NE(design.source.find("my_sdot_read_x"), std::string::npos);
+  EXPECT_NE(design.source.find("my_sdot_read_y"), std::string::npos);
+  EXPECT_NE(design.source.find("my_sdot_write_res"), std::string::npos);
+  EXPECT_EQ(design.kernel_names.back(), "my_sdot");
+  EXPECT_EQ(design.level1_config().width, 32);
+}
+
+TEST(Emitter, DoublePrecisionUsesDoubleType) {
+  RoutineSpec s;
+  s.kind = RoutineKind::Axpy;
+  s.precision = Precision::Double;
+  s.user_name = "my_daxpy";
+  const auto design = emit(s, sim::stratix10());
+  EXPECT_NE(design.source.find("double x = read_channel_intel"),
+            std::string::npos);
+  EXPECT_EQ(design.source.find("float x ="), std::string::npos);
+}
+
+TEST(Emitter, GemvCarriesTileSizes) {
+  RoutineSpec s;
+  s.kind = RoutineKind::Gemv;
+  s.width = 16;
+  s.tile_rows = 128;
+  s.tile_cols = 64;
+  s.user_name = "g";
+  const auto design = emit(s, sim::stratix10());
+  EXPECT_NE(design.source.find("TN=128"), std::string::npos);
+  EXPECT_NE(design.source.find("#pragma unroll 16"), std::string::npos);
+  const auto cfg = design.gemv_config();
+  EXPECT_EQ(cfg.tile_rows, 128);
+  EXPECT_EQ(cfg.tile_cols, 64);
+}
+
+TEST(Emitter, SystolicGemmStructure) {
+  RoutineSpec s;
+  s.kind = RoutineKind::Gemm;
+  s.pe_rows = 8;
+  s.pe_cols = 8;
+  s.tile_rows = 32;
+  s.tile_cols = 32;
+  s.user_name = "mm";
+  const auto design = emit(s, sim::stratix10());
+  EXPECT_NE(design.source.find("8x8 PE grid"), std::string::npos);
+  EXPECT_NE(design.source.find("drain chain"), std::string::npos);
+  const auto cfg = design.gemm_config();
+  EXPECT_EQ(cfg.pe_rows, 8);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Emitter, InfeasibleDesignsRejected) {
+  // DDOT at W=256 fails routing (Sec. VI-B).
+  RoutineSpec s;
+  s.kind = RoutineKind::Dot;
+  s.precision = Precision::Double;
+  s.width = 256;
+  EXPECT_THROW(emit(s, sim::stratix10()), FitError);
+  EXPECT_NO_THROW(emit(s, sim::stratix10(), /*check_feasibility=*/false));
+  s.width = 128;
+  EXPECT_NO_THROW(emit(s, sim::stratix10()));
+}
+
+TEST(Emitter, FileEmissionCoversAllRoutines) {
+  const auto spec = parse_spec(kSpec);
+  const auto src = emit_file(spec);
+  EXPECT_NE(src.find("my_sdot"), std::string::npos);
+  EXPECT_NE(src.find("fblas_dgemv"), std::string::npos);
+  EXPECT_NE(src.find("fblas_sgemm"), std::string::npos);
+  EXPECT_NE(src.find("fblas_strsv"), std::string::npos);
+  EXPECT_NE(src.find("Stratix 10"), std::string::npos);
+}
+
+TEST(Spec, FullyUnrolledFields) {
+  const auto spec = parse_spec(R"({"routines": [
+    {"blas": "gemm", "fully_unrolled": true, "fixed_size": 4,
+     "user_name": "mm4"}]})");
+  EXPECT_TRUE(spec.routines[0].fully_unrolled);
+  EXPECT_EQ(spec.routines[0].fixed_size, 4);
+  // Round trip keeps the fields.
+  const auto spec2 = parse_spec(spec_to_json(spec));
+  EXPECT_TRUE(spec2.routines[0].fully_unrolled);
+  EXPECT_EQ(spec2.routines[0].fixed_size, 4);
+  // Only GEMM/TRSM support it; sizes are capped.
+  EXPECT_THROW(parse_spec(R"({"routines": [
+    {"blas": "dot", "fully_unrolled": true}]})"),
+               ParseError);
+  EXPECT_THROW(parse_spec(R"({"routines": [
+    {"blas": "gemm", "fully_unrolled": true, "fixed_size": 64}]})"),
+               ParseError);
+}
+
+TEST(Emitter, FullyUnrolledGemmKernel) {
+  RoutineSpec s;
+  s.kind = RoutineKind::Gemm;
+  s.fully_unrolled = true;
+  s.fixed_size = 4;
+  s.user_name = "mm4";
+  const auto design = emit(s, sim::stratix10());
+  EXPECT_NE(design.source.find("Fully-unrolled batched GEMM"),
+            std::string::npos);
+  EXPECT_NE(design.source.find("new problem enters every clock cycle"),
+            std::string::npos);
+  EXPECT_NE(design.source.find("k < 4"), std::string::npos);
+  EXPECT_EQ(design.batched_config().size, 4);
+  EXPECT_NO_THROW(design.batched_config().validate());
+}
+
+TEST(Emitter, FullyUnrolledTrsmKernel) {
+  RoutineSpec s;
+  s.kind = RoutineKind::Trsm;
+  s.fully_unrolled = true;
+  s.fixed_size = 4;
+  s.user_name = "ts4";
+  const auto design = emit(s, sim::arria10());
+  EXPECT_NE(design.source.find("Fully-unrolled batched TRSM"),
+            std::string::npos);
+  EXPECT_EQ(design.kernel_names.back(), "ts4");
+}
+
+TEST(Emitter, EveryRoutineKindEmits) {
+  // Smoke: all 22 routines produce a kernel with their user name.
+  for (int i = 0; i < kRoutineCount; ++i) {
+    const RoutineInfo& info = all_routines()[i];
+    RoutineSpec s;
+    s.kind = info.kind;
+    s.user_name = "k_" + std::string(info.name);
+    s.width = 8;
+    s.tile_rows = 32;
+    s.tile_cols = 32;
+    s.pe_rows = 4;
+    s.pe_cols = 4;
+    const auto design = emit(s, sim::arria10());
+    EXPECT_NE(design.source.find(s.user_name), std::string::npos)
+        << info.name;
+    EXPECT_FALSE(design.kernel_names.empty()) << info.name;
+  }
+}
+
+// ---- Generated config drives the simulator --------------------------------
+
+TEST(EmitterIntegration, GeneratedGemvConfigRunsAndMatchesOracle) {
+  const auto spec = parse_spec(R"({
+    "routines": [{"blas": "gemv", "precision": "single", "width": 4,
+                  "tile_rows": 8, "tile_cols": 8, "tiles_by": "rows"}]})");
+  const auto design = emit(spec.routines[0], sim::device(spec.device));
+  const auto cfg = design.gemv_config();
+
+  Workload wl(601);
+  const std::int64_t rows = 20, cols = 12;
+  auto a = wl.matrix<float>(rows, cols);
+  auto x = wl.vector<float>(cols);
+  auto y = wl.vector<float>(rows);
+  auto expect = y;
+  ref::gemv<float>(Transpose::None, 2.0f,
+                   MatrixView<const float>(a.data(), rows, cols),
+                   VectorView<const float>(x.data(), cols), 0.5f,
+                   VectorView<float>(expect.data(), rows));
+
+  stream::Graph g;
+  auto& ca = g.channel<float>("A", 64);
+  auto& cx = g.channel<float>("x", 64);
+  auto& cy = g.channel<float>("y", 64);
+  auto& out = g.channel<float>("out", 64);
+  std::vector<float> got;
+  g.spawn("read_A",
+          stream::read_matrix<float>(
+              MatrixView<const float>(a.data(), rows, cols),
+              core::gemv_a_schedule(cfg), 1, cfg.width, ca));
+  g.spawn("read_x", stream::read_vector<float>(
+                        VectorView<const float>(x.data(), cols),
+                        core::gemv_x_repeat(cfg, rows, cols), cfg.width, cx));
+  g.spawn("read_y", stream::read_vector<float>(
+                        VectorView<const float>(y.data(), rows), 1,
+                        cfg.width, cy));
+  g.spawn("gemv", core::gemv<float>(cfg, rows, cols, 2.0f, 0.5f, ca, cx, cy,
+                                    out));
+  g.spawn("collect", stream::collect<float>(rows, out, got));
+  g.run();
+  EXPECT_LT(rel_error(got, expect), 1e-4);
+}
+
+}  // namespace
+}  // namespace fblas::codegen

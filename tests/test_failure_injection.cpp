@@ -1,0 +1,194 @@
+// Failure injection: wrong element counts, starved channels, throttled
+// banks, exceptions thrown mid-pipeline, misused buffers. The simulator
+// must fail loudly and precisely (the right exception, the right module
+// named) — silent wrong answers or hangs would invalidate every other
+// experiment built on it.
+#include <gtest/gtest.h>
+
+#include "common/workload.hpp"
+#include "fblas/level1.hpp"
+#include "fblas/level2.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+
+namespace fblas {
+namespace {
+
+using stream::Graph;
+using stream::Mode;
+
+TEST(FailureInjection, ProducerShortfallNamesTheStarvedModule) {
+  // The DOT module expects 100 elements; the feeders provide 90.
+  Graph g;
+  auto& cx = g.channel<float>("x", 16);
+  auto& cy = g.channel<float>("y", 16);
+  auto& res = g.channel<float>("res", 2);
+  std::vector<float> out;
+  Workload wl(1);
+  g.spawn("feed_x", stream::feed(wl.vector<float>(90), cx));
+  g.spawn("feed_y", stream::feed(wl.vector<float>(100), cy));
+  g.spawn("dot", core::dot<float>({8}, 100, cx, cy, res));
+  g.spawn("collect", stream::collect<float>(1, res, out));
+  try {
+    g.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'dot'"), std::string::npos);
+    EXPECT_NE(msg.find("popping"), std::string::npos);
+    EXPECT_NE(msg.find("'x'"), std::string::npos);
+  }
+}
+
+TEST(FailureInjection, ConsumerShortfallNamesTheBlockedProducer) {
+  // The collector wants fewer elements than produced: the producer ends
+  // up blocked pushing into a full channel.
+  Graph g;
+  auto& ch = g.channel<float>("out", 4);
+  std::vector<float> out;
+  Workload wl(2);
+  g.spawn("feed", stream::feed(wl.vector<float>(100), ch));
+  g.spawn("collect", stream::collect<float>(10, ch, out));
+  try {
+    g.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'feed'"), std::string::npos);
+    EXPECT_NE(msg.find("pushing"), std::string::npos);
+  }
+}
+
+TEST(FailureInjection, WrongGemvReplayCountDeadlocks) {
+  // Feeding x without the required replay starves the tiled GEMV —
+  // exactly the condition (1) violation of Sec. V.
+  Workload wl(3);
+  const std::int64_t n = 16;
+  auto a = wl.matrix<float>(n, n);
+  auto x = wl.vector<float>(n);
+  auto y = wl.vector<float>(n);
+  core::GemvConfig cfg{Transpose::None, core::MatrixTiling::TilesByRows, 4,
+                       4, 4};
+  Graph g;
+  auto& ca = g.channel<float>("A", 64);
+  auto& cx = g.channel<float>("x", 64);
+  auto& cy = g.channel<float>("y", 64);
+  auto& out = g.channel<float>("o", 64);
+  std::vector<float> got;
+  g.spawn("read_A",
+          stream::read_matrix<float>(MatrixView<const float>(a.data(), n, n),
+                                     core::gemv_a_schedule(cfg), 1, 4, ca));
+  // BUG UNDER TEST: repeat should be gemv_x_repeat() = 4, we send 1.
+  g.spawn("read_x", stream::read_vector<float>(
+                        VectorView<const float>(x.data(), n), 1, 4, cx));
+  g.spawn("read_y", stream::read_vector<float>(
+                        VectorView<const float>(y.data(), n), 1, 4, cy));
+  g.spawn("gemv",
+          core::gemv<float>(cfg, n, n, 1.0f, 0.0f, ca, cx, cy, out));
+  g.spawn("collect", stream::collect<float>(n, out, got));
+  EXPECT_THROW(g.run(), DeadlockError);
+}
+
+TEST(FailureInjection, ThrottledBankIsSlowButLive) {
+  // A bank granting one float every few cycles must not deadlock — only
+  // stretch the run.
+  Workload wl(4);
+  const std::int64_t n = 256;
+  auto x = wl.vector<float>(n);
+  Graph g(Mode::Cycle);
+  auto& bank = g.bank("ddr", 2.0);  // half a float per cycle
+  auto& ch = g.channel<float>("x", 8);
+  g.spawn("read", stream::read_vector<float>(
+                      VectorView<const float>(x.data(), n), 1, 16, ch,
+                      &bank));
+  g.spawn("sink", stream::sink<float>(n, 16, ch));
+  g.run();
+  // 0.5 elements/cycle -> at least 2 cycles per element.
+  EXPECT_GE(g.cycles(), static_cast<std::uint64_t>(2 * n - 8));
+  EXPECT_EQ(bank.total_bytes(), static_cast<std::uint64_t>(n) * 4);
+}
+
+TEST(FailureInjection, ExceptionInMidPipelineModulePropagates) {
+  struct Maker {
+    static stream::Task faulty(std::int64_t n, stream::Channel<float>& in,
+                               stream::Channel<float>& out) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float v = co_await in.pop();
+        if (i == n / 2) throw std::domain_error("injected fault");
+        co_await out.push(v);
+      }
+    }
+  };
+  Workload wl(5);
+  Graph g;
+  auto& a = g.channel<float>("a", 8);
+  auto& b = g.channel<float>("b", 8);
+  std::vector<float> out;
+  g.spawn("feed", stream::feed(wl.vector<float>(64), a));
+  g.spawn("faulty", Maker::faulty(64, a, b));
+  g.spawn("collect", stream::collect<float>(64, b, out));
+  EXPECT_THROW(g.run(), std::domain_error);
+}
+
+TEST(FailureInjection, SchedulerRefusesDoubleRun) {
+  Graph g;
+  auto& ch = g.channel<int>("c", 2);
+  std::vector<int> out;
+  g.spawn("feed", stream::feed(std::vector<int>{1}, ch));
+  g.spawn("collect", stream::collect<int>(1, ch, out));
+  g.run();
+  EXPECT_THROW(g.run(), ConfigError);
+}
+
+TEST(FailureInjection, BufferViewBoundsChecked) {
+  host::Device dev;
+  host::Buffer<float> b(dev, 16, 0);
+  EXPECT_THROW(b.vec(17), ConfigError);
+  EXPECT_THROW(b.vec(9, 2), ConfigError);
+  EXPECT_NO_THROW(b.vec(8, 2));
+  EXPECT_THROW(b.mat(4, 5), ConfigError);
+  EXPECT_NO_THROW(b.mat(4, 4));
+}
+
+TEST(FailureInjection, HostTransferSizeChecked) {
+  host::Device dev;
+  host::Buffer<float> b(dev, 8, 0);
+  std::vector<float> wrong(7);
+  EXPECT_THROW(b.write(wrong), ConfigError);
+  std::vector<float> dst(9);
+  EXPECT_THROW(b.read(std::span<float>(dst)), ConfigError);
+}
+
+TEST(FailureInjection, CycleModeDeadlockAlsoDetected) {
+  // Deadlock detection must work when modules are parked on next_cycle
+  // as well: cycle waiters drain first, then the stall is diagnosed.
+  Workload wl(6);
+  Graph g(Mode::Cycle);
+  auto& cx = g.channel<float>("x", 8);
+  auto& res = g.channel<float>("r", 2);
+  std::vector<float> out;
+  g.spawn("feed", stream::feed(wl.vector<float>(10), cx));
+  g.spawn("asum", core::asum<float>({4}, 20, cx, res));  // wants 20, gets 10
+  g.spawn("collect", stream::collect<float>(1, res, out));
+  EXPECT_THROW(g.run(), DeadlockError);
+}
+
+TEST(FailureInjection, DiagnosticListsChannelOccupancy) {
+  Graph g;
+  auto& ch = g.channel<int>("lonely", 4);
+  std::vector<int> out;
+  g.spawn("collect", stream::collect<int>(1, ch, out));
+  try {
+    g.run();
+    FAIL();
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'lonely': 0/4 buffered"), std::string::npos);
+    EXPECT_NE(msg.find("0 pushed"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fblas

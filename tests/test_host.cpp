@@ -1,0 +1,552 @@
+// Host API integration tests: every routine through the full
+// reader -> module -> writer lowering, validated against the reference
+// BLAS; device/buffer semantics; sync/async queue behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/workload.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
+#include "refblas/batched.hpp"
+#include "refblas/level1.hpp"
+#include "refblas/level2.hpp"
+#include "refblas/level3.hpp"
+
+namespace fblas::host {
+namespace {
+
+template <typename T>
+Buffer<T> make_buffer(Device& dev, const std::vector<T>& host, int bank = 0) {
+  Buffer<T> b(dev, static_cast<std::int64_t>(host.size()), bank);
+  b.write(host);
+  return b;
+}
+
+TEST(DeviceAllocation, TracksBankUsage) {
+  Device dev(sim::DeviceId::Stratix10);
+  EXPECT_EQ(dev.bank_count(), 4);
+  {
+    Buffer<float> b(dev, 1024, 2);
+    EXPECT_EQ(dev.allocated_bytes(2), 4096u);
+    EXPECT_EQ(dev.allocated_bytes(0), 0u);
+  }
+  EXPECT_EQ(dev.allocated_bytes(2), 0u);  // released on destruction
+  EXPECT_THROW(Buffer<float>(dev, 16, 7), ConfigError);
+}
+
+TEST(DeviceAllocation, RejectsOverflowingBank) {
+  Device dev(sim::DeviceId::Arria10);
+  const std::int64_t too_many =
+      static_cast<std::int64_t>(dev.bank_capacity_bytes() / sizeof(double)) + 1;
+  EXPECT_THROW(Buffer<double>(dev, too_many, 0), FitError);
+}
+
+TEST(BufferTransfer, RoundTrip) {
+  Device dev;
+  std::vector<float> host{1, 2, 3, 4};
+  auto b = make_buffer(dev, host);
+  auto back = b.to_host();
+  EXPECT_EQ(back, host);
+}
+
+TEST(AsyncQueue, CommandsDeferUntilWaited) {
+  Device dev;
+  Context ctx(dev);
+  Workload wl(501);
+  auto x = make_buffer(dev, wl.vector<float>(64));
+  Event e = ctx.scal_async<float>(64, 2.0f, x, 1);
+  EXPECT_FALSE(e.done());
+  EXPECT_FALSE(ctx.idle());
+  e.wait();
+  EXPECT_TRUE(e.done());
+  EXPECT_TRUE(ctx.idle());
+}
+
+TEST(AsyncQueue, FinishDrainsInOrder) {
+  Device dev;
+  Context ctx(dev);
+  std::vector<float> ones(16, 1.0f);
+  auto x = make_buffer(dev, ones);
+  ctx.scal_async<float>(16, 2.0f, x, 1);
+  ctx.scal_async<float>(16, 3.0f, x, 1);
+  ctx.finish();
+  EXPECT_FLOAT_EQ(x.to_host()[0], 6.0f);
+}
+
+template <typename T>
+class HostApi : public ::testing::Test {};
+using Precisions = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(HostApi, Precisions);
+
+TYPED_TEST(HostApi, Level1Routines) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  Workload wl(502);
+  const std::int64_t n = 200;
+  auto hx = wl.vector<T>(n);
+  auto hy = wl.vector<T>(n);
+
+  // scal
+  auto x = make_buffer(dev, hx);
+  ctx.scal<T>(n, T(2), x);
+  auto ex = hx;
+  ref::scal<T>(T(2), VectorView<T>(ex.data(), n));
+  EXPECT_EQ(x.to_host(), ex);
+
+  // axpy (x now scaled)
+  auto y = make_buffer(dev, hy, 1);
+  ctx.axpy<T>(n, T(-1), x, 1, y, 1);
+  auto ey = hy;
+  ref::axpy<T>(T(-1), VectorView<const T>(ex.data(), n),
+               VectorView<T>(ey.data(), n));
+  EXPECT_EQ(y.to_host(), ey);
+
+  // dot
+  const T d = ctx.dot<T>(n, x, 1, y, 1);
+  const T ed = ref::dot<T>(VectorView<const T>(ex.data(), n),
+                           VectorView<const T>(ey.data(), n));
+  EXPECT_NEAR(d, ed, 1e-3);
+
+  // copy + swap
+  auto z = Buffer<T>(dev, n, 0);
+  ctx.copy<T>(n, x, 1, z, 1);
+  EXPECT_EQ(z.to_host(), ex);
+  ctx.swap<T>(n, y, 1, z, 1);
+  EXPECT_EQ(z.to_host(), ey);
+  EXPECT_EQ(y.to_host(), ex);
+
+  // nrm2 / asum / iamax
+  EXPECT_NEAR(ctx.nrm2<T>(n, x),
+              ref::nrm2<T>(VectorView<const T>(ex.data(), n)), 1e-2);
+  EXPECT_NEAR(ctx.asum<T>(n, x),
+              ref::asum<T>(VectorView<const T>(ex.data(), n)), 1e-2);
+  EXPECT_EQ(ctx.iamax<T>(n, x),
+            ref::iamax<T>(VectorView<const T>(ex.data(), n)));
+}
+
+TYPED_TEST(HostApi, RotAndRotm) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  Workload wl(503);
+  const std::int64_t n = 64;
+  auto hx = wl.vector<T>(n);
+  auto hy = wl.vector<T>(n);
+  auto x = make_buffer(dev, hx);
+  auto y = make_buffer(dev, hy);
+  T ra = T(3), rb = T(4);
+  const auto giv = ctx.rotg<T>(ra, rb);
+  EXPECT_NEAR(std::abs(ra), 5.0, 1e-4);
+  ctx.rot<T>(n, x, 1, y, 1, giv.c, giv.s);
+  auto ex = hx, ey = hy;
+  ref::rot<T>(VectorView<T>(ex.data(), n), VectorView<T>(ey.data(), n),
+              giv.c, giv.s);
+  EXPECT_LT(rel_error(x.to_host(), ex), 1e-5);
+  EXPECT_LT(rel_error(y.to_host(), ey), 1e-5);
+
+  T d1 = T(1), d2 = T(1), x1 = T(1);
+  const auto p = ctx.rotmg<T>(d1, d2, x1, T(0.5));
+  auto x2 = make_buffer(dev, hx);
+  auto y2 = make_buffer(dev, hy);
+  ctx.rotm<T>(n, x2, 1, y2, 1, p);
+  auto ex2 = hx, ey2 = hy;
+  ref::rotm<T>(VectorView<T>(ex2.data(), n), VectorView<T>(ey2.data(), n), p);
+  EXPECT_LT(rel_error(x2.to_host(), ex2), 1e-5);
+}
+
+TEST(HostApiFloatOnly, Sdsdot) {
+  Device dev;
+  Context ctx(dev);
+  std::vector<float> hx{1e8f, 1.0f}, hy{1.0f, 1.0f};
+  auto x = make_buffer(dev, hx);
+  auto y = make_buffer(dev, hy);
+  EXPECT_FLOAT_EQ(ctx.sdsdot(2, 1.0f, x, 1, y, 1),
+                  static_cast<float>(1e8 + 2.0));
+}
+
+TYPED_TEST(HostApi, StridedVectors) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  // x = [1,_,2,_,3,_] with inc 2.
+  std::vector<T> hx{1, 9, 2, 9, 3, 9};
+  auto x = make_buffer(dev, hx);
+  ctx.scal<T>(3, T(10), x, 2);
+  const auto out = x.to_host();
+  EXPECT_EQ(out, (std::vector<T>{10, 9, 20, 9, 30, 9}));
+}
+
+TYPED_TEST(HostApi, GemvAllTransposesAndTilings) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  ctx.config().width = 8;
+  ctx.config().tile_rows = 16;
+  ctx.config().tile_cols = 16;
+  Workload wl(504);
+  const std::int64_t rows = 40, cols = 28;
+  auto ha = wl.matrix<T>(rows, cols);
+  auto a = make_buffer(dev, ha);
+  for (Transpose tr : {Transpose::None, Transpose::Trans}) {
+    for (core::MatrixTiling tiling :
+         {core::MatrixTiling::TilesByRows, core::MatrixTiling::TilesByCols}) {
+      ctx.config().tiling = tiling;
+      const std::int64_t xl = tr == Transpose::None ? cols : rows;
+      const std::int64_t yl = tr == Transpose::None ? rows : cols;
+      auto hx = wl.vector<T>(xl);
+      auto hy = wl.vector<T>(yl);
+      auto x = make_buffer(dev, hx, 1);
+      auto y = make_buffer(dev, hy, 2 % dev.bank_count());
+      ctx.gemv<T>(tr, rows, cols, T(1.5), a, x, 1, T(0.5), y, 1);
+      auto ey = hy;
+      ref::gemv<T>(tr, T(1.5), MatrixView<const T>(ha.data(), rows, cols),
+                   VectorView<const T>(hx.data(), xl), T(0.5),
+                   VectorView<T>(ey.data(), yl));
+      EXPECT_LT(rel_error(y.to_host(), ey), 1e-4)
+          << "trans=" << int(tr) << " tiling=" << int(tiling);
+    }
+  }
+}
+
+TYPED_TEST(HostApi, GemvWithStridedVectors) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  ctx.config().width = 4;
+  ctx.config().tile_rows = 8;
+  ctx.config().tile_cols = 8;
+  Workload wl(515);
+  const std::int64_t rows = 12, cols = 10;
+  auto ha = wl.matrix<T>(rows, cols);
+  // x strided by 2, y strided by 3.
+  auto hx = wl.vector<T>(2 * cols);
+  auto hy = wl.vector<T>(3 * rows);
+  auto a = make_buffer(dev, ha);
+  auto x = make_buffer(dev, hx, 1);
+  auto y = make_buffer(dev, hy, 1);
+  ctx.gemv<T>(Transpose::None, rows, cols, T(2), a, x, 2, T(1), y, 3);
+  auto ey = hy;
+  ref::gemv<T>(Transpose::None, T(2),
+               MatrixView<const T>(ha.data(), rows, cols),
+               VectorView<const T>(hx.data(), cols, 2), T(1),
+               VectorView<T>(ey.data(), rows, 3));
+  EXPECT_LT(rel_error(y.to_host(), ey), 1e-4);
+  // Elements between the strides are untouched.
+  const auto out = y.to_host();
+  for (std::int64_t i = 0; i < rows; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(3 * i + 1)],
+              hy[static_cast<std::size_t>(3 * i + 1)]);
+  }
+}
+
+TYPED_TEST(HostApi, TrsvAllOrientations) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  ctx.config().width = 4;
+  Workload wl(505);
+  const std::int64_t n = 24;
+  for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+    for (Transpose tr : {Transpose::None, Transpose::Trans}) {
+      for (Diag dg : {Diag::NonUnit, Diag::Unit}) {
+        auto ha = wl.triangular<T>(n, uplo, dg);
+        auto xref = wl.vector<T>(n);
+        std::vector<T> hb(n, T(0));
+        ref::gemv<T>(tr, T(1), MatrixView<const T>(ha.data(), n, n),
+                     VectorView<const T>(xref.data(), n), T(0),
+                     VectorView<T>(hb.data(), n));
+        auto a = make_buffer(dev, ha);
+        auto x = make_buffer(dev, hb, 1);
+        ctx.trsv<T>(uplo, tr, dg, n, a, x);
+        EXPECT_LT(rel_error(x.to_host(), xref), 1e-3)
+            << "uplo=" << int(uplo) << " tr=" << int(tr) << " dg=" << int(dg);
+      }
+    }
+  }
+}
+
+TYPED_TEST(HostApi, GerSyrSyr2) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  ctx.config().width = 4;
+  ctx.config().tile_rows = 8;
+  ctx.config().tile_cols = 8;
+  Workload wl(506);
+  const std::int64_t n = 20;
+  auto ha = wl.matrix<T>(n, n);
+  auto hx = wl.vector<T>(n);
+  auto hy = wl.vector<T>(n);
+  auto x = make_buffer(dev, hx, 1);
+  auto y = make_buffer(dev, hy, 1);
+
+  {
+    auto a = make_buffer(dev, ha);
+    ctx.ger<T>(n, n, T(0.5), x, 1, y, 1, a);
+    auto ea = ha;
+    ref::ger<T>(T(0.5), VectorView<const T>(hx.data(), n),
+                VectorView<const T>(hy.data(), n),
+                MatrixView<T>(ea.data(), n, n));
+    EXPECT_LT(rel_error(a.to_host(), ea), 1e-4);
+  }
+  for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+    auto a = make_buffer(dev, ha);
+    ctx.syr<T>(uplo, n, T(2), x, 1, a);
+    auto ea = ha;
+    ref::syr<T>(uplo, T(2), VectorView<const T>(hx.data(), n),
+                MatrixView<T>(ea.data(), n, n));
+    EXPECT_LT(rel_error(a.to_host(), ea), 1e-4) << "syr uplo=" << int(uplo);
+
+    auto a2 = make_buffer(dev, ha);
+    ctx.syr2<T>(uplo, n, T(1.5), x, 1, y, 1, a2);
+    auto ea2 = ha;
+    ref::syr2<T>(uplo, T(1.5), VectorView<const T>(hx.data(), n),
+                 VectorView<const T>(hy.data(), n),
+                 MatrixView<T>(ea2.data(), n, n));
+    EXPECT_LT(rel_error(a2.to_host(), ea2), 1e-4) << "syr2 uplo=" << int(uplo);
+  }
+}
+
+TYPED_TEST(HostApi, GemmAllTransposes) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  ctx.config().pe_rows = 2;
+  ctx.config().pe_cols = 2;
+  ctx.config().gemm_tile_rows = 8;
+  ctx.config().gemm_tile_cols = 8;
+  Workload wl(507);
+  const std::int64_t m = 20, n = 12, k = 16;
+  auto hc = wl.matrix<T>(m, n);
+  for (Transpose ta : {Transpose::None, Transpose::Trans}) {
+    for (Transpose tb : {Transpose::None, Transpose::Trans}) {
+      auto hA = ta == Transpose::None ? wl.matrix<T>(m, k) : wl.matrix<T>(k, m);
+      auto hB = tb == Transpose::None ? wl.matrix<T>(k, n) : wl.matrix<T>(n, k);
+      auto a = make_buffer(dev, hA);
+      auto b = make_buffer(dev, hB, 1);
+      auto c = make_buffer(dev, hc, 2 % dev.bank_count());
+      ctx.gemm<T>(ta, tb, m, n, k, T(1.25), a, b, T(0.75), c);
+      auto ec = hc;
+      ref::gemm<T>(ta, tb, T(1.25),
+                   MatrixView<const T>(hA.data(),
+                                       ta == Transpose::None ? m : k,
+                                       ta == Transpose::None ? k : m),
+                   MatrixView<const T>(hB.data(),
+                                       tb == Transpose::None ? k : n,
+                                       tb == Transpose::None ? n : k),
+                   T(0.75), MatrixView<T>(ec.data(), m, n));
+      EXPECT_LT(rel_error(c.to_host(), ec), 1e-4)
+          << "ta=" << int(ta) << " tb=" << int(tb);
+    }
+  }
+}
+
+TYPED_TEST(HostApi, SyrkAndSyr2k) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  ctx.config().pe_rows = 2;
+  ctx.config().pe_cols = 2;
+  ctx.config().gemm_tile_rows = 4;
+  ctx.config().gemm_tile_cols = 4;
+  Workload wl(508);
+  const std::int64_t n = 12, k = 8;
+  for (Transpose tr : {Transpose::None, Transpose::Trans}) {
+    auto hA = tr == Transpose::None ? wl.matrix<T>(n, k) : wl.matrix<T>(k, n);
+    auto hB = tr == Transpose::None ? wl.matrix<T>(n, k) : wl.matrix<T>(k, n);
+    auto hc = wl.matrix<T>(n, n);
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      auto a = make_buffer(dev, hA);
+      auto c = make_buffer(dev, hc, 1);
+      ctx.syrk<T>(uplo, tr, n, k, T(2), a, T(0.5), c);
+      auto ec = hc;
+      ref::syrk<T>(uplo, tr, T(2),
+                   MatrixView<const T>(hA.data(),
+                                       tr == Transpose::None ? n : k,
+                                       tr == Transpose::None ? k : n),
+                   T(0.5), MatrixView<T>(ec.data(), n, n));
+      // Compare the uplo triangle; the opposite one must be untouched.
+      MatrixView<T> E(ec.data(), n, n);
+      auto out = c.to_host();
+      MatrixView<T> O(out.data(), n, n);
+      MatrixView<T> H(hc.data(), n, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          const bool tri = uplo == Uplo::Lower ? j <= i : j >= i;
+          EXPECT_NEAR(O(i, j), tri ? E(i, j) : H(i, j), 1e-3)
+              << "syrk " << i << "," << j;
+        }
+      }
+
+      auto b = make_buffer(dev, hB);
+      auto c2 = make_buffer(dev, hc, 1);
+      ctx.syr2k<T>(uplo, tr, n, k, T(1.5), a, b, T(0.25), c2);
+      auto ec2 = hc;
+      ref::syr2k<T>(uplo, tr, T(1.5),
+                    MatrixView<const T>(hA.data(),
+                                        tr == Transpose::None ? n : k,
+                                        tr == Transpose::None ? k : n),
+                    MatrixView<const T>(hB.data(),
+                                        tr == Transpose::None ? n : k,
+                                        tr == Transpose::None ? k : n),
+                    T(0.25), MatrixView<T>(ec2.data(), n, n));
+      auto out2 = c2.to_host();
+      MatrixView<T> O2(out2.data(), n, n);
+      MatrixView<T> E2(ec2.data(), n, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          const bool tri = uplo == Uplo::Lower ? j <= i : j >= i;
+          EXPECT_NEAR(O2(i, j), tri ? E2(i, j) : H(i, j), 1e-3)
+              << "syr2k " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(HostApi, TrsmAllSidesUplosTransposes) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  ctx.config().width = 8;
+  Workload wl(509);
+  const std::int64_t m = 12, n = 8;
+  for (Side side : {Side::Left, Side::Right}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      for (Transpose tr : {Transpose::None, Transpose::Trans}) {
+        for (Diag dg : {Diag::NonUnit, Diag::Unit}) {
+          const std::int64_t na = side == Side::Left ? m : n;
+          auto ha = wl.triangular<T>(na, uplo, dg);
+          auto hb = wl.matrix<T>(m, n);
+          auto expect = hb;
+          ref::trsm<T>(side, uplo, tr, dg, T(1.5),
+                       MatrixView<const T>(ha.data(), na, na),
+                       MatrixView<T>(expect.data(), m, n));
+          auto a = make_buffer(dev, ha);
+          auto b = make_buffer(dev, hb, 1);
+          ctx.trsm<T>(side, uplo, tr, dg, m, n, T(1.5), a, b);
+          EXPECT_LT(rel_error(b.to_host(), expect), 1e-3)
+              << "side=" << int(side) << " uplo=" << int(uplo)
+              << " tr=" << int(tr) << " dg=" << int(dg);
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(HostApi, SymvInTermsOfGemv) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  ctx.config().width = 8;
+  Workload wl(512);
+  const std::int64_t n = 24;
+  // Build a symmetric matrix; store only one triangle in the buffer the
+  // call reads (the other triangle holds garbage to prove it is ignored).
+  auto full = wl.matrix<T>(n, n);
+  MatrixView<T> F(full.data(), n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) F(j, i) = F(i, j);
+  }
+  for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+    auto stored = full;
+    MatrixView<T> S(stored.data(), n, n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const bool keep = uplo == Uplo::Lower ? j <= i : j >= i;
+        if (!keep) S(i, j) = T(99);  // garbage in the unstored triangle
+      }
+    }
+    auto hx = wl.vector<T>(n);
+    auto hy = wl.vector<T>(n);
+    auto a = make_buffer(dev, stored);
+    auto x = make_buffer(dev, hx, 1);
+    auto y = make_buffer(dev, hy, 1);
+    ctx.symv<T>(uplo, n, T(1.5), a, x, 1, T(0.5), y, 1);
+    auto expect = hy;
+    ref::gemv<T>(Transpose::None, T(1.5),
+                 MatrixView<const T>(full.data(), n, n),
+                 VectorView<const T>(hx.data(), n), T(0.5),
+                 VectorView<T>(expect.data(), n));
+    EXPECT_LT(rel_error(y.to_host(), expect), 1e-4) << "uplo=" << int(uplo);
+  }
+}
+
+TYPED_TEST(HostApi, TrmvInTermsOfGemv) {
+  using T = TypeParam;
+  Device dev;
+  Context ctx(dev);
+  ctx.config().width = 8;
+  Workload wl(513);
+  const std::int64_t n = 16;
+  for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+    for (Transpose tr : {Transpose::None, Transpose::Trans}) {
+      for (Diag dg : {Diag::NonUnit, Diag::Unit}) {
+        auto ha = wl.triangular<T>(n, uplo, dg);
+        auto hx = wl.vector<T>(n);
+        auto a = make_buffer(dev, ha);
+        auto x = make_buffer(dev, hx, 1);
+        ctx.trmv<T>(uplo, tr, dg, n, a, x);
+        // Oracle: dense gemv on the (unit-adjusted) triangle.
+        auto dense = ha;
+        if (dg == Diag::Unit) {
+          MatrixView<T> D(dense.data(), n, n);
+          for (std::int64_t i = 0; i < n; ++i) D(i, i) = T(1);
+        }
+        std::vector<T> expect(n, T(0));
+        ref::gemv<T>(tr, T(1), MatrixView<const T>(dense.data(), n, n),
+                     VectorView<const T>(hx.data(), n), T(0),
+                     VectorView<T>(expect.data(), n));
+        EXPECT_LT(rel_error(x.to_host(), expect), 1e-4)
+            << "uplo=" << int(uplo) << " tr=" << int(tr)
+            << " dg=" << int(dg);
+      }
+    }
+  }
+}
+
+TEST(HostApiCycles, CycleModeRecordsTime) {
+  Device dev;
+  Context ctx(dev, stream::Mode::Cycle);
+  ctx.config().width = 16;
+  Workload wl(510);
+  const std::int64_t n = 4096;
+  auto hx = wl.vector<float>(n);
+  auto hy = wl.vector<float>(n);
+  auto x = make_buffer(dev, hx, 0);
+  auto y = make_buffer(dev, hy, 1);
+  const float d = ctx.dot<float>(n, x, 1, y, 1);
+  const float ed = ref::dot<float>(VectorView<const float>(hx.data(), n),
+                                   VectorView<const float>(hy.data(), n));
+  EXPECT_NEAR(d, ed, 1e-2);
+  // At W=16 with two separate banks the module needs >= n/16 cycles.
+  EXPECT_GE(ctx.last_cycles(), static_cast<std::uint64_t>(n / 16));
+  EXPECT_LE(ctx.last_cycles(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(ctx.total_cycles(), ctx.last_cycles());
+}
+
+TEST(HostApiCycles, SameBankContentionSlowsDown) {
+  // dot with x and y on the same bank halves the effective read rate —
+  // the effect behind the AXPYDOT host-layer slowdown (Sec. VI-C).
+  Workload wl(511);
+  const std::int64_t n = 1 << 14;
+  auto hx = wl.vector<float>(n);
+  auto hy = wl.vector<float>(n);
+  auto run = [&](int bank_y) {
+    Device dev;
+    Context ctx(dev, stream::Mode::Cycle);
+    ctx.config().width = 64;  // wide enough to be memory bound
+    auto x = make_buffer(dev, hx, 0);
+    auto y = make_buffer(dev, hy, bank_y);
+    ctx.dot<float>(n, x, 1, y, 1);
+    return ctx.last_cycles();
+  };
+  const auto separate = run(1);
+  const auto shared = run(0);
+  EXPECT_GT(static_cast<double>(shared) / static_cast<double>(separate), 1.5);
+}
+
+}  // namespace
+}  // namespace fblas::host

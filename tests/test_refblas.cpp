@@ -1,0 +1,421 @@
+// Unit and property tests for the reference CPU BLAS (the oracle).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/workload.hpp"
+#include "refblas/batched.hpp"
+#include "refblas/level1.hpp"
+#include "refblas/level2.hpp"
+#include "refblas/level3.hpp"
+
+namespace fblas::ref {
+namespace {
+
+template <typename T>
+VectorView<const T> cview(const std::vector<T>& v) {
+  return VectorView<const T>(v.data(), static_cast<std::int64_t>(v.size()));
+}
+template <typename T>
+VectorView<T> view(std::vector<T>& v) {
+  return VectorView<T>(v.data(), static_cast<std::int64_t>(v.size()));
+}
+
+template <typename T>
+class RefLevel1 : public ::testing::Test {};
+using Precisions = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(RefLevel1, Precisions);
+
+TYPED_TEST(RefLevel1, RotgZeroesSecondComponent) {
+  using T = TypeParam;
+  Workload wl(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    T a = static_cast<T>(wl.uniform(-10, 10));
+    T b = static_cast<T>(wl.uniform(-10, 10));
+    const T a0 = a, b0 = b;
+    auto g = rotg(a, b);
+    EXPECT_NEAR(g.c * g.c + g.s * g.s, 1.0, 1e-5);
+    // Rotation applied to the original pair gives (r, 0).
+    EXPECT_NEAR(g.c * a0 + g.s * b0, a, 2e-5 * (std::abs(a) + 1));
+    EXPECT_NEAR(-g.s * a0 + g.c * b0, 0.0, 2e-5 * (std::abs(a0) + std::abs(b0) + 1));
+  }
+}
+
+TYPED_TEST(RefLevel1, RotgZeroInput) {
+  using T = TypeParam;
+  T a = 0, b = 0;
+  auto g = rotg(a, b);
+  EXPECT_EQ(g.c, T(1));
+  EXPECT_EQ(g.s, T(0));
+}
+
+TYPED_TEST(RefLevel1, RotmgProducesZeroingTransform) {
+  using T = TypeParam;
+  Workload wl(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    T d1 = static_cast<T>(wl.uniform(0.1, 4));
+    T d2 = static_cast<T>(wl.uniform(0.1, 4));
+    T x1 = static_cast<T>(wl.uniform(-2, 2));
+    T y1 = static_cast<T>(wl.uniform(-2, 2));
+    if (std::abs(x1) < 0.05 || std::abs(y1) < 0.05) continue;
+    const T d1i = d1, d2i = d2, x1i = x1;
+    auto p = rotmg(d1, d2, x1, y1);
+    ASSERT_NE(p.flag, T(-2));
+    // Expand H per flag and check the defining identities:
+    T h11, h12, h21, h22;
+    if (p.flag == T(-1)) {
+      h11 = p.h11; h12 = p.h12; h21 = p.h21; h22 = p.h22;
+    } else if (p.flag == T(0)) {
+      h11 = T(1); h12 = p.h12; h21 = p.h21; h22 = T(1);
+    } else {
+      h11 = p.h11; h12 = T(1); h21 = T(-1); h22 = p.h22;
+    }
+    // (1) Second component is annihilated: h21*x1 + h22*y1 == 0.
+    EXPECT_NEAR(h21 * x1i + h22 * y1, 0.0, 1e-4);
+    // (2) First component is x1' as returned.
+    EXPECT_NEAR(h11 * x1i + h12 * y1, x1, 1e-4 * (std::abs(x1) + 1));
+    // (3) Weighted norm preserved: d1'*x1'^2 == d1*x1^2 + d2*y1^2.
+    EXPECT_NEAR(d1 * x1 * x1, d1i * x1i * x1i + d2i * y1 * y1,
+                1e-3 * (std::abs(d1 * x1 * x1) + 1));
+  }
+}
+
+TYPED_TEST(RefLevel1, RotmgZeroY) {
+  using T = TypeParam;
+  T d1 = 1, d2 = 1, x1 = 2;
+  auto p = rotmg(d1, d2, x1, T(0));
+  EXPECT_EQ(p.flag, T(-2));  // identity transform
+}
+
+TYPED_TEST(RefLevel1, RotAppliesPlaneRotation) {
+  using T = TypeParam;
+  std::vector<T> x{1, 0, 2}, y{0, 1, 2};
+  rot<T>(view(x), view(y), T(0), T(1));  // 90-degree rotation
+  EXPECT_NEAR(x[0], 0, 1e-6);
+  EXPECT_NEAR(y[0], -1, 1e-6);
+  EXPECT_NEAR(x[1], 1, 1e-6);
+  EXPECT_NEAR(y[1], 0, 1e-6);
+}
+
+TYPED_TEST(RefLevel1, RotmFlagMinus2IsIdentity) {
+  using T = TypeParam;
+  std::vector<T> x{1, 2}, y{3, 4};
+  RotmParam<T> p{T(-2), 9, 9, 9, 9};
+  rotm<T>(view(x), view(y), p);
+  EXPECT_EQ(x, (std::vector<T>{1, 2}));
+  EXPECT_EQ(y, (std::vector<T>{3, 4}));
+}
+
+TYPED_TEST(RefLevel1, SwapScalCopyAxpy) {
+  using T = TypeParam;
+  std::vector<T> x{1, 2, 3}, y{4, 5, 6};
+  swap<T>(view(x), view(y));
+  EXPECT_EQ(x, (std::vector<T>{4, 5, 6}));
+  scal<T>(T(2), view(x));
+  EXPECT_EQ(x, (std::vector<T>{8, 10, 12}));
+  std::vector<T> z(3);
+  copy<T>(cview(x), view(z));
+  EXPECT_EQ(z, x);
+  axpy<T>(T(-1), cview(x), view(z));
+  EXPECT_EQ(z, (std::vector<T>{0, 0, 0}));
+}
+
+TYPED_TEST(RefLevel1, DotNrm2Asum) {
+  using T = TypeParam;
+  std::vector<T> x{3, 4}, y{1, 2};
+  EXPECT_NEAR(dot<T>(cview(x), cview(y)), 11.0, 1e-6);
+  EXPECT_NEAR(nrm2<T>(cview(x)), 5.0, 1e-6);
+  std::vector<T> z{-1, 2, -3};
+  EXPECT_NEAR(asum<T>(cview(z)), 6.0, 1e-6);
+}
+
+TYPED_TEST(RefLevel1, Nrm2AvoidsOverflow) {
+  using T = TypeParam;
+  const T big = std::numeric_limits<T>::max() / T(4);
+  std::vector<T> x{big, big};
+  const T n = nrm2<T>(cview(x));
+  EXPECT_TRUE(std::isfinite(n));
+  EXPECT_NEAR(n / big, std::sqrt(2.0), 1e-5);
+}
+
+TYPED_TEST(RefLevel1, Iamax) {
+  using T = TypeParam;
+  std::vector<T> x{1, -7, 3, 7};
+  EXPECT_EQ(iamax<T>(cview(x)), 1);  // first maximal |.| wins
+  std::vector<T> empty;
+  EXPECT_EQ(iamax<T>(cview(empty)), -1);
+}
+
+TEST(RefLevel1, SdsdotAccumulatesInDouble) {
+  // Values chosen so float accumulation loses the small term.
+  std::vector<float> x{1e8f, 1.0f}, y{1.0f, 1.0f};
+  const float r = sdsdot(0.0f, cview(x), cview(y));
+  EXPECT_FLOAT_EQ(r, static_cast<float>(1e8 + 1.0));
+}
+
+TEST(RefLevel1, StridedVectorsRespected) {
+  std::vector<double> storage{1, -1, 2, -1, 3, -1};
+  VectorView<const double> x(storage.data(), 3, 2);  // 1, 2, 3
+  std::vector<double> y{1, 1, 1};
+  EXPECT_NEAR(dot<double>(x, cview(y)), 6.0, 1e-12);
+}
+
+// ---- Level 2 ----------------------------------------------------------------
+
+template <typename T>
+class RefLevel2 : public ::testing::Test {};
+TYPED_TEST_SUITE(RefLevel2, Precisions);
+
+TYPED_TEST(RefLevel2, GemvKnownValues) {
+  using T = TypeParam;
+  // A = [1 2; 3 4; 5 6] (3x2), x = [1; 1], y = [1; 1; 1]
+  std::vector<T> a{1, 2, 3, 4, 5, 6}, x{1, 1}, y{1, 1, 1};
+  gemv<T>(Transpose::None, T(2), MatrixView<const T>(a.data(), 3, 2),
+          cview(x), T(1), view(y));
+  EXPECT_EQ(y, (std::vector<T>{7, 15, 23}));  // 2*(A x) + y
+  std::vector<T> yt{0, 0};
+  std::vector<T> x3{1, 1, 1};
+  gemv<T>(Transpose::Trans, T(1), MatrixView<const T>(a.data(), 3, 2),
+          cview(x3), T(0), view(yt));
+  EXPECT_EQ(yt, (std::vector<T>{9, 12}));  // column sums
+}
+
+TYPED_TEST(RefLevel2, TrsvSolvesAllOrientations) {
+  using T = TypeParam;
+  Workload wl(21);
+  const std::int64_t n = 16;
+  for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+    for (Transpose tr : {Transpose::None, Transpose::Trans}) {
+      for (Diag dg : {Diag::NonUnit, Diag::Unit}) {
+        auto a = wl.triangular<T>(n, uplo, dg);
+        auto xref = wl.vector<T>(n);
+        // b = op(A) * xref, then solve and compare.
+        std::vector<T> b(n, T(0));
+        gemv<T>(tr, T(1), MatrixView<const T>(a.data(), n, n), cview(xref),
+                T(0), view(b));
+        trsv<T>(uplo, tr, dg, MatrixView<const T>(a.data(), n, n), view(b));
+        EXPECT_LT(rel_error(b, xref), 1e-4)
+            << "uplo=" << int(uplo) << " trans=" << int(tr)
+            << " diag=" << int(dg);
+      }
+    }
+  }
+}
+
+TYPED_TEST(RefLevel2, GerRankOneUpdate) {
+  using T = TypeParam;
+  std::vector<T> a(6, T(0)), x{1, 2}, y{3, 4, 5};
+  ger<T>(T(1), cview(x), cview(y), MatrixView<T>(a.data(), 2, 3));
+  EXPECT_EQ(a, (std::vector<T>{3, 4, 5, 6, 8, 10}));
+}
+
+TYPED_TEST(RefLevel2, SyrTouchesOnlyTriangle) {
+  using T = TypeParam;
+  std::vector<T> a(9, T(0)), x{1, 2, 3};
+  syr<T>(Uplo::Lower, T(1), cview(x), MatrixView<T>(a.data(), 3, 3));
+  MatrixView<T> A(a.data(), 3, 3);
+  EXPECT_EQ(A(2, 0), T(3));
+  EXPECT_EQ(A(2, 2), T(9));
+  EXPECT_EQ(A(0, 2), T(0));  // upper untouched
+}
+
+TYPED_TEST(RefLevel2, Syr2MatchesTwoGers) {
+  using T = TypeParam;
+  Workload wl(22);
+  const std::int64_t n = 8;
+  auto x = wl.vector<T>(n);
+  auto y = wl.vector<T>(n);
+  std::vector<T> a1(n * n, T(0)), a2(n * n, T(0));
+  syr2<T>(Uplo::Upper, T(2), cview(x), cview(y), MatrixView<T>(a1.data(), n, n));
+  ger<T>(T(2), cview(x), cview(y), MatrixView<T>(a2.data(), n, n));
+  ger<T>(T(2), cview(y), cview(x), MatrixView<T>(a2.data(), n, n));
+  MatrixView<T> A1(a1.data(), n, n), A2(a2.data(), n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i; j < n; ++j) {
+      EXPECT_NEAR(A1(i, j), A2(i, j), 1e-4);
+    }
+  }
+}
+
+// ---- Level 3 ----------------------------------------------------------------
+
+template <typename T>
+class RefLevel3 : public ::testing::Test {};
+TYPED_TEST_SUITE(RefLevel3, Precisions);
+
+TYPED_TEST(RefLevel3, GemmAllTransposes) {
+  using T = TypeParam;
+  Workload wl(31);
+  const std::int64_t m = 7, n = 9, k = 5;
+  auto c0 = wl.matrix<T>(m, n);
+  for (Transpose ta : {Transpose::None, Transpose::Trans}) {
+    for (Transpose tb : {Transpose::None, Transpose::Trans}) {
+      auto a = ta == Transpose::None ? wl.matrix<T>(m, k) : wl.matrix<T>(k, m);
+      auto b = tb == Transpose::None ? wl.matrix<T>(k, n) : wl.matrix<T>(n, k);
+      auto c = c0;
+      MatrixView<const T> A(a.data(), ta == Transpose::None ? m : k,
+                            ta == Transpose::None ? k : m);
+      MatrixView<const T> B(b.data(), tb == Transpose::None ? k : n,
+                            tb == Transpose::None ? n : k);
+      gemm<T>(ta, tb, T(1.5), A, B, T(0.5), MatrixView<T>(c.data(), m, n));
+      // Check one element by hand.
+      auto aa = [&](std::int64_t i, std::int64_t p) {
+        return ta == Transpose::None ? A(i, p) : A(p, i);
+      };
+      auto bb = [&](std::int64_t p, std::int64_t j) {
+        return tb == Transpose::None ? B(p, j) : B(j, p);
+      };
+      T expect = T(0.5) * c0[2 * n + 3];
+      T acc = T(0);
+      for (std::int64_t p = 0; p < k; ++p) acc += aa(2, p) * bb(p, 3);
+      expect += T(1.5) * acc;
+      EXPECT_NEAR(c[2 * n + 3], expect, 1e-4);
+    }
+  }
+}
+
+TYPED_TEST(RefLevel3, BlockedMatchesNaive) {
+  using T = TypeParam;
+  Workload wl(32);
+  const std::int64_t m = 33, n = 29, k = 41;  // deliberately non-multiples
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  auto c1 = wl.matrix<T>(m, n);
+  auto c2 = c1;
+  gemm<T>(Transpose::None, Transpose::None, T(1.25),
+          MatrixView<const T>(a.data(), m, k),
+          MatrixView<const T>(b.data(), k, n), T(0.75),
+          MatrixView<T>(c1.data(), m, n));
+  gemm_blocked<T>(T(1.25), MatrixView<const T>(a.data(), m, k),
+                  MatrixView<const T>(b.data(), k, n), T(0.75),
+                  MatrixView<T>(c2.data(), m, n), 16);
+  EXPECT_LT(rel_error(c2, c1), 1e-4);
+}
+
+TYPED_TEST(RefLevel3, SyrkMatchesGemm) {
+  using T = TypeParam;
+  Workload wl(33);
+  const std::int64_t n = 10, k = 6;
+  auto a = wl.matrix<T>(n, k);
+  std::vector<T> c1(n * n, T(0)), c2(n * n, T(0));
+  syrk<T>(Uplo::Lower, Transpose::None, T(2), MatrixView<const T>(a.data(), n, k),
+          T(0), MatrixView<T>(c1.data(), n, n));
+  // Full product via gemm for comparison on the lower triangle.
+  std::vector<T> at(k * n);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t p = 0; p < k; ++p) at[p * n + i] = a[i * k + p];
+  gemm<T>(Transpose::None, Transpose::None, T(2),
+          MatrixView<const T>(a.data(), n, k),
+          MatrixView<const T>(at.data(), k, n), T(0),
+          MatrixView<T>(c2.data(), n, n));
+  MatrixView<T> C1(c1.data(), n, n), C2(c2.data(), n, n);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j <= i; ++j)
+      EXPECT_NEAR(C1(i, j), C2(i, j), 1e-4);
+}
+
+TYPED_TEST(RefLevel3, Syr2kSymmetryAndValue) {
+  using T = TypeParam;
+  Workload wl(34);
+  const std::int64_t n = 8, k = 5;
+  auto a = wl.matrix<T>(n, k);
+  auto b = wl.matrix<T>(n, k);
+  std::vector<T> lo(n * n, T(0)), up(n * n, T(0));
+  syr2k<T>(Uplo::Lower, Transpose::None, T(1),
+           MatrixView<const T>(a.data(), n, k),
+           MatrixView<const T>(b.data(), n, k), T(0),
+           MatrixView<T>(lo.data(), n, n));
+  syr2k<T>(Uplo::Upper, Transpose::None, T(1),
+           MatrixView<const T>(a.data(), n, k),
+           MatrixView<const T>(b.data(), n, k), T(0),
+           MatrixView<T>(up.data(), n, n));
+  MatrixView<T> L(lo.data(), n, n), U(up.data(), n, n);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j <= i; ++j)
+      EXPECT_NEAR(L(i, j), U(j, i), 1e-4);  // the result is symmetric
+}
+
+TYPED_TEST(RefLevel3, TrsmAllSidesAndOrientations) {
+  using T = TypeParam;
+  Workload wl(35);
+  const std::int64_t m = 12, n = 9;
+  for (Side side : {Side::Left, Side::Right}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      for (Transpose tr : {Transpose::None, Transpose::Trans}) {
+        for (Diag dg : {Diag::NonUnit, Diag::Unit}) {
+          const std::int64_t na = side == Side::Left ? m : n;
+          auto a = wl.triangular<T>(na, uplo, dg);
+          auto xref = wl.matrix<T>(m, n);
+          // B = op(A) * X (left) or X * op(A) (right).
+          std::vector<T> bmat(m * n, T(0));
+          MatrixView<const T> A(a.data(), na, na);
+          MatrixView<const T> X(xref.data(), m, n);
+          MatrixView<T> B(bmat.data(), m, n);
+          if (side == Side::Left) {
+            gemm<T>(tr, Transpose::None, T(1), A, X, T(0), B);
+          } else {
+            gemm<T>(Transpose::None, tr, T(1), X, A, T(0), B);
+          }
+          trsm<T>(side, uplo, tr, dg, T(1), A, MatrixView<T>(bmat.data(), m, n));
+          EXPECT_LT(rel_error(bmat, xref), 1e-3)
+              << "side=" << int(side) << " uplo=" << int(uplo)
+              << " trans=" << int(tr) << " diag=" << int(dg);
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(RefLevel3, TrsmAppliesAlpha) {
+  using T = TypeParam;
+  // A = I: solution is just alpha * B.
+  std::vector<T> a{1, 0, 0, 1};
+  std::vector<T> b{2, 4, 6, 8};
+  trsm<T>(Side::Left, Uplo::Lower, Transpose::None, Diag::NonUnit, T(0.5),
+          MatrixView<const T>(a.data(), 2, 2), MatrixView<T>(b.data(), 2, 2));
+  EXPECT_EQ(b, (std::vector<T>{1, 2, 3, 4}));
+}
+
+// ---- Batched ----------------------------------------------------------------
+
+TYPED_TEST(RefLevel3, BatchedGemmMatchesLoop) {
+  using T = TypeParam;
+  Workload wl(36);
+  const std::int64_t batch = 10, n = 4;
+  auto a = wl.vector<T>(batch * n * n);
+  auto b = wl.vector<T>(batch * n * n);
+  std::vector<T> c1(batch * n * n, T(0)), c2(batch * n * n, T(0));
+  gemm_batched<T>(batch, n, T(1), a.data(), b.data(), T(0), c1.data());
+  for (std::int64_t i = 0; i < batch; ++i) {
+    gemm<T>(Transpose::None, Transpose::None, T(1),
+            MatrixView<const T>(a.data() + i * n * n, n, n),
+            MatrixView<const T>(b.data() + i * n * n, n, n), T(0),
+            MatrixView<T>(c2.data() + i * n * n, n, n));
+  }
+  EXPECT_EQ(c1, c2);
+}
+
+TYPED_TEST(RefLevel3, BatchedTrsmSolves) {
+  using T = TypeParam;
+  Workload wl(37);
+  const std::int64_t batch = 6, n = 4;
+  std::vector<T> a, xref, bmat;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    auto ai = wl.triangular<T>(n, Uplo::Lower, Diag::NonUnit);
+    auto xi = wl.matrix<T>(n, n);
+    std::vector<T> bi(n * n, T(0));
+    gemm<T>(Transpose::None, Transpose::None, T(1),
+            MatrixView<const T>(ai.data(), n, n),
+            MatrixView<const T>(xi.data(), n, n), T(0),
+            MatrixView<T>(bi.data(), n, n));
+    a.insert(a.end(), ai.begin(), ai.end());
+    xref.insert(xref.end(), xi.begin(), xi.end());
+    bmat.insert(bmat.end(), bi.begin(), bi.end());
+  }
+  trsm_batched<T>(batch, n, T(1), a.data(), bmat.data());
+  EXPECT_LT(rel_error(bmat, xref), 1e-3);
+}
+
+}  // namespace
+}  // namespace fblas::ref

@@ -1,0 +1,327 @@
+// Tests for the device database and the space/time models, checked
+// against the paper's published numbers (Tables I-III, Sec. IV formulas).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/workload.hpp"
+#include "fblas/level3.hpp"
+#include "sim/device.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+#include "sim/frequency_model.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/power_model.hpp"
+#include "sim/resource_model.hpp"
+#include "sim/work_depth.hpp"
+
+namespace fblas::sim {
+namespace {
+
+TEST(Device, TableIIValues) {
+  const auto& a = arria10();
+  EXPECT_EQ(a.alm_total, 427'000);
+  EXPECT_EQ(a.dsp_avail, 1518);
+  EXPECT_EQ(a.ddr_banks, 2);
+  EXPECT_FALSE(a.has_hyperflex);
+  const auto& s = stratix10();
+  EXPECT_EQ(s.alm_avail, 692'000);
+  EXPECT_EQ(s.m20k_avail, 8'900);
+  EXPECT_EQ(s.dsp_avail, 4'468);
+  EXPECT_EQ(s.ddr_banks, 4);
+  EXPECT_TRUE(s.has_hyperflex);
+  EXPECT_FALSE(s.hardened_double);
+  EXPECT_NEAR(s.total_bandwidth_gbs(), 76.8, 1e-9);
+}
+
+TEST(Device, NameLookup) {
+  EXPECT_EQ(device_from_name("arria10"), DeviceId::Arria10);
+  EXPECT_EQ(device_from_name("stratix"), DeviceId::Stratix10);
+  EXPECT_THROW(device_from_name("virtex"), ConfigError);
+  EXPECT_EQ(&device(DeviceId::Stratix10), &stratix10());
+}
+
+TEST(WorkDepth, ScalIsMapClass) {
+  // Sec. IV-A: SCAL has AW = N, AD = LM; CW = W, CD = LM.
+  const auto wd = analyze(RoutineKind::Scal, Precision::Single, 4, 1000,
+                          stratix10());
+  EXPECT_DOUBLE_EQ(wd.app_work, 1000);
+  EXPECT_DOUBLE_EQ(wd.app_depth, 6);
+  EXPECT_DOUBLE_EQ(wd.circuit_work, 4);
+  EXPECT_DOUBLE_EQ(wd.circuit_depth, 6);
+}
+
+TEST(WorkDepth, DotIsMapReduceClass) {
+  // DOT: AW = 2N-1, AD = log2(N) LA + LM; CW = 2W, CD = log2(W) LA + LM.
+  const auto wd = analyze(RoutineKind::Dot, Precision::Single, 4, 1024,
+                          stratix10());
+  EXPECT_DOUBLE_EQ(wd.app_work, 2047);
+  EXPECT_DOUBLE_EQ(wd.app_depth, 10 * 6 + 6);
+  EXPECT_DOUBLE_EQ(wd.circuit_work, 8);
+  EXPECT_DOUBLE_EQ(wd.circuit_depth, 2 * 6 + 6);
+}
+
+TEST(WorkDepth, DoubleIsDeeper) {
+  const auto s = analyze(RoutineKind::Dot, Precision::Single, 16, 1 << 20,
+                         stratix10());
+  const auto d = analyze(RoutineKind::Dot, Precision::Double, 16, 1 << 20,
+                         stratix10());
+  EXPECT_GT(d.circuit_depth, s.circuit_depth);
+}
+
+TEST(WorkDepth, PipelineCycleModel) {
+  // C = L + I*M with I = 1.
+  EXPECT_DOUBLE_EQ(pipeline_cycles(50, 1000), 1050);
+}
+
+TEST(ResourceModel, Table1ScalScaling) {
+  // Table I: SCAL LUT = 49 CW, FF = 96 CW, DSP = CW, latency 50.
+  for (int w : {2, 4, 8, 16, 32, 64}) {
+    const auto c = table1_circuit(RoutineKind::Scal, w, stratix10());
+    EXPECT_DOUBLE_EQ(c.luts, 49.0 * w);
+    EXPECT_DOUBLE_EQ(c.ffs, 96.0 * w);
+    EXPECT_DOUBLE_EQ(c.dsps, w);
+    EXPECT_DOUBLE_EQ(c.latency_cycles, 50);
+  }
+}
+
+TEST(ResourceModel, Table1DotScaling) {
+  // Table I DOT @ W=2: 174 LUTs, 2 DSPs, latency ~82; latency grows
+  // logarithmically, resources linearly.
+  const auto w2 = table1_circuit(RoutineKind::Dot, 2, stratix10());
+  EXPECT_NEAR(w2.luts, 174, 5);
+  EXPECT_DOUBLE_EQ(w2.dsps, 2);
+  EXPECT_NEAR(w2.latency_cycles, 82, 1);
+  const auto w64 = table1_circuit(RoutineKind::Dot, 64, stratix10());
+  EXPECT_DOUBLE_EQ(w64.dsps, 64);
+  EXPECT_NEAR(w64.latency_cycles, 112, 8);  // paper: 105
+  // Linear resource growth.
+  EXPECT_NEAR(w64.luts - 102, (w2.luts - 102) * 32, 1);
+}
+
+TEST(ResourceModel, FullDesignInTableIIIBallpark) {
+  // Stratix SDOT W=256: paper reports 123.1K ALMs, 328 DSPs.
+  ModuleShape sdot{RoutineKind::Dot, Precision::Single, 256, 0, 0, 0, 0};
+  const auto r = estimate_design(sdot, stratix10());
+  EXPECT_NEAR(r.alms, 123'100, 15'000);
+  EXPECT_NEAR(r.dsps, 328, 80);
+  // DDOT W=128: 235.1K ALMs, 512 DSPs.
+  ModuleShape ddot{RoutineKind::Dot, Precision::Double, 128, 0, 0, 0, 0};
+  const auto rd = estimate_design(ddot, stratix10());
+  EXPECT_NEAR(rd.alms, 235'100, 25'000);
+  EXPECT_NEAR(rd.dsps, 542, 40);  // 4 DSPs per double lane + shell
+}
+
+TEST(ResourceModel, GemmDesignBallpark) {
+  // Stratix SGEMM 40x80, memory tile 480x960: 3270 DSPs, ~86% M20K.
+  ModuleShape sgemm{RoutineKind::Gemm, Precision::Single, 1, 480, 960, 40, 80};
+  const auto r = estimate_design(sgemm, stratix10());
+  EXPECT_NEAR(r.dsps, 3270, 100);
+  EXPECT_GT(r.m20ks / 8900.0, 0.3);
+  EXPECT_LT(utilization(r, stratix10()), 1.0);
+}
+
+TEST(ResourceModel, CheckFitsThrows) {
+  Resources r;
+  r.dsps = 10'000;  // more than any device has
+  EXPECT_THROW(check_fits(r, stratix10()), FitError);
+  r.dsps = 10;
+  EXPECT_NO_THROW(check_fits(r, arria10()));
+}
+
+TEST(ResourceModel, FeasibilityLimitsMatchPaper) {
+  // Double-precision DOT cannot route at W=256 but can at 128 (Sec. VI-B).
+  ModuleShape d{RoutineKind::Dot, Precision::Double, 256, 0, 0, 0, 0};
+  EXPECT_FALSE(place_and_route_feasible(d, stratix10()));
+  d.width = 128;
+  EXPECT_TRUE(place_and_route_feasible(d, stratix10()));
+  // Grid ceilings: 40x80 single routes on Stratix, 48x80 does not.
+  ModuleShape g{RoutineKind::Gemm, Precision::Single, 1, 480, 960, 40, 80};
+  EXPECT_TRUE(place_and_route_feasible(g, stratix10()));
+  g.pe_rows = 48;
+  EXPECT_FALSE(place_and_route_feasible(g, stratix10()));
+  // Arria double tops out at 16x8.
+  ModuleShape ad{RoutineKind::Gemm, Precision::Double, 1, 192, 96, 16, 16};
+  EXPECT_FALSE(place_and_route_feasible(ad, arria10()));
+  ad.pe_cols = 8;
+  EXPECT_TRUE(place_and_route_feasible(ad, arria10()));
+}
+
+TEST(FrequencyModel, HyperflexOnStratixLevel1) {
+  const auto f = module_frequency(RoutineKind::Dot, Precision::Single,
+                                  stratix10());
+  EXPECT_TRUE(f.hyperflex);
+  EXPECT_NEAR(f.mhz, 365, 15);
+  const auto fa = module_frequency(RoutineKind::Dot, Precision::Single,
+                                   arria10());
+  EXPECT_FALSE(fa.hyperflex);
+  EXPECT_NEAR(fa.mhz, 150, 10);
+}
+
+TEST(FrequencyModel, GemmFrequencyDropsWithGridSize) {
+  const auto big = gemm_frequency(40, 80, Precision::Single, stratix10());
+  const auto small = gemm_frequency(16, 16, Precision::Double, stratix10());
+  EXPECT_NEAR(big.mhz, 216, 15);    // Table III
+  EXPECT_NEAR(small.mhz, 260, 15);  // Table III
+  EXPECT_LT(big.mhz, small.mhz);
+  const auto arria_big = gemm_frequency(32, 32, Precision::Single, arria10());
+  EXPECT_NEAR(arria_big.mhz, 197, 15);
+}
+
+TEST(FrequencyModel, CompositionPenalty) {
+  const auto axpydot = composition_frequency(0, Precision::Single, stratix10());
+  EXPECT_NEAR(axpydot.mhz, 370, 10);  // Table VI
+  const auto bicg = composition_frequency(2, Precision::Single, stratix10());
+  EXPECT_NEAR(bicg.mhz, 230, 25);  // Table VI: 220-238
+  EXPECT_LT(bicg.mhz, axpydot.mhz);
+}
+
+TEST(PowerModel, BoardPowerInTableIIIRange) {
+  // Stratix designs draw ~59-71 W; Arria ~47-52 W.
+  ModuleShape sdot{RoutineKind::Dot, Precision::Single, 256, 0, 0, 0, 0};
+  const auto rs = estimate_design(sdot, stratix10());
+  const double ps = board_power_watts(rs, 358, stratix10());
+  EXPECT_GT(ps, 55);
+  EXPECT_LT(ps, 75);
+  const auto ra = estimate_design(sdot, arria10());
+  const double pa = board_power_watts(ra, 150, arria10());
+  EXPECT_GT(pa, 44);
+  EXPECT_LT(pa, 55);
+  EXPECT_LT(pa, ps);
+}
+
+TEST(PowerModel, CpuPowerInMammutRange) {
+  EXPECT_GT(cpu_power_watts(1, Precision::Single), 70);
+  EXPECT_LT(cpu_power_watts(3, Precision::Double), 90);
+  // FPGA uses ~30% less power than the CPU for the measured workloads.
+  ModuleShape sgemv{RoutineKind::Gemv, Precision::Single, 64, 2048, 2048, 0, 0};
+  const auto r = estimate_design(sgemv, stratix10());
+  const double fpga = board_power_watts(r, 347, stratix10());
+  const double cpu = cpu_power_watts(2, Precision::Single);
+  EXPECT_LT(fpga, cpu);
+}
+
+TEST(PerfModel, Level1CycleModel) {
+  // DOT at W=32 over N elements: C = CD + N/W.
+  const auto t = level1_timing(RoutineKind::Dot, Precision::Single, 32,
+                               1 << 20, stratix10());
+  const auto wd = analyze(RoutineKind::Dot, Precision::Single, 32, 1 << 20,
+                          stratix10());
+  EXPECT_DOUBLE_EQ(t.cycles, wd.circuit_depth + (1 << 20) / 32);
+  EXPECT_GT(t.gops, 0);
+  // Asymptotically the module hits the expected performance bar.
+  EXPECT_NEAR(t.gops / t.expected_gops, 1.0, 0.01);
+}
+
+TEST(PerfModel, ExpectedPerformanceScalesWithWidth) {
+  const auto w16 = level1_timing(RoutineKind::Dot, Precision::Single, 16,
+                                 100'000'000, stratix10());
+  const auto w256 = level1_timing(RoutineKind::Dot, Precision::Single, 256,
+                                  100'000'000, stratix10());
+  EXPECT_NEAR(w256.expected_gops / w16.expected_gops, 16.0, 0.01);
+  EXPECT_NEAR(w256.gops / w16.gops, 16.0, 0.1);
+}
+
+TEST(PerfModel, GemmPeakMatchesHeadline) {
+  // Stratix SGEMM 40x80 at ratio 12 approaches the expected performance
+  // and lands near the paper's 1.28 TFlop/s peak.
+  GemmShape shape{40, 80, 40 * 12, 80 * 12};
+  // Matrices of 5x the memory tile in each dimension (the Fig. 10 setup).
+  const auto t = gemm_timing(Precision::Single, shape, 5 * shape.tile_rows,
+                             5 * shape.tile_cols, 5 * shape.tile_rows,
+                             stratix10(), stratix10().bank_bandwidth_gbs);
+  EXPECT_FALSE(t.memory_bound);
+  EXPECT_GT(t.gops / t.expected_gops, 0.9);
+  EXPECT_NEAR(t.gops, 1280, 150);
+}
+
+TEST(PerfModel, GemmSmallRatioIsMemoryBound) {
+  GemmShape shape{40, 80, 40 * 3, 80 * 3};
+  const std::int64_t n = 5 * shape.tile_rows;
+  const auto t = gemm_timing(Precision::Single, shape, n, n, n, stratix10(),
+                             stratix10().bank_bandwidth_gbs);
+  EXPECT_TRUE(t.memory_bound);
+  EXPECT_LT(t.gops / t.expected_gops, 0.75);
+}
+
+TEST(PerfModel, GemmModelPinnedToCycleSimulation) {
+  // Same epistemic link as the GEMV pin: the tile model the Fig. 10
+  // benches extrapolate with must match the cycle simulator at a small
+  // scale (unthrottled memory).
+  fblas::Workload wl(209);
+  const std::int64_t n = 64;
+  auto a = wl.matrix<float>(n, n);
+  auto b = wl.matrix<float>(n, n);
+  const fblas::core::GemmConfig cfg{4, 4, 16, 16};
+  fblas::stream::Graph g(fblas::stream::Mode::Cycle);
+  auto& ca = g.channel<float>("A", 256);
+  auto& cb = g.channel<float>("B", 256);
+  auto& cc = g.channel<float>("Cin", 4);
+  auto& out = g.channel<float>("out", 256);
+  g.spawn("read_A", fblas::core::read_a_gemm<float>(
+                        fblas::MatrixView<const float>(a.data(), n, n), cfg,
+                        n, ca));
+  g.spawn("read_B", fblas::core::read_b_gemm<float>(
+                        fblas::MatrixView<const float>(b.data(), n, n), cfg,
+                        n, cb));
+  g.spawn("gemm", fblas::core::gemm<float>(cfg, n, n, n, 1.0f, 0.0f, ca, cb,
+                                           cc, out));
+  g.spawn("sink", fblas::stream::sink<float>(n * n, cfg.pe_cols, out));
+  g.run();
+  const GemmShape shape{4, 4, 16, 16};
+  const auto model = gemm_timing(Precision::Single, shape, n, n, n,
+                                 stratix10(), 1e6);
+  EXPECT_NEAR(static_cast<double>(g.cycles()) / model.cycles, 1.0, 0.05);
+}
+
+TEST(PerfModel, OptimalWidthFormulas) {
+  // Sec. IV-B: W = ceil(B / (2 S F)) for DOT.
+  // B = 19.2 GB/s, F = 300 MHz, S = 4: W = ceil(19.2e9 / (2*4*3e8)) = 8.
+  EXPECT_EQ(optimal_width(19.2, 300, 4, 2), 8);
+  EXPECT_EQ(optimal_width(19.2, 300, 4, 1), 16);
+  // The tiled refinement approaches B/(F*S) = 16 for large tiles.
+  EXPECT_EQ(optimal_width_tiled(19.2, 300, 4, 1024, 1024), 16);
+  // Tiny tiles gain almost nothing.
+  EXPECT_LT(optimal_width_tiled(19.2, 300, 4, 1, 1), 16);
+}
+
+TEST(PerfModel, MemoryBoundTiming) {
+  // 1M compute cycles vs I/O that needs 2M cycles: I/O wins.
+  const auto t = memory_bound_timing(1e6, 300, 1e6, 8e6, 4, 19.2 * 0.5, false);
+  EXPECT_TRUE(t.memory_bound);
+  EXPECT_GT(t.cycles, 9.9e5);
+}
+
+TEST(PerfModel, TrsvPaysDependencyLatency) {
+  // TRSV cannot hide the substitution dependency: its cycles exceed the
+  // pure element count, and the gap grows linearly in n.
+  const auto t = trsv_timing(Precision::Single, 8, 1024, stratix10());
+  const double elem_cycles = 1024.0 * 1025.0 / 2.0 / 8.0;
+  EXPECT_GT(t.cycles, elem_cycles);
+  EXPECT_NEAR(t.cycles - elem_cycles, 1024.0 * 12.0, 1.0);
+  // Double precision doubles the chain latency.
+  const auto d = trsv_timing(Precision::Double, 8, 1024, stratix10());
+  EXPECT_GT(d.cycles, t.cycles);
+  EXPECT_THROW(trsv_timing(Precision::Single, 0, 8, stratix10()),
+               ConfigError);
+}
+
+TEST(PerfModel, BatchedUnrolledShape) {
+  // Table V shape: FPGA batched GEMM-4 single precision beats the CPU at
+  // large batch counts; time grows roughly linearly with batch.
+  const auto t8k = batched_unrolled_timing(RoutineKind::Gemm,
+                                           Precision::Single, 4, 8192,
+                                           stratix10());
+  const auto t32k = batched_unrolled_timing(RoutineKind::Gemm,
+                                            Precision::Single, 4, 32768,
+                                            stratix10());
+  EXPECT_GT(t32k.seconds, t8k.seconds);
+  EXPECT_LT(t32k.seconds, 4 * t8k.seconds);  // amortized launch overhead
+  EXPECT_NEAR(t8k.seconds * 1e6, 144.7, 60);   // paper: 144.7 usec
+  EXPECT_NEAR(t32k.seconds * 1e6, 275.3, 120); // paper: 275.3 usec
+  EXPECT_THROW(batched_unrolled_timing(RoutineKind::Dot, Precision::Single,
+                                       4, 8, stratix10()),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace fblas::sim

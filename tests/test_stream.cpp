@@ -1,0 +1,403 @@
+// Unit tests for the streaming runtime: channels, scheduler modes,
+// deadlock detection, DRAM bank metering, tile walker, streamers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/workload.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+
+namespace fblas::stream {
+namespace {
+
+// A trivial pass-through module used by several tests.
+template <typename T>
+Task passthrough(std::int64_t n, int width, Channel<T>& in, Channel<T>& out) {
+  std::int64_t idx = 0;
+  while (idx < n) {
+    const std::int64_t batch = std::min<std::int64_t>(width, n - idx);
+    for (std::int64_t k = 0; k < batch; ++k) {
+      T v = co_await in.pop();
+      co_await out.push(std::move(v));
+    }
+    idx += batch;
+    co_await next_cycle();
+  }
+}
+
+TEST(Channel, FifoOrderAndStats) {
+  Graph g;
+  auto& ch = g.channel<int>("c", 4);
+  EXPECT_TRUE(ch.try_put(1));
+  EXPECT_TRUE(ch.try_put(2));
+  int v = 0;
+  EXPECT_TRUE(ch.try_take(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ch.try_take(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(ch.try_take(v));
+  EXPECT_EQ(ch.total_pushed(), 2u);
+  EXPECT_EQ(ch.total_popped(), 2u);
+  EXPECT_EQ(ch.peak_occupancy(), 2u);
+}
+
+TEST(Channel, CapacityIsBounded) {
+  Graph g;
+  auto& ch = g.channel<int>("c", 2);
+  EXPECT_TRUE(ch.try_put(1));
+  EXPECT_TRUE(ch.try_put(2));
+  EXPECT_FALSE(ch.try_put(3));
+  EXPECT_TRUE(ch.full());
+}
+
+TEST(Channel, RingWrapAround) {
+  Graph g;
+  auto& ch = g.channel<int>("c", 3);
+  int v;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(ch.try_put(round));
+    EXPECT_TRUE(ch.try_take(v));
+    EXPECT_EQ(v, round);
+  }
+}
+
+TEST(Channel, RejectsZeroCapacity) {
+  Graph g;
+  EXPECT_THROW(g.channel<int>("bad", 0), ConfigError);
+}
+
+TEST(Graph, FeedCollectRoundTrip) {
+  Graph g;
+  auto& ch = g.channel<float>("c", 8);
+  std::vector<float> in{1, 2, 3, 4, 5}, out;
+  g.spawn("feed", feed(in, ch));
+  g.spawn("collect", collect<float>(5, ch, out));
+  g.run();
+  EXPECT_EQ(out, in);
+}
+
+TEST(Graph, BackpressureThroughTinyChannel) {
+  // 1000 elements through a capacity-1 channel must still complete.
+  Graph g;
+  auto& a = g.channel<int>("a", 1);
+  auto& b = g.channel<int>("b", 1);
+  std::vector<int> in(1000), out;
+  std::iota(in.begin(), in.end(), 0);
+  g.spawn("feed", feed(in, a));
+  g.spawn("pass", passthrough<int>(1000, 4, a, b));
+  g.spawn("collect", collect<int>(1000, b, out));
+  g.run();
+  EXPECT_EQ(out, in);
+}
+
+TEST(Graph, DeadlockDetectedWhenConsumerWantsTooMuch) {
+  Graph g;
+  auto& ch = g.channel<int>("c", 4);
+  std::vector<int> in{1, 2, 3}, out;
+  g.spawn("feed", feed(in, ch));
+  g.spawn("collect", collect<int>(5, ch, out));  // wants 5, only 3 produced
+  try {
+    g.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("collect"), std::string::npos);
+    EXPECT_NE(msg.find("'c'"), std::string::npos);
+  }
+}
+
+TEST(Graph, DeadlockDetectedWhenChannelTooSmallForCycle) {
+  // A module that needs to push all n before popping any: requires
+  // capacity >= n on its loopback, else stalls — the paper's channel
+  // sizing rule for non-multitree MDAGs.
+  struct Maker {
+    static Task loop_module(std::int64_t n, Channel<int>& loop) {
+      for (int i = 0; i < n; ++i) co_await loop.push(i);
+      for (int i = 0; i < n; ++i) (void)co_await loop.pop();
+    }
+  };
+  {
+    Graph g;
+    auto& loop = g.channel<int>("loop", 4);
+    g.spawn("m", Maker::loop_module(8, loop));
+    EXPECT_THROW(g.run(), DeadlockError);
+  }
+  {
+    Graph g;
+    auto& loop = g.channel<int>("loop", 8);  // properly sized
+    g.spawn("m", Maker::loop_module(8, loop));
+    EXPECT_NO_THROW(g.run());
+  }
+}
+
+TEST(Graph, ModuleExceptionPropagates) {
+  struct Maker {
+    static Task thrower(Channel<int>& ch) {
+      (void)co_await ch.pop();
+      throw std::logic_error("module blew up");
+    }
+  };
+  Graph g;
+  auto& ch = g.channel<int>("c", 2);
+  std::vector<int> in{1};
+  g.spawn("feed", feed(in, ch));
+  g.spawn("boom", Maker::thrower(ch));
+  EXPECT_THROW(g.run(), std::logic_error);
+}
+
+TEST(CycleMode, CountsCyclesForWidthBatches) {
+  // 64 elements at W=8: producer emits one batch per cycle => ~8 cycles.
+  Graph g(Mode::Cycle);
+  auto& a = g.channel<float>("a", 16);
+  std::vector<float> out;
+  g.spawn("gen", generate<float>(64, 1.0f, 8, a));
+  g.spawn("sink", collect<float>(64, a, out));
+  g.run();
+  EXPECT_EQ(out.size(), 64u);
+  EXPECT_GE(g.cycles(), 8u);
+  EXPECT_LE(g.cycles(), 12u);  // small scheduling slack allowed
+}
+
+TEST(CycleMode, WiderIsProportionallyFaster) {
+  auto run_width = [](int w) {
+    Graph g(Mode::Cycle);
+    auto& a = g.channel<float>("a", 512);
+    auto& b = g.channel<float>("b", 512);
+    g.spawn("gen", generate<float>(4096, 1.0f, w, a));
+    g.spawn("pass", passthrough<float>(4096, w, a, b));
+    g.spawn("sink", sink<float>(4096, w, b));
+    g.run();
+    return g.cycles();
+  };
+  const auto c16 = run_width(16);
+  const auto c64 = run_width(64);
+  EXPECT_NEAR(static_cast<double>(c16) / static_cast<double>(c64), 4.0, 0.5);
+}
+
+TEST(DramBank, MetersBandwidthInCycleMode) {
+  // Bank allows 32 bytes/cycle = 8 floats; reader wants W=16 floats/cycle,
+  // so it should take ~twice as long as unmetered.
+  std::vector<float> data(1024, 2.0f);
+  auto run = [&](bool metered) {
+    Graph g(Mode::Cycle);
+    auto& ch = g.channel<float>("x", 64);
+    DramBank* bank = metered ? &g.bank("ddr", 32.0) : nullptr;
+    g.spawn("read", read_vector<float>(
+                        VectorView<const float>(data.data(), 1024), 1, 16, ch,
+                        bank));
+    g.spawn("sink", sink<float>(1024, 16, ch));
+    g.run();
+    return g.cycles();
+  };
+  const auto fast = run(false);
+  const auto slow = run(true);
+  EXPECT_NEAR(static_cast<double>(slow) / static_cast<double>(fast), 2.0, 0.4);
+}
+
+TEST(DramBank, SharedBudgetCausesContention) {
+  // Two readers on one bank each get half the bandwidth.
+  std::vector<float> data(1024, 1.0f);
+  auto run = [&](int nreaders) {
+    Graph g(Mode::Cycle);
+    auto& bank = g.bank("ddr", 64.0);  // 16 floats/cycle total
+    std::vector<Channel<float>*> chans;
+    for (int r = 0; r < nreaders; ++r) {
+      auto& ch = g.channel<float>("x" + std::to_string(r), 64);
+      chans.push_back(&ch);
+      g.spawn("read" + std::to_string(r),
+              read_vector<float>(VectorView<const float>(data.data(), 1024),
+                                 1, 16, ch, &bank));
+      g.spawn("sink" + std::to_string(r), sink<float>(1024, 16, ch));
+    }
+    g.run();
+    return g.cycles();
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  EXPECT_NEAR(static_cast<double>(two) / static_cast<double>(one), 2.0, 0.4);
+}
+
+TEST(DramBank, FunctionalModeUnmetered) {
+  Graph g(Mode::Functional);
+  auto& bank = g.bank("ddr", 1.0);  // 1 byte/cycle would be glacial
+  EXPECT_EQ(bank.grant_elems(100, 8), 100);
+  EXPECT_EQ(bank.total_bytes(), 800u);
+}
+
+TEST(CycleMode, ModuleResumeStatistics) {
+  // In cycle mode a balanced producer/consumer pair is scheduled about
+  // once per cycle — the utilization diagnostic the scheduler exposes.
+  Graph g(Mode::Cycle);
+  auto& a = g.channel<float>("a", 32);
+  std::vector<float> out;
+  const int gen_id = g.spawn("gen", generate<float>(1024, 1.0f, 16, a));
+  const int col_id = g.spawn("collect", collect<float>(1024, a, out));
+  g.run();
+  const auto cycles = g.cycles();
+  EXPECT_GE(g.scheduler().module_resumes(gen_id), cycles - 2);
+  EXPECT_GE(g.scheduler().module_resumes(col_id), 1u);
+}
+
+TEST(CycleMode, OccupancyTraceRecordsBackpressure) {
+  // A fast producer against a slow consumer fills the channel; the trace
+  // shows the fill level saturating at the capacity.
+  Graph g(Mode::Cycle);
+  auto& ch = g.channel<float>("hot", 16);
+  std::vector<float> out;
+  g.scheduler().enable_occupancy_trace();
+  g.spawn("gen", generate<float>(512, 1.0f, 32, ch));   // 32/cycle offered
+  g.spawn("slow", collect<float>(512, ch, out));        // unbounded pops but
+  g.run();                                              // capacity limits
+  ASSERT_EQ(g.scheduler().channel_count(), 1u);
+  const auto& trace = g.scheduler().occupancy_trace(0);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.size(), g.cycles());
+  std::uint32_t peak = 0;
+  for (const auto v : trace) peak = std::max(peak, v);
+  EXPECT_LE(peak, 16u);
+}
+
+// ---- TileWalker -----------------------------------------------------------
+
+std::vector<std::pair<std::int64_t, std::int64_t>> walk_all(
+    std::int64_t rows, std::int64_t cols, TileSchedule s) {
+  TileWalker w(rows, cols, s);
+  std::vector<std::pair<std::int64_t, std::int64_t>> seq;
+  std::int64_t i, j;
+  while (w.next(i, j)) seq.emplace_back(i, j);
+  return seq;
+}
+
+TEST(TileWalker, RowMajorTilesRowMajorElems) {
+  // 4x4 matrix, 2x2 tiles: tile (0,0) row-major, then tile (0,1), ...
+  auto seq = walk_all(4, 4, {Order::RowMajor, Order::RowMajor, 2, 2});
+  ASSERT_EQ(seq.size(), 16u);
+  std::vector<std::pair<std::int64_t, std::int64_t>> expect{
+      {0, 0}, {0, 1}, {1, 0}, {1, 1},  // tile (0,0)
+      {0, 2}, {0, 3}, {1, 2}, {1, 3},  // tile (0,1)
+      {2, 0}, {2, 1}, {3, 0}, {3, 1},  // tile (1,0)
+      {2, 2}, {2, 3}, {3, 2}, {3, 3},  // tile (1,1)
+  };
+  EXPECT_EQ(seq, expect);
+}
+
+TEST(TileWalker, ColMajorTilesColMajorElems) {
+  auto seq = walk_all(4, 4, {Order::ColMajor, Order::ColMajor, 2, 2});
+  ASSERT_EQ(seq.size(), 16u);
+  std::vector<std::pair<std::int64_t, std::int64_t>> expect{
+      {0, 0}, {1, 0}, {0, 1}, {1, 1},  // tile (0,0) col-major elems
+      {2, 0}, {3, 0}, {2, 1}, {3, 1},  // tile (1,0)
+      {0, 2}, {1, 2}, {0, 3}, {1, 3},  // tile (0,1)
+      {2, 2}, {3, 2}, {2, 3}, {3, 3},  // tile (1,1)
+  };
+  EXPECT_EQ(seq, expect);
+}
+
+TEST(TileWalker, VisitsEveryCellExactlyOnce) {
+  for (Order to : {Order::RowMajor, Order::ColMajor}) {
+    for (Order eo : {Order::RowMajor, Order::ColMajor}) {
+      auto seq = walk_all(5, 7, {to, eo, 2, 3});  // non-divisible edges
+      EXPECT_EQ(seq.size(), 35u);
+      std::set<std::pair<std::int64_t, std::int64_t>> uniq(seq.begin(),
+                                                           seq.end());
+      EXPECT_EQ(uniq.size(), 35u);
+      for (auto [i, j] : seq) {
+        EXPECT_GE(i, 0);
+        EXPECT_LT(i, 5);
+        EXPECT_GE(j, 0);
+        EXPECT_LT(j, 7);
+      }
+    }
+  }
+}
+
+TEST(TileWalker, SingleTileCoversWholeMatrix) {
+  auto seq = walk_all(3, 3, {Order::RowMajor, Order::RowMajor, 8, 8});
+  ASSERT_EQ(seq.size(), 9u);
+  EXPECT_EQ(seq.front(), (std::pair<std::int64_t, std::int64_t>{0, 0}));
+  EXPECT_EQ(seq.back(), (std::pair<std::int64_t, std::int64_t>{2, 2}));
+}
+
+TEST(TileWalker, EmptyMatrix) {
+  auto seq = walk_all(0, 5, {Order::RowMajor, Order::RowMajor, 2, 2});
+  EXPECT_TRUE(seq.empty());
+}
+
+// ---- Streamers -------------------------------------------------------------
+
+TEST(Streamers, MatrixRoundTripAllSchedules) {
+  Workload wl(3);
+  const std::int64_t N = 6, M = 9;
+  auto a = wl.matrix<double>(N, M);
+  for (Order to : {Order::RowMajor, Order::ColMajor}) {
+    for (Order eo : {Order::RowMajor, Order::ColMajor}) {
+      TileSchedule s{to, eo, 4, 3};
+      std::vector<double> b(N * M, 0.0);
+      Graph g;
+      auto& ch = g.channel<double>("m", 16);
+      g.spawn("read", read_matrix<double>(
+                          MatrixView<const double>(a.data(), N, M), s, 1, 8,
+                          ch));
+      g.spawn("write", write_matrix<double>(MatrixView<double>(b.data(), N, M),
+                                            s, 8, ch));
+      g.run();
+      EXPECT_EQ(a, b) << "schedule tiles=" << to_string(to)
+                      << " elems=" << to_string(eo);
+    }
+  }
+}
+
+TEST(Streamers, VectorReplayStreamsRepeatTimes) {
+  std::vector<float> v{1, 2, 3};
+  Graph g;
+  auto& ch = g.channel<float>("v", 4);
+  std::vector<float> out;
+  g.spawn("read", read_vector<float>(VectorView<const float>(v.data(), 3), 3,
+                                     2, ch));
+  g.spawn("collect", collect<float>(9, ch, out));
+  g.run();
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 1, 2, 3, 1, 2, 3}));
+}
+
+TEST(Streamers, WriteVectorLastPassPersists) {
+  std::vector<float> target(3, 0.0f);
+  std::vector<float> stream{1, 2, 3, 10, 20, 30};
+  Graph g;
+  auto& ch = g.channel<float>("v", 8);
+  g.spawn("feed", feed(stream, ch));
+  g.spawn("write", write_vector<float>(VectorView<float>(target.data(), 3), 2,
+                                       4, ch));
+  g.run();
+  EXPECT_EQ(target, (std::vector<float>{10, 20, 30}));
+}
+
+TEST(Streamers, Fanout2DuplicatesStream) {
+  std::vector<int> in{5, 6, 7, 8};
+  Graph g;
+  auto& a = g.channel<int>("a", 8);
+  auto& b = g.channel<int>("b", 8);
+  auto& c = g.channel<int>("c", 8);
+  std::vector<int> ob, oc;
+  g.spawn("feed", feed(in, a));
+  g.spawn("fan", fanout2<int>(4, 2, a, b, c));
+  g.spawn("cb", collect<int>(4, b, ob));
+  g.spawn("cc", collect<int>(4, c, oc));
+  g.run();
+  EXPECT_EQ(ob, in);
+  EXPECT_EQ(oc, in);
+}
+
+TEST(Streamers, GenerateAndSinkBalance) {
+  Graph g(Mode::Cycle);
+  auto& ch = g.channel<double>("g", 32);
+  g.spawn("gen", generate<double>(256, 3.5, 16, ch));
+  g.spawn("sink", sink<double>(256, 16, ch));
+  g.run();
+  EXPECT_EQ(ch.total_pushed(), 256u);
+  EXPECT_EQ(ch.total_popped(), 256u);
+}
+
+}  // namespace
+}  // namespace fblas::stream

@@ -1,0 +1,166 @@
+// Randomized stress tests: seeded random pipelines of Level-1 modules
+// with random widths and channel capacities must always complete (no
+// false deadlocks), conserve every element, and compute exactly what the
+// composed oracle computes — in both scheduler modes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/workload.hpp"
+#include "fblas/level1.hpp"
+#include "refblas/level1.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+
+namespace fblas::core {
+namespace {
+
+using stream::Graph;
+using stream::Mode;
+
+struct StageSpec {
+  enum Kind { Scal, Copy, AxpyWithConst } kind;
+  int width;
+  std::size_t capacity;
+  double alpha;
+};
+
+/// Builds a random pipeline description from the seed.
+std::vector<StageSpec> random_stages(Workload& wl, int count) {
+  std::vector<StageSpec> stages;
+  for (int i = 0; i < count; ++i) {
+    StageSpec s;
+    const auto r = wl.next_u64();
+    s.kind = static_cast<StageSpec::Kind>(r % 3);
+    const int widths[] = {1, 2, 3, 5, 8, 16, 33, 64};
+    s.width = widths[(r >> 8) % 8];
+    const std::size_t caps[] = {1, 2, 7, 16, 64, 300};
+    s.capacity = caps[(r >> 16) % 6];
+    s.alpha = 0.5 + static_cast<double>((r >> 24) % 100) / 100.0;
+    stages.push_back(s);
+  }
+  return stages;
+}
+
+/// Oracle for the pipeline (axpy stages add a constant vector of 1s).
+std::vector<double> oracle(const std::vector<double>& input,
+                           const std::vector<StageSpec>& stages) {
+  std::vector<double> v = input;
+  for (const auto& s : stages) {
+    switch (s.kind) {
+      case StageSpec::Scal:
+        for (auto& x : v) x *= s.alpha;
+        break;
+      case StageSpec::Copy:
+        break;
+      case StageSpec::AxpyWithConst:
+        for (auto& x : v) x = s.alpha * 1.0 + x;
+        break;
+    }
+  }
+  return v;
+}
+
+void run_pipeline(std::uint64_t seed, Mode mode) {
+  Workload wl(seed);
+  const int n_stages = 2 + static_cast<int>(wl.next_u64() % 6);
+  const std::int64_t n = 1 + static_cast<std::int64_t>(wl.next_u64() % 700);
+  const auto stages = random_stages(wl, n_stages);
+  auto input = wl.vector<double>(n);
+
+  Graph g(mode);
+  std::vector<stream::Channel<double>*> chans;
+  chans.push_back(&g.channel<double>("c0", stages[0].capacity));
+  g.spawn("feed", stream::feed(input, *chans[0]));
+  for (int i = 0; i < n_stages; ++i) {
+    const auto& s = stages[static_cast<std::size_t>(i)];
+    chans.push_back(&g.channel<double>("c" + std::to_string(i + 1),
+                                       s.capacity));
+    auto& in = *chans[static_cast<std::size_t>(i)];
+    auto& out = *chans[static_cast<std::size_t>(i + 1)];
+    switch (s.kind) {
+      case StageSpec::Scal:
+        g.spawn("scal" + std::to_string(i),
+                scal<double>({s.width}, n, s.alpha, in, out));
+        break;
+      case StageSpec::Copy:
+        g.spawn("copy" + std::to_string(i),
+                copy<double>({s.width}, n, in, out));
+        break;
+      case StageSpec::AxpyWithConst: {
+        auto& ones = g.channel<double>("ones" + std::to_string(i),
+                                       s.capacity);
+        g.spawn("gen" + std::to_string(i),
+                stream::generate<double>(n, 1.0, s.width, ones));
+        g.spawn("axpy" + std::to_string(i),
+                axpy<double>({s.width}, n, s.alpha, ones, in, out));
+        break;
+      }
+    }
+  }
+  std::vector<double> got;
+  g.spawn("collect", stream::collect<double>(n, *chans.back(), got));
+  g.run();
+  for (const auto& ch : g.channels()) {
+    ASSERT_EQ(ch->total_pushed(), ch->total_popped())
+        << "seed=" << seed << " channel=" << ch->name();
+  }
+  const auto expect = oracle(input, stages);
+  ASSERT_LT(rel_error(got, expect), 1e-9)
+      << "seed=" << seed << " stages=" << n_stages << " n=" << n;
+}
+
+TEST(Stress, RandomPipelinesFunctional) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    run_pipeline(seed, Mode::Functional);
+  }
+}
+
+TEST(Stress, RandomPipelinesCycle) {
+  for (std::uint64_t seed = 100; seed <= 130; ++seed) {
+    run_pipeline(seed, Mode::Cycle);
+  }
+}
+
+TEST(Stress, CycleAndFunctionalAgreeBitExactly) {
+  // Same seed, both modes: execution order must not change the values
+  // (module-local accumulation orders are fixed by the design).
+  for (std::uint64_t seed = 500; seed <= 510; ++seed) {
+    run_pipeline(seed, Mode::Functional);
+    run_pipeline(seed, Mode::Cycle);
+  }
+}
+
+TEST(Stress, ManyModulesOneGraph) {
+  // A wide graph: 64 independent scal lanes in one scheduler.
+  Workload wl(999);
+  const std::int64_t n = 128;
+  Graph g(Mode::Cycle);
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<double>> outputs(64);
+  inputs.reserve(64);
+  for (int lane = 0; lane < 64; ++lane) {
+    inputs.push_back(wl.vector<double>(n));
+    auto& cin = g.channel<double>("in" + std::to_string(lane), 8);
+    auto& cout = g.channel<double>("out" + std::to_string(lane), 8);
+    g.spawn("feed" + std::to_string(lane), stream::feed(inputs.back(), cin));
+    g.spawn("scal" + std::to_string(lane),
+            scal<double>({4}, n, 2.0, cin, cout));
+    g.spawn("collect" + std::to_string(lane),
+            stream::collect<double>(n, cout, outputs[
+                static_cast<std::size_t>(lane)]));
+  }
+  g.run();
+  for (int lane = 0; lane < 64; ++lane) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(outputs[static_cast<std::size_t>(lane)]
+                               [static_cast<std::size_t>(i)],
+                       2.0 * inputs[static_cast<std::size_t>(lane)]
+                                   [static_cast<std::size_t>(i)]);
+    }
+  }
+  EXPECT_EQ(g.scheduler().module_count(), 64u * 3u);
+}
+
+}  // namespace
+}  // namespace fblas::core

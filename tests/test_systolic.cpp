@@ -1,0 +1,160 @@
+// Tests for the explicit PE-grid systolic array: numerical agreement with
+// the reference BLAS and with the core library's time-multiplexed GEMM
+// module, cycle-count formula, load balance, constant fan-out.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/workload.hpp"
+#include "fblas/level3.hpp"
+#include "refblas/level3.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+#include "systolic/systolic_array.hpp"
+
+namespace fblas::systolic {
+namespace {
+
+template <typename T>
+class Systolic : public ::testing::Test {};
+using Precisions = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(Systolic, Precisions);
+
+TYPED_TEST(Systolic, MatchesOracleExactGrid) {
+  using T = TypeParam;
+  Workload wl(401);
+  const std::int64_t m = 4, n = 4, k = 8;
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  std::vector<T> c(m * n, T(0)), expect(m * n, T(0));
+  ref::gemm<T>(Transpose::None, Transpose::None, T(1),
+               MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n), T(0),
+               MatrixView<T>(expect.data(), m, n));
+  SystolicArray<T> arr(4, 4);
+  arr.multiply(MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n),
+               MatrixView<T>(c.data(), m, n));
+  EXPECT_LT(rel_error(c, expect), 1e-5);
+}
+
+TYPED_TEST(Systolic, MatchesOracleMultiTileAndEdges) {
+  using T = TypeParam;
+  Workload wl(402);
+  // Non-divisible everything: 4x3 grid over a 10x7 result.
+  const std::int64_t m = 10, n = 7, k = 9;
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  std::vector<T> c(m * n, T(0)), expect(m * n, T(0));
+  ref::gemm<T>(Transpose::None, Transpose::None, T(1),
+               MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n), T(0),
+               MatrixView<T>(expect.data(), m, n));
+  SystolicArray<T> arr(4, 3);
+  arr.multiply(MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n),
+               MatrixView<T>(c.data(), m, n));
+  EXPECT_LT(rel_error(c, expect), 1e-5);
+}
+
+TYPED_TEST(Systolic, CycleCountFormula) {
+  using T = TypeParam;
+  Workload wl(403);
+  const std::int64_t m = 8, n = 8, k = 16;
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  std::vector<T> c(m * n, T(0));
+  SystolicArray<T> arr(4, 4);
+  const auto cycles = arr.multiply(MatrixView<const T>(a.data(), m, k),
+                                   MatrixView<const T>(b.data(), k, n),
+                                   MatrixView<T>(c.data(), m, n));
+  // 4 tiles, each k + PR-1 + PC-1 + PR cycles.
+  EXPECT_EQ(cycles, 4u * (16 + 3 + 3 + 4));
+}
+
+TYPED_TEST(Systolic, PerfectLoadBalanceOnDivisibleProblem) {
+  using T = TypeParam;
+  Workload wl(404);
+  const std::int64_t m = 8, n = 8, k = 12;
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  std::vector<T> c(m * n, T(0));
+  SystolicArray<T> arr(4, 4);
+  arr.multiply(MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n),
+               MatrixView<T>(c.data(), m, n));
+  // Every PE performs exactly k MACs per tile, 4 tiles: uniform load.
+  for (int r = 0; r < 4; ++r) {
+    for (int cc = 0; cc < 4; ++cc) {
+      EXPECT_EQ(arr.pe_macs(r, cc), 4u * 12u) << "PE(" << r << "," << cc << ")";
+    }
+  }
+  EXPECT_EQ(arr.total_macs(), static_cast<std::uint64_t>(m * n * k));
+}
+
+TYPED_TEST(Systolic, ConstantFanout) {
+  using T = TypeParam;
+  // The scalability property of Sec. III-C: connections per PE do not
+  // grow with the grid.
+  EXPECT_EQ(SystolicArray<T>::connections_per_pe(), 6);
+}
+
+TYPED_TEST(Systolic, SinglePeDegeneratesToScalarMac) {
+  using T = TypeParam;
+  std::vector<T> a{1, 2, 3}, b{4, 5, 6};  // 1x3 times 3x1
+  std::vector<T> c(1, T(0));
+  SystolicArray<T> arr(1, 1);
+  arr.multiply(MatrixView<const T>(a.data(), 1, 3),
+               MatrixView<const T>(b.data(), 3, 1),
+               MatrixView<T>(c.data(), 1, 1));
+  EXPECT_NEAR(c[0], 32.0, 1e-6);
+}
+
+TYPED_TEST(Systolic, AgreesWithTimeMultiplexedGemmModule) {
+  // The explicit PE grid and the single-kernel time-multiplexed module
+  // (fblas::core::gemm) are two realizations of the same architecture;
+  // they must agree with each other, not just with the oracle.
+  using T = TypeParam;
+  Workload wl(405);
+  const std::int64_t m = 16, n = 12, k = 20;
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  std::vector<T> c_grid(m * n, T(0));
+  SystolicArray<T> arr(4, 4);
+  arr.multiply(MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n),
+               MatrixView<T>(c_grid.data(), m, n));
+
+  const core::GemmConfig cfg{4, 4, 8, 8};
+  stream::Graph g;
+  auto& ca = g.channel<T>("A", 128);
+  auto& cb = g.channel<T>("B", 128);
+  auto& cc = g.channel<T>("Cin", 4);
+  auto& out = g.channel<T>("out", 128);
+  std::vector<T> c_module(m * n, T(0));
+  g.spawn("read_A", core::read_a_gemm<T>(MatrixView<const T>(a.data(), m, k),
+                                         cfg, n, ca));
+  g.spawn("read_B", core::read_b_gemm<T>(MatrixView<const T>(b.data(), k, n),
+                                         cfg, m, cb));
+  g.spawn("gemm", core::gemm<T>(cfg, m, n, k, T(1), T(0), ca, cb, cc, out));
+  g.spawn("store",
+          stream::write_matrix<T>(MatrixView<T>(c_module.data(), m, n),
+                                  core::gemm_c_schedule(cfg), cfg.pe_cols,
+                                  out));
+  g.run();
+  EXPECT_LT(rel_error(c_grid, c_module), 1e-5);
+}
+
+TYPED_TEST(Systolic, RejectsBadShapes) {
+  using T = TypeParam;
+  EXPECT_THROW(SystolicArray<T>(0, 4), ConfigError);
+  SystolicArray<T> arr(2, 2);
+  std::vector<T> a(4), b(6), c(4);
+  EXPECT_THROW(arr.multiply(MatrixView<const T>(a.data(), 2, 2),
+                            MatrixView<const T>(b.data(), 3, 2),
+                            MatrixView<T>(c.data(), 2, 2)),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace fblas::systolic

@@ -1,0 +1,73 @@
+// fblas_codegen: the standalone code-generator tool (Sec. II-C). Reads a
+// routines-specification JSON file and writes the OpenCL translation
+// unit the HLS compiler would synthesize.
+//
+// Usage: fblas_codegen <spec.json> [output.cl] [--no-feasibility-check]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/emitter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fblas;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <spec.json> [output.cl] "
+                 "[--no-feasibility-check]\n",
+                 argv[0]);
+    return 2;
+  }
+  bool check = true;
+  const char* out_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-feasibility-check") == 0) {
+      check = false;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const auto spec = codegen::parse_spec(text.str());
+    const auto source = codegen::emit_file(spec, check);
+    if (out_path != nullptr) {
+      std::ofstream out(out_path);
+      out << source;
+      std::printf("wrote %zu bytes of OpenCL for %zu routine(s) to %s\n",
+                  source.size(), spec.routines.size(), out_path);
+    } else {
+      std::fputs(source.c_str(), stdout);
+    }
+    // Print a synthesis summary per routine.
+    const auto& dev = sim::device(spec.device);
+    std::fprintf(stderr, "target: %s\n", std::string(dev.name).c_str());
+    for (const auto& r : spec.routines) {
+      const auto design = codegen::emit(r, dev, check);
+      const auto res = sim::estimate_design(design.shape, dev);
+      std::fprintf(stderr,
+                   "  %-16s %zu kernels, est. %.0f ALMs, %.0f DSPs, "
+                   "%.0f M20Ks (%.1f%% of device)\n",
+                   r.user_name.c_str(), design.kernel_names.size(), res.alms,
+                   res.dsps, res.m20ks,
+                   100.0 * sim::utilization(res, dev));
+    }
+    return 0;
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "specification error: %s\n", e.what());
+    return 1;
+  } catch (const FitError& e) {
+    std::fprintf(stderr, "feasibility error: %s\n", e.what());
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
