@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dot.dir/bench/fig10_dot.cpp.o"
+  "CMakeFiles/fig10_dot.dir/bench/fig10_dot.cpp.o.d"
+  "bench/fig10_dot"
+  "bench/fig10_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gemm.dir/bench/fig10_gemm.cpp.o"
+  "CMakeFiles/fig10_gemm.dir/bench/fig10_gemm.cpp.o.d"
+  "bench/fig10_gemm"
+  "bench/fig10_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

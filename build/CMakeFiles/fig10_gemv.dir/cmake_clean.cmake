@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gemv.dir/bench/fig10_gemv.cpp.o"
+  "CMakeFiles/fig10_gemv.dir/bench/fig10_gemv.cpp.o.d"
+  "bench/fig10_gemv"
+  "bench/fig10_gemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

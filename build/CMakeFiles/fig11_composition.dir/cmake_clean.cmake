@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_composition.dir/bench/fig11_composition.cpp.o"
+  "CMakeFiles/fig11_composition.dir/bench/fig11_composition.cpp.o.d"
+  "bench/fig11_composition"
+  "bench/fig11_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_modules.dir/bench/table3_modules.cpp.o"
+  "CMakeFiles/table3_modules.dir/bench/table3_modules.cpp.o.d"
+  "bench/table3_modules"
+  "bench/table3_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

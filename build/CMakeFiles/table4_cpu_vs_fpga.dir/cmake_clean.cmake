@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cpu_vs_fpga.dir/bench/table4_cpu_vs_fpga.cpp.o"
+  "CMakeFiles/table4_cpu_vs_fpga.dir/bench/table4_cpu_vs_fpga.cpp.o.d"
+  "bench/table4_cpu_vs_fpga"
+  "bench/table4_cpu_vs_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cpu_vs_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

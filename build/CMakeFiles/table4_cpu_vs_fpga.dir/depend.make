@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_cpu_vs_fpga.
+# This may be replaced when dependencies are built.

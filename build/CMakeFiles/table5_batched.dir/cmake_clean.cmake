@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_batched.dir/bench/table5_batched.cpp.o"
+  "CMakeFiles/table5_batched.dir/bench/table5_batched.cpp.o.d"
+  "bench/table5_batched"
+  "bench/table5_batched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_streaming_apps.dir/bench/table6_streaming_apps.cpp.o"
+  "CMakeFiles/table6_streaming_apps.dir/bench/table6_streaming_apps.cpp.o.d"
+  "bench/table6_streaming_apps"
+  "bench/table6_streaming_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_streaming_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

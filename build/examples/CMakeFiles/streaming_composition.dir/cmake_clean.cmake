@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_composition.dir/streaming_composition.cpp.o"
+  "CMakeFiles/streaming_composition.dir/streaming_composition.cpp.o.d"
+  "streaming_composition"
+  "streaming_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_gemm.dir/systolic_gemm.cpp.o"
+  "CMakeFiles/systolic_gemm.dir/systolic_gemm.cpp.o.d"
+  "systolic_gemm"
+  "systolic_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/atax.cpp" "src/CMakeFiles/fblas_apps.dir/apps/atax.cpp.o" "gcc" "src/CMakeFiles/fblas_apps.dir/apps/atax.cpp.o.d"
+  "/root/repo/src/apps/axpydot.cpp" "src/CMakeFiles/fblas_apps.dir/apps/axpydot.cpp.o" "gcc" "src/CMakeFiles/fblas_apps.dir/apps/axpydot.cpp.o.d"
+  "/root/repo/src/apps/bicg.cpp" "src/CMakeFiles/fblas_apps.dir/apps/bicg.cpp.o" "gcc" "src/CMakeFiles/fblas_apps.dir/apps/bicg.cpp.o.d"
+  "/root/repo/src/apps/gemver.cpp" "src/CMakeFiles/fblas_apps.dir/apps/gemver.cpp.o" "gcc" "src/CMakeFiles/fblas_apps.dir/apps/gemver.cpp.o.d"
+  "/root/repo/src/apps/gesummv.cpp" "src/CMakeFiles/fblas_apps.dir/apps/gesummv.cpp.o" "gcc" "src/CMakeFiles/fblas_apps.dir/apps/gesummv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fblas_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_mdag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_refblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

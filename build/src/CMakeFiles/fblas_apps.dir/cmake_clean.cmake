@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_apps.dir/apps/atax.cpp.o"
+  "CMakeFiles/fblas_apps.dir/apps/atax.cpp.o.d"
+  "CMakeFiles/fblas_apps.dir/apps/axpydot.cpp.o"
+  "CMakeFiles/fblas_apps.dir/apps/axpydot.cpp.o.d"
+  "CMakeFiles/fblas_apps.dir/apps/bicg.cpp.o"
+  "CMakeFiles/fblas_apps.dir/apps/bicg.cpp.o.d"
+  "CMakeFiles/fblas_apps.dir/apps/gemver.cpp.o"
+  "CMakeFiles/fblas_apps.dir/apps/gemver.cpp.o.d"
+  "CMakeFiles/fblas_apps.dir/apps/gesummv.cpp.o"
+  "CMakeFiles/fblas_apps.dir/apps/gesummv.cpp.o.d"
+  "libfblas_apps.a"
+  "libfblas_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

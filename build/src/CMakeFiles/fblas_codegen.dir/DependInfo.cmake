@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/emitter.cpp" "src/CMakeFiles/fblas_codegen.dir/codegen/emitter.cpp.o" "gcc" "src/CMakeFiles/fblas_codegen.dir/codegen/emitter.cpp.o.d"
+  "/root/repo/src/codegen/json.cpp" "src/CMakeFiles/fblas_codegen.dir/codegen/json.cpp.o" "gcc" "src/CMakeFiles/fblas_codegen.dir/codegen/json.cpp.o.d"
+  "/root/repo/src/codegen/routine_spec.cpp" "src/CMakeFiles/fblas_codegen.dir/codegen/routine_spec.cpp.o" "gcc" "src/CMakeFiles/fblas_codegen.dir/codegen/routine_spec.cpp.o.d"
+  "/root/repo/src/codegen/runner.cpp" "src/CMakeFiles/fblas_codegen.dir/codegen/runner.cpp.o" "gcc" "src/CMakeFiles/fblas_codegen.dir/codegen/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fblas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_refblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

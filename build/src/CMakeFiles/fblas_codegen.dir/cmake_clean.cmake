@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_codegen.dir/codegen/emitter.cpp.o"
+  "CMakeFiles/fblas_codegen.dir/codegen/emitter.cpp.o.d"
+  "CMakeFiles/fblas_codegen.dir/codegen/json.cpp.o"
+  "CMakeFiles/fblas_codegen.dir/codegen/json.cpp.o.d"
+  "CMakeFiles/fblas_codegen.dir/codegen/routine_spec.cpp.o"
+  "CMakeFiles/fblas_codegen.dir/codegen/routine_spec.cpp.o.d"
+  "CMakeFiles/fblas_codegen.dir/codegen/runner.cpp.o"
+  "CMakeFiles/fblas_codegen.dir/codegen/runner.cpp.o.d"
+  "libfblas_codegen.a"
+  "libfblas_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

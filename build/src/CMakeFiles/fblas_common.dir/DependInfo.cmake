@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/fblas_common.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/fblas_common.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/routines.cpp" "src/CMakeFiles/fblas_common.dir/common/routines.cpp.o" "gcc" "src/CMakeFiles/fblas_common.dir/common/routines.cpp.o.d"
+  "/root/repo/src/common/table_printer.cpp" "src/CMakeFiles/fblas_common.dir/common/table_printer.cpp.o" "gcc" "src/CMakeFiles/fblas_common.dir/common/table_printer.cpp.o.d"
+  "/root/repo/src/common/workload.cpp" "src/CMakeFiles/fblas_common.dir/common/workload.cpp.o" "gcc" "src/CMakeFiles/fblas_common.dir/common/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

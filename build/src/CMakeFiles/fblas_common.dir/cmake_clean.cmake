@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_common.dir/common/error.cpp.o"
+  "CMakeFiles/fblas_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/fblas_common.dir/common/routines.cpp.o"
+  "CMakeFiles/fblas_common.dir/common/routines.cpp.o.d"
+  "CMakeFiles/fblas_common.dir/common/table_printer.cpp.o"
+  "CMakeFiles/fblas_common.dir/common/table_printer.cpp.o.d"
+  "CMakeFiles/fblas_common.dir/common/workload.cpp.o"
+  "CMakeFiles/fblas_common.dir/common/workload.cpp.o.d"
+  "libfblas_common.a"
+  "libfblas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

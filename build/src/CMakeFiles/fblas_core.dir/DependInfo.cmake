@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fblas/level1.cpp" "src/CMakeFiles/fblas_core.dir/fblas/level1.cpp.o" "gcc" "src/CMakeFiles/fblas_core.dir/fblas/level1.cpp.o.d"
+  "/root/repo/src/fblas/level2.cpp" "src/CMakeFiles/fblas_core.dir/fblas/level2.cpp.o" "gcc" "src/CMakeFiles/fblas_core.dir/fblas/level2.cpp.o.d"
+  "/root/repo/src/fblas/level3.cpp" "src/CMakeFiles/fblas_core.dir/fblas/level3.cpp.o" "gcc" "src/CMakeFiles/fblas_core.dir/fblas/level3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fblas_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_refblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

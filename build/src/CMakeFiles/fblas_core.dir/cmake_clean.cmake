@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_core.dir/fblas/level1.cpp.o"
+  "CMakeFiles/fblas_core.dir/fblas/level1.cpp.o.d"
+  "CMakeFiles/fblas_core.dir/fblas/level2.cpp.o"
+  "CMakeFiles/fblas_core.dir/fblas/level2.cpp.o.d"
+  "CMakeFiles/fblas_core.dir/fblas/level3.cpp.o"
+  "CMakeFiles/fblas_core.dir/fblas/level3.cpp.o.d"
+  "libfblas_core.a"
+  "libfblas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

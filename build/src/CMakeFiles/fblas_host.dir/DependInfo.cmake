@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/api_batched.cpp" "src/CMakeFiles/fblas_host.dir/host/api_batched.cpp.o" "gcc" "src/CMakeFiles/fblas_host.dir/host/api_batched.cpp.o.d"
+  "/root/repo/src/host/api_level1.cpp" "src/CMakeFiles/fblas_host.dir/host/api_level1.cpp.o" "gcc" "src/CMakeFiles/fblas_host.dir/host/api_level1.cpp.o.d"
+  "/root/repo/src/host/api_level2.cpp" "src/CMakeFiles/fblas_host.dir/host/api_level2.cpp.o" "gcc" "src/CMakeFiles/fblas_host.dir/host/api_level2.cpp.o.d"
+  "/root/repo/src/host/api_level3.cpp" "src/CMakeFiles/fblas_host.dir/host/api_level3.cpp.o" "gcc" "src/CMakeFiles/fblas_host.dir/host/api_level3.cpp.o.d"
+  "/root/repo/src/host/api_specialized.cpp" "src/CMakeFiles/fblas_host.dir/host/api_specialized.cpp.o" "gcc" "src/CMakeFiles/fblas_host.dir/host/api_specialized.cpp.o.d"
+  "/root/repo/src/host/device.cpp" "src/CMakeFiles/fblas_host.dir/host/device.cpp.o" "gcc" "src/CMakeFiles/fblas_host.dir/host/device.cpp.o.d"
+  "/root/repo/src/host/event.cpp" "src/CMakeFiles/fblas_host.dir/host/event.cpp.o" "gcc" "src/CMakeFiles/fblas_host.dir/host/event.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fblas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_refblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_host.dir/host/api_batched.cpp.o"
+  "CMakeFiles/fblas_host.dir/host/api_batched.cpp.o.d"
+  "CMakeFiles/fblas_host.dir/host/api_level1.cpp.o"
+  "CMakeFiles/fblas_host.dir/host/api_level1.cpp.o.d"
+  "CMakeFiles/fblas_host.dir/host/api_level2.cpp.o"
+  "CMakeFiles/fblas_host.dir/host/api_level2.cpp.o.d"
+  "CMakeFiles/fblas_host.dir/host/api_level3.cpp.o"
+  "CMakeFiles/fblas_host.dir/host/api_level3.cpp.o.d"
+  "CMakeFiles/fblas_host.dir/host/api_specialized.cpp.o"
+  "CMakeFiles/fblas_host.dir/host/api_specialized.cpp.o.d"
+  "CMakeFiles/fblas_host.dir/host/device.cpp.o"
+  "CMakeFiles/fblas_host.dir/host/device.cpp.o.d"
+  "CMakeFiles/fblas_host.dir/host/event.cpp.o"
+  "CMakeFiles/fblas_host.dir/host/event.cpp.o.d"
+  "libfblas_host.a"
+  "libfblas_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

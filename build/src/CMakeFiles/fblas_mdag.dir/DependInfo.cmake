@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdag/auto_partition.cpp" "src/CMakeFiles/fblas_mdag.dir/mdag/auto_partition.cpp.o" "gcc" "src/CMakeFiles/fblas_mdag.dir/mdag/auto_partition.cpp.o.d"
+  "/root/repo/src/mdag/graph.cpp" "src/CMakeFiles/fblas_mdag.dir/mdag/graph.cpp.o" "gcc" "src/CMakeFiles/fblas_mdag.dir/mdag/graph.cpp.o.d"
+  "/root/repo/src/mdag/io_volume.cpp" "src/CMakeFiles/fblas_mdag.dir/mdag/io_volume.cpp.o" "gcc" "src/CMakeFiles/fblas_mdag.dir/mdag/io_volume.cpp.o.d"
+  "/root/repo/src/mdag/resources.cpp" "src/CMakeFiles/fblas_mdag.dir/mdag/resources.cpp.o" "gcc" "src/CMakeFiles/fblas_mdag.dir/mdag/resources.cpp.o.d"
+  "/root/repo/src/mdag/schedule.cpp" "src/CMakeFiles/fblas_mdag.dir/mdag/schedule.cpp.o" "gcc" "src/CMakeFiles/fblas_mdag.dir/mdag/schedule.cpp.o.d"
+  "/root/repo/src/mdag/validity.cpp" "src/CMakeFiles/fblas_mdag.dir/mdag/validity.cpp.o" "gcc" "src/CMakeFiles/fblas_mdag.dir/mdag/validity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fblas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_refblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fblas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

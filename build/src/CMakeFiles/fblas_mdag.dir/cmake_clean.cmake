@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_mdag.dir/mdag/auto_partition.cpp.o"
+  "CMakeFiles/fblas_mdag.dir/mdag/auto_partition.cpp.o.d"
+  "CMakeFiles/fblas_mdag.dir/mdag/graph.cpp.o"
+  "CMakeFiles/fblas_mdag.dir/mdag/graph.cpp.o.d"
+  "CMakeFiles/fblas_mdag.dir/mdag/io_volume.cpp.o"
+  "CMakeFiles/fblas_mdag.dir/mdag/io_volume.cpp.o.d"
+  "CMakeFiles/fblas_mdag.dir/mdag/resources.cpp.o"
+  "CMakeFiles/fblas_mdag.dir/mdag/resources.cpp.o.d"
+  "CMakeFiles/fblas_mdag.dir/mdag/schedule.cpp.o"
+  "CMakeFiles/fblas_mdag.dir/mdag/schedule.cpp.o.d"
+  "CMakeFiles/fblas_mdag.dir/mdag/validity.cpp.o"
+  "CMakeFiles/fblas_mdag.dir/mdag/validity.cpp.o.d"
+  "libfblas_mdag.a"
+  "libfblas_mdag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_mdag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fblas_mdag.
+# This may be replaced when dependencies are built.

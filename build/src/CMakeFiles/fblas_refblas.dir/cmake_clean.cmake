@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_refblas.dir/refblas/batched.cpp.o"
+  "CMakeFiles/fblas_refblas.dir/refblas/batched.cpp.o.d"
+  "CMakeFiles/fblas_refblas.dir/refblas/level1.cpp.o"
+  "CMakeFiles/fblas_refblas.dir/refblas/level1.cpp.o.d"
+  "CMakeFiles/fblas_refblas.dir/refblas/level2.cpp.o"
+  "CMakeFiles/fblas_refblas.dir/refblas/level2.cpp.o.d"
+  "CMakeFiles/fblas_refblas.dir/refblas/level3.cpp.o"
+  "CMakeFiles/fblas_refblas.dir/refblas/level3.cpp.o.d"
+  "libfblas_refblas.a"
+  "libfblas_refblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_refblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

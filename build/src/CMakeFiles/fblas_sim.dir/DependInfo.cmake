@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu_model.cpp" "src/CMakeFiles/fblas_sim.dir/sim/cpu_model.cpp.o" "gcc" "src/CMakeFiles/fblas_sim.dir/sim/cpu_model.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/fblas_sim.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/fblas_sim.dir/sim/device.cpp.o.d"
+  "/root/repo/src/sim/frequency_model.cpp" "src/CMakeFiles/fblas_sim.dir/sim/frequency_model.cpp.o" "gcc" "src/CMakeFiles/fblas_sim.dir/sim/frequency_model.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/CMakeFiles/fblas_sim.dir/sim/perf_model.cpp.o" "gcc" "src/CMakeFiles/fblas_sim.dir/sim/perf_model.cpp.o.d"
+  "/root/repo/src/sim/power_model.cpp" "src/CMakeFiles/fblas_sim.dir/sim/power_model.cpp.o" "gcc" "src/CMakeFiles/fblas_sim.dir/sim/power_model.cpp.o.d"
+  "/root/repo/src/sim/resource_model.cpp" "src/CMakeFiles/fblas_sim.dir/sim/resource_model.cpp.o" "gcc" "src/CMakeFiles/fblas_sim.dir/sim/resource_model.cpp.o.d"
+  "/root/repo/src/sim/work_depth.cpp" "src/CMakeFiles/fblas_sim.dir/sim/work_depth.cpp.o" "gcc" "src/CMakeFiles/fblas_sim.dir/sim/work_depth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fblas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

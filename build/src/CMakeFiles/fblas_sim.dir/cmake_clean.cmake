@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_sim.dir/sim/cpu_model.cpp.o"
+  "CMakeFiles/fblas_sim.dir/sim/cpu_model.cpp.o.d"
+  "CMakeFiles/fblas_sim.dir/sim/device.cpp.o"
+  "CMakeFiles/fblas_sim.dir/sim/device.cpp.o.d"
+  "CMakeFiles/fblas_sim.dir/sim/frequency_model.cpp.o"
+  "CMakeFiles/fblas_sim.dir/sim/frequency_model.cpp.o.d"
+  "CMakeFiles/fblas_sim.dir/sim/perf_model.cpp.o"
+  "CMakeFiles/fblas_sim.dir/sim/perf_model.cpp.o.d"
+  "CMakeFiles/fblas_sim.dir/sim/power_model.cpp.o"
+  "CMakeFiles/fblas_sim.dir/sim/power_model.cpp.o.d"
+  "CMakeFiles/fblas_sim.dir/sim/resource_model.cpp.o"
+  "CMakeFiles/fblas_sim.dir/sim/resource_model.cpp.o.d"
+  "CMakeFiles/fblas_sim.dir/sim/work_depth.cpp.o"
+  "CMakeFiles/fblas_sim.dir/sim/work_depth.cpp.o.d"
+  "libfblas_sim.a"
+  "libfblas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

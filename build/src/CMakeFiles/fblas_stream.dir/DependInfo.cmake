@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/channel.cpp" "src/CMakeFiles/fblas_stream.dir/stream/channel.cpp.o" "gcc" "src/CMakeFiles/fblas_stream.dir/stream/channel.cpp.o.d"
+  "/root/repo/src/stream/dram.cpp" "src/CMakeFiles/fblas_stream.dir/stream/dram.cpp.o" "gcc" "src/CMakeFiles/fblas_stream.dir/stream/dram.cpp.o.d"
+  "/root/repo/src/stream/scheduler.cpp" "src/CMakeFiles/fblas_stream.dir/stream/scheduler.cpp.o" "gcc" "src/CMakeFiles/fblas_stream.dir/stream/scheduler.cpp.o.d"
+  "/root/repo/src/stream/streamers.cpp" "src/CMakeFiles/fblas_stream.dir/stream/streamers.cpp.o" "gcc" "src/CMakeFiles/fblas_stream.dir/stream/streamers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fblas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_stream.dir/stream/channel.cpp.o"
+  "CMakeFiles/fblas_stream.dir/stream/channel.cpp.o.d"
+  "CMakeFiles/fblas_stream.dir/stream/dram.cpp.o"
+  "CMakeFiles/fblas_stream.dir/stream/dram.cpp.o.d"
+  "CMakeFiles/fblas_stream.dir/stream/scheduler.cpp.o"
+  "CMakeFiles/fblas_stream.dir/stream/scheduler.cpp.o.d"
+  "CMakeFiles/fblas_stream.dir/stream/streamers.cpp.o"
+  "CMakeFiles/fblas_stream.dir/stream/streamers.cpp.o.d"
+  "libfblas_stream.a"
+  "libfblas_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_systolic.dir/systolic/systolic_array.cpp.o"
+  "CMakeFiles/fblas_systolic.dir/systolic/systolic_array.cpp.o.d"
+  "libfblas_systolic.a"
+  "libfblas_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfblas_systolic.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fblas_level2.dir/test_fblas_level2.cpp.o"
+  "CMakeFiles/test_fblas_level2.dir/test_fblas_level2.cpp.o.d"
+  "test_fblas_level2"
+  "test_fblas_level2.pdb"
+  "test_fblas_level2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fblas_level2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdag.dir/test_mdag.cpp.o"
+  "CMakeFiles/test_mdag.dir/test_mdag.cpp.o.d"
+  "test_mdag"
+  "test_mdag.pdb"
+  "test_mdag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

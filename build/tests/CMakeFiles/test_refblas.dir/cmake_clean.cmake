@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refblas.dir/test_refblas.cpp.o"
+  "CMakeFiles/test_refblas.dir/test_refblas.cpp.o.d"
+  "test_refblas"
+  "test_refblas.pdb"
+  "test_refblas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

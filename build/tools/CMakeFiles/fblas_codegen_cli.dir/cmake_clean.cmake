@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fblas_codegen_cli.dir/fblas_codegen_main.cpp.o"
+  "CMakeFiles/fblas_codegen_cli.dir/fblas_codegen_main.cpp.o.d"
+  "fblas_codegen"
+  "fblas_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fblas_codegen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

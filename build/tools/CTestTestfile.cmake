@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_fblas_codegen "/root/repo/build/tools/fblas_codegen" "/root/repo/tools/sample_routines.json" "/root/repo/build/tools/sample_out.cl")
+set_tests_properties(tool_fblas_codegen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
