@@ -53,7 +53,9 @@ void run_axpydot() {
           VectorView<const float>(u.data(), n), 2.0f);
       host::Device hdev(dev_id);
       host::Context ctx(hdev, Mode::Cycle);
-      ctx.config().width = 16;
+      host::RoutineConfig knobs;
+      knobs.width = 16;
+      host::ConfigGuard scoped = ctx.with(knobs);
       const auto host = apps::axpydot_host_layer<float>(
           ctx, VectorView<const float>(w.data(), n),
           VectorView<const float>(v.data(), n),
@@ -93,9 +95,11 @@ void run_bicg() {
         VectorView<const float>(r.data(), n));
     host::Device hdev(sim::DeviceId::Stratix10);
     host::Context ctx(hdev, Mode::Cycle);
-    ctx.config().width = 16;
-    ctx.config().tile_rows = 64;
-    ctx.config().tile_cols = 64;
+    host::RoutineConfig knobs;
+    knobs.width = 16;
+    knobs.tile_rows = 64;
+    knobs.tile_cols = 64;
+    host::ConfigGuard scoped = ctx.with(knobs);
     const auto host = apps::bicg_host_layer<float>(
         ctx, MatrixView<const float>(a.data(), n, n),
         VectorView<const float>(p.data(), n),
@@ -139,9 +143,11 @@ void run_gemver() {
         cv(v2), cv(y), cv(z));
     host::Device hdev(sim::DeviceId::Stratix10);
     host::Context ctx(hdev, Mode::Cycle);
-    ctx.config().width = 16;
-    ctx.config().tile_rows = 64;
-    ctx.config().tile_cols = 64;
+    host::RoutineConfig knobs;
+    knobs.width = 16;
+    knobs.tile_rows = 64;
+    knobs.tile_cols = 64;
+    host::ConfigGuard scoped = ctx.with(knobs);
     const auto host = apps::gemver_host_layer<float>(
         ctx, 1.5f, 0.5f, MatrixView<const float>(a.data(), n, n), cv(u1),
         cv(v1), cv(u2), cv(v2), cv(y), cv(z));

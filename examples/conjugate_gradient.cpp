@@ -43,9 +43,11 @@ int main(int argc, char** argv) {
 
   host::Device device(sim::DeviceId::Stratix10);
   host::Context ctx(device);
-  ctx.config().width = 16;
-  ctx.config().tile_rows = 128;
-  ctx.config().tile_cols = 128;
+  host::RoutineConfig knobs;
+  knobs.width = 16;
+  knobs.tile_rows = 128;
+  knobs.tile_cols = 128;
+  host::ConfigGuard scoped = ctx.with(knobs);
 
   // All operands live in device DRAM for the whole solve.
   host::Buffer<float> A(device, n * n, 0);

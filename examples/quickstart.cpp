@@ -22,9 +22,13 @@ int main() {
               std::string(device.spec().name).c_str(), device.bank_count());
 
   // Non-functional knobs, the same parameters the code generator exposes.
-  ctx.config().width = 16;
-  ctx.config().tile_rows = 256;
-  ctx.config().tile_cols = 256;
+  // A ConfigGuard scopes the override: the previous knobs come back when
+  // the guard goes out of scope.
+  host::RoutineConfig knobs;
+  knobs.width = 16;
+  knobs.tile_rows = 256;
+  knobs.tile_cols = 256;
+  host::ConfigGuard scoped = ctx.with(knobs);
 
   const std::int64_t n = 1 << 12;
   Workload wl(2024);
@@ -65,10 +69,11 @@ int main() {
               yv.to_host()[0]);
 
   // ---- Level 3: C = A B (systolic GEMM) --------------------------------
-  ctx.config().pe_rows = 4;
-  ctx.config().pe_cols = 4;
-  ctx.config().gemm_tile_rows = 32;
-  ctx.config().gemm_tile_cols = 32;
+  host::RoutineConfig gemm_knobs = ctx.config();
+  gemm_knobs.pe_rows = 4;
+  gemm_knobs.pe_cols = 4;
+  gemm_knobs.gemm_tile_rows = 32;
+  gemm_knobs.gemm_tile_cols = 32;
   const std::int64_t m = 128;
   host::Buffer<float> ga(device, m * m, 0);
   host::Buffer<float> gb(device, m * m, 1);
@@ -76,8 +81,10 @@ int main() {
   ga.write(wl.matrix<float>(m, m));
   gb.write(wl.matrix<float>(m, m));
   gc.write(std::vector<float>(m * m, 0.0f));
-  ctx.gemm<float>(Transpose::None, Transpose::None, m, m, m, 1.0f, ga, gb,
-                  0.0f, gc);
+  // Per-call override: the guard returned by with() lives only for this
+  // statement, and the knobs are captured when the call is enqueued.
+  ctx.with(gemm_knobs)->gemm<float>(Transpose::None, Transpose::None, m, m,
+                                    m, 1.0f, ga, gb, 0.0f, gc);
   std::printf("sgemm(%lld^3):  C[0,0] = %.4f\n", static_cast<long long>(m),
               gc.to_host()[0]);
 

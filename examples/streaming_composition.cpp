@@ -52,7 +52,9 @@ int main() {
         VectorView<const float>(u.data(), len), 2.0f);
     host::Device dev(sim::DeviceId::Stratix10);
     host::Context ctx(dev, stream::Mode::Cycle);
-    ctx.config().width = 16;
+    host::RoutineConfig knobs;
+    knobs.width = 16;
+    host::ConfigGuard scoped = ctx.with(knobs);
     const auto host = apps::axpydot_host_layer<float>(
         ctx, VectorView<const float>(w.data(), len),
         VectorView<const float>(v.data(), len),

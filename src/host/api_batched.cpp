@@ -37,7 +37,10 @@ template <typename T>
 Event Context::gemm_batched_async(std::int64_t size, std::int64_t batch,
                                   T alpha, const Buffer<T>& a,
                                   const Buffer<T>& b, Buffer<T>& c) {
-  return enqueue([this, size, batch, alpha, &a, &b, &c] {
+  Command command;
+  command.reads = {&a, &b, &c};
+  command.writes = {&c};
+  command.work = [this, size, batch, alpha, &a, &b, &c] {
     FBLAS_REQUIRE(a.size() >= batch * size * size &&
                       b.size() >= batch * size * size &&
                       c.size() >= batch * size * size,
@@ -64,14 +67,18 @@ Event Context::gemm_batched_async(std::int64_t size, std::int64_t batch,
             core::write_batched<T>(c.vec(batch * elems).data(), elems,
                                    batch, cc, banks.at(c.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 template <typename T>
 Event Context::trsm_batched_async(std::int64_t size, std::int64_t batch,
                                   T alpha, const Buffer<T>& a,
                                   Buffer<T>& x) {
-  return enqueue([this, size, batch, alpha, &a, &x] {
+  Command command;
+  command.reads = {&a, &x};
+  command.writes = {&x};
+  command.work = [this, size, batch, alpha, &a, &x] {
     FBLAS_REQUIRE(a.size() >= batch * size * size &&
                       x.size() >= batch * size * size,
                   "trsm_batched: buffers too small for the batch");
@@ -97,7 +104,8 @@ Event Context::trsm_batched_async(std::int64_t size, std::int64_t batch,
             core::write_batched<T>(x.vec(batch * elems).data(), elems,
                                    batch, cx, banks.at(x.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 #define FBLAS_HOST_BATCHED_INSTANTIATE(T)                                    \

@@ -1,4 +1,8 @@
 // Level-1 host API lowerings: reader -> module -> writer graphs.
+//
+// Each async routine enqueues a Command that declares its buffer read and
+// write sets (hazard tracking) and captures the RoutineConfig by value,
+// so commands in flight are unaffected by later config changes.
 #include "fblas/level1.hpp"
 #include "host/context.hpp"
 #include "host/detail.hpp"
@@ -49,11 +53,14 @@ ref::RotmParam<T> Context::rotmg(T& d1, T& d2, T& x1, T y1) {
 template <typename T>
 Event Context::rot_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
                          Buffer<T>& y, std::int64_t incy, T c, T s) {
-  return enqueue([this, n, &x, incx, &y, incy, c, s] {
+  Command cmd;
+  cmd.reads = {&x, &y};
+  cmd.writes = {&x, &y};
+  cmd.work = [this, rc = cfg_, n, &x, incx, &y, incy, c, s] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Rot, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cx = g.channel<T>("x", detail::chan_cap(W));
     auto& cy = g.channel<T>("y", detail::chan_cap(W));
     auto& ox = g.channel<T>("ox", detail::chan_cap(W));
@@ -68,18 +75,22 @@ Event Context::rot_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
     g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, oy,
                                                banks.at(y.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 template <typename T>
 Event Context::rotm_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
                           Buffer<T>& y, std::int64_t incy,
                           ref::RotmParam<T> p) {
-  return enqueue([this, n, &x, incx, &y, incy, p] {
+  Command cmd;
+  cmd.reads = {&x, &y};
+  cmd.writes = {&x, &y};
+  cmd.work = [this, rc = cfg_, n, &x, incx, &y, incy, p] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Rotm, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cx = g.channel<T>("x", detail::chan_cap(W));
     auto& cy = g.channel<T>("y", detail::chan_cap(W));
     auto& ox = g.channel<T>("ox", detail::chan_cap(W));
@@ -94,17 +105,21 @@ Event Context::rotm_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
     g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, oy,
                                                banks.at(y.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 template <typename T>
 Event Context::swap_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
                           Buffer<T>& y, std::int64_t incy) {
-  return enqueue([this, n, &x, incx, &y, incy] {
+  Command cmd;
+  cmd.reads = {&x, &y};
+  cmd.writes = {&x, &y};
+  cmd.work = [this, rc = cfg_, n, &x, incx, &y, incy] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Swap, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cx = g.channel<T>("x", detail::chan_cap(W));
     auto& cy = g.channel<T>("y", detail::chan_cap(W));
     auto& ox = g.channel<T>("ox", detail::chan_cap(W));
@@ -119,17 +134,21 @@ Event Context::swap_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
     g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, oy,
                                                banks.at(y.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 template <typename T>
 Event Context::scal_async(std::int64_t n, T alpha, Buffer<T>& x,
                           std::int64_t incx) {
-  return enqueue([this, n, alpha, &x, incx] {
+  Command cmd;
+  cmd.reads = {&x};
+  cmd.writes = {&x};
+  cmd.work = [this, rc = cfg_, n, alpha, &x, incx] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Scal, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cin = g.channel<T>("x", detail::chan_cap(W));
     auto& cout = g.channel<T>("out", detail::chan_cap(W));
     g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cin,
@@ -138,18 +157,22 @@ Event Context::scal_async(std::int64_t n, T alpha, Buffer<T>& x,
     g.spawn("write_x", stream::write_vector<T>(x.vec(n, incx), 1, W, cout,
                                                banks.at(x.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 template <typename T>
 Event Context::copy_async(std::int64_t n, const Buffer<T>& x,
                           std::int64_t incx, Buffer<T>& y,
                           std::int64_t incy) {
-  return enqueue([this, n, &x, incx, &y, incy] {
+  Command cmd;
+  cmd.reads = {&x};
+  cmd.writes = {&y};
+  cmd.work = [this, rc = cfg_, n, &x, incx, &y, incy] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Copy, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cin = g.channel<T>("x", detail::chan_cap(W));
     auto& cout = g.channel<T>("out", detail::chan_cap(W));
     g.spawn("read_x", stream::read_vector<T>(x.cvec(n, incx), 1, W, cin,
@@ -158,18 +181,22 @@ Event Context::copy_async(std::int64_t n, const Buffer<T>& x,
     g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, cout,
                                                banks.at(y.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 template <typename T>
 Event Context::axpy_async(std::int64_t n, T alpha, const Buffer<T>& x,
                           std::int64_t incx, Buffer<T>& y,
                           std::int64_t incy) {
-  return enqueue([this, n, alpha, &x, incx, &y, incy] {
+  Command cmd;
+  cmd.reads = {&x, &y};
+  cmd.writes = {&y};
+  cmd.work = [this, rc = cfg_, n, alpha, &x, incx, &y, incy] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Axpy, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cx = g.channel<T>("x", detail::chan_cap(W));
     auto& cy = g.channel<T>("y", detail::chan_cap(W));
     auto& cout = g.channel<T>("out", detail::chan_cap(W));
@@ -181,18 +208,22 @@ Event Context::axpy_async(std::int64_t n, T alpha, const Buffer<T>& x,
     g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, cout,
                                                banks.at(y.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 template <typename T>
 Event Context::dot_async(std::int64_t n, const Buffer<T>& x,
                          std::int64_t incx, const Buffer<T>& y,
                          std::int64_t incy, T* result) {
-  return enqueue([this, n, &x, incx, &y, incy, result] {
+  Command cmd;
+  cmd.reads = {&x, &y};
+  cmd.writes = {result};
+  cmd.work = [this, rc = cfg_, n, &x, incx, &y, incy, result] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Dot, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cx = g.channel<T>("x", detail::chan_cap(W));
     auto& cy = g.channel<T>("y", detail::chan_cap(W));
     auto& res = g.channel<T>("res", 2);
@@ -205,17 +236,21 @@ Event Context::dot_async(std::int64_t n, const Buffer<T>& x,
     g.spawn("collect", stream::collect<T>(1, res, out));
     run_graph(g);
     *result = out[0];
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 Event Context::sdsdot_async(std::int64_t n, float sb, const Buffer<float>& x,
                             std::int64_t incx, const Buffer<float>& y,
                             std::int64_t incy, float* result) {
-  return enqueue([this, n, sb, &x, incx, &y, incy, result] {
+  Command cmd;
+  cmd.reads = {&x, &y};
+  cmd.writes = {result};
+  cmd.work = [this, rc = cfg_, n, sb, &x, incx, &y, incy, result] {
     stream::Graph g(mode_);
     const auto f = freq_of<float>(RoutineKind::Sdsdot, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cx = g.channel<float>("x", detail::chan_cap(W));
     auto& cy = g.channel<float>("y", detail::chan_cap(W));
     auto& res = g.channel<float>("res", 2);
@@ -228,17 +263,21 @@ Event Context::sdsdot_async(std::int64_t n, float sb, const Buffer<float>& x,
     g.spawn("collect", stream::collect<float>(1, res, out));
     run_graph(g);
     *result = out[0];
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 template <typename T>
 Event Context::nrm2_async(std::int64_t n, const Buffer<T>& x,
                           std::int64_t incx, T* result) {
-  return enqueue([this, n, &x, incx, result] {
+  Command cmd;
+  cmd.reads = {&x};
+  cmd.writes = {result};
+  cmd.work = [this, rc = cfg_, n, &x, incx, result] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Nrm2, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cx = g.channel<T>("x", detail::chan_cap(W));
     auto& res = g.channel<T>("res", 2);
     std::vector<T> out;
@@ -248,17 +287,21 @@ Event Context::nrm2_async(std::int64_t n, const Buffer<T>& x,
     g.spawn("collect", stream::collect<T>(1, res, out));
     run_graph(g);
     *result = out[0];
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 template <typename T>
 Event Context::asum_async(std::int64_t n, const Buffer<T>& x,
                           std::int64_t incx, T* result) {
-  return enqueue([this, n, &x, incx, result] {
+  Command cmd;
+  cmd.reads = {&x};
+  cmd.writes = {result};
+  cmd.work = [this, rc = cfg_, n, &x, incx, result] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Asum, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cx = g.channel<T>("x", detail::chan_cap(W));
     auto& res = g.channel<T>("res", 2);
     std::vector<T> out;
@@ -268,17 +311,21 @@ Event Context::asum_async(std::int64_t n, const Buffer<T>& x,
     g.spawn("collect", stream::collect<T>(1, res, out));
     run_graph(g);
     *result = out[0];
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 template <typename T>
 Event Context::iamax_async(std::int64_t n, const Buffer<T>& x,
                            std::int64_t incx, std::int64_t* result) {
-  return enqueue([this, n, &x, incx, result] {
+  Command cmd;
+  cmd.reads = {&x};
+  cmd.writes = {result};
+  cmd.work = [this, rc = cfg_, n, &x, incx, result] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Iamax, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& cx = g.channel<T>("x", detail::chan_cap(W));
     auto& res = g.channel<std::int64_t>("res", 2);
     std::vector<std::int64_t> out;
@@ -288,7 +335,8 @@ Event Context::iamax_async(std::int64_t n, const Buffer<T>& x,
     g.spawn("collect", stream::collect<std::int64_t>(1, res, out));
     run_graph(g);
     *result = out[0];
-  });
+  };
+  return enqueue(std::move(cmd));
 }
 
 // Explicit instantiations for the two supported precisions.

@@ -1,4 +1,5 @@
-// Level-2 host API lowerings.
+// Level-2 host API lowerings. Commands declare their buffer read/write
+// sets and capture the RoutineConfig by value at enqueue time.
 #include "host/context.hpp"
 #include "host/detail.hpp"
 #include "sim/frequency_model.hpp"
@@ -18,16 +19,19 @@ Event Context::gemv_async(Transpose trans, std::int64_t rows,
                           std::int64_t cols, T alpha, const Buffer<T>& a,
                           const Buffer<T>& x, std::int64_t incx, T beta,
                           Buffer<T>& y, std::int64_t incy) {
-  return enqueue([this, trans, rows, cols, alpha, &a, &x, incx, beta, &y,
-                  incy] {
+  Command command;
+  command.reads = {&a, &x, &y};
+  command.writes = {&y};
+  command.work = [this, rc = cfg_, trans, rows, cols, alpha, &a, &x, incx,
+                  beta, &y, incy] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Gemv, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const core::GemvConfig cfg{trans, cfg_.tiling, cfg_.width, cfg_.tile_rows,
-                               cfg_.tile_cols};
+    const core::GemvConfig cfg{trans, rc.tiling, rc.width, rc.tile_rows,
+                               rc.tile_cols};
     const std::int64_t xlen = trans == Transpose::None ? cols : rows;
     const std::int64_t ylen = trans == Transpose::None ? rows : cols;
-    const int W = cfg_.width;
+    const int W = rc.width;
     auto& ca = g.channel<T>("A", detail::chan_cap(W));
     auto& cx = g.channel<T>("x", detail::chan_cap(W));
     auto& cy = g.channel<T>("y", detail::chan_cap(W));
@@ -47,18 +51,22 @@ Event Context::gemv_async(Transpose trans, std::int64_t rows,
     g.spawn("write_y", stream::write_vector<T>(y.vec(ylen, incy), 1, W, out,
                                                banks.at(y.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 template <typename T>
 Event Context::trsv_async(Uplo uplo, Transpose trans, Diag diag,
                           std::int64_t n, const Buffer<T>& a, Buffer<T>& x,
                           std::int64_t incx) {
-  return enqueue([this, uplo, trans, diag, n, &a, &x, incx] {
+  Command command;
+  command.reads = {&a, &x};
+  command.writes = {&x};
+  command.work = [this, rc = cfg_, uplo, trans, diag, n, &a, &x, incx] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Trsv, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     // Transposition flips the triangle op(A) effectively occupies.
     const Uplo eff = trans == Transpose::None
                          ? uplo
@@ -75,7 +83,8 @@ Event Context::trsv_async(Uplo uplo, Transpose trans, Diag diag,
     g.spawn("write_x", detail::write_vector_solve_order<T>(
                            x.vec(n, incx), eff, W, out, banks.at(x.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 template <typename T>
@@ -83,13 +92,17 @@ Event Context::ger_async(std::int64_t rows, std::int64_t cols, T alpha,
                          const Buffer<T>& x, std::int64_t incx,
                          const Buffer<T>& y, std::int64_t incy,
                          Buffer<T>& a) {
-  return enqueue([this, rows, cols, alpha, &x, incx, &y, incy, &a] {
+  Command command;
+  command.reads = {&x, &y, &a};
+  command.writes = {&a};
+  command.work = [this, rc = cfg_, rows, cols, alpha, &x, incx, &y, incy,
+                  &a] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Ger, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const core::GerConfig cfg{cfg_.tiling, cfg_.width, cfg_.tile_rows,
-                              cfg_.tile_cols};
-    const int W = cfg_.width;
+    const core::GerConfig cfg{rc.tiling, rc.width, rc.tile_rows,
+                              rc.tile_cols};
+    const int W = rc.width;
     const auto sched = core::ger_a_schedule(cfg);
     auto& ca = g.channel<T>("A", detail::chan_cap(W));
     auto& cx = g.channel<T>("x", detail::chan_cap(W));
@@ -109,20 +122,24 @@ Event Context::ger_async(std::int64_t rows, std::int64_t cols, T alpha,
     g.spawn("write_A", stream::write_matrix<T>(a.mat(rows, cols), sched, W,
                                                out, banks.at(a.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 template <typename T>
 Event Context::syr_async(Uplo uplo, std::int64_t n, T alpha,
                          const Buffer<T>& x, std::int64_t incx,
                          Buffer<T>& a) {
-  return enqueue([this, uplo, n, alpha, &x, incx, &a] {
+  Command command;
+  command.reads = {&x, &a};
+  command.writes = {&a};
+  command.work = [this, rc = cfg_, uplo, n, alpha, &x, incx, &a] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Syr, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const core::GerConfig cfg{cfg_.tiling, cfg_.width, cfg_.tile_rows,
-                              cfg_.tile_cols};
-    const int W = cfg_.width;
+    const core::GerConfig cfg{rc.tiling, rc.width, rc.tile_rows,
+                              rc.tile_cols};
+    const int W = rc.width;
     const auto sched = core::ger_a_schedule(cfg);
     auto& ca = g.channel<T>("A", detail::chan_cap(W));
     auto& cxr = g.channel<T>("x_row", detail::chan_cap(W));
@@ -144,7 +161,8 @@ Event Context::syr_async(Uplo uplo, std::int64_t n, T alpha,
                                                     W, out,
                                                     banks.at(a.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 template <typename T>
@@ -152,13 +170,16 @@ Event Context::syr2_async(Uplo uplo, std::int64_t n, T alpha,
                           const Buffer<T>& x, std::int64_t incx,
                           const Buffer<T>& y, std::int64_t incy,
                           Buffer<T>& a) {
-  return enqueue([this, uplo, n, alpha, &x, incx, &y, incy, &a] {
+  Command command;
+  command.reads = {&x, &y, &a};
+  command.writes = {&a};
+  command.work = [this, rc = cfg_, uplo, n, alpha, &x, incx, &y, incy, &a] {
     stream::Graph g(mode_);
     const auto f = freq_of<T>(RoutineKind::Syr2, *dev_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const core::GerConfig cfg{cfg_.tiling, cfg_.width, cfg_.tile_rows,
-                              cfg_.tile_cols};
-    const int W = cfg_.width;
+    const core::GerConfig cfg{rc.tiling, rc.width, rc.tile_rows,
+                              rc.tile_cols};
+    const int W = rc.width;
     const auto sched = core::ger_a_schedule(cfg);
     auto& ca = g.channel<T>("A", detail::chan_cap(W));
     auto& cxr = g.channel<T>("x_row", detail::chan_cap(W));
@@ -190,7 +211,8 @@ Event Context::syr2_async(Uplo uplo, std::int64_t n, T alpha,
                                                     W, out,
                                                     banks.at(a.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 #define FBLAS_HOST_L2_INSTANTIATE(T)                                          \

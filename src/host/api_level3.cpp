@@ -1,4 +1,5 @@
-// Level-3 host API lowerings.
+// Level-3 host API lowerings. Commands declare their buffer read/write
+// sets and capture the RoutineConfig by value at enqueue time.
 #include "host/context.hpp"
 #include "host/detail.hpp"
 #include "sim/frequency_model.hpp"
@@ -18,14 +19,18 @@ Event Context::gemm_async(Transpose ta, Transpose tb, std::int64_t m,
                           std::int64_t n, std::int64_t k, T alpha,
                           const Buffer<T>& a, const Buffer<T>& b, T beta,
                           Buffer<T>& c) {
-  return enqueue([this, ta, tb, m, n, k, alpha, &a, &b, beta, &c] {
+  Command command;
+  command.reads = {&a, &b, &c};
+  command.writes = {&c};
+  command.work = [this, rc = cfg_, ta, tb, m, n, k, alpha, &a, &b, beta,
+                  &c] {
     stream::Graph g(mode_);
-    const auto f = sim::gemm_frequency(cfg_.pe_rows, cfg_.pe_cols,
+    const auto f = sim::gemm_frequency(rc.pe_rows, rc.pe_cols,
                                        PrecisionTraits<T>::value,
                                        dev_->spec());
     detail::BankSet banks(g, *dev_, f.mhz);
-    const core::GemmConfig cfg{cfg_.pe_rows, cfg_.pe_cols,
-                               cfg_.gemm_tile_rows, cfg_.gemm_tile_cols};
+    const core::GemmConfig cfg{rc.pe_rows, rc.pe_cols, rc.gemm_tile_rows,
+                               rc.gemm_tile_cols};
     auto& ca = g.channel<T>("A", detail::chan_cap(cfg.pe_rows * 4));
     auto& cb = g.channel<T>("B", detail::chan_cap(cfg.pe_cols * 4));
     auto& cc = g.channel<T>("Cin", detail::chan_cap(cfg.pe_cols * 4));
@@ -48,21 +53,25 @@ Event Context::gemm_async(Transpose ta, Transpose tb, std::int64_t m,
             stream::write_matrix<T>(c.mat(m, n), core::gemm_c_schedule(cfg),
                                     cfg.pe_cols, out, banks.at(c.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 template <typename T>
 Event Context::syrk_async(Uplo uplo, Transpose trans, std::int64_t n,
                           std::int64_t k, T alpha, const Buffer<T>& a,
                           T beta, Buffer<T>& c) {
-  return enqueue([this, uplo, trans, n, k, alpha, &a, beta, &c] {
+  Command command;
+  command.reads = {&a, &c};
+  command.writes = {&c};
+  command.work = [this, rc = cfg_, uplo, trans, n, k, alpha, &a, beta, &c] {
     stream::Graph g(mode_);
-    const auto f = sim::gemm_frequency(cfg_.pe_rows, cfg_.pe_cols,
+    const auto f = sim::gemm_frequency(rc.pe_rows, rc.pe_cols,
                                        PrecisionTraits<T>::value,
                                        dev_->spec());
     detail::BankSet banks(g, *dev_, f.mhz);
-    const core::GemmConfig cfg{cfg_.pe_rows, cfg_.pe_cols,
-                               cfg_.gemm_tile_rows, cfg_.gemm_tile_cols};
+    const core::GemmConfig cfg{rc.pe_rows, rc.pe_cols, rc.gemm_tile_rows,
+                               rc.gemm_tile_cols};
     // SYRK is lowered to the generic GEMM module with both panel streams
     // reading the same matrix (the second one transposed) and a
     // triangular Store-C (Sec. VI: specialized routines are implemented
@@ -86,21 +95,26 @@ Event Context::syrk_async(Uplo uplo, Transpose trans, std::int64_t n,
     g.spawn("store_C", core::store_c_triangular<T>(c.mat(n, n), cfg, uplo,
                                                    out, banks.at(c.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 template <typename T>
 Event Context::syr2k_async(Uplo uplo, Transpose trans, std::int64_t n,
                            std::int64_t k, T alpha, const Buffer<T>& a,
                            const Buffer<T>& b, T beta, Buffer<T>& c) {
-  return enqueue([this, uplo, trans, n, k, alpha, &a, &b, beta, &c] {
+  Command command;
+  command.reads = {&a, &b, &c};
+  command.writes = {&c};
+  command.work = [this, rc = cfg_, uplo, trans, n, k, alpha, &a, &b, beta,
+                  &c] {
     stream::Graph g(mode_);
-    const auto f = sim::gemm_frequency(cfg_.pe_rows, cfg_.pe_cols,
+    const auto f = sim::gemm_frequency(rc.pe_rows, rc.pe_cols,
                                        PrecisionTraits<T>::value,
                                        dev_->spec());
     detail::BankSet banks(g, *dev_, f.mhz);
-    const core::GemmConfig cfg{cfg_.pe_rows, cfg_.pe_cols,
-                               cfg_.gemm_tile_rows, cfg_.gemm_tile_cols};
+    const core::GemmConfig cfg{rc.pe_rows, rc.pe_cols, rc.gemm_tile_rows,
+                               rc.gemm_tile_cols};
     const auto a_view = a.cmat(trans == Transpose::None ? n : k,
                                trans == Transpose::None ? k : n);
     const auto b_view = b.cmat(trans == Transpose::None ? n : k,
@@ -129,21 +143,26 @@ Event Context::syr2k_async(Uplo uplo, Transpose trans, std::int64_t n,
     g.spawn("store_C", core::store_c_triangular<T>(c.mat(n, n), cfg, uplo,
                                                    out, banks.at(c.bank())));
     run_graph(g);
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 template <typename T>
 Event Context::trsm_async(Side side, Uplo uplo, Transpose trans, Diag diag,
                           std::int64_t m, std::int64_t n, T alpha,
                           const Buffer<T>& a, Buffer<T>& b) {
-  return enqueue([this, side, uplo, trans, diag, m, n, alpha, &a, &b] {
+  Command command;
+  command.reads = {&a, &b};
+  command.writes = {&b};
+  command.work = [this, rc = cfg_, side, uplo, trans, diag, m, n, alpha, &a,
+                  &b] {
     const auto f = sim::module_frequency(RoutineKind::Trsm,
                                          PrecisionTraits<T>::value,
                                          dev_->spec());
     if (side == Side::Left) {
       stream::Graph g(mode_);
       detail::BankSet banks(g, *dev_, f.mhz);
-      const int W = cfg_.width;
+      const int W = rc.width;
       const Uplo eff = trans == Transpose::None ? uplo : flip(uplo);
       const core::TrsmConfig cfg{eff, diag, W};
       auto& ca = g.channel<T>("A", detail::chan_cap(W));
@@ -173,7 +192,7 @@ Event Context::trsm_async(Side side, Uplo uplo, Transpose trans, Diag diag,
     }
     stream::Graph g(mode_);
     detail::BankSet banks(g, *dev_, f.mhz);
-    const int W = cfg_.width;
+    const int W = rc.width;
     const Transpose t2 = flip(trans);
     const Uplo eff = t2 == Transpose::None ? uplo : flip(uplo);
     const core::TrsmConfig cfg{eff, diag, W};
@@ -198,7 +217,8 @@ Event Context::trsm_async(Side side, Uplo uplo, Transpose trans, Diag diag,
         for (std::int64_t j = 0; j < n; ++j) bv(i, j) = XT(j, i);
       }
     }
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 #define FBLAS_HOST_L3_INSTANTIATE(T)                                          \

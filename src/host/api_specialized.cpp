@@ -12,7 +12,10 @@ Event Context::symv_async(Uplo uplo, std::int64_t n, T alpha,
                           const Buffer<T>& a, const Buffer<T>& x,
                           std::int64_t incx, T beta, Buffer<T>& y,
                           std::int64_t incy) {
-  return enqueue([this, uplo, n, alpha, &a, &x, incx, beta, &y, incy] {
+  Command command;
+  command.reads = {&a, &x, &y};
+  command.writes = {&y};
+  command.work = [this, uplo, n, alpha, &a, &x, incx, beta, &y, incy] {
     // Mirror the stored triangle into a dense scratch matrix.
     Buffer<T> dense(*dev_, n * n, a.bank());
     {
@@ -27,17 +30,23 @@ Event Context::symv_async(Uplo uplo, std::int64_t n, T alpha,
       }
       dense.write(full);
     }
+    // Runs inline: nested calls issued from inside a command body fold
+    // into the enclosing command.
     gemv_async<T>(Transpose::None, n, n, alpha, dense, x, incx, beta, y,
                   incy)
         .wait();
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 template <typename T>
 Event Context::trmv_async(Uplo uplo, Transpose trans, Diag diag,
                           std::int64_t n, const Buffer<T>& a, Buffer<T>& x,
                           std::int64_t incx) {
-  return enqueue([this, uplo, trans, diag, n, &a, &x, incx] {
+  Command command;
+  command.reads = {&a, &x};
+  command.writes = {&x};
+  command.work = [this, uplo, trans, diag, n, &a, &x, incx] {
     // Zero-fill the opposite triangle (and force a unit diagonal when
     // requested) into dense scratch, then run the generic GEMV.
     Buffer<T> dense(*dev_, n * n, a.bank());
@@ -63,7 +72,8 @@ Event Context::trmv_async(Uplo uplo, Transpose trans, Diag diag,
     auto xv = x.vec(n, incx);
     const auto rv = result.cvec(n);
     for (std::int64_t i = 0; i < n; ++i) xv[i] = rv[i];
-  });
+  };
+  return enqueue(std::move(command));
 }
 
 #define FBLAS_HOST_SPECIALIZED_INSTANTIATE(T)                                \

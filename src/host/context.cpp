@@ -1,0 +1,64 @@
+#include "host/context.hpp"
+
+#include <utility>
+
+namespace fblas::host {
+
+Context::Context(Device& dev, stream::Mode mode, int workers)
+    : dev_(&dev), mode_(mode), exec_(std::make_unique<Executor>(workers)) {}
+
+Event Context::enqueue(Command cmd) {
+  // A nested library call issued from inside a running command (e.g. the
+  // GEMV behind SYMV) is part of that command: run it inline so its
+  // hazards and cycles fold into the parent, and hand back a completed
+  // Event.
+  if (Executor::in_command()) {
+    if (cmd.work) cmd.work();
+    return Event();
+  }
+
+  const std::uint64_t seq = ++enqueued_;
+  std::vector<std::uint64_t> deps =
+      deps_.add(seq, cmd.reads, cmd.writes, cmd.barrier);
+  for (const Event& e : cmd.after) {
+    if (e.ctx_ == this && e.seq_ != 0) deps.push_back(e.seq_);
+  }
+  exec_->submit(seq, std::move(cmd.work), deps);
+  return Event(this, seq);
+}
+
+Event Context::enqueue(std::function<void()> work) {
+  Command cmd;
+  cmd.work = std::move(work);
+  cmd.barrier = true;  // undeclared effects: order against everything
+  return enqueue(std::move(cmd));
+}
+
+Event Context::enqueue(std::function<void()> work,
+                       std::span<const Event> after) {
+  Command cmd;
+  cmd.work = std::move(work);
+  cmd.barrier = true;
+  cmd.after.assign(after.begin(), after.end());
+  return enqueue(std::move(cmd));
+}
+
+void Context::finish() { exec_->wait_all(); }
+
+void Context::wait_seq(std::uint64_t seq) { exec_->wait(seq); }
+
+bool Context::done_seq(std::uint64_t seq) const { return exec_->done(seq); }
+
+void Context::run_graph(stream::Graph& g) {
+  g.run();
+  const std::uint64_t cycles = g.cycles();
+  Executor::note_cycles(cycles);
+  last_cycles_.store(cycles);
+  total_cycles_.fetch_add(cycles);
+}
+
+double Context::bank_bytes_per_cycle(double freq_mhz) const {
+  return dev_->spec().bank_bandwidth_gbs * 1e9 / (freq_mhz * 1e6);
+}
+
+}  // namespace fblas::host

@@ -3,25 +3,54 @@
 // kernels around the module — and running it on the simulated device.
 //
 // Calls come in a synchronous form (e.g. `ctx.scal(...)`) and an
-// asynchronous form (`ctx.scal_async(...)` returning an Event); commands
-// are queued in order and executed when waited on or at finish().
+// asynchronous form (`ctx.scal_async(...)` returning an Event).
+//
+// Execution model: every enqueued command declares the buffers it reads
+// and writes; a DepGraph derives the RAW/WAR/WAW hazards that force
+// program order, and an Executor runs the commands.
+//
+//   Context ctx(dev, mode);            // serial: commands run lazily, in
+//                                      // program order, when waited on
+//   Context ctx(dev, mode, /*workers=*/4);  // out-of-order: a worker pool
+//                                      // eagerly runs every command whose
+//                                      // hazards are resolved, so calls on
+//                                      // disjoint buffers overlap
+//
+// Results are bit-identical across policies: conflicting commands retain
+// program order, only independent ones overlap. total_cycles() sums the
+// device cycles of all commands (the serial schedule); makespan_cycles()
+// is the critical-path time an overlapped schedule needs.
+//
+// Stride convention: every synchronous wrapper defaults a trailing
+// increment argument to 1, and every routine with vector strides also has
+// a unit-stride overload that omits them entirely (e.g. `ctx.axpy(n,
+// alpha, x, y)`). Asynchronous forms always take explicit strides.
 //
 // Non-functional parameters (vectorization width, tile sizes, tiling
 // scheme, systolic grid) are per-context RoutineConfig knobs — the same
 // knobs the code generator exposes in its JSON routine specification.
+// They are captured when a call is *enqueued*, so a ConfigGuard (or
+// `ctx.with(cfg)->gemm(...)`) scopes an override to specific calls
+// without racing against commands already in flight.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "common/routines.hpp"
 #include "common/types.hpp"
 #include "fblas/level2.hpp"
 #include "fblas/level3.hpp"
 #include "host/buffer.hpp"
+#include "host/dep_graph.hpp"
 #include "host/device.hpp"
 #include "host/event.hpp"
+#include "host/executor.hpp"
 #include "refblas/level1.hpp"
 #include "stream/graph.hpp"
 
@@ -39,25 +68,59 @@ struct RoutineConfig {
   std::int64_t gemm_tile_cols = 16; ///< TC
 };
 
+/// A unit of work for the runtime: the closure plus the declared buffer
+/// read/write sets hazards are derived from (Buffer addresses for device
+/// data, host pointers for scalar results) and optional explicit event
+/// dependencies. A command with `barrier` set (or one enqueued without
+/// declared sets) orders against everything.
+struct Command {
+  std::function<void()> work;
+  std::vector<const void*> reads;
+  std::vector<const void*> writes;
+  std::vector<Event> after;
+  bool barrier = false;
+};
+
+class ConfigGuard;
+
 class Context {
  public:
-  explicit Context(Device& dev,
-                   stream::Mode mode = stream::Mode::Functional);
+  /// `workers == 0` (default) keeps the serial in-order queue; `workers
+  /// > 0` enables the out-of-order executor with that many threads.
+  explicit Context(Device& dev, stream::Mode mode = stream::Mode::Functional,
+                   int workers = 0);
 
   Device& device() { return *dev_; }
   RoutineConfig& config() { return cfg_; }
   const RoutineConfig& config() const { return cfg_; }
   stream::Mode mode() const { return mode_; }
+  int workers() const { return exec_->workers(); }
+
+  /// Scopes a RoutineConfig override: applies `cfg` now and restores the
+  /// previous configuration when the guard dies. Usable inline —
+  /// `ctx.with(cfg)->gemm(...)` — because knobs are captured at enqueue.
+  ConfigGuard with(const RoutineConfig& cfg);
 
   /// Cycles of the most recently executed command (cycle mode only).
-  std::uint64_t last_cycles() const { return last_cycles_; }
-  /// Cumulative cycles across all executed commands.
-  std::uint64_t total_cycles() const { return total_cycles_; }
+  std::uint64_t last_cycles() const { return last_cycles_.load(); }
+  /// Cumulative cycles across all executed commands (serial schedule).
+  std::uint64_t total_cycles() const { return total_cycles_.load(); }
+  /// Critical-path cycles of the executed command DAG: the device time an
+  /// out-of-order schedule needs once independent commands overlap.
+  std::uint64_t makespan_cycles() const {
+    return exec_->stats().makespan_cycles;
+  }
+  /// Executor counters (commands executed, in-flight high-water mark...).
+  ExecStats exec_stats() const { return exec_->stats(); }
 
-  /// Queue management.
+  /// Queue management. The untyped overloads enqueue `work` as a barrier
+  /// command (it declares no sets, so it orders against everything);
+  /// `after` adds explicit event dependencies on top of the derived ones.
+  Event enqueue(Command cmd);
   Event enqueue(std::function<void()> work);
+  Event enqueue(std::function<void()> work, std::span<const Event> after);
   void finish();
-  bool idle() const { return pending_.empty(); }
+  bool idle() const { return exec_->idle(); }
 
   // --- Level 1 ----------------------------------------------------------
   // rotg/rotmg are host-scalar setup routines (synchronous only).
@@ -106,14 +169,27 @@ class Context {
     rot_async(n, x, incx, y, incy, c, s).wait();
   }
   template <typename T>
+  void rot(std::int64_t n, Buffer<T>& x, Buffer<T>& y, T c, T s) {
+    rot(n, x, 1, y, 1, c, s);
+  }
+  template <typename T>
   void rotm(std::int64_t n, Buffer<T>& x, std::int64_t incx, Buffer<T>& y,
             std::int64_t incy, const ref::RotmParam<T>& p) {
     rotm_async(n, x, incx, y, incy, p).wait();
   }
   template <typename T>
+  void rotm(std::int64_t n, Buffer<T>& x, Buffer<T>& y,
+            const ref::RotmParam<T>& p) {
+    rotm(n, x, 1, y, 1, p);
+  }
+  template <typename T>
   void swap(std::int64_t n, Buffer<T>& x, std::int64_t incx, Buffer<T>& y,
-            std::int64_t incy) {
+            std::int64_t incy = 1) {
     swap_async(n, x, incx, y, incy).wait();
+  }
+  template <typename T>
+  void swap(std::int64_t n, Buffer<T>& x, Buffer<T>& y) {
+    swap(n, x, 1, y, 1);
   }
   template <typename T>
   void scal(std::int64_t n, T alpha, Buffer<T>& x, std::int64_t incx = 1) {
@@ -121,26 +197,43 @@ class Context {
   }
   template <typename T>
   void copy(std::int64_t n, const Buffer<T>& x, std::int64_t incx,
-            Buffer<T>& y, std::int64_t incy) {
+            Buffer<T>& y, std::int64_t incy = 1) {
     copy_async(n, x, incx, y, incy).wait();
   }
   template <typename T>
+  void copy(std::int64_t n, const Buffer<T>& x, Buffer<T>& y) {
+    copy(n, x, 1, y, 1);
+  }
+  template <typename T>
   void axpy(std::int64_t n, T alpha, const Buffer<T>& x, std::int64_t incx,
-            Buffer<T>& y, std::int64_t incy) {
+            Buffer<T>& y, std::int64_t incy = 1) {
     axpy_async(n, alpha, x, incx, y, incy).wait();
   }
   template <typename T>
+  void axpy(std::int64_t n, T alpha, const Buffer<T>& x, Buffer<T>& y) {
+    axpy(n, alpha, x, 1, y, 1);
+  }
+  template <typename T>
   T dot(std::int64_t n, const Buffer<T>& x, std::int64_t incx,
-        const Buffer<T>& y, std::int64_t incy) {
+        const Buffer<T>& y, std::int64_t incy = 1) {
     T r{};
     dot_async(n, x, incx, y, incy, &r).wait();
     return r;
   }
+  template <typename T>
+  T dot(std::int64_t n, const Buffer<T>& x, const Buffer<T>& y) {
+    return dot(n, x, 1, y, 1);
+  }
   float sdsdot(std::int64_t n, float sb, const Buffer<float>& x,
-               std::int64_t incx, const Buffer<float>& y, std::int64_t incy) {
+               std::int64_t incx, const Buffer<float>& y,
+               std::int64_t incy = 1) {
     float r{};
     sdsdot_async(n, sb, x, incx, y, incy, &r).wait();
     return r;
+  }
+  float sdsdot(std::int64_t n, float sb, const Buffer<float>& x,
+               const Buffer<float>& y) {
+    return sdsdot(n, sb, x, 1, y, 1);
   }
   template <typename T>
   T nrm2(std::int64_t n, const Buffer<T>& x, std::int64_t incx = 1) {
@@ -172,8 +265,13 @@ class Context {
   template <typename T>
   void gemv(Transpose trans, std::int64_t rows, std::int64_t cols, T alpha,
             const Buffer<T>& a, const Buffer<T>& x, std::int64_t incx,
-            T beta, Buffer<T>& y, std::int64_t incy) {
+            T beta, Buffer<T>& y, std::int64_t incy = 1) {
     gemv_async(trans, rows, cols, alpha, a, x, incx, beta, y, incy).wait();
+  }
+  template <typename T>
+  void gemv(Transpose trans, std::int64_t rows, std::int64_t cols, T alpha,
+            const Buffer<T>& a, const Buffer<T>& x, T beta, Buffer<T>& y) {
+    gemv(trans, rows, cols, alpha, a, x, 1, beta, y, 1);
   }
 
   /// Solves op(A) x = b in place (x holds b on entry).
@@ -197,6 +295,11 @@ class Context {
            Buffer<T>& a) {
     ger_async(rows, cols, alpha, x, incx, y, incy, a).wait();
   }
+  template <typename T>
+  void ger(std::int64_t rows, std::int64_t cols, T alpha, const Buffer<T>& x,
+           const Buffer<T>& y, Buffer<T>& a) {
+    ger(rows, cols, alpha, x, 1, y, 1, a);
+  }
 
   /// A += alpha x x^T on the `uplo` triangle (generic full-stream update;
   /// the opposite triangle is preserved).
@@ -207,6 +310,11 @@ class Context {
   void syr(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& x,
            std::int64_t incx, Buffer<T>& a) {
     syr_async(uplo, n, alpha, x, incx, a).wait();
+  }
+  template <typename T>
+  void syr(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& x,
+           Buffer<T>& a) {
+    syr(uplo, n, alpha, x, 1, a);
   }
 
   /// A += alpha (x y^T + y x^T) on the `uplo` triangle.
@@ -219,6 +327,11 @@ class Context {
             std::int64_t incx, const Buffer<T>& y, std::int64_t incy,
             Buffer<T>& a) {
     syr2_async(uplo, n, alpha, x, incx, y, incy, a).wait();
+  }
+  template <typename T>
+  void syr2(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& x,
+            const Buffer<T>& y, Buffer<T>& a) {
+    syr2(uplo, n, alpha, x, 1, y, 1, a);
   }
 
   // --- Level 3 ----------------------------------------------------------
@@ -284,8 +397,13 @@ class Context {
   template <typename T>
   void symv(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& a,
             const Buffer<T>& x, std::int64_t incx, T beta, Buffer<T>& y,
-            std::int64_t incy) {
+            std::int64_t incy = 1) {
     symv_async(uplo, n, alpha, a, x, incx, beta, y, incy).wait();
+  }
+  template <typename T>
+  void symv(Uplo uplo, std::int64_t n, T alpha, const Buffer<T>& a,
+            const Buffer<T>& x, T beta, Buffer<T>& y) {
+    symv(uplo, n, alpha, a, x, 1, beta, y, 1);
   }
 
   /// x = op(A) * x for triangular A (`uplo`, `diag`).
@@ -324,7 +442,8 @@ class Context {
 
  private:
   friend class Event;
-  void drain_until(std::uint64_t seq);
+  void wait_seq(std::uint64_t seq);
+  bool done_seq(std::uint64_t seq) const;
 
   /// Runs a built graph and records its cycle count.
   void run_graph(stream::Graph& g);
@@ -334,11 +453,44 @@ class Context {
   Device* dev_;
   stream::Mode mode_;
   RoutineConfig cfg_;
-  std::deque<std::function<void()>> pending_;
+  DepGraph deps_;
+  std::unique_ptr<Executor> exec_;
   std::uint64_t enqueued_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t last_cycles_ = 0;
-  std::uint64_t total_cycles_ = 0;
+  std::atomic<std::uint64_t> last_cycles_{0};
+  std::atomic<std::uint64_t> total_cycles_{0};
 };
+
+/// RAII override of a Context's RoutineConfig: applies `cfg` on
+/// construction and restores the previous knobs on destruction. Because
+/// commands capture the configuration when enqueued, a guard that only
+/// spans the enqueue is enough — including the temporary in
+/// `ctx.with(cfg)->gemm(...)`.
+class ConfigGuard {
+ public:
+  ConfigGuard(Context& ctx, const RoutineConfig& cfg)
+      : ctx_(&ctx), saved_(ctx.config()) {
+    ctx.config() = cfg;
+  }
+  ~ConfigGuard() {
+    if (ctx_ != nullptr) ctx_->config() = saved_;
+  }
+  ConfigGuard(ConfigGuard&& o) noexcept
+      : ctx_(std::exchange(o.ctx_, nullptr)), saved_(o.saved_) {}
+  ConfigGuard& operator=(ConfigGuard&&) = delete;
+  ConfigGuard(const ConfigGuard&) = delete;
+  ConfigGuard& operator=(const ConfigGuard&) = delete;
+
+  /// The guarded context, for inline use: `ctx.with(cfg)->gemm(...)`.
+  Context* operator->() { return ctx_; }
+  Context& context() { return *ctx_; }
+
+ private:
+  Context* ctx_;
+  RoutineConfig saved_;
+};
+
+inline ConfigGuard Context::with(const RoutineConfig& cfg) {
+  return ConfigGuard(*this, cfg);
+}
 
 }  // namespace fblas::host

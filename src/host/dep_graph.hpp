@@ -1,0 +1,49 @@
+// Hazard tracking for the out-of-order host runtime: each enqueued
+// command declares the buffers it reads and writes, and the tracker
+// derives the data dependencies that force program order —
+//
+//   RAW  a command reading a buffer waits for its last writer,
+//   WAR  a command writing a buffer waits for every reader since the
+//        last write (they must observe the old contents),
+//   WAW  a command writing a buffer waits for its last writer.
+//
+// Commands whose sets touch disjoint buffers get no edges and may run
+// concurrently; conflicting commands retain program order, so results
+// are bit-identical to the serial schedule (Sec. II-B semantics).
+//
+// Resources are identified by opaque pointers: Buffer addresses for
+// device data and host pointers for scalar results. Not thread-safe;
+// the Context serializes enqueues.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace fblas::host {
+
+class DepGraph {
+ public:
+  /// Registers command `seq` (1-based, strictly increasing) with its
+  /// declared sets and returns the commands it must wait for, deduplicated
+  /// and in ascending order. A `barrier` command (one with undeclared
+  /// effects, e.g. a raw user closure) orders after every earlier command
+  /// and before every later one.
+  std::vector<std::uint64_t> add(std::uint64_t seq,
+                                 std::span<const void* const> reads,
+                                 std::span<const void* const> writes,
+                                 bool barrier = false);
+
+ private:
+  struct Resource {
+    std::uint64_t last_writer = 0;              // 0 = never written
+    std::vector<std::uint64_t> readers_since_write;
+  };
+
+  Resource& at(const void* key) { return resources_[key]; }
+
+  std::unordered_map<const void*, Resource> resources_;
+};
+
+}  // namespace fblas::host

@@ -10,6 +10,7 @@ Device::Device(sim::DeviceId id)
 
 std::uint64_t Device::allocated_bytes(int bank) const {
   FBLAS_REQUIRE(bank >= 0 && bank < bank_count(), "unknown DDR bank");
+  std::lock_guard<std::mutex> lk(mu_);
   return allocated_[static_cast<std::size_t>(bank)];
 }
 
@@ -19,6 +20,7 @@ std::uint64_t Device::bank_capacity_bytes() const {
 
 void Device::note_alloc(int bank, std::uint64_t bytes) {
   FBLAS_REQUIRE(bank >= 0 && bank < bank_count(), "unknown DDR bank");
+  std::lock_guard<std::mutex> lk(mu_);
   auto& used = allocated_[static_cast<std::size_t>(bank)];
   if (used + bytes > bank_capacity_bytes()) {
     std::ostringstream os;
@@ -31,6 +33,7 @@ void Device::note_alloc(int bank, std::uint64_t bytes) {
 
 void Device::note_free(int bank, std::uint64_t bytes) {
   FBLAS_REQUIRE(bank >= 0 && bank < bank_count(), "unknown DDR bank");
+  std::lock_guard<std::mutex> lk(mu_);
   auto& used = allocated_[static_cast<std::size_t>(bank)];
   used = bytes > used ? 0 : used - bytes;
 }

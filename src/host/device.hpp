@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/error.hpp"
@@ -25,12 +26,14 @@ class Device {
   std::uint64_t bank_capacity_bytes() const;
 
   /// Allocation bookkeeping (used by Buffer). Throws ConfigError for an
-  /// unknown bank and FitError when the bank is full.
+  /// unknown bank and FitError when the bank is full. Thread-safe:
+  /// commands running on executor workers may allocate scratch buffers.
   void note_alloc(int bank, std::uint64_t bytes);
   void note_free(int bank, std::uint64_t bytes);
 
  private:
   const sim::DeviceSpec* spec_;
+  mutable std::mutex mu_;
   std::vector<std::uint64_t> allocated_;
 };
 

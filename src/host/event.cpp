@@ -6,41 +6,11 @@ namespace fblas::host {
 
 bool Event::done() const {
   if (ctx_ == nullptr) return true;
-  // Sequence numbers are 1-based; completed_ counts executed commands.
-  return seq_ <= ctx_->completed_;
+  return ctx_->done_seq(seq_);
 }
 
 void Event::wait() {
-  if (ctx_ != nullptr) ctx_->drain_until(seq_);
-}
-
-Context::Context(Device& dev, stream::Mode mode) : dev_(&dev), mode_(mode) {}
-
-Event Context::enqueue(std::function<void()> work) {
-  pending_.push_back(std::move(work));
-  ++enqueued_;
-  return Event(this, enqueued_);
-}
-
-void Context::finish() { drain_until(enqueued_); }
-
-void Context::drain_until(std::uint64_t seq) {
-  while (completed_ < seq && !pending_.empty()) {
-    auto work = std::move(pending_.front());
-    pending_.pop_front();
-    ++completed_;
-    work();
-  }
-}
-
-void Context::run_graph(stream::Graph& g) {
-  g.run();
-  last_cycles_ = g.cycles();
-  total_cycles_ += last_cycles_;
-}
-
-double Context::bank_bytes_per_cycle(double freq_mhz) const {
-  return dev_->spec().bank_bandwidth_gbs * 1e9 / (freq_mhz * 1e6);
+  if (ctx_ != nullptr) ctx_->wait_seq(seq_);
 }
 
 }  // namespace fblas::host

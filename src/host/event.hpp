@@ -1,9 +1,11 @@
 // Events: handles to enqueued commands. Library calls can be synchronous
-// (wait immediately) or asynchronous (return an Event; the command runs
-// when the event is waited on or the queue is finished) — Sec. II-B.
+// (wait immediately) or asynchronous (return an Event) — Sec. II-B.
+// A default-constructed Event is a completed one: done() is true and
+// wait() is a no-op, so event-typed members need no sentinel handling.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace fblas::host {
 
@@ -13,11 +15,19 @@ class Event {
  public:
   Event() = default;
 
-  /// True once the command has executed.
+  /// True once the command has executed (always true for a default-
+  /// constructed Event).
   bool done() const;
 
-  /// Executes queued commands up to and including this one.
+  /// Blocks until the command has executed; under the serial policy this
+  /// runs queued commands up to and including this one. No-op for a
+  /// default-constructed Event.
   void wait();
+
+  /// Waits on every event in order.
+  static void wait_all(std::span<Event> events) {
+    for (Event& e : events) e.wait();
+  }
 
  private:
   friend class Context;

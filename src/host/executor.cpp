@@ -1,0 +1,192 @@
+#include "host/executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fblas::host {
+namespace {
+
+// Per-thread command-execution state. Nested library calls made from
+// inside a command body run inline, so their graph cycles accumulate
+// into the enclosing command.
+thread_local std::uint64_t tl_cycles = 0;
+thread_local int tl_depth = 0;
+
+}  // namespace
+
+void Executor::note_cycles(std::uint64_t cycles) {
+  if (tl_depth > 0) tl_cycles += cycles;
+}
+
+bool Executor::in_command() { return tl_depth > 0; }
+
+Executor::Executor(int workers) : workers_(workers < 0 ? 0 : workers) {
+  threads_.reserve(static_cast<std::size_t>(workers_));
+  for (int i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Executor::submit(std::uint64_t seq, std::function<void()> work,
+                      const std::vector<std::uint64_t>& deps) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Node& node = nodes_[seq];
+    node.work = std::move(work);
+    for (std::uint64_t dep : deps) {
+      auto it = nodes_.find(dep);
+      if (it == nodes_.end() || it->second.completed) {
+        // Already retired: only its finish time still matters.
+        if (it != nodes_.end()) {
+          node.start_cycles =
+              std::max(node.start_cycles, it->second.finish_cycles);
+        }
+        continue;
+      }
+      it->second.succs.push_back(seq);
+      ++node.unresolved;
+    }
+    ++incomplete_;
+    if (workers_ > 0 && node.unresolved == 0) ready_.push_back(seq);
+  }
+  if (workers_ > 0) work_cv_.notify_one();
+}
+
+void Executor::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] { return stop_ || !ready_.empty(); });
+    if (stop_) return;
+    const std::uint64_t seq = ready_.front();
+    ready_.pop_front();
+    run_command(lk, seq);
+  }
+}
+
+void Executor::run_command(std::unique_lock<std::mutex>& lk,
+                           std::uint64_t seq) {
+  Node& node = nodes_.at(seq);
+  node.running = true;
+  ++active_;
+  stats_.max_concurrent = std::max(stats_.max_concurrent, active_);
+  std::function<void()> work = std::move(node.work);
+  node.work = nullptr;
+  lk.unlock();
+
+  tl_cycles = 0;
+  ++tl_depth;
+  std::exception_ptr error;
+  try {
+    if (work) work();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  --tl_depth;
+  const std::uint64_t cycles = tl_cycles;
+
+  lk.lock();
+  --active_;
+  complete(seq, cycles, error);
+}
+
+void Executor::complete(std::uint64_t seq, std::uint64_t cycles,
+                        std::exception_ptr error) {
+  Node& node = nodes_.at(seq);
+  node.running = false;
+  node.completed = true;
+  node.error = error;
+  node.finish_cycles = node.start_cycles + cycles;
+  stats_.makespan_cycles =
+      std::max(stats_.makespan_cycles, node.finish_cycles);
+  ++stats_.executed;
+  --incomplete_;
+  bool woke_ready = false;
+  for (std::uint64_t succ_seq : node.succs) {
+    Node& succ = nodes_.at(succ_seq);
+    succ.start_cycles = std::max(succ.start_cycles, node.finish_cycles);
+    if (--succ.unresolved == 0 && workers_ > 0) {
+      ready_.push_back(succ_seq);
+      woke_ready = true;
+    }
+  }
+  node.succs.clear();
+  if (woke_ready) work_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+void Executor::wait(std::uint64_t seq) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (workers_ == 0) {
+    // Serial policy: lazily run pending commands in program order up to
+    // and including `seq` on the calling thread (dependencies always
+    // point backwards, so they are satisfied by construction).
+    for (auto it = nodes_.begin(); it != nodes_.end() && it->first <= seq;
+         ++it) {
+      if (it->second.completed) continue;
+      const std::uint64_t s = it->first;
+      run_command(lk, s);
+      Node& node = nodes_.at(s);
+      if (node.error) {
+        std::exception_ptr error = std::exchange(node.error, nullptr);
+        std::rethrow_exception(error);
+      }
+    }
+    return;
+  }
+  done_cv_.wait(lk, [&] {
+    auto it = nodes_.find(seq);
+    return it == nodes_.end() || it->second.completed;
+  });
+  auto it = nodes_.find(seq);
+  if (it != nodes_.end() && it->second.error) {
+    std::exception_ptr error = std::exchange(it->second.error, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+void Executor::wait_all() {
+  std::uint64_t last = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!nodes_.empty()) last = nodes_.rbegin()->first;
+  }
+  if (workers_ == 0) {
+    wait(last);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return incomplete_ == 0; });
+  for (auto& [seq, node] : nodes_) {
+    if (node.error) {
+      std::exception_ptr error = std::exchange(node.error, nullptr);
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+bool Executor::done(std::uint64_t seq) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = nodes_.find(seq);
+  return it == nodes_.end() || it->second.completed;
+}
+
+bool Executor::idle() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return incomplete_ == 0;
+}
+
+ExecStats Executor::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace fblas::host

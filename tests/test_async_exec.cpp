@@ -1,0 +1,478 @@
+// Out-of-order host runtime tests: observable overlap of independent
+// commands, RAW/WAR/WAW hazard ordering, bit-identical results between
+// the serial and concurrent policies (including a randomized hazard
+// fuzz), makespan accounting, event chaining and ConfigGuard capture.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <latch>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/workload.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
+#include "refblas/level2.hpp"
+
+namespace fblas::host {
+namespace {
+
+template <typename T>
+Buffer<T> make_buffer(Device& dev, const std::vector<T>& host, int bank = 0) {
+  Buffer<T> b(dev, static_cast<std::int64_t>(host.size()), bank);
+  b.write(host);
+  return b;
+}
+
+// --- Dependency tracking unit tests ------------------------------------
+
+TEST(DepGraphHazards, DisjointSetsGetNoEdges) {
+  DepGraph g;
+  int a = 0, b = 0;
+  const void* ra[] = {&a};
+  const void* rb[] = {&b};
+  EXPECT_TRUE(g.add(1, ra, ra).empty());
+  EXPECT_TRUE(g.add(2, rb, rb).empty());
+}
+
+TEST(DepGraphHazards, DerivesRawWarWaw) {
+  DepGraph g;
+  int x = 0;
+  const void* rx[] = {&x};
+  std::span<const void* const> none;
+  EXPECT_TRUE(g.add(1, none, rx).empty());           // write x
+  EXPECT_EQ(g.add(2, rx, none),                      // read x: RAW on 1
+            (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(g.add(3, none, rx),                      // write x: WAW 1, WAR 2
+            (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(g.add(4, rx, none),                      // read x: RAW on 3
+            (std::vector<std::uint64_t>{3}));
+}
+
+TEST(DepGraphHazards, BarrierOrdersAgainstEverything) {
+  DepGraph g;
+  int a = 0, b = 0;
+  const void* ra[] = {&a};
+  const void* rb[] = {&b};
+  std::span<const void* const> none;
+  g.add(1, ra, ra);
+  g.add(2, rb, rb);
+  // The barrier must wait for both earlier commands...
+  EXPECT_EQ(g.add(3, none, none, /*barrier=*/true),
+            (std::vector<std::uint64_t>{1, 2}));
+  // ...and later commands must wait for the barrier.
+  const auto deps = g.add(4, ra, ra);
+  EXPECT_NE(std::find(deps.begin(), deps.end(), 3u), deps.end());
+}
+
+// --- Observable concurrency --------------------------------------------
+
+TEST(ConcurrentExec, IndependentCommandsOverlap) {
+  Device dev;
+  Context ctx(dev, stream::Mode::Functional, /*workers=*/4);
+  // Two commands on disjoint resources rendezvous on a latch: the test
+  // only completes if both are in flight at once.
+  int a = 0, b = 0;
+  std::latch both{2};
+  auto body = [&both] {
+    both.count_down();
+    both.wait();
+  };
+  Command ca;
+  ca.reads = {&a};
+  ca.writes = {&a};
+  ca.work = body;
+  Command cb;
+  cb.reads = {&b};
+  cb.writes = {&b};
+  cb.work = body;
+  ctx.enqueue(std::move(ca));
+  ctx.enqueue(std::move(cb));
+  ctx.finish();
+  EXPECT_GE(ctx.exec_stats().max_concurrent, 2);
+  EXPECT_EQ(ctx.exec_stats().executed, 2u);
+}
+
+TEST(ConcurrentExec, ConflictingCommandsNeverOverlap) {
+  Device dev;
+  Context ctx(dev, stream::Mode::Functional, /*workers=*/4);
+  int x = 0;
+  std::atomic<int> in_flight{0};
+  std::atomic<bool> overlapped{false};
+  for (int i = 0; i < 8; ++i) {
+    Command c;
+    c.reads = {&x};
+    c.writes = {&x};
+    c.work = [&] {
+      if (in_flight.fetch_add(1) != 0) overlapped = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      in_flight.fetch_sub(1);
+    };
+    ctx.enqueue(std::move(c));
+  }
+  ctx.finish();
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(ConcurrentExec, SerialPolicyStillDefersUntilWaited) {
+  Device dev;
+  Context ctx(dev);  // workers = 0: the paper's lazy in-order queue
+  EXPECT_EQ(ctx.workers(), 0);
+  Workload wl(71);
+  auto x = make_buffer(dev, wl.vector<float>(64));
+  Event e = ctx.scal_async<float>(64, 2.0f, x, 1);
+  EXPECT_FALSE(e.done());
+  e.wait();
+  EXPECT_TRUE(e.done());
+  EXPECT_TRUE(ctx.idle());
+}
+
+// --- Hazard chains are bit-identical to the serial schedule -------------
+
+TEST(HazardOrdering, RawChainSeesWriterResult) {
+  Device dev;
+  for (int round = 0; round < 10; ++round) {
+    Context ctx(dev, stream::Mode::Functional, /*workers=*/4);
+    Workload wl(100 + round);
+    const auto hx = wl.vector<float>(256);
+    auto x = make_buffer(dev, hx, 0);
+    auto y = make_buffer(dev, std::vector<float>(256, 0.0f), 1);
+    ctx.scal_async<float>(256, 2.0f, x, 1);
+    ctx.copy_async<float>(256, x, 1, y, 1);  // RAW on x
+    ctx.finish();
+    const auto out = y.to_host();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], 2.0f * hx[i]) << "round " << round << " i " << i;
+    }
+  }
+}
+
+TEST(HazardOrdering, WarReaderSeesOldContents) {
+  Device dev;
+  for (int round = 0; round < 10; ++round) {
+    Context ctx(dev, stream::Mode::Functional, /*workers=*/4);
+    Workload wl(200 + round);
+    const auto hx = wl.vector<float>(256);
+    const auto hy = wl.vector<float>(256);
+    auto x = make_buffer(dev, hx, 0);
+    auto y = make_buffer(dev, hy, 1);
+    float expected = 0;
+    for (int i = 0; i < 256; ++i) expected += hx[i] * hy[i];
+    float r = -1;
+    ctx.dot_async<float>(256, x, 1, y, 1, &r);
+    ctx.scal_async<float>(256, 3.0f, x, 1);  // WAR on x
+    ctx.finish();
+    ASSERT_NEAR(r, expected, 1e-2f) << "round " << round;
+  }
+}
+
+TEST(HazardOrdering, WawKeepsProgramOrder) {
+  Device dev;
+  for (int round = 0; round < 10; ++round) {
+    Context ctx(dev, stream::Mode::Functional, /*workers=*/4);
+    Workload wl(300 + round);
+    const auto ha = wl.vector<float>(256);
+    const auto hb = wl.vector<float>(256);
+    auto a = make_buffer(dev, ha, 0);
+    auto b = make_buffer(dev, hb, 1);
+    auto c = make_buffer(dev, std::vector<float>(256, 0.0f), 2);
+    ctx.copy_async<float>(256, a, 1, c, 1);
+    ctx.copy_async<float>(256, b, 1, c, 1);  // WAW on c
+    ctx.finish();
+    ASSERT_EQ(c.to_host(), hb) << "round " << round;
+  }
+}
+
+// Randomized hazard fuzz: a long stream of commands with overlapping
+// read/write sets must produce bit-identical state under the serial and
+// concurrent policies.
+TEST(HazardOrdering, RandomizedFuzzMatchesSerial) {
+  constexpr int kBuffers = 6;
+  constexpr int kCommands = 200;
+  constexpr std::int64_t kN = 64;
+
+  struct Op {
+    int kind;  // 0 scal, 1 axpy, 2 copy, 3 dot
+    int src;
+    int dst;
+    float alpha;
+  };
+  std::vector<Op> ops;
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int> kind(0, 3);
+  std::uniform_int_distribution<int> buf(0, kBuffers - 1);
+  std::uniform_real_distribution<float> scale(0.5f, 1.5f);
+  for (int i = 0; i < kCommands; ++i) {
+    ops.push_back({kind(rng), buf(rng), buf(rng), scale(rng)});
+  }
+
+  auto run = [&](int workers, std::vector<std::vector<float>>& out,
+                 std::vector<float>& dots) {
+    Device dev;
+    Context ctx(dev, stream::Mode::Functional, workers);
+    Workload wl(424242);
+    std::vector<Buffer<float>> bufs;
+    for (int i = 0; i < kBuffers; ++i) {
+      bufs.push_back(make_buffer(dev, wl.vector<float>(kN), i % 4));
+    }
+    dots.assign(ops.size(), 0.0f);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const Op& op = ops[i];
+      switch (op.kind) {
+        case 0:
+          ctx.scal_async<float>(kN, op.alpha, bufs[op.dst], 1);
+          break;
+        case 1:
+          if (op.src != op.dst) {
+            ctx.axpy_async<float>(kN, op.alpha, bufs[op.src], 1,
+                                  bufs[op.dst], 1);
+          }
+          break;
+        case 2:
+          if (op.src != op.dst) {
+            ctx.copy_async<float>(kN, bufs[op.src], 1, bufs[op.dst], 1);
+          }
+          break;
+        case 3:
+          ctx.dot_async<float>(kN, bufs[op.src], 1, bufs[op.dst], 1,
+                               &dots[i]);
+          break;
+      }
+    }
+    ctx.finish();
+    out.clear();
+    for (auto& b : bufs) out.push_back(b.to_host());
+  };
+
+  std::vector<std::vector<float>> serial_state, conc_state;
+  std::vector<float> serial_dots, conc_dots;
+  run(0, serial_state, serial_dots);
+  run(4, conc_state, conc_dots);
+  // Conflicting commands retain program order, so results must be
+  // bit-identical, not merely close.
+  EXPECT_EQ(serial_state, conc_state);
+  EXPECT_EQ(serial_dots, conc_dots);
+}
+
+// --- Cycle accounting ---------------------------------------------------
+
+TEST(Makespan, IndependentCommandsOverlapInDeviceTime) {
+  Device dev;
+  Context ctx(dev, stream::Mode::Cycle, /*workers=*/4);
+  Workload wl(55);
+  const std::int64_t rows = 64, cols = 64;
+  auto a = make_buffer(dev, wl.matrix<float>(rows, cols), 0);
+  std::vector<Buffer<float>> xs, ys;
+  for (int i = 0; i < 4; ++i) {
+    xs.push_back(make_buffer(dev, wl.vector<float>(cols), 1));
+    ys.push_back(make_buffer(dev, std::vector<float>(rows, 0.0f), 2));
+  }
+  for (int i = 0; i < 4; ++i) {
+    ctx.gemv_async<float>(Transpose::None, rows, cols, 1.0f, a, xs[i], 1,
+                          0.0f, ys[i], 1);
+  }
+  ctx.finish();
+  EXPECT_GT(ctx.makespan_cycles(), 0u);
+  EXPECT_LT(ctx.makespan_cycles(), ctx.total_cycles());
+  // Four equal-size independent GEMVs: the critical path is one GEMV.
+  EXPECT_NEAR(static_cast<double>(ctx.makespan_cycles()),
+              static_cast<double>(ctx.total_cycles()) / 4.0,
+              0.05 * static_cast<double>(ctx.total_cycles()));
+}
+
+TEST(Makespan, DependentChainMatchesTotal) {
+  Device dev;
+  Context ctx(dev, stream::Mode::Cycle, /*workers=*/4);
+  Workload wl(56);
+  auto x = make_buffer(dev, wl.vector<float>(4096), 0);
+  for (int i = 0; i < 4; ++i) {
+    ctx.scal_async<float>(4096, 1.001f, x, 1);  // WAW/RAW chain on x
+  }
+  ctx.finish();
+  EXPECT_EQ(ctx.makespan_cycles(), ctx.total_cycles());
+}
+
+// --- Event API ----------------------------------------------------------
+
+TEST(EventApi, DefaultConstructedIsCompletedNoOp) {
+  Event e;
+  EXPECT_TRUE(e.done());
+  e.wait();  // must not crash
+}
+
+TEST(EventApi, WaitAllDrainsMixedEvents) {
+  Device dev;
+  Context ctx(dev);
+  Workload wl(57);
+  auto x = make_buffer(dev, wl.vector<float>(64), 0);
+  auto y = make_buffer(dev, wl.vector<float>(64), 1);
+  std::vector<Event> events;
+  events.push_back(ctx.scal_async<float>(64, 2.0f, x, 1));
+  events.push_back(Event());  // default events are fine in the batch
+  events.push_back(ctx.scal_async<float>(64, 2.0f, y, 1));
+  Event::wait_all(events);
+  for (Event& e : events) EXPECT_TRUE(e.done());
+  EXPECT_TRUE(ctx.idle());
+}
+
+TEST(EventApi, EnqueueAfterChainsExplicitly) {
+  Device dev;
+  Context ctx(dev, stream::Mode::Functional, /*workers=*/4);
+  std::atomic<bool> first_done{false};
+  int a = 0, b = 0;
+  Command ca;
+  ca.reads = {&a};
+  ca.writes = {&a};
+  ca.work = [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    first_done = true;
+  };
+  Event ea = ctx.enqueue(std::move(ca));
+  // Disjoint resources: only the explicit `after` edge orders them.
+  bool saw_first = false;
+  Command cb;
+  cb.reads = {&b};
+  cb.writes = {&b};
+  cb.after = {ea};
+  cb.work = [&] { saw_first = first_done.load(); };
+  ctx.enqueue(std::move(cb)).wait();
+  EXPECT_TRUE(saw_first);
+}
+
+TEST(EventApi, UntypedEnqueueAfterOverloadRuns) {
+  Device dev;
+  Context ctx(dev);
+  int order = 0;
+  Event a = ctx.enqueue([&] { order = order * 10 + 1; });
+  std::vector<Event> after{a};
+  Event b = ctx.enqueue([&] { order = order * 10 + 2; },
+                        std::span<const Event>(after));
+  b.wait();
+  EXPECT_EQ(order, 12);
+}
+
+// --- Exceptions ---------------------------------------------------------
+
+TEST(ExceptionPropagation, ConcurrentWaitRethrows) {
+  Device dev;
+  Context ctx(dev, stream::Mode::Functional, /*workers=*/2);
+  Workload wl(58);
+  auto a = make_buffer(dev, wl.vector<float>(16), 0);
+  auto b = make_buffer(dev, wl.vector<float>(16), 1);
+  auto c = make_buffer(dev, wl.vector<float>(16), 2);
+  // Batch of 4x4 problems needs 4*16 elements; 16 is too small.
+  Event e = ctx.gemm_batched_async<float>(4, 4, 1.0f, a, b, c);
+  EXPECT_THROW(e.wait(), Error);
+  ctx.finish();  // error already consumed; finish is clean
+}
+
+TEST(ExceptionPropagation, SerialWaitRethrows) {
+  Device dev;
+  Context ctx(dev);
+  Workload wl(59);
+  auto a = make_buffer(dev, wl.vector<float>(16), 0);
+  auto b = make_buffer(dev, wl.vector<float>(16), 1);
+  auto c = make_buffer(dev, wl.vector<float>(16), 2);
+  EXPECT_THROW(ctx.gemm_batched<float>(4, 4, 1.0f, a, b, c), Error);
+}
+
+// --- Config capture and ConfigGuard -------------------------------------
+
+TEST(ConfigCapture, CommandsUseConfigFromEnqueueTime) {
+  // Two serial cycle-mode contexts: one enqueues under a width-4 guard and
+  // mutates the config before the lazy execution happens; the other just
+  // runs with width 4. Cycle counts must match: the command captured the
+  // knobs when it was enqueued, not when it ran.
+  Workload wl(60);
+  const auto hx = wl.vector<float>(4096);
+
+  Device dev_a;
+  Context guarded(dev_a, stream::Mode::Cycle);
+  auto xa = make_buffer(dev_a, hx, 0);
+  Event e;
+  {
+    RoutineConfig narrow = guarded.config();
+    narrow.width = 4;
+    ConfigGuard g = guarded.with(narrow);
+    e = guarded.scal_async<float>(4096, 2.0f, xa, 1);
+  }
+  guarded.config().width = 64;  // must not affect the enqueued command
+  e.wait();
+
+  Device dev_b;
+  Context reference(dev_b, stream::Mode::Cycle);
+  auto xb = make_buffer(dev_b, hx, 0);
+  reference.config().width = 4;
+  reference.scal<float>(4096, 2.0f, xb);
+
+  EXPECT_EQ(guarded.last_cycles(), reference.last_cycles());
+  EXPECT_EQ(xa.to_host(), xb.to_host());
+}
+
+TEST(ConfigCapture, GuardRestoresOnScopeExit) {
+  Device dev;
+  Context ctx(dev);
+  const int before = ctx.config().width;
+  {
+    RoutineConfig cfg = ctx.config();
+    cfg.width = 2;
+    ConfigGuard g = ctx.with(cfg);
+    EXPECT_EQ(ctx.config().width, 2);
+  }
+  EXPECT_EQ(ctx.config().width, before);
+}
+
+TEST(ConfigCapture, InlineWithOverride) {
+  Device dev;
+  Context ctx(dev, stream::Mode::Cycle);
+  Workload wl(61);
+  auto x = make_buffer(dev, wl.vector<float>(4096), 0);
+  const int before = ctx.config().width;
+  RoutineConfig wide = ctx.config();
+  wide.width = 32;
+  ctx.with(wide)->scal<float>(4096, 2.0f, x);
+  const std::uint64_t wide_cycles = ctx.last_cycles();
+  EXPECT_EQ(ctx.config().width, before);
+  RoutineConfig narrow = ctx.config();
+  narrow.width = 4;
+  ctx.with(narrow)->scal<float>(4096, 2.0f, x);
+  EXPECT_GT(ctx.last_cycles(), wide_cycles);
+}
+
+// --- Nested library calls (SYMV -> GEMV) under the concurrent policy ----
+
+TEST(NestedCommands, SymvRunsInlineUnderWorkers) {
+  Device dev;
+  Context ctx(dev, stream::Mode::Functional, /*workers=*/4);
+  Workload wl(62);
+  const std::int64_t n = 32;
+  auto ha = wl.matrix<float>(n, n);
+  const auto hx = wl.vector<float>(n);
+  const auto hy = wl.vector<float>(n);
+  // Symmetrize the reference operand.
+  MatrixView<float> A(ha.data(), n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < i; ++j) A(j, i) = A(i, j);
+  }
+  auto a = make_buffer(dev, ha, 0);
+  auto x = make_buffer(dev, hx, 1);
+  auto y = make_buffer(dev, hy, 2);
+  ctx.symv<float>(Uplo::Lower, n, 1.5f, a, x, 0.5f, y);
+
+  std::vector<float> expect = hy;
+  ref::gemv<float>(Transpose::None, 1.5f,
+                   MatrixView<const float>(ha.data(), n, n),
+                   VectorView<const float>(hx.data(), n), 0.5f,
+                   VectorView<float>(expect.data(), n));
+  const auto got = y.to_host();
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                expect[static_cast<std::size_t>(i)], 1e-3f);
+  }
+  EXPECT_TRUE(ctx.idle());
+}
+
+}  // namespace
+}  // namespace fblas::host
