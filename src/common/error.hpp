@@ -39,6 +39,24 @@ class ParseError : public Error {
   explicit ParseError(const std::string& what) : Error(what) {}
 };
 
+/// A transient device-side failure the host can observe and retry: a
+/// kernel launch that errors out, or a DRAM/PCIe transfer whose
+/// corruption was detected (ECC/CRC). Retryable — re-running the command
+/// against restored inputs is expected to succeed.
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error(what) {}
+};
+
+/// The watchdog expired: a streaming graph exceeded its cycle budget or
+/// wall-clock deadline without completing (live-locked, wedged, or
+/// pathologically slow). Carries the same per-module / per-channel
+/// diagnostics as DeadlockError. Retryable, like DeviceError.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_config_error(const char* cond, const char* file,
                                      int line, const std::string& msg);

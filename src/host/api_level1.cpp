@@ -2,7 +2,10 @@
 //
 // Each async routine enqueues a Command that declares its buffer read and
 // write sets (hazard tracking) and captures the RoutineConfig by value,
-// so commands in flight are unaffected by later config changes.
+// so commands in flight are unaffected by later config changes. Every
+// routine also attaches its refblas CPU reference path as the Command's
+// `fallback`, the graceful-degradation target once the RetryPolicy
+// exhausts device retries.
 #include "fblas/level1.hpp"
 #include "host/context.hpp"
 #include "host/detail.hpp"
@@ -76,6 +79,9 @@ Event Context::rot_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
                                                banks.at(y.bank())));
     run_graph(g);
   };
+  cmd.fallback = [n, &x, incx, &y, incy, c, s] {
+    ref::rot(x.vec(n, incx), y.vec(n, incy), c, s);
+  };
   return enqueue(std::move(cmd));
 }
 
@@ -106,6 +112,9 @@ Event Context::rotm_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
                                                banks.at(y.bank())));
     run_graph(g);
   };
+  cmd.fallback = [n, &x, incx, &y, incy, p] {
+    ref::rotm(x.vec(n, incx), y.vec(n, incy), p);
+  };
   return enqueue(std::move(cmd));
 }
 
@@ -135,6 +144,9 @@ Event Context::swap_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
                                                banks.at(y.bank())));
     run_graph(g);
   };
+  cmd.fallback = [n, &x, incx, &y, incy] {
+    ref::swap(x.vec(n, incx), y.vec(n, incy));
+  };
   return enqueue(std::move(cmd));
 }
 
@@ -158,6 +170,7 @@ Event Context::scal_async(std::int64_t n, T alpha, Buffer<T>& x,
                                                banks.at(x.bank())));
     run_graph(g);
   };
+  cmd.fallback = [n, alpha, &x, incx] { ref::scal(alpha, x.vec(n, incx)); };
   return enqueue(std::move(cmd));
 }
 
@@ -181,6 +194,9 @@ Event Context::copy_async(std::int64_t n, const Buffer<T>& x,
     g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, cout,
                                                banks.at(y.bank())));
     run_graph(g);
+  };
+  cmd.fallback = [n, &x, incx, &y, incy] {
+    ref::copy(x.cvec(n, incx), y.vec(n, incy));
   };
   return enqueue(std::move(cmd));
 }
@@ -208,6 +224,9 @@ Event Context::axpy_async(std::int64_t n, T alpha, const Buffer<T>& x,
     g.spawn("write_y", stream::write_vector<T>(y.vec(n, incy), 1, W, cout,
                                                banks.at(y.bank())));
     run_graph(g);
+  };
+  cmd.fallback = [n, alpha, &x, incx, &y, incy] {
+    ref::axpy(alpha, x.cvec(n, incx), y.vec(n, incy));
   };
   return enqueue(std::move(cmd));
 }
@@ -237,6 +256,9 @@ Event Context::dot_async(std::int64_t n, const Buffer<T>& x,
     run_graph(g);
     *result = out[0];
   };
+  cmd.fallback = [n, &x, incx, &y, incy, result] {
+    *result = ref::dot(x.cvec(n, incx), y.cvec(n, incy));
+  };
   return enqueue(std::move(cmd));
 }
 
@@ -264,6 +286,9 @@ Event Context::sdsdot_async(std::int64_t n, float sb, const Buffer<float>& x,
     run_graph(g);
     *result = out[0];
   };
+  cmd.fallback = [n, sb, &x, incx, &y, incy, result] {
+    *result = ref::sdsdot(sb, x.cvec(n, incx), y.cvec(n, incy));
+  };
   return enqueue(std::move(cmd));
 }
 
@@ -288,6 +313,7 @@ Event Context::nrm2_async(std::int64_t n, const Buffer<T>& x,
     run_graph(g);
     *result = out[0];
   };
+  cmd.fallback = [n, &x, incx, result] { *result = ref::nrm2(x.cvec(n, incx)); };
   return enqueue(std::move(cmd));
 }
 
@@ -312,6 +338,7 @@ Event Context::asum_async(std::int64_t n, const Buffer<T>& x,
     run_graph(g);
     *result = out[0];
   };
+  cmd.fallback = [n, &x, incx, result] { *result = ref::asum(x.cvec(n, incx)); };
   return enqueue(std::move(cmd));
 }
 
@@ -335,6 +362,9 @@ Event Context::iamax_async(std::int64_t n, const Buffer<T>& x,
     g.spawn("collect", stream::collect<std::int64_t>(1, res, out));
     run_graph(g);
     *result = out[0];
+  };
+  cmd.fallback = [n, &x, incx, result] {
+    *result = ref::iamax(x.cvec(n, incx));
   };
   return enqueue(std::move(cmd));
 }

@@ -1,7 +1,9 @@
 // Level-2 host API lowerings. Commands declare their buffer read/write
-// sets and capture the RoutineConfig by value at enqueue time.
+// sets, capture the RoutineConfig by value at enqueue time, and carry
+// their refblas CPU reference path as the retry machinery's fallback.
 #include "host/context.hpp"
 #include "host/detail.hpp"
+#include "refblas/level2.hpp"
 #include "sim/frequency_model.hpp"
 
 namespace fblas::host {
@@ -52,6 +54,13 @@ Event Context::gemv_async(Transpose trans, std::int64_t rows,
                                                banks.at(y.bank())));
     run_graph(g);
   };
+  command.fallback = [trans, rows, cols, alpha, &a, &x, incx, beta, &y,
+                      incy] {
+    const std::int64_t xlen = trans == Transpose::None ? cols : rows;
+    const std::int64_t ylen = trans == Transpose::None ? rows : cols;
+    ref::gemv(trans, alpha, a.cmat(rows, cols), x.cvec(xlen, incx), beta,
+              y.vec(ylen, incy));
+  };
   return enqueue(std::move(command));
 }
 
@@ -83,6 +92,9 @@ Event Context::trsv_async(Uplo uplo, Transpose trans, Diag diag,
     g.spawn("write_x", detail::write_vector_solve_order<T>(
                            x.vec(n, incx), eff, W, out, banks.at(x.bank())));
     run_graph(g);
+  };
+  command.fallback = [uplo, trans, diag, n, &a, &x, incx] {
+    ref::trsv(uplo, trans, diag, a.cmat(n, n), x.vec(n, incx));
   };
   return enqueue(std::move(command));
 }
@@ -123,6 +135,10 @@ Event Context::ger_async(std::int64_t rows, std::int64_t cols, T alpha,
                                                out, banks.at(a.bank())));
     run_graph(g);
   };
+  command.fallback = [rows, cols, alpha, &x, incx, &y, incy, &a] {
+    ref::ger(alpha, x.cvec(rows, incx), y.cvec(cols, incy),
+             a.mat(rows, cols));
+  };
   return enqueue(std::move(command));
 }
 
@@ -161,6 +177,9 @@ Event Context::syr_async(Uplo uplo, std::int64_t n, T alpha,
                                                     W, out,
                                                     banks.at(a.bank())));
     run_graph(g);
+  };
+  command.fallback = [uplo, n, alpha, &x, incx, &a] {
+    ref::syr(uplo, alpha, x.cvec(n, incx), a.mat(n, n));
   };
   return enqueue(std::move(command));
 }
@@ -211,6 +230,9 @@ Event Context::syr2_async(Uplo uplo, std::int64_t n, T alpha,
                                                     W, out,
                                                     banks.at(a.bank())));
     run_graph(g);
+  };
+  command.fallback = [uplo, n, alpha, &x, incx, &y, incy, &a] {
+    ref::syr2(uplo, alpha, x.cvec(n, incx), y.cvec(n, incy), a.mat(n, n));
   };
   return enqueue(std::move(command));
 }

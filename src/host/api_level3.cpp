@@ -1,7 +1,9 @@
 // Level-3 host API lowerings. Commands declare their buffer read/write
-// sets and capture the RoutineConfig by value at enqueue time.
+// sets, capture the RoutineConfig by value at enqueue time, and carry
+// their refblas CPU reference path as the retry machinery's fallback.
 #include "host/context.hpp"
 #include "host/detail.hpp"
+#include "refblas/level3.hpp"
 #include "sim/frequency_model.hpp"
 
 namespace fblas::host {
@@ -54,6 +56,14 @@ Event Context::gemm_async(Transpose ta, Transpose tb, std::int64_t m,
                                     cfg.pe_cols, out, banks.at(c.bank())));
     run_graph(g);
   };
+  command.fallback = [ta, tb, m, n, k, alpha, &a, &b, beta, &c] {
+    ref::gemm(ta, tb, alpha,
+              a.cmat(ta == Transpose::None ? m : k,
+                     ta == Transpose::None ? k : m),
+              b.cmat(tb == Transpose::None ? k : n,
+                     tb == Transpose::None ? n : k),
+              beta, c.mat(m, n));
+  };
   return enqueue(std::move(command));
 }
 
@@ -95,6 +105,12 @@ Event Context::syrk_async(Uplo uplo, Transpose trans, std::int64_t n,
     g.spawn("store_C", core::store_c_triangular<T>(c.mat(n, n), cfg, uplo,
                                                    out, banks.at(c.bank())));
     run_graph(g);
+  };
+  command.fallback = [uplo, trans, n, k, alpha, &a, beta, &c] {
+    ref::syrk(uplo, trans, alpha,
+              a.cmat(trans == Transpose::None ? n : k,
+                     trans == Transpose::None ? k : n),
+              beta, c.mat(n, n));
   };
   return enqueue(std::move(command));
 }
@@ -143,6 +159,12 @@ Event Context::syr2k_async(Uplo uplo, Transpose trans, std::int64_t n,
     g.spawn("store_C", core::store_c_triangular<T>(c.mat(n, n), cfg, uplo,
                                                    out, banks.at(c.bank())));
     run_graph(g);
+  };
+  command.fallback = [uplo, trans, n, k, alpha, &a, &b, beta, &c] {
+    const std::int64_t rows = trans == Transpose::None ? n : k;
+    const std::int64_t cols = trans == Transpose::None ? k : n;
+    ref::syr2k(uplo, trans, alpha, a.cmat(rows, cols), b.cmat(rows, cols),
+               beta, c.mat(n, n));
   };
   return enqueue(std::move(command));
 }
@@ -217,6 +239,11 @@ Event Context::trsm_async(Side side, Uplo uplo, Transpose trans, Diag diag,
         for (std::int64_t j = 0; j < n; ++j) bv(i, j) = XT(j, i);
       }
     }
+  };
+  command.fallback = [side, uplo, trans, diag, m, n, alpha, &a, &b] {
+    const std::int64_t adim = side == Side::Left ? m : n;
+    ref::trsm(side, uplo, trans, diag, alpha, a.cmat(adim, adim),
+              b.mat(m, n));
   };
   return enqueue(std::move(command));
 }

@@ -3,6 +3,7 @@
 // OpenCL programming flow the host API wraps (Sec. II-B).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -25,20 +26,36 @@ class Buffer {
     // oversized allocation fails fast with FitError.
     dev_->note_alloc(bank_, static_cast<std::uint64_t>(n) * sizeof(T));
     data_.resize(static_cast<std::size_t>(n));
+    register_self();
   }
   ~Buffer() {
-    if (dev_ != nullptr) dev_->note_free(bank_, bytes());
+    if (dev_ != nullptr) {
+      dev_->unregister_buffer(this);
+      dev_->note_free(bank_, bytes());
+    }
   }
   Buffer(Buffer&& o) noexcept
       : dev_(std::exchange(o.dev_, nullptr)),
         bank_(o.bank_),
-        data_(std::move(o.data_)) {}
+        data_(std::move(o.data_)) {
+    if (dev_ != nullptr) {
+      dev_->unregister_buffer(&o);
+      register_self();
+    }
+  }
   Buffer& operator=(Buffer&& o) noexcept {
     if (this != &o) {
-      if (dev_ != nullptr) dev_->note_free(bank_, bytes());
+      if (dev_ != nullptr) {
+        dev_->unregister_buffer(this);
+        dev_->note_free(bank_, bytes());
+      }
       dev_ = std::exchange(o.dev_, nullptr);
       bank_ = o.bank_;
       data_ = std::move(o.data_);
+      if (dev_ != nullptr) {
+        dev_->unregister_buffer(&o);
+        register_self();
+      }
     }
     return *this;
   }
@@ -83,6 +100,14 @@ class Buffer {
   }
 
  private:
+  // The fault-tolerant runtime snapshots / restores / corrupts declared
+  // write-sets through the device's registry of raw buffer bytes, keyed
+  // by the Buffer's own address (the same key used in command sets).
+  void register_self() {
+    dev_->register_buffer(
+        this, std::as_writable_bytes(std::span<T>(data_.data(), data_.size())));
+  }
+
   Device* dev_;
   int bank_;
   std::vector<T> data_;

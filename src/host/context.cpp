@@ -1,13 +1,123 @@
 #include "host/context.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <sstream>
 #include <utility>
 
 namespace fblas::host {
+namespace {
+
+// Fault-injection state for the command currently executing on this
+// thread, set by the wrap_work closure and consumed by run_graph:
+// the watchdog captured at enqueue, and whether the next graph launch
+// should wedge mid-stream. Thread-locals work because a command body
+// (including nested inline library calls) runs on a single thread.
+struct RunScope {
+  stream::Watchdog watchdog;
+  bool wedge_pending = false;
+  bool active = false;
+};
+thread_local RunScope tl_scope;
+
+void validate_knob(bool ok, const char* knob, std::int64_t got) {
+  if (ok) return;
+  std::ostringstream os;
+  os << "RoutineConfig." << knob << " must be > 0 (got " << got << ")";
+  throw ConfigError(os.str());
+}
+
+}  // namespace
+
+void RoutineConfig::validate() const {
+  validate_knob(width > 0, "width", width);
+  validate_knob(tile_rows > 0, "tile_rows", tile_rows);
+  validate_knob(tile_cols > 0, "tile_cols", tile_cols);
+  validate_knob(pe_rows > 0, "pe_rows", pe_rows);
+  validate_knob(pe_cols > 0, "pe_cols", pe_cols);
+  validate_knob(gemm_tile_rows > 0, "gemm_tile_rows", gemm_tile_rows);
+  validate_knob(gemm_tile_cols > 0, "gemm_tile_cols", gemm_tile_cols);
+}
 
 Context::Context(Device& dev, stream::Mode mode, int workers)
     : dev_(&dev), mode_(mode), exec_(std::make_unique<Executor>(workers)) {}
 
+std::function<void()> Context::wrap_work(std::uint64_t seq,
+                                         std::function<void()> work,
+                                         std::vector<const void*> writes) {
+  return [this, seq, inner = std::move(work), writes = std::move(writes),
+          wd = watchdog_] {
+    const int attempt = Executor::current_attempt();
+    FaultInjector& faults = dev_->faults();
+    const FaultKind fault = faults.enabled()
+                                ? faults.decide(seq, attempt)
+                                : FaultKind::None;
+    if (fault == FaultKind::LaunchFail) {
+      std::ostringstream os;
+      os << "injected kernel launch failure (command " << seq
+         << ", attempt " << attempt << ")";
+      throw DeviceError(os.str());
+    }
+    tl_scope = RunScope{wd, fault == FaultKind::Wedge, true};
+    struct Reset {
+      ~Reset() { tl_scope = RunScope{}; }
+    } reset;
+    if (inner) inner();
+    if (fault == FaultKind::CorruptTransfer) {
+      // Model a detected bad write-back (ECC/CRC): the data really is
+      // mangled in device memory AND the error is reported, so the
+      // retry machinery must restore the snapshot before re-running.
+      for (const void* key : writes) {
+        std::span<std::byte> bytes = dev_->buffer_bytes(key);
+        if (bytes.empty()) continue;
+        const std::uint64_t off =
+            faults.corrupt_offset(seq, attempt, bytes.size());
+        bytes[static_cast<std::size_t>(off)] ^= std::byte{0x5a};
+        break;
+      }
+      std::ostringstream os;
+      os << "injected transfer corruption detected (command " << seq
+         << ", attempt " << attempt << ")";
+      throw DeviceError(os.str());
+    }
+  };
+}
+
+CommandHooks Context::make_hooks(const Command& cmd) {
+  CommandHooks hooks;
+  hooks.retryable = true;
+  // Snapshot state shared between the snapshot and rollback closures.
+  // Only write-set keys that resolve to registered device buffers are
+  // captured; host scalar result keys are recomputed by the re-run.
+  using Snap = std::vector<std::pair<std::span<std::byte>,
+                                     std::vector<std::byte>>>;
+  auto snaps = std::make_shared<Snap>();
+  Device* dev = dev_;
+  hooks.snapshot = [dev, writes = cmd.writes, snaps] {
+    snaps->clear();
+    for (const void* key : writes) {
+      std::span<std::byte> bytes = dev->buffer_bytes(key);
+      if (bytes.empty()) continue;
+      snaps->emplace_back(bytes,
+                          std::vector<std::byte>(bytes.begin(), bytes.end()));
+    }
+  };
+  hooks.rollback = [snaps] {
+    for (auto& [bytes, saved] : *snaps) {
+      std::copy(saved.begin(), saved.end(), bytes.begin());
+    }
+  };
+  hooks.fallback = cmd.fallback;
+  return hooks;
+}
+
 Event Context::enqueue(Command cmd) {
+  // Routine commands validate the captured configuration up front, so a
+  // bad knob fails at the call site naming the knob instead of as
+  // undefined behavior inside a lowering.
+  if (!cmd.barrier) cfg_.validate();
+
   // A nested library call issued from inside a running command (e.g. the
   // GEMV behind SYMV) is part of that command: run it inline so its
   // hazards and cycles fold into the parent, and hand back a completed
@@ -23,7 +133,19 @@ Event Context::enqueue(Command cmd) {
   for (const Event& e : cmd.after) {
     if (e.ctx_ == this && e.seq_ != 0) deps.push_back(e.seq_);
   }
-  exec_->submit(seq, std::move(cmd.work), deps);
+
+  std::function<void()> work = std::move(cmd.work);
+  CommandHooks hooks;
+  if (!cmd.barrier) {
+    const RetryPolicy policy = exec_->retry_policy();
+    const bool instrumented =
+        dev_->faults().enabled() || watchdog_.enabled();
+    if (instrumented) work = wrap_work(seq, std::move(work), cmd.writes);
+    if (policy.max_retries > 0 || policy.cpu_fallback) {
+      hooks = make_hooks(cmd);
+    }
+  }
+  exec_->submit(seq, std::move(work), deps, std::move(hooks));
   return Event(this, seq);
 }
 
@@ -49,8 +171,28 @@ void Context::wait_seq(std::uint64_t seq) { exec_->wait(seq); }
 
 bool Context::done_seq(std::uint64_t seq) const { return exec_->done(seq); }
 
+CommandStatus Context::status_seq(std::uint64_t seq) const {
+  return exec_->status(seq);
+}
+
+ExecStats Context::exec_stats() const {
+  ExecStats stats = exec_->stats();
+  stats.faults_injected = dev_->faults().injected();
+  return stats;
+}
+
 void Context::run_graph(stream::Graph& g) {
-  g.run();
+  stream::Watchdog wd;
+  if (tl_scope.active) {
+    wd = tl_scope.watchdog;
+    if (tl_scope.wedge_pending) {
+      // Wedge this command's first graph launch a few module resumes in
+      // — mid-stream, after real progress has been made.
+      tl_scope.wedge_pending = false;
+      g.scheduler().wedge_after(16);
+    }
+  }
+  g.run(wd);
   const std::uint64_t cycles = g.cycles();
   Executor::note_cycles(cycles);
   last_cycles_.store(cycles);

@@ -66,6 +66,13 @@ struct RoutineConfig {
   int pe_cols = 4;                  ///< PC (Level 3)
   std::int64_t gemm_tile_rows = 16; ///< TR (Level 3 memory tile)
   std::int64_t gemm_tile_cols = 16; ///< TC
+
+  /// Rejects nonsensical knobs (width <= 0, tile sizes <= 0, empty
+  /// systolic grid) with a ConfigError naming the offending knob.
+  /// Called by Context::enqueue for every routine command, so a bad
+  /// configuration fails at the call site instead of as undefined
+  /// behavior deep in a lowering.
+  void validate() const;
 };
 
 /// A unit of work for the runtime: the closure plus the declared buffer
@@ -73,8 +80,15 @@ struct RoutineConfig {
 /// data, host pointers for scalar results) and optional explicit event
 /// dependencies. A command with `barrier` set (or one enqueued without
 /// declared sets) orders against everything.
+///
+/// `fallback`, when set, is the routine's CPU reference path
+/// (refblas): after the RetryPolicy exhausts device retries it is run
+/// against the rolled-back write-set and the command completes Degraded
+/// instead of Failed. Commands are pure w.r.t. their declared sets, so
+/// the fallback sees exactly the inputs the device attempt saw.
 struct Command {
   std::function<void()> work;
+  std::function<void()> fallback;
   std::vector<const void*> reads;
   std::vector<const void*> writes;
   std::vector<Event> after;
@@ -110,8 +124,25 @@ class Context {
   std::uint64_t makespan_cycles() const {
     return exec_->stats().makespan_cycles;
   }
-  /// Executor counters (commands executed, in-flight high-water mark...).
-  ExecStats exec_stats() const { return exec_->stats(); }
+  /// Executor counters (commands executed, in-flight high-water mark,
+  /// retries, injected faults, degraded completions...).
+  ExecStats exec_stats() const;
+
+  // --- Fault tolerance ---------------------------------------------------
+  /// Retry policy for transient device failures (DeviceError /
+  /// TimeoutError): write-set snapshot before the attempt, rollback +
+  /// bounded-backoff re-run on failure, optional CPU fallback after
+  /// retries are exhausted. Applies to routine commands (not barriers).
+  void set_retry_policy(const RetryPolicy& policy) {
+    exec_->set_retry_policy(policy);
+  }
+  RetryPolicy retry_policy() const { return exec_->retry_policy(); }
+
+  /// Watchdog applied to every graph launch of subsequently enqueued
+  /// commands (captured at enqueue, like the RoutineConfig): a graph
+  /// exceeding a budget raises TimeoutError instead of hanging the host.
+  void set_watchdog(const stream::Watchdog& wd) { watchdog_ = wd; }
+  const stream::Watchdog& watchdog() const { return watchdog_; }
 
   /// Queue management. The untyped overloads enqueue `work` as a barrier
   /// command (it declares no sets, so it orders against everything);
@@ -444,6 +475,15 @@ class Context {
   friend class Event;
   void wait_seq(std::uint64_t seq);
   bool done_seq(std::uint64_t seq) const;
+  CommandStatus status_seq(std::uint64_t seq) const;
+
+  /// Wraps a routine command body with fault injection (launch failures,
+  /// detected transfer corruption, wedges) and the captured watchdog.
+  std::function<void()> wrap_work(std::uint64_t seq,
+                                  std::function<void()> work,
+                                  std::vector<const void*> writes);
+  /// Snapshot/rollback/fallback hooks for the retry machinery.
+  CommandHooks make_hooks(const Command& cmd);
 
   /// Runs a built graph and records its cycle count.
   void run_graph(stream::Graph& g);
@@ -453,6 +493,7 @@ class Context {
   Device* dev_;
   stream::Mode mode_;
   RoutineConfig cfg_;
+  stream::Watchdog watchdog_;
   DepGraph deps_;
   std::unique_ptr<Executor> exec_;
   std::uint64_t enqueued_ = 0;

@@ -38,4 +38,20 @@ void Device::note_free(int bank, std::uint64_t bytes) {
   used = bytes > used ? 0 : used - bytes;
 }
 
+void Device::register_buffer(const void* key, std::span<std::byte> bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  buffers_[key] = bytes;
+}
+
+void Device::unregister_buffer(const void* key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  buffers_.erase(key);
+}
+
+std::span<std::byte> Device::buffer_bytes(const void* key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = buffers_.find(key);
+  return it == buffers_.end() ? std::span<std::byte>() : it->second;
+}
+
 }  // namespace fblas::host

@@ -6,9 +6,12 @@
 
 #include <cstdint>
 #include <mutex>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
+#include "host/fault_injector.hpp"
 #include "sim/device.hpp"
 
 namespace fblas::host {
@@ -31,10 +34,30 @@ class Device {
   void note_alloc(int bank, std::uint64_t bytes);
   void note_free(int bank, std::uint64_t bytes);
 
+  /// Seeded fault injection (see FaultInjector). `inject_faults` arms the
+  /// injector for subsequent kernel launches; configure it while the
+  /// executor is idle.
+  void inject_faults(const FaultConfig& cfg) { faults_.configure(cfg); }
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+
+  /// Device-buffer registry (maintained by Buffer). Maps the Buffer
+  /// object's address — the key commands declare in their read/write
+  /// sets — to the raw device bytes, so the runtime can snapshot,
+  /// restore, and corrupt write-sets without knowing element types.
+  /// Thread-safe: buffers are created/destroyed on executor workers.
+  void register_buffer(const void* key, std::span<std::byte> bytes);
+  void unregister_buffer(const void* key);
+  /// Raw bytes of a registered buffer; empty span for unknown keys
+  /// (e.g. host scalar result pointers, which are also valid set keys).
+  std::span<std::byte> buffer_bytes(const void* key) const;
+
  private:
   const sim::DeviceSpec* spec_;
   mutable std::mutex mu_;
   std::vector<std::uint64_t> allocated_;
+  std::unordered_map<const void*, std::span<std::byte>> buffers_;
+  FaultInjector faults_;
 };
 
 }  // namespace fblas::host

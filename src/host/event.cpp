@@ -13,4 +13,9 @@ void Event::wait() {
   if (ctx_ != nullptr) ctx_->wait_seq(seq_);
 }
 
+CommandStatus Event::status() const {
+  if (ctx_ == nullptr) return CommandStatus{};
+  return ctx_->status_seq(seq_);
+}
+
 }  // namespace fblas::host

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <span>
 
+#include "host/status.hpp"
+
 namespace fblas::host {
 
 class Context;
@@ -23,6 +25,12 @@ class Event {
   /// runs queued commands up to and including this one. No-op for a
   /// default-constructed Event.
   void wait();
+
+  /// Observable outcome of the command (Pending / Running / Ok / Failed /
+  /// Degraded plus the error or degradation message) — lets async
+  /// callers detect failures without wait() throwing being the only
+  /// channel. Never blocks. A default-constructed Event reports Ok.
+  CommandStatus status() const;
 
   /// Waits on every event in order.
   static void wait_all(std::span<Event> events) {

@@ -1,7 +1,10 @@
 #include "host/executor.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
+
+#include "common/error.hpp"
 
 namespace fblas::host {
 namespace {
@@ -11,6 +14,29 @@ namespace {
 // into the enclosing command.
 thread_local std::uint64_t tl_cycles = 0;
 thread_local int tl_depth = 0;
+thread_local int tl_attempt = 0;
+
+bool is_transient(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const DeviceError&) {
+    return true;
+  } catch (const TimeoutError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
 
 }  // namespace
 
@@ -19,6 +45,8 @@ void Executor::note_cycles(std::uint64_t cycles) {
 }
 
 bool Executor::in_command() { return tl_depth > 0; }
+
+int Executor::current_attempt() { return tl_attempt; }
 
 Executor::Executor(int workers) : workers_(workers < 0 ? 0 : workers) {
   threads_.reserve(static_cast<std::size_t>(workers_));
@@ -36,19 +64,36 @@ Executor::~Executor() {
   for (std::thread& t : threads_) t.join();
 }
 
+void Executor::set_retry_policy(const RetryPolicy& policy) {
+  std::lock_guard<std::mutex> lk(mu_);
+  policy_ = policy;
+}
+
+RetryPolicy Executor::retry_policy() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return policy_;
+}
+
 void Executor::submit(std::uint64_t seq, std::function<void()> work,
-                      const std::vector<std::uint64_t>& deps) {
+                      const std::vector<std::uint64_t>& deps,
+                      CommandHooks hooks) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     Node& node = nodes_[seq];
     node.work = std::move(work);
+    node.hooks = std::move(hooks);
     for (std::uint64_t dep : deps) {
       auto it = nodes_.find(dep);
       if (it == nodes_.end() || it->second.completed) {
-        // Already retired: only its finish time still matters.
+        // Already retired: its finish time still matters, and so does a
+        // failure — dependents of a failed command must not run.
         if (it != nodes_.end()) {
           node.start_cycles =
               std::max(node.start_cycles, it->second.finish_cycles);
+          if (it->second.state == CommandState::Failed &&
+              (node.poisoned_by == 0 || dep < node.poisoned_by)) {
+            node.poisoned_by = dep;
+          }
         }
         continue;
       }
@@ -76,34 +121,108 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
                            std::uint64_t seq) {
   Node& node = nodes_.at(seq);
   node.running = true;
+  node.state = CommandState::Running;
   ++active_;
   stats_.max_concurrent = std::max(stats_.max_concurrent, active_);
   std::function<void()> work = std::move(node.work);
   node.work = nullptr;
+  CommandHooks hooks = std::move(node.hooks);
+  node.hooks = CommandHooks{};
+  const RetryPolicy policy = policy_;
+  const std::uint64_t poisoned_by = node.poisoned_by;
+  std::string poison_cause;
+  if (poisoned_by != 0) poison_cause = nodes_.at(poisoned_by).message;
   lk.unlock();
 
-  tl_cycles = 0;
-  ++tl_depth;
+  std::uint64_t cycles = 0;
   std::exception_ptr error;
-  try {
-    if (work) work();
-  } catch (...) {
-    error = std::current_exception();
+  CommandState final_state = CommandState::Ok;
+  std::string message;
+  std::uint64_t retries_done = 0;
+  bool degraded = false;
+
+  if (poisoned_by != 0) {
+    // A dependency failed: skip the body entirely (its inputs are
+    // unreliable) and fail with a deterministic, structural error — the
+    // lowest-seq failed dependency, independent of worker interleaving.
+    std::ostringstream os;
+    os << "command " << seq << " skipped: dependency command "
+       << poisoned_by << " failed";
+    if (!poison_cause.empty()) os << " (" << poison_cause << ")";
+    message = os.str();
+    error = std::make_exception_ptr(Error(message));
+    final_state = CommandState::Failed;
+  } else {
+    const bool may_recover =
+        (policy.max_retries > 0 || policy.cpu_fallback) && hooks.retryable;
+    if (may_recover && hooks.snapshot) hooks.snapshot();
+    auto backoff = policy.backoff;
+    for (int attempt = 0;; ++attempt) {
+      tl_cycles = 0;
+      tl_attempt = attempt;
+      ++tl_depth;
+      error = nullptr;
+      try {
+        if (work) work();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      --tl_depth;
+      tl_attempt = 0;
+      cycles += tl_cycles;  // failed attempts still burned device time
+      if (!error) break;
+      if (!may_recover || !is_transient(error)) break;
+      if (attempt < policy.max_retries) {
+        if (hooks.rollback) hooks.rollback();
+        ++retries_done;
+        if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+        backoff = std::min(
+            std::chrono::microseconds(static_cast<std::int64_t>(
+                static_cast<double>(backoff.count()) *
+                policy.backoff_multiplier)),
+            policy.max_backoff);
+        continue;
+      }
+      // Retries exhausted. Degrade to the CPU reference path if allowed;
+      // either way the write-set is rolled back first, so a failed
+      // command leaves its outputs exactly as they were (transactional).
+      if (hooks.rollback) hooks.rollback();
+      if (policy.cpu_fallback && hooks.fallback) {
+        try {
+          hooks.fallback();
+          message = "degraded to CPU fallback after: " + describe(error);
+          error = nullptr;
+          degraded = true;
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      break;
+    }
+    if (error) {
+      final_state = CommandState::Failed;
+      message = describe(error);
+    } else {
+      final_state = degraded ? CommandState::Degraded : CommandState::Ok;
+    }
   }
-  --tl_depth;
-  const std::uint64_t cycles = tl_cycles;
 
   lk.lock();
   --active_;
-  complete(seq, cycles, error);
+  stats_.retries += retries_done;
+  if (degraded) ++stats_.degraded;
+  complete(seq, cycles, error, final_state, std::move(message));
 }
 
 void Executor::complete(std::uint64_t seq, std::uint64_t cycles,
-                        std::exception_ptr error) {
+                        std::exception_ptr error, CommandState state,
+                        std::string message) {
   Node& node = nodes_.at(seq);
   node.running = false;
   node.completed = true;
   node.error = error;
+  node.state = state;
+  node.message = std::move(message);
   node.finish_cycles = node.start_cycles + cycles;
   stats_.makespan_cycles =
       std::max(stats_.makespan_cycles, node.finish_cycles);
@@ -113,6 +232,10 @@ void Executor::complete(std::uint64_t seq, std::uint64_t cycles,
   for (std::uint64_t succ_seq : node.succs) {
     Node& succ = nodes_.at(succ_seq);
     succ.start_cycles = std::max(succ.start_cycles, node.finish_cycles);
+    if (state == CommandState::Failed &&
+        (succ.poisoned_by == 0 || seq < succ.poisoned_by)) {
+      succ.poisoned_by = seq;
+    }
     if (--succ.unresolved == 0 && workers_ > 0) {
       ready_.push_back(succ_seq);
       woke_ready = true;
@@ -187,6 +310,13 @@ bool Executor::idle() const {
 ExecStats Executor::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+CommandStatus Executor::status(std::uint64_t seq) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = nodes_.find(seq);
+  if (it == nodes_.end()) return CommandStatus{};
+  return CommandStatus{it->second.state, it->second.message};
 }
 
 }  // namespace fblas::host

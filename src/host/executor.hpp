@@ -11,13 +11,25 @@
 //                               so independent commands overlap while
 //                               conflicting ones retain program order.
 //
+// Fault tolerance: a command may carry hooks — snapshot/rollback of its
+// declared write-set and an optional CPU fallback. Under a RetryPolicy,
+// a transient failure (DeviceError / TimeoutError) rolls the write-set
+// back and re-runs the command with bounded exponential backoff; when
+// retries are exhausted the CPU fallback (if any) produces the result
+// and the command is marked Degraded. A command that ultimately fails
+// poisons its dependents: they complete immediately with a deterministic
+// "dependency failed" error instead of running on stale inputs — and
+// waiters never hang.
+//
 // Cycle accounting: each command's simulated device cycles (reported by
 // Context::run_graph through note_cycles) feed a critical-path model —
 // a command starts at the latest finish time of its dependencies — and
 // the longest finish time is the makespan: the device time an
 // out-of-order schedule needs, next to the serial sum total_cycles().
+// Failed attempts still burn device cycles, like real hardware.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -25,8 +37,11 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "host/status.hpp"
 
 namespace fblas::host {
 
@@ -34,6 +49,28 @@ struct ExecStats {
   std::uint64_t executed = 0;      ///< commands run to completion
   int max_concurrent = 0;          ///< high-water mark of commands in flight
   std::uint64_t makespan_cycles = 0;  ///< critical-path device cycles
+  std::uint64_t retries = 0;          ///< re-run attempts after faults
+  std::uint64_t faults_injected = 0;  ///< faults the injector handed out
+  std::uint64_t degraded = 0;         ///< commands served by CPU fallback
+};
+
+/// Retry behavior for transient failures (DeviceError / TimeoutError).
+/// Non-transient exceptions always fail the command immediately.
+struct RetryPolicy {
+  int max_retries = 0;  ///< re-runs after the first attempt; 0 disables
+  std::chrono::microseconds backoff{50};      ///< first retry delay
+  double backoff_multiplier = 2.0;            ///< exponential growth
+  std::chrono::microseconds max_backoff{2000};  ///< delay ceiling
+  bool cpu_fallback = false;  ///< after retries: run the command's CPU
+                              ///< reference path and mark it Degraded
+};
+
+/// Fault-tolerance hooks attached to a command by the Context.
+struct CommandHooks {
+  std::function<void()> snapshot;  ///< capture declared write-set bytes
+  std::function<void()> rollback;  ///< restore the snapshot
+  std::function<void()> fallback;  ///< CPU reference re-execution
+  bool retryable = false;          ///< participate in the RetryPolicy
 };
 
 class Executor {
@@ -45,15 +82,21 @@ class Executor {
 
   int workers() const { return workers_; }
 
+  /// Retry policy applied to subsequent command executions.
+  void set_retry_policy(const RetryPolicy& policy);
+  RetryPolicy retry_policy() const;
+
   /// Registers command `seq` with its unresolved-dependency list (seqs
   /// from DepGraph::add; already-completed deps are fine). In concurrent
   /// mode a hazard-free command starts immediately.
   void submit(std::uint64_t seq, std::function<void()> work,
-              const std::vector<std::uint64_t>& deps);
+              const std::vector<std::uint64_t>& deps,
+              CommandHooks hooks = {});
 
   /// Blocks until `seq` has executed. Serial mode runs commands in
   /// program order on the calling thread up to and including `seq`.
-  /// Rethrows the command's exception, if it threw.
+  /// Rethrows the command's exception, if it threw (once; the recorded
+  /// status() stays queryable afterwards).
   void wait(std::uint64_t seq);
   /// Waits for every submitted command.
   void wait_all();
@@ -61,6 +104,8 @@ class Executor {
   bool done(std::uint64_t seq) const;
   bool idle() const;
   ExecStats stats() const;
+  /// Outcome of command `seq`. Unknown/retired seqs report Ok.
+  CommandStatus status(std::uint64_t seq) const;
 
   /// Accumulates simulated device cycles into the command currently
   /// executing on this thread (no-op outside a command).
@@ -69,25 +114,35 @@ class Executor {
   /// Context::enqueue to run nested library calls inline as part of the
   /// enclosing command.
   static bool in_command();
+  /// Zero-based retry attempt of the command executing on this thread
+  /// (0 outside a command) — lets the fault injector draw a fresh,
+  /// deterministic decision per attempt.
+  static int current_attempt();
 
  private:
   struct Node {
     std::function<void()> work;
+    CommandHooks hooks;
     std::vector<std::uint64_t> succs;
     std::size_t unresolved = 0;      // incomplete dependencies
     std::uint64_t start_cycles = 0;  // max finish over dependencies
     std::uint64_t finish_cycles = 0;
     std::exception_ptr error;
+    std::uint64_t poisoned_by = 0;  // lowest-seq failed dependency, or 0
+    CommandState state = CommandState::Pending;
+    std::string message;  // final error / degradation reason
     bool running = false;
     bool completed = false;
   };
 
   void worker_loop();
-  /// Runs one command. Called with the lock held; releases it around the
-  /// command body and reacquires it to publish completion.
+  /// Runs one command (including its retry/fallback loop). Called with
+  /// the lock held; releases it around the command body and reacquires
+  /// it to publish completion.
   void run_command(std::unique_lock<std::mutex>& lk, std::uint64_t seq);
   void complete(std::uint64_t seq, std::uint64_t cycles,
-                std::exception_ptr error);
+                std::exception_ptr error, CommandState state,
+                std::string message);
 
   const int workers_;
   mutable std::mutex mu_;
@@ -96,6 +151,7 @@ class Executor {
   std::map<std::uint64_t, Node> nodes_;  // ordered: serial drain needs it
   std::deque<std::uint64_t> ready_;
   std::vector<std::thread> threads_;
+  RetryPolicy policy_;
   std::uint64_t incomplete_ = 0;  // submitted, not yet completed
   int active_ = 0;
   bool stop_ = false;

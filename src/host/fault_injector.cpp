@@ -1,0 +1,73 @@
+#include "host/fault_injector.hpp"
+
+namespace fblas::host {
+namespace {
+
+// splitmix64: cheap, well-mixed 64-bit hash (public-domain constants).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t draw(std::uint64_t seed, std::uint64_t seq, int attempt,
+                   std::uint64_t stream) {
+  std::uint64_t h = mix64(seed ^ 0xa0761d6478bd642fULL);
+  h = mix64(h ^ seq);
+  h = mix64(h ^ (static_cast<std::uint64_t>(attempt) + 1));
+  return mix64(h ^ stream);
+}
+
+double unit_interval(std::uint64_t h) {
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void FaultInjector::configure(const FaultConfig& cfg) {
+  cfg_ = cfg;
+  injected_.store(0, std::memory_order_relaxed);
+  budget_.store(cfg.max_faults, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+FaultKind FaultInjector::decide(std::uint64_t seq, int attempt) {
+  if (!enabled_.load(std::memory_order_acquire)) return FaultKind::None;
+  const double u = unit_interval(draw(cfg_.seed, seq, attempt, 0));
+  FaultKind kind = FaultKind::None;
+  double edge = cfg_.launch_fail_rate;
+  if (u < edge) {
+    kind = FaultKind::LaunchFail;
+  } else if (u < (edge += cfg_.corrupt_rate)) {
+    kind = FaultKind::CorruptTransfer;
+  } else if (u < (edge += cfg_.wedge_rate)) {
+    kind = FaultKind::Wedge;
+  }
+  if (kind == FaultKind::None) return kind;
+  // Consume the fault budget; a drawn fault past the budget fires as None
+  // so long runs stay bounded. Budget < 0 means unlimited.
+  int budget = budget_.load(std::memory_order_relaxed);
+  while (budget >= 0) {
+    if (budget == 0) return FaultKind::None;
+    if (budget_.compare_exchange_weak(budget, budget - 1,
+                                      std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return kind;
+}
+
+std::uint64_t FaultInjector::corrupt_offset(std::uint64_t seq, int attempt,
+                                            std::uint64_t size) const {
+  if (size == 0) return 0;
+  return draw(cfg_.seed, seq, attempt, 1) % size;
+}
+
+}  // namespace fblas::host

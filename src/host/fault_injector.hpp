@@ -1,0 +1,63 @@
+// Deterministic, seeded fault injection for the simulated device.
+//
+// Real FPGA deployments fail in ways the functional simulator never
+// does: kernel launches error out, DMA transfers arrive corrupted, and a
+// wedged kernel hangs the command queue forever. The injector makes
+// those failure modes reproducible so the retry/rollback/fallback
+// machinery can be tested and benchmarked.
+//
+// Decisions are a pure hash of (seed, command seq, attempt) — not a
+// shared RNG stream — so the fault sequence is identical under the
+// serial and worker-pool executor policies regardless of interleaving,
+// and a retried attempt draws a fresh, deterministic decision.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fblas::host {
+
+/// Per-launch fault probabilities. Rates are cumulative-checked in the
+/// order launch-fail, corrupt, wedge; their sum should stay <= 1.
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  double launch_fail_rate = 0.0;  ///< P(kernel launch throws DeviceError)
+  double corrupt_rate = 0.0;      ///< P(write-back corrupted, then detected)
+  double wedge_rate = 0.0;        ///< P(graph hangs mid-stream)
+  int max_faults = -1;            ///< total faults budget; <0 = unlimited
+};
+
+enum class FaultKind : std::uint8_t { None, LaunchFail, CorruptTransfer, Wedge };
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Arms the injector (replacing any previous config and counters).
+  void configure(const FaultConfig& cfg);
+  /// Disarms: decide() returns None until configured again.
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// The fault (if any) to inject into attempt `attempt` of command
+  /// `seq`. Pure in (seed, seq, attempt) apart from the max_faults
+  /// budget, which is consumed atomically when a fault is drawn.
+  FaultKind decide(std::uint64_t seq, int attempt);
+
+  /// Deterministic byte offset (< `size`) to corrupt for this attempt.
+  std::uint64_t corrupt_offset(std::uint64_t seq, int attempt,
+                               std::uint64_t size) const;
+
+  /// Total faults handed out since configure().
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultConfig cfg_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<int> budget_{-1};
+};
+
+}  // namespace fblas::host

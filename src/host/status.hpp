@@ -1,0 +1,30 @@
+// Observable per-command outcome for the fault-tolerant host runtime.
+// Shared by Executor (which tracks it) and Event (which exposes it), so
+// async callers can inspect failures without wait() throwing being the
+// only signal.
+#pragma once
+
+#include <string>
+
+namespace fblas::host {
+
+enum class CommandState {
+  Pending,   ///< submitted, not yet started
+  Running,   ///< currently executing (possibly in a retry attempt)
+  Ok,        ///< completed on the device path
+  Failed,    ///< exhausted retries (or non-retryable error); wait() throws
+  Degraded,  ///< device path failed; result produced by the CPU fallback
+};
+
+struct CommandStatus {
+  CommandState state = CommandState::Ok;
+  /// For Failed: the final error. For Degraded: the device error that
+  /// forced the CPU fallback. Empty otherwise.
+  std::string message;
+
+  bool ok() const { return state == CommandState::Ok; }
+  bool failed() const { return state == CommandState::Failed; }
+  bool degraded() const { return state == CommandState::Degraded; }
+};
+
+}  // namespace fblas::host

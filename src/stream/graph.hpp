@@ -54,8 +54,9 @@ class Graph {
     return id;
   }
 
-  /// Runs the design to completion (throws DeadlockError on stall).
-  void run() { sched_.run(); }
+  /// Runs the design to completion (throws DeadlockError on stall and
+  /// TimeoutError when a watchdog limit expires first).
+  void run(const Watchdog& watchdog = {}) { sched_.run(watchdog); }
 
   const std::vector<std::unique_ptr<ChannelBase>>& channels() const {
     return channels_;

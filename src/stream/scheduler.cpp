@@ -59,10 +59,35 @@ void Scheduler::advance_cycle() {
   cycle_waiters_.clear();
 }
 
-void Scheduler::run() {
+void Scheduler::run(const Watchdog& watchdog) {
   FBLAS_REQUIRE(!ran_, "a Scheduler can only run once");
   ran_ = true;
+  const bool has_deadline = watchdog.wall_deadline.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        watchdog.wall_deadline;
+  std::uint64_t steps = 0;
   while (live_ > 0) {
+    if (watchdog.max_steps != 0 && steps > watchdog.max_steps) {
+      throw_timeout("step budget", steps);
+    }
+    if (watchdog.max_cycles != 0 && cycle_ > watchdog.max_cycles) {
+      throw_timeout("cycle budget", steps);
+    }
+    // The wall clock is polled sparsely on the happy path (a syscall per
+    // step would dominate small graphs) but every iteration once wedged,
+    // so a hung run ends promptly at the deadline.
+    if (has_deadline && (wedged_ || (steps & 2047u) == 0) &&
+        std::chrono::steady_clock::now() >= deadline) {
+      throw_timeout("wall-clock deadline", steps);
+    }
+    if (wedged_) {
+      // Injected hang: cycles tick but no module is ever resumed again,
+      // modeling a kernel wedged mid-stream. Only a watchdog limit ends
+      // this loop — without one it spins, like the real stalled board.
+      ++cycle_;
+      ++steps;
+      continue;
+    }
     if (!ready_.empty()) {
       const int id = ready_.front();
       ready_.pop_front();
@@ -70,6 +95,10 @@ void Scheduler::run() {
       if (m.state != ModuleState::Ready) continue;  // stale queue entry
       m.state = ModuleState::Running;
       ++m.resumes;
+      ++steps;
+      if (wedge_after_steps_ != 0 && steps >= wedge_after_steps_) {
+        wedged_ = true;
+      }
       m.handle.resume();
       if (m.handle.done()) {
         m.state = ModuleState::Done;
@@ -92,6 +121,43 @@ void Scheduler::run() {
   }
 }
 
+namespace {
+
+const char* state_name(ModuleState s) {
+  switch (s) {
+    case ModuleState::Ready: return "ready";
+    case ModuleState::Running: return "running";
+    case ModuleState::BlockedPop: return "blocked popping";
+    case ModuleState::BlockedPush: return "blocked pushing";
+    case ModuleState::WaitCycle: return "waiting for next cycle";
+    case ModuleState::Done: return "done";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Scheduler::diagnose(const std::string& header) const {
+  std::ostringstream os;
+  os << header;
+  os << "Module states:\n";
+  for (const ModuleEntry& m : modules_) {
+    os << "  module '" << m.name << "': " << state_name(m.state);
+    if (m.blocked_on != nullptr) {
+      os << " channel '" << m.blocked_on->name() << "' (occupancy "
+         << m.blocked_on->size() << "/" << m.blocked_on->capacity() << ")";
+    }
+    os << ", " << m.resumes << " resumes\n";
+  }
+  os << "Channel states:\n";
+  for (const ChannelBase* ch : channels_) {
+    os << "  '" << ch->name() << "': " << ch->size() << "/" << ch->capacity()
+       << " buffered, " << ch->total_pushed() << " pushed, "
+       << ch->total_popped() << " popped\n";
+  }
+  return os.str();
+}
+
 std::string Scheduler::diagnose_deadlock() const {
   std::ostringstream os;
   os << "streaming graph stalled forever (invalid composition or "
@@ -112,6 +178,16 @@ std::string Scheduler::diagnose_deadlock() const {
        << ch->total_popped() << " popped\n";
   }
   return os.str();
+}
+
+void Scheduler::throw_timeout(const char* limit, std::uint64_t steps) {
+  std::ostringstream os;
+  os << "watchdog expired (" << limit << ") after " << cycle_
+     << " simulated cycles and " << steps << " scheduler steps; the graph "
+     << (wedged_ ? "is wedged (injected hang)"
+                 : "is live-locked or pathologically slow")
+     << ".\n";
+  throw TimeoutError(diagnose(os.str()));
 }
 
 }  // namespace fblas::stream

@@ -14,6 +14,7 @@
 // directly observable.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -28,6 +29,22 @@ class ChannelBase;
 class DramBank;
 
 enum class Mode { Functional, Cycle };
+
+/// Limits on a single graph run. A run that exceeds any configured limit
+/// raises TimeoutError with full module/channel diagnostics instead of
+/// hanging the host. Zero means unlimited (the default: today's
+/// behavior). The cycle budget only constrains cycle mode; the step
+/// budget (module resumes) and wall-clock deadline catch functional-mode
+/// livelocks too.
+struct Watchdog {
+  std::uint64_t max_cycles = 0;  ///< simulated-cycle budget (cycle mode)
+  std::uint64_t max_steps = 0;   ///< scheduler-step budget (both modes)
+  std::chrono::milliseconds wall_deadline{0};  ///< host wall-clock limit
+
+  bool enabled() const {
+    return max_cycles != 0 || max_steps != 0 || wall_deadline.count() != 0;
+  }
+};
 
 enum class ModuleState : std::uint8_t {
   Ready,
@@ -55,8 +72,16 @@ class Scheduler {
   void register_bank(DramBank* bank) { banks_.push_back(bank); }
 
   /// Runs until every module completes. Throws DeadlockError if the graph
-  /// stalls, and rethrows any exception escaping a module body.
-  void run();
+  /// stalls, TimeoutError if a watchdog limit expires first, and rethrows
+  /// any exception escaping a module body.
+  void run(const Watchdog& watchdog = {});
+
+  /// Fault injection: after `steps` further module resumes the scheduler
+  /// wedges — it stops resuming modules while cycles keep ticking,
+  /// modeling a hung kernel mid-stream. Only a watchdog limit (or
+  /// wall-clock deadline) ends a wedged run; without one it spins like
+  /// real stalled hardware. Call before run().
+  void wedge_after(std::uint64_t steps) { wedge_after_steps_ = steps; }
 
   /// True once run() completed successfully.
   bool finished() const { return live_ == 0; }
@@ -95,7 +120,9 @@ class Scheduler {
     std::uint64_t resumes = 0;
   };
 
+  std::string diagnose(const std::string& header) const;
   std::string diagnose_deadlock() const;
+  [[noreturn]] void throw_timeout(const char* limit, std::uint64_t steps);
   void advance_cycle();
 
   Mode mode_;
@@ -107,6 +134,8 @@ class Scheduler {
   std::vector<DramBank*> banks_;
   int live_ = 0;
   bool ran_ = false;
+  std::uint64_t wedge_after_steps_ = 0;  // 0 = no wedge injected
+  bool wedged_ = false;
   bool trace_occupancy_ = false;
   std::vector<std::vector<std::uint32_t>> occupancy_samples_;
 };

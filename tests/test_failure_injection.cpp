@@ -5,11 +5,15 @@
 // experiment built on it.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "common/workload.hpp"
 #include "fblas/level1.hpp"
 #include "fblas/level2.hpp"
 #include "host/buffer.hpp"
 #include "host/context.hpp"
+#include "refblas/level2.hpp"
+#include "refblas/level3.hpp"
 #include "stream/graph.hpp"
 #include "stream/streamers.hpp"
 
@@ -188,6 +192,385 @@ TEST(FailureInjection, DiagnosticListsChannelOccupancy) {
     EXPECT_NE(msg.find("'lonely': 0/4 buffered"), std::string::npos);
     EXPECT_NE(msg.find("0 pushed"), std::string::npos);
   }
+}
+
+// --- Fault tolerance: injected device faults, watchdog, retry/rollback,
+// CPU fallback. The injector's decisions are a pure hash of (seed,
+// command seq, attempt), so every test here is deterministic.
+
+host::RetryPolicy fast_retry(int max_retries, bool cpu_fallback = false) {
+  host::RetryPolicy p;
+  p.max_retries = max_retries;
+  p.backoff = std::chrono::microseconds(0);  // keep tests fast
+  p.cpu_fallback = cpu_fallback;
+  return p;
+}
+
+TEST(FaultTolerance, ConfigValidatedAtEnqueueNamingTheKnob) {
+  host::Device dev;
+  host::Context ctx(dev);
+  host::Buffer<float> x(dev, 16, 0);
+  x.write(std::vector<float>(16, 1.0f));
+
+  host::RoutineConfig bad = ctx.config();
+  bad.width = 0;
+  try {
+    ctx.with(bad)->scal<float>(16, 2.0f, x);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("RoutineConfig.width"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("(got 0)"), std::string::npos);
+  }
+
+  bad = ctx.config();
+  bad.pe_rows = -2;
+  try {
+    ctx.with(bad)->scal<float>(16, 2.0f, x);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("RoutineConfig.pe_rows"),
+              std::string::npos);
+  }
+
+  bad = ctx.config();
+  bad.tile_cols = 0;
+  EXPECT_THROW(ctx.with(bad)->scal<float>(16, 2.0f, x), ConfigError);
+
+  // A valid config still goes through, and the guard restored the knobs.
+  EXPECT_NO_THROW(ctx.scal<float>(16, 2.0f, x));
+}
+
+TEST(FaultTolerance, WatchdogCycleBudgetRaisesTimeoutOnLiveGraph) {
+  // A live but slow graph (throttled bank) overruns a tiny cycle budget:
+  // TimeoutError, with the same module/channel diagnostics as deadlocks.
+  Workload wl(40);
+  const std::int64_t n = 4096;
+  auto x = wl.vector<float>(n);
+  Graph g(Mode::Cycle);
+  auto& bank = g.bank("ddr", 16.0);  // 1 float every 4 cycles
+  auto& ch = g.channel<float>("x", 8);
+  g.spawn("read", stream::read_vector<float>(
+                      VectorView<const float>(x.data(), n), 1, 16, ch,
+                      &bank));
+  g.spawn("sink", stream::sink<float>(n, 16, ch));
+  stream::Watchdog wd;
+  wd.max_cycles = 64;  // far below the ~4n cycles this graph needs
+  try {
+    g.run(wd);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("watchdog expired (cycle budget)"), std::string::npos);
+    EXPECT_NE(msg.find("live-locked or pathologically slow"),
+              std::string::npos);
+    EXPECT_NE(msg.find("module 'read'"), std::string::npos);
+    EXPECT_NE(msg.find("'x':"), std::string::npos);
+  }
+}
+
+TEST(FaultTolerance, WedgedGraphRaisesTimeoutWithinDeadlineNotHang) {
+  // An injected wedge stops all module progress mid-stream; only the
+  // watchdog ends the run, well within a couple of seconds.
+  host::Device dev;
+  host::Context ctx(dev, stream::Mode::Cycle);
+  host::FaultConfig faults;
+  faults.seed = 7;
+  faults.wedge_rate = 1.0;
+  dev.inject_faults(faults);
+  stream::Watchdog wd;
+  wd.wall_deadline = std::chrono::milliseconds(100);
+  ctx.set_watchdog(wd);
+
+  host::Buffer<float> x(dev, 256, 0);
+  x.write(Workload(41).vector<float>(256));
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    ctx.scal<float>(256, 2.0f, x);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("wedged (injected hang)"),
+              std::string::npos);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_EQ(ctx.exec_stats().faults_injected, 1u);
+}
+
+TEST(FaultTolerance, WedgeRecoversViaRetry) {
+  // One wedge (budgeted), watchdog + retry: the first attempt times out,
+  // the write-set rolls back, and the clean re-run completes the command.
+  host::Device dev;
+  host::Context ctx(dev, stream::Mode::Cycle);
+  host::FaultConfig faults;
+  faults.seed = 7;
+  faults.wedge_rate = 1.0;
+  faults.max_faults = 1;
+  dev.inject_faults(faults);
+  stream::Watchdog wd;
+  wd.max_cycles = 1u << 20;
+  ctx.set_watchdog(wd);
+  ctx.set_retry_policy(fast_retry(2));
+
+  const std::int64_t n = 256;
+  auto hx = Workload(42).vector<float>(n);
+  host::Buffer<float> x(dev, n, 0);
+  x.write(hx);
+  ctx.scal<float>(n, 3.0f, x);
+
+  for (float& v : hx) v *= 3.0f;
+  EXPECT_EQ(x.to_host(), hx);
+  const auto stats = ctx.exec_stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.faults_injected, 1u);
+  EXPECT_EQ(stats.degraded, 0u);
+}
+
+TEST(FaultTolerance, CorruptedGemmRollsBackAndRetriesBitIdentical) {
+  // Two detected transfer corruptions actually mangle C's bytes; each
+  // retry must restore the snapshot or beta*C would compound the damage.
+  const std::int64_t m = 24, n = 20, k = 16;
+  Workload wl(43);
+  const auto ha = wl.matrix<float>(m, k);
+  const auto hb = wl.matrix<float>(k, n);
+  const auto hc = wl.matrix<float>(m, n);
+
+  auto run = [&](bool with_faults) {
+    host::Device dev;
+    host::Context ctx(dev);
+    if (with_faults) {
+      host::FaultConfig faults;
+      faults.seed = 11;
+      faults.corrupt_rate = 1.0;
+      faults.max_faults = 2;
+      dev.inject_faults(faults);
+      ctx.set_retry_policy(fast_retry(3));
+    }
+    host::Buffer<float> a(dev, m * k, 0), b(dev, k * n, 1), c(dev, m * n, 2);
+    a.write(ha);
+    b.write(hb);
+    c.write(hc);
+    ctx.gemm<float>(Transpose::None, Transpose::None, m, n, k, 1.5f, a, b,
+                    0.5f, c);
+    return std::make_pair(c.to_host(), ctx.exec_stats());
+  };
+
+  const auto [clean, clean_stats] = run(false);
+  const auto [faulty, faulty_stats] = run(true);
+  EXPECT_EQ(clean, faulty);  // bit-identical despite two corrupted attempts
+  EXPECT_EQ(clean_stats.retries, 0u);
+  EXPECT_EQ(faulty_stats.retries, 2u);
+  EXPECT_EQ(faulty_stats.faults_injected, 2u);
+  EXPECT_EQ(faulty_stats.degraded, 0u);
+}
+
+TEST(FaultTolerance, SeededFaultsDeterministicAcrossExecutorPolicies) {
+  // The same seed must produce the same faults — and after retries the
+  // same bits — whether commands run serially or on a 4-worker pool,
+  // because decisions hash (seed, seq, attempt), not a shared RNG stream.
+  const std::int64_t n = 512;
+  auto run = [&](int workers) {
+    host::Device dev;
+    host::Context ctx(dev, stream::Mode::Functional, workers);
+    host::FaultConfig faults;
+    faults.seed = 99;
+    faults.launch_fail_rate = 0.25;
+    faults.corrupt_rate = 0.25;
+    dev.inject_faults(faults);
+    ctx.set_retry_policy(fast_retry(8));
+    Workload wl(44);
+    std::vector<host::Buffer<float>> bufs;
+    for (int i = 0; i < 4; ++i) {
+      bufs.emplace_back(dev, n, i % dev.bank_count());
+      bufs.back().write(wl.vector<float>(n));
+    }
+    for (int round = 0; round < 8; ++round) {
+      ctx.scal_async<float>(n, 1.01f, bufs[0], 1);
+      ctx.axpy_async<float>(n, 0.5f, bufs[0], 1, bufs[1], 1);
+      ctx.copy_async<float>(n, bufs[1], 1, bufs[2], 1);
+      ctx.axpy_async<float>(n, -0.25f, bufs[2], 1, bufs[3], 1);
+    }
+    ctx.finish();
+    std::vector<std::vector<float>> out;
+    for (auto& b : bufs) out.push_back(b.to_host());
+    return std::make_pair(out, ctx.exec_stats());
+  };
+
+  const auto [serial, serial_stats] = run(0);
+  const auto [pooled, pooled_stats] = run(4);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_EQ(serial_stats.faults_injected, pooled_stats.faults_injected);
+  EXPECT_EQ(serial_stats.retries, pooled_stats.retries);
+  EXPECT_GT(serial_stats.retries, 0u);
+}
+
+TEST(FaultTolerance, CpuFallbackDegradesLevel1) {
+  // Every launch fails: retries exhaust, the refblas fallback serves the
+  // result, and the command reports Degraded instead of Failed.
+  const std::int64_t n = 128;
+  Workload wl(45);
+  auto hx = wl.vector<float>(n);
+  auto hy = wl.vector<float>(n);
+
+  host::Device dev;
+  host::Context ctx(dev);
+  host::FaultConfig faults;
+  faults.seed = 5;
+  faults.launch_fail_rate = 1.0;
+  dev.inject_faults(faults);
+  ctx.set_retry_policy(fast_retry(1, /*cpu_fallback=*/true));
+  host::Buffer<float> x(dev, n, 0), y(dev, n, 1);
+  x.write(hx);
+  y.write(hy);
+  host::Event e = ctx.axpy_async<float>(n, 2.0f, x, 1, y, 1);
+  EXPECT_NO_THROW(e.wait());
+
+  ref::axpy(2.0f, VectorView<const float>(hx.data(), n),
+            VectorView<float>(hy.data(), n));
+  EXPECT_EQ(y.to_host(), hy);
+  const host::CommandStatus st = e.status();
+  EXPECT_TRUE(st.degraded());
+  EXPECT_NE(st.message.find("degraded to CPU fallback"), std::string::npos);
+  EXPECT_NE(st.message.find("injected kernel launch failure"),
+            std::string::npos);
+  const auto stats = ctx.exec_stats();
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+}
+
+TEST(FaultTolerance, CpuFallbackDegradesLevel2) {
+  const std::int64_t rows = 32, cols = 24;
+  Workload wl(46);
+  auto ha = wl.matrix<float>(rows, cols);
+  auto hx = wl.vector<float>(cols);
+  auto hy = wl.vector<float>(rows);
+
+  host::Device dev;
+  host::Context ctx(dev);
+  host::FaultConfig faults;
+  faults.seed = 5;
+  faults.launch_fail_rate = 1.0;
+  dev.inject_faults(faults);
+  ctx.set_retry_policy(fast_retry(1, /*cpu_fallback=*/true));
+  host::Buffer<float> a(dev, rows * cols, 0), x(dev, cols, 1), y(dev, rows, 2);
+  a.write(ha);
+  x.write(hx);
+  y.write(hy);
+  host::Event e =
+      ctx.gemv_async<float>(Transpose::None, rows, cols, 1.25f, a, x, 1,
+                            0.75f, y, 1);
+  EXPECT_NO_THROW(e.wait());
+
+  ref::gemv(Transpose::None, 1.25f,
+            MatrixView<const float>(ha.data(), rows, cols),
+            VectorView<const float>(hx.data(), cols), 0.75f,
+            VectorView<float>(hy.data(), rows));
+  EXPECT_EQ(y.to_host(), hy);
+  EXPECT_TRUE(e.status().degraded());
+}
+
+TEST(FaultTolerance, CpuFallbackDegradesLevel3) {
+  const std::int64_t m = 16, n = 12, k = 20;
+  Workload wl(47);
+  auto ha = wl.matrix<float>(m, k);
+  auto hb = wl.matrix<float>(k, n);
+  auto hc = wl.matrix<float>(m, n);
+
+  host::Device dev;
+  host::Context ctx(dev);
+  host::FaultConfig faults;
+  faults.seed = 5;
+  faults.launch_fail_rate = 1.0;
+  dev.inject_faults(faults);
+  ctx.set_retry_policy(fast_retry(1, /*cpu_fallback=*/true));
+  host::Buffer<float> a(dev, m * k, 0), b(dev, k * n, 1), c(dev, m * n, 2);
+  a.write(ha);
+  b.write(hb);
+  c.write(hc);
+  host::Event e = ctx.gemm_async<float>(Transpose::None, Transpose::None, m,
+                                        n, k, 2.0f, a, b, 0.5f, c);
+  EXPECT_NO_THROW(e.wait());
+
+  ref::gemm(Transpose::None, Transpose::None, 2.0f,
+            MatrixView<const float>(ha.data(), m, k),
+            MatrixView<const float>(hb.data(), k, n), 0.5f,
+            MatrixView<float>(hc.data(), m, n));
+  EXPECT_EQ(c.to_host(), hc);
+  EXPECT_TRUE(e.status().degraded());
+}
+
+TEST(FaultTolerance, ExhaustedRetriesWithoutFallbackFailTransactionally) {
+  // No fallback: after retries the command fails — but its write-set was
+  // rolled back, so the buffer still holds the pre-command bytes, and
+  // Event::status() reports the failure without wait() being the only
+  // channel.
+  const std::int64_t n = 64;
+  auto hx = Workload(48).vector<float>(n);
+  host::Device dev;
+  host::Context ctx(dev);
+  host::FaultConfig faults;
+  faults.seed = 3;
+  faults.corrupt_rate = 1.0;
+  dev.inject_faults(faults);
+  ctx.set_retry_policy(fast_retry(2));
+  host::Buffer<float> x(dev, n, 0);
+  x.write(hx);
+  host::Event e = ctx.scal_async<float>(n, 2.0f, x, 1);
+  EXPECT_THROW(e.wait(), DeviceError);
+  EXPECT_EQ(x.to_host(), hx);  // rolled back, not half-scaled or corrupted
+  const host::CommandStatus st = e.status();
+  EXPECT_TRUE(st.failed());
+  EXPECT_NE(st.message.find("injected transfer corruption"),
+            std::string::npos);
+  EXPECT_EQ(ctx.exec_stats().retries, 2u);
+}
+
+TEST(FaultTolerance, EightGemvOverlapSurvivesFivePercentLaunchFaults) {
+  // Acceptance workload: 8 independent GEMVs on the 4-worker executor
+  // with a 5% launch-failure rate complete bit-identically to a clean
+  // run, with at least one retry actually exercised.
+  const std::int64_t rows = 96, cols = 96;
+  const int batch = 8;
+  auto run = [&](std::uint64_t seed, bool with_faults) {
+    host::Device dev;
+    host::Context ctx(dev, stream::Mode::Cycle, 4);
+    if (with_faults) {
+      host::FaultConfig faults;
+      faults.seed = seed;
+      faults.launch_fail_rate = 0.05;
+      dev.inject_faults(faults);
+      ctx.set_retry_policy(fast_retry(4));
+    }
+    Workload wl(49);
+    const auto ha = wl.matrix<float>(rows, cols);
+    host::Buffer<float> a(dev, rows * cols, 0);
+    a.write(ha);
+    std::vector<host::Buffer<float>> xs, ys;
+    for (int i = 0; i < batch; ++i) {
+      xs.emplace_back(dev, cols, 1);
+      ys.emplace_back(dev, rows, 2);
+      xs.back().write(wl.vector<float>(cols));
+      ys.back().write(std::vector<float>(rows, 0.0f));
+    }
+    for (int i = 0; i < batch; ++i) {
+      ctx.gemv_async<float>(Transpose::None, rows, cols, 1.0f, a, xs[i], 1,
+                            0.0f, ys[i], 1);
+    }
+    ctx.finish();
+    std::vector<std::vector<float>> out;
+    for (auto& y : ys) out.push_back(y.to_host());
+    return std::make_pair(out, ctx.exec_stats());
+  };
+
+  const auto [clean, clean_stats] = run(0, false);
+  // Seed chosen so that the 5% rate actually draws >= 1 fault across the
+  // 8 launches (deterministic: decisions hash seed/seq/attempt).
+  const auto [faulty, faulty_stats] = run(4, true);
+  EXPECT_EQ(clean, faulty);
+  EXPECT_GT(faulty_stats.retries, 0u);
+  EXPECT_GT(faulty_stats.faults_injected, 0u);
+  EXPECT_EQ(faulty_stats.degraded, 0u);
+  EXPECT_EQ(clean_stats.retries, 0u);
 }
 
 }  // namespace
