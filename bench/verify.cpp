@@ -1,0 +1,193 @@
+// ABFT result-verification benchmark for the host runtime. Two questions:
+//
+//   1. Overhead: how much wall-clock time does VerifyPolicy::Always add
+//      to GEMM / GEMV / Level-1 calls over VerifyPolicy::Off?
+//      (Criterion: < 5% for Always-on GEMM. The checkers are one or two
+//      O(n^2) checksum passes against the routine's O(n^3) work, so the
+//      gap should widen with problem size.)
+//   2. Protection: with silent corruption injected at 5%, the unverified
+//      run completes "Ok" with wrong bits, while Always catches every
+//      SDC and recovers bit-identically through the retry machinery.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.hpp"
+#include "common/workload.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
+#include "verify/policy.hpp"
+
+namespace {
+
+using namespace fblas;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::int64_t kDim = 192;    // GEMM/GEMV matrix dimension
+constexpr std::int64_t kVec = 1 << 15;  // Level-1 vector length
+constexpr int kReps = 5;
+
+double median_ms(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Wall-clock median of `body` (which enqueues work and finishes the
+/// context) across kReps runs under the given verification policy.
+template <typename Body>
+double time_policy(verify::VerifyPolicy vp, Body&& body) {
+  std::vector<double> ms;
+  for (int rep = 0; rep < kReps; ++rep) {
+    host::Device dev;
+    host::Context ctx(dev);
+    ctx.config().verify = vp;
+    const auto t0 = Clock::now();
+    body(dev, ctx);
+    const auto t1 = Clock::now();
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return median_ms(std::move(ms));
+}
+
+void overhead_table() {
+  std::puts("== ABFT verification overhead (wall clock, functional mode) ==");
+  TablePrinter t({"Routine", "Off ms", "Sampled ms", "Always ms",
+                  "Always overhead"});
+  Workload wl(91);
+  const auto ha = wl.matrix<float>(kDim, kDim);
+  const auto hb = wl.matrix<float>(kDim, kDim);
+  const auto hc = wl.matrix<float>(kDim, kDim);
+  const auto hx = wl.vector<float>(kVec);
+  const auto hy = wl.vector<float>(kVec);
+
+  struct Row {
+    const char* name;
+    std::function<void(host::Device&, host::Context&)> body;
+  };
+  const std::vector<Row> rows = {
+      {"gemm 192^3",
+       [&](host::Device& dev, host::Context& ctx) {
+         host::Buffer<float> a(dev, kDim * kDim, 0), b(dev, kDim * kDim, 1),
+             c(dev, kDim * kDim, 2);
+         a.write(ha);
+         b.write(hb);
+         c.write(hc);
+         ctx.gemm<float>(Transpose::None, Transpose::None, kDim, kDim, kDim,
+                         1.0f, a, b, 0.5f, c);
+       }},
+      {"gemv 192^2 x8",
+       [&](host::Device& dev, host::Context& ctx) {
+         host::Buffer<float> a(dev, kDim * kDim, 0), x(dev, kDim, 1),
+             y(dev, kDim, 2);
+         a.write(ha);
+         x.write(wl.vector<float>(kDim));
+         y.write(wl.vector<float>(kDim));
+         for (int i = 0; i < 8; ++i) {
+           ctx.gemv<float>(Transpose::None, kDim, kDim, 1.0f, a, x, 0.5f, y);
+         }
+       }},
+      {"axpy 32K x8",
+       [&](host::Device& dev, host::Context& ctx) {
+         host::Buffer<float> x(dev, kVec, 0), y(dev, kVec, 1);
+         x.write(hx);
+         y.write(hy);
+         for (int i = 0; i < 8; ++i) ctx.axpy<float>(kVec, 0.5f, x, y);
+       }},
+      {"dot 32K x8",
+       [&](host::Device& dev, host::Context& ctx) {
+         host::Buffer<float> x(dev, kVec, 0), y(dev, kVec, 1);
+         x.write(hx);
+         y.write(hy);
+         for (int i = 0; i < 8; ++i) (void)ctx.dot<float>(kVec, x, y);
+       }},
+  };
+  for (const auto& row : rows) {
+    const double off = time_policy(verify::VerifyPolicy::Off, row.body);
+    const double sampled =
+        time_policy(verify::VerifyPolicy::Sampled, row.body);
+    const double always = time_policy(verify::VerifyPolicy::Always, row.body);
+    t.add_row({row.name, TablePrinter::fmt(off, 2),
+               TablePrinter::fmt(sampled, 2), TablePrinter::fmt(always, 2),
+               TablePrinter::fmt(100.0 * (always - off) / off, 1) + "%"});
+  }
+  t.print();
+  std::puts("Criterion: Always-on GEMM < 5%. The checksum passes are"
+            " O(n^2) against the\nroutine's O(n^3) work, so overhead"
+            " shrinks as problems grow; Level-1 pays\nmore relatively"
+            " (the check is the same O(n) as the routine) but those"
+            "\ncalls are cheap in absolute terms.\n");
+}
+
+void protection_demo() {
+  std::puts("== Protection: 5% silent corruption, GEMM batch ==");
+  const std::int64_t d = 96;
+  Workload wl(92);
+  const auto ha = wl.matrix<float>(d, d);
+  const auto hb = wl.matrix<float>(d, d);
+  const auto hc = wl.matrix<float>(d, d);
+
+  auto run = [&](bool faults, verify::VerifyPolicy vp) {
+    host::Device dev;
+    host::Context ctx(dev);
+    if (faults) {
+      host::FaultConfig fc;
+      fc.seed = 4;
+      fc.silent_corrupt_rate = 0.05;
+      dev.inject_faults(fc);
+    }
+    host::RetryPolicy policy;
+    policy.max_retries = 4;
+    policy.backoff = std::chrono::microseconds(0);
+    ctx.set_retry_policy(policy);
+    ctx.config().verify = vp;
+    host::Buffer<float> a(dev, d * d, 0), b(dev, d * d, 1), c(dev, d * d, 2);
+    a.write(ha);
+    b.write(hb);
+    c.write(hc);
+    for (int i = 0; i < 24; ++i) {
+      ctx.gemm<float>(Transpose::None, Transpose::None, d, d, d, 1.0f, a, b,
+                      0.25f, c);
+    }
+    return std::make_pair(c.to_host(), ctx.exec_stats());
+  };
+
+  // The clean baseline also runs under Always: its stats back the
+  // "no false positives" line, and verification never alters results.
+  const auto [clean, clean_stats] = run(false, verify::VerifyPolicy::Always);
+  const auto [naked, naked_stats] = run(true, verify::VerifyPolicy::Off);
+  const auto [guarded, guarded_stats] = run(true, verify::VerifyPolicy::Always);
+
+  TablePrinter t({"Policy", "Faults injected", "SDC caught", "Retries",
+                  "Result vs clean"});
+  t.add_row({"Off", TablePrinter::fmt_int(static_cast<std::int64_t>(
+                        naked_stats.faults_injected)),
+             TablePrinter::fmt_int(static_cast<std::int64_t>(
+                 naked_stats.sdc_caught)),
+             TablePrinter::fmt_int(static_cast<std::int64_t>(
+                 naked_stats.retries)),
+             naked == clean ? "identical" : "WRONG BITS"});
+  t.add_row({"Always", TablePrinter::fmt_int(static_cast<std::int64_t>(
+                           guarded_stats.faults_injected)),
+             TablePrinter::fmt_int(static_cast<std::int64_t>(
+                 guarded_stats.sdc_caught)),
+             TablePrinter::fmt_int(static_cast<std::int64_t>(
+                 guarded_stats.retries)),
+             guarded == clean ? "identical" : "WRONG BITS"});
+  t.print();
+  std::printf("Clean-run checks: %llu verified, %llu rejected (no false"
+              " positives).\n\n",
+              static_cast<unsigned long long>(clean_stats.verified),
+              static_cast<unsigned long long>(clean_stats.verify_failures));
+}
+
+}  // namespace
+
+int main() {
+  std::puts("FBLAS ABFT result verification\n");
+  overhead_table();
+  protection_demo();
+  return 0;
+}

@@ -57,6 +57,24 @@ class TimeoutError : public Error {
   explicit TimeoutError(const std::string& what) : Error(what) {}
 };
 
+/// A result checker (ABFT checksum / invariant) rejected the output of a
+/// command the device reported as successful — the signature of silent
+/// data corruption. Retryable, like DeviceError: re-running against the
+/// rolled-back inputs is expected to produce a clean result.
+class VerificationError : public Error {
+ public:
+  explicit VerificationError(const std::string& what) : Error(what) {}
+};
+
+/// A streaming module pushed a non-finite value (NaN/Inf) into a channel
+/// while the taint trap was armed. Names the producing module and the
+/// channel. Not retryable: the poison is a deterministic function of the
+/// inputs, so a re-run would reproduce it.
+class TaintError : public Error {
+ public:
+  explicit TaintError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_config_error(const char* cond, const char* file,
                                      int line, const std::string& msg);

@@ -207,25 +207,38 @@ Task dot(Level1Config cfg, std::int64_t n, Channel<T>& ch_x, Channel<T>& ch_y,
 Task sdsdot(Level1Config cfg, std::int64_t n, float sb, Channel<float>& ch_x,
             Channel<float>& ch_y, Channel<float>& ch_res);
 
-/// NRM2: pushes ||x||_2. The streaming circuit accumulates x_i^2 and takes
-/// a square root in a tail stage.
+/// NRM2: pushes ||x||_2 via the scaled sum-of-squares recurrence (LAPACK
+/// slassq): the running state is (scale, ssq) with scale = max |x_i| seen
+/// and sum x_i^2 = scale^2 * ssq, so the result is scale * sqrt(ssq).
+/// Naive x_i^2 accumulation overflows at |x_i| ~ sqrt(max) and flushes
+/// denormal inputs to zero; the recurrence is exact up to rounding over
+/// the full exponent range, matching refblas::nrm2 bit-for-bit behavior
+/// class (a streaming circuit pays one divide + two multiplies per lane).
 template <typename T>
 Task nrm2(Level1Config cfg, std::int64_t n, Channel<T>& ch_x,
           Channel<T>& ch_res) {
   cfg.validate();
-  T res = T(0);
+  T scale = T(0);
+  T ssq = T(1);
   for (std::int64_t it = 0; it < n;) {
     const std::int64_t batch = std::min<std::int64_t>(cfg.width, n - it);
-    T acc = T(0);
     for (std::int64_t i = 0; i < batch; ++i) {
       const T x = co_await ch_x.pop();
-      acc += x * x;
+      if (x == T(0)) continue;
+      const T absxi = std::abs(x);
+      if (scale < absxi) {
+        const T r = scale / absxi;
+        ssq = T(1) + ssq * r * r;
+        scale = absxi;
+      } else {
+        const T r = absxi / scale;
+        ssq += r * r;
+      }
     }
-    res += acc;
     it += batch;
     co_await next_cycle();
   }
-  co_await ch_res.push(std::sqrt(res));
+  co_await ch_res.push(scale * std::sqrt(ssq));
 }
 
 /// ASUM: pushes sum |x_i|.

@@ -5,11 +5,19 @@
 // so commands in flight are unaffected by later config changes. Every
 // routine also attaches its refblas CPU reference path as the Command's
 // `fallback`, the graceful-degradation target once the RetryPolicy
-// exhausts device retries.
+// exhausts device retries, and (when the captured config enables
+// verification) its ABFT checksum checkers. rotm and sdsdot carry no
+// checker: rotm's modified-rotation flag cases have no single linear
+// checksum identity, and sdsdot's mixed-precision accumulation has no
+// tight double-precision bound — both stay covered by fault *detection*
+// (taint, watchdog) rather than result verification.
+#include <memory>
+
 #include "fblas/level1.hpp"
 #include "host/context.hpp"
 #include "host/detail.hpp"
 #include "sim/frequency_model.hpp"
+#include "verify/abft.hpp"
 
 namespace fblas::host {
 namespace {
@@ -82,6 +90,17 @@ Event Context::rot_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
   cmd.fallback = [n, &x, incx, &y, incy, c, s] {
     ref::rot(x.vec(n, incx), y.vec(n, incy), c, s);
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::PairCheck>();
+    cmd.verify_prepare = [chk, n, &x, incx, &y, incy, c, s] {
+      *chk = verify::rot_prepare<T>(x.cvec(n, incx), y.cvec(n, incy), c, s);
+    };
+    cmd.verify_check = [chk, n, &x, incx, &y, incy,
+                        scale = cfg_.verify_tolerance_scale] {
+      verify::check_sum<T>(chk->x, "rot(x)", x.cvec(n, incx), scale);
+      verify::check_sum<T>(chk->y, "rot(y)", y.cvec(n, incy), scale);
+    };
+  }
   return enqueue(std::move(cmd));
 }
 
@@ -147,6 +166,17 @@ Event Context::swap_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
   cmd.fallback = [n, &x, incx, &y, incy] {
     ref::swap(x.vec(n, incx), y.vec(n, incy));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::PairCheck>();
+    cmd.verify_prepare = [chk, n, &x, incx, &y, incy] {
+      *chk = verify::swap_prepare<T>(x.cvec(n, incx), y.cvec(n, incy));
+    };
+    cmd.verify_check = [chk, n, &x, incx, &y, incy,
+                        scale = cfg_.verify_tolerance_scale] {
+      verify::check_sum<T>(chk->x, "swap(x)", x.cvec(n, incx), scale);
+      verify::check_sum<T>(chk->y, "swap(y)", y.cvec(n, incy), scale);
+    };
+  }
   return enqueue(std::move(cmd));
 }
 
@@ -171,6 +201,16 @@ Event Context::scal_async(std::int64_t n, T alpha, Buffer<T>& x,
     run_graph(g);
   };
   cmd.fallback = [n, alpha, &x, incx] { ref::scal(alpha, x.vec(n, incx)); };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::ScalarCheck>();
+    cmd.verify_prepare = [chk, n, alpha, &x, incx] {
+      *chk = verify::scal_prepare<T>(alpha, x.cvec(n, incx));
+    };
+    cmd.verify_check = [chk, n, &x, incx,
+                        scale = cfg_.verify_tolerance_scale] {
+      verify::check_sum<T>(*chk, "scal", x.cvec(n, incx), scale);
+    };
+  }
   return enqueue(std::move(cmd));
 }
 
@@ -198,6 +238,16 @@ Event Context::copy_async(std::int64_t n, const Buffer<T>& x,
   cmd.fallback = [n, &x, incx, &y, incy] {
     ref::copy(x.cvec(n, incx), y.vec(n, incy));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::ScalarCheck>();
+    cmd.verify_prepare = [chk, n, &x, incx] {
+      *chk = verify::copy_prepare<T>(x.cvec(n, incx));
+    };
+    cmd.verify_check = [chk, n, &y, incy,
+                        scale = cfg_.verify_tolerance_scale] {
+      verify::check_sum<T>(*chk, "copy", y.cvec(n, incy), scale);
+    };
+  }
   return enqueue(std::move(cmd));
 }
 
@@ -228,6 +278,16 @@ Event Context::axpy_async(std::int64_t n, T alpha, const Buffer<T>& x,
   cmd.fallback = [n, alpha, &x, incx, &y, incy] {
     ref::axpy(alpha, x.cvec(n, incx), y.vec(n, incy));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::ScalarCheck>();
+    cmd.verify_prepare = [chk, n, alpha, &x, incx, &y, incy] {
+      *chk = verify::axpy_prepare<T>(alpha, x.cvec(n, incx), y.cvec(n, incy));
+    };
+    cmd.verify_check = [chk, n, &y, incy,
+                        scale = cfg_.verify_tolerance_scale] {
+      verify::check_sum<T>(*chk, "axpy", y.cvec(n, incy), scale);
+    };
+  }
   return enqueue(std::move(cmd));
 }
 
@@ -259,6 +319,14 @@ Event Context::dot_async(std::int64_t n, const Buffer<T>& x,
   cmd.fallback = [n, &x, incx, &y, incy, result] {
     *result = ref::dot(x.cvec(n, incx), y.cvec(n, incy));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    // Single-phase: the inputs are untouched, so the checker recomputes
+    // the reduction in double after the fact — no prepare pass needed.
+    cmd.verify_check = [n, &x, incx, &y, incy, result,
+                        scale = cfg_.verify_tolerance_scale] {
+      verify::dot_check<T>(x.cvec(n, incx), y.cvec(n, incy), *result, scale);
+    };
+  }
   return enqueue(std::move(cmd));
 }
 
@@ -314,6 +382,12 @@ Event Context::nrm2_async(std::int64_t n, const Buffer<T>& x,
     *result = out[0];
   };
   cmd.fallback = [n, &x, incx, result] { *result = ref::nrm2(x.cvec(n, incx)); };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    cmd.verify_check = [n, &x, incx, result,
+                        scale = cfg_.verify_tolerance_scale] {
+      verify::nrm2_check<T>(x.cvec(n, incx), *result, scale);
+    };
+  }
   return enqueue(std::move(cmd));
 }
 
@@ -339,6 +413,12 @@ Event Context::asum_async(std::int64_t n, const Buffer<T>& x,
     *result = out[0];
   };
   cmd.fallback = [n, &x, incx, result] { *result = ref::asum(x.cvec(n, incx)); };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    cmd.verify_check = [n, &x, incx, result,
+                        scale = cfg_.verify_tolerance_scale] {
+      verify::asum_check<T>(x.cvec(n, incx), *result, scale);
+    };
+  }
   return enqueue(std::move(cmd));
 }
 
@@ -366,6 +446,11 @@ Event Context::iamax_async(std::int64_t n, const Buffer<T>& x,
   cmd.fallback = [n, &x, incx, result] {
     *result = ref::iamax(x.cvec(n, incx));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    cmd.verify_check = [n, &x, incx, result] {
+      verify::iamax_check<T>(x.cvec(n, incx), *result);
+    };
+  }
   return enqueue(std::move(cmd));
 }
 

@@ -1,10 +1,15 @@
 // Level-2 host API lowerings. Commands declare their buffer read/write
 // sets, capture the RoutineConfig by value at enqueue time, and carry
-// their refblas CPU reference path as the retry machinery's fallback.
+// their refblas CPU reference path as the retry machinery's fallback
+// plus, when the captured config enables verification, their ABFT
+// dot-product / rank-update checksum checkers.
+#include <memory>
+
 #include "host/context.hpp"
 #include "host/detail.hpp"
 #include "refblas/level2.hpp"
 #include "sim/frequency_model.hpp"
+#include "verify/abft.hpp"
 
 namespace fblas::host {
 namespace {
@@ -61,6 +66,21 @@ Event Context::gemv_async(Transpose trans, std::int64_t rows,
     ref::gemv(trans, alpha, a.cmat(rows, cols), x.cvec(xlen, incx), beta,
               y.vec(ylen, incy));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    const std::int64_t xlen = trans == Transpose::None ? cols : rows;
+    const std::int64_t ylen = trans == Transpose::None ? rows : cols;
+    auto chk = std::make_shared<verify::ScalarCheck>();
+    command.verify_prepare = [chk, trans, rows, cols, alpha, &a, &x, incx,
+                              beta, &y, incy, xlen, ylen] {
+      *chk = verify::gemv_prepare<T>(trans, rows, cols, alpha,
+                                     a.cmat(rows, cols), x.cvec(xlen, incx),
+                                     beta, y.cvec(ylen, incy));
+    };
+    command.verify_check = [chk, &y, incy, ylen,
+                            scale = cfg_.verify_tolerance_scale] {
+      verify::check_sum<T>(*chk, "gemv", y.cvec(ylen, incy), scale);
+    };
+  }
   return enqueue(std::move(command));
 }
 
@@ -96,6 +116,19 @@ Event Context::trsv_async(Uplo uplo, Transpose trans, Diag diag,
   command.fallback = [uplo, trans, diag, n, &a, &x, incx] {
     ref::trsv(uplo, trans, diag, a.cmat(n, n), x.vec(n, incx));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    // Residual check: the solve overwrites b with x, so capture e^T b
+    // first; afterwards e^T (op(A) x) must reproduce it.
+    auto chk = std::make_shared<verify::ScalarCheck>();
+    command.verify_prepare = [chk, n, &x, incx] {
+      *chk = verify::trsv_prepare<T>(n, x.cvec(n, incx));
+    };
+    command.verify_check = [chk, uplo, trans, diag, n, &a, &x, incx,
+                            scale = cfg_.verify_tolerance_scale] {
+      verify::trsv_check<T>(*chk, uplo, trans, diag, n, a.cmat(n, n),
+                            x.cvec(n, incx), scale);
+    };
+  }
   return enqueue(std::move(command));
 }
 
@@ -139,6 +172,18 @@ Event Context::ger_async(std::int64_t rows, std::int64_t cols, T alpha,
     ref::ger(alpha, x.cvec(rows, incx), y.cvec(cols, incy),
              a.mat(rows, cols));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::RowSumCheck>();
+    command.verify_prepare = [chk, rows, cols, alpha, &x, incx, &y, incy,
+                              &a] {
+      *chk = verify::ger_prepare<T>(rows, cols, alpha, x.cvec(rows, incx),
+                                    y.cvec(cols, incy), a.cmat(rows, cols));
+    };
+    command.verify_check = [chk, rows, cols, &a,
+                            scale = cfg_.verify_tolerance_scale] {
+      verify::check_rowsums<T>(*chk, "ger", a.cmat(rows, cols), scale);
+    };
+  }
   return enqueue(std::move(command));
 }
 
@@ -181,6 +226,17 @@ Event Context::syr_async(Uplo uplo, std::int64_t n, T alpha,
   command.fallback = [uplo, n, alpha, &x, incx, &a] {
     ref::syr(uplo, alpha, x.cvec(n, incx), a.mat(n, n));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::RowSumCheck>();
+    command.verify_prepare = [chk, uplo, n, alpha, &x, incx, &a] {
+      *chk = verify::syr_prepare<T>(uplo, n, alpha, x.cvec(n, incx),
+                                    a.cmat(n, n));
+    };
+    command.verify_check = [chk, n, &a,
+                            scale = cfg_.verify_tolerance_scale] {
+      verify::check_rowsums<T>(*chk, "syr", a.cmat(n, n), scale);
+    };
+  }
   return enqueue(std::move(command));
 }
 
@@ -234,6 +290,17 @@ Event Context::syr2_async(Uplo uplo, std::int64_t n, T alpha,
   command.fallback = [uplo, n, alpha, &x, incx, &y, incy, &a] {
     ref::syr2(uplo, alpha, x.cvec(n, incx), y.cvec(n, incy), a.mat(n, n));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::RowSumCheck>();
+    command.verify_prepare = [chk, uplo, n, alpha, &x, incx, &y, incy, &a] {
+      *chk = verify::syr2_prepare<T>(uplo, n, alpha, x.cvec(n, incx),
+                                     y.cvec(n, incy), a.cmat(n, n));
+    };
+    command.verify_check = [chk, n, &a,
+                            scale = cfg_.verify_tolerance_scale] {
+      verify::check_rowsums<T>(*chk, "syr2", a.cmat(n, n), scale);
+    };
+  }
   return enqueue(std::move(command));
 }
 

@@ -1,10 +1,16 @@
 // Level-3 host API lowerings. Commands declare their buffer read/write
 // sets, capture the RoutineConfig by value at enqueue time, and carry
-// their refblas CPU reference path as the retry machinery's fallback.
+// their refblas CPU reference path as the retry machinery's fallback
+// plus, when the captured config enables verification, their ABFT
+// Huang–Abraham checksum checkers (row/column checksums of the output
+// panel, or a residual checksum for the triangular solve).
+#include <memory>
+
 #include "host/context.hpp"
 #include "host/detail.hpp"
 #include "refblas/level3.hpp"
 #include "sim/frequency_model.hpp"
+#include "verify/abft.hpp"
 
 namespace fblas::host {
 namespace {
@@ -64,6 +70,23 @@ Event Context::gemm_async(Transpose ta, Transpose tb, std::int64_t m,
                      tb == Transpose::None ? n : k),
               beta, c.mat(m, n));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::GemmCheck<T>>();
+    command.verify_prepare = [chk, ta, tb, m, n, k, alpha, &a, &b, beta,
+                              &c] {
+      *chk = verify::gemm_prepare<T>(
+          ta, tb, m, n, k, alpha,
+          a.cmat(ta == Transpose::None ? m : k,
+                 ta == Transpose::None ? k : m),
+          b.cmat(tb == Transpose::None ? k : n,
+                 tb == Transpose::None ? n : k),
+          beta, c.cmat(m, n));
+    };
+    command.verify_check = [chk, m, n, &c,
+                            scale = cfg_.verify_tolerance_scale] {
+      verify::gemm_check<T>(*chk, c.cmat(m, n), scale);
+    };
+  }
   return enqueue(std::move(command));
 }
 
@@ -112,6 +135,20 @@ Event Context::syrk_async(Uplo uplo, Transpose trans, std::int64_t n,
                      trans == Transpose::None ? k : n),
               beta, c.mat(n, n));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::RowSumCheck>();
+    command.verify_prepare = [chk, uplo, trans, n, k, alpha, &a, beta, &c] {
+      *chk = verify::syrk_prepare<T>(
+          uplo, trans, n, k, alpha,
+          a.cmat(trans == Transpose::None ? n : k,
+                 trans == Transpose::None ? k : n),
+          beta, c.cmat(n, n));
+    };
+    command.verify_check = [chk, n, &c,
+                            scale = cfg_.verify_tolerance_scale] {
+      verify::check_rowsums<T>(*chk, "syrk", c.cmat(n, n), scale);
+    };
+  }
   return enqueue(std::move(command));
 }
 
@@ -166,6 +203,21 @@ Event Context::syr2k_async(Uplo uplo, Transpose trans, std::int64_t n,
     ref::syr2k(uplo, trans, alpha, a.cmat(rows, cols), b.cmat(rows, cols),
                beta, c.mat(n, n));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    auto chk = std::make_shared<verify::RowSumCheck>();
+    command.verify_prepare = [chk, uplo, trans, n, k, alpha, &a, &b, beta,
+                              &c] {
+      const std::int64_t rows = trans == Transpose::None ? n : k;
+      const std::int64_t cols = trans == Transpose::None ? k : n;
+      *chk = verify::syr2k_prepare<T>(uplo, trans, n, k, alpha,
+                                      a.cmat(rows, cols), b.cmat(rows, cols),
+                                      beta, c.cmat(n, n));
+    };
+    command.verify_check = [chk, n, &c,
+                            scale = cfg_.verify_tolerance_scale] {
+      verify::check_rowsums<T>(*chk, "syr2k", c.cmat(n, n), scale);
+    };
+  }
   return enqueue(std::move(command));
 }
 
@@ -245,6 +297,21 @@ Event Context::trsm_async(Side side, Uplo uplo, Transpose trans, Diag diag,
     ref::trsm(side, uplo, trans, diag, alpha, a.cmat(adim, adim),
               b.mat(m, n));
   };
+  if (cfg_.verify != verify::VerifyPolicy::Off) {
+    // Residual check: the solve overwrites B with X, so capture the
+    // right-hand-side checksums alpha*(B e) first; afterwards op(A)(X e)
+    // must reproduce them.
+    auto chk = std::make_shared<verify::TrsmCheck>();
+    command.verify_prepare = [chk, side, m, n, alpha, &b] {
+      *chk = verify::trsm_prepare<T>(side, m, n, alpha, b.cmat(m, n));
+    };
+    command.verify_check = [chk, side, uplo, trans, diag, m, n, &a, &b,
+                            scale = cfg_.verify_tolerance_scale] {
+      const std::int64_t adim = side == Side::Left ? m : n;
+      verify::trsm_check<T>(*chk, side, uplo, trans, diag, m, n,
+                            a.cmat(adim, adim), b.cmat(m, n), scale);
+    };
+  }
   return enqueue(std::move(command));
 }
 

@@ -18,8 +18,16 @@ struct RunScope {
   stream::Watchdog watchdog;
   bool wedge_pending = false;
   bool active = false;
+  bool taint_record = false;  // screen pushes for NaN/Inf, keep provenance
+  bool taint_trap = false;    // additionally throw TaintError on the spot
 };
 thread_local RunScope tl_scope;
+
+// First non-finite taint observed across this attempt's graph launches.
+// Separate from tl_scope because tl_scope dies with the command body
+// while the verify checker (which annotates its rejection with this
+// provenance) runs after the body returns.
+thread_local stream::Taint tl_last_taint;
 
 void validate_knob(bool ok, const char* knob, std::int64_t got) {
   if (ok) return;
@@ -38,6 +46,18 @@ void RoutineConfig::validate() const {
   validate_knob(pe_cols > 0, "pe_cols", pe_cols);
   validate_knob(gemm_tile_rows > 0, "gemm_tile_rows", gemm_tile_rows);
   validate_knob(gemm_tile_cols > 0, "gemm_tile_cols", gemm_tile_cols);
+  if (!(verify_sample_rate >= 0.0 && verify_sample_rate <= 1.0)) {
+    std::ostringstream os;
+    os << "RoutineConfig.verify_sample_rate must be in [0, 1] (got "
+       << verify_sample_rate << ")";
+    throw ConfigError(os.str());
+  }
+  if (!(verify_tolerance_scale > 0.0)) {
+    std::ostringstream os;
+    os << "RoutineConfig.verify_tolerance_scale must be > 0 (got "
+       << verify_tolerance_scale << ")";
+    throw ConfigError(os.str());
+  }
 }
 
 Context::Context(Device& dev, stream::Mode mode, int workers)
@@ -45,9 +65,11 @@ Context::Context(Device& dev, stream::Mode mode, int workers)
 
 std::function<void()> Context::wrap_work(std::uint64_t seq,
                                          std::function<void()> work,
-                                         std::vector<const void*> writes) {
+                                         std::vector<const void*> writes,
+                                         bool taint_record,
+                                         bool taint_trap) {
   return [this, seq, inner = std::move(work), writes = std::move(writes),
-          wd = watchdog_] {
+          wd = watchdog_, taint_record, taint_trap] {
     const int attempt = Executor::current_attempt();
     FaultInjector& faults = dev_->faults();
     const FaultKind fault = faults.enabled()
@@ -59,7 +81,9 @@ std::function<void()> Context::wrap_work(std::uint64_t seq,
          << ", attempt " << attempt << ")";
       throw DeviceError(os.str());
     }
-    tl_scope = RunScope{wd, fault == FaultKind::Wedge, true};
+    tl_last_taint = stream::Taint{};  // fresh provenance per attempt
+    tl_scope = RunScope{wd, fault == FaultKind::Wedge, true, taint_record,
+                        taint_trap};
     struct Reset {
       ~Reset() { tl_scope = RunScope{}; }
     } reset;
@@ -80,6 +104,29 @@ std::function<void()> Context::wrap_work(std::uint64_t seq,
       os << "injected transfer corruption detected (command " << seq
          << ", attempt " << attempt << ")";
       throw DeviceError(os.str());
+    }
+    if (fault == FaultKind::SilentCorrupt) {
+      // Model an undetected bad write-back: the data is mangled but NO
+      // error is raised — the command completes Ok with a wrong result.
+      // Only result verification can catch this. The offset is forced
+      // onto a sign/exponent byte (the last byte of a 4- or 8-byte
+      // element) so the damage always dwarfs the checker tolerance.
+      bool mangled = false;
+      for (const void* key : writes) {
+        std::span<std::byte> bytes = dev_->buffer_bytes(key);
+        if (bytes.empty()) continue;
+        std::uint64_t off = faults.corrupt_offset(seq, attempt, bytes.size());
+        off |= 7;
+        if (off >= bytes.size()) off = bytes.size() - 1;
+        bytes[static_cast<std::size_t>(off)] ^= std::byte{0x5a};
+        mangled = true;
+        break;
+      }
+      // A write set with no registered device bytes (e.g. a host scalar
+      // result) cannot be silently corrupted through the buffer
+      // registry: un-count the fault so injected() only counts faults
+      // that actually damaged something.
+      if (!mangled) faults.retract();
     }
   };
 }
@@ -112,6 +159,28 @@ CommandHooks Context::make_hooks(const Command& cmd) {
   return hooks;
 }
 
+std::function<void()> Context::wrap_verify(std::function<void()> check) {
+  return [check = std::move(check)] {
+    try {
+      check();
+    } catch (const VerificationError& e) {
+      // A checksum mismatch on NaN/Inf-poisoned data is a numerical
+      // symptom, not necessarily hardware corruption — attach the taint
+      // provenance recorded during the run so the two are separable.
+      if (tl_last_taint.tainted) {
+        std::ostringstream os;
+        os << e.what() << " [non-finite taint: module '"
+           << tl_last_taint.module << "' first pushed "
+           << tl_last_taint.value << " into channel '"
+           << tl_last_taint.channel << "' at cycle " << tl_last_taint.cycle
+           << "]";
+        throw VerificationError(os.str());
+      }
+      throw;
+    }
+  };
+}
+
 Event Context::enqueue(Command cmd) {
   // Routine commands validate the captured configuration up front, so a
   // bad knob fails at the call site naming the knob instead of as
@@ -138,11 +207,29 @@ Event Context::enqueue(Command cmd) {
   CommandHooks hooks;
   if (!cmd.barrier) {
     const RetryPolicy policy = exec_->retry_policy();
-    const bool instrumented =
-        dev_->faults().enabled() || watchdog_.enabled();
-    if (instrumented) work = wrap_work(seq, std::move(work), cmd.writes);
-    if (policy.max_retries > 0 || policy.cpu_fallback) {
+    // Verification arms per command, per the captured config: Always
+    // verifies every checkable routine; Sampled draws a pure hash of
+    // (verify_seed, seq) so the choice is deterministic and identical
+    // across executor policies.
+    const bool verify_armed =
+        static_cast<bool>(cmd.verify_check) &&
+        (cfg_.verify == verify::VerifyPolicy::Always ||
+         (cfg_.verify == verify::VerifyPolicy::Sampled &&
+          verify::sampled(cfg_.verify_seed, seq, cfg_.verify_sample_rate)));
+    const bool instrumented = dev_->faults().enabled() ||
+                              watchdog_.enabled() || verify_armed ||
+                              cfg_.trap_nonfinite;
+    if (instrumented) {
+      work = wrap_work(seq, std::move(work), cmd.writes,
+                       verify_armed || cfg_.trap_nonfinite,
+                       cfg_.trap_nonfinite);
+    }
+    if (policy.max_retries > 0 || policy.cpu_fallback || verify_armed) {
       hooks = make_hooks(cmd);
+    }
+    if (verify_armed) {
+      hooks.verify_prepare = std::move(cmd.verify_prepare);
+      hooks.verify_check = wrap_verify(std::move(cmd.verify_check));
     }
   }
   exec_->submit(seq, std::move(work), deps, std::move(hooks));
@@ -183,6 +270,7 @@ ExecStats Context::exec_stats() const {
 
 void Context::run_graph(stream::Graph& g) {
   stream::Watchdog wd;
+  const bool taint = tl_scope.active && tl_scope.taint_record;
   if (tl_scope.active) {
     wd = tl_scope.watchdog;
     if (tl_scope.wedge_pending) {
@@ -191,8 +279,12 @@ void Context::run_graph(stream::Graph& g) {
       tl_scope.wedge_pending = false;
       g.scheduler().wedge_after(16);
     }
+    if (taint) g.scheduler().enable_taint(tl_scope.taint_trap);
   }
   g.run(wd);
+  if (taint && g.scheduler().taint().tainted && !tl_last_taint.tainted) {
+    tl_last_taint = g.scheduler().taint();
+  }
   const std::uint64_t cycles = g.cycles();
   Executor::note_cycles(cycles);
   last_cycles_.store(cycles);

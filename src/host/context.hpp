@@ -53,6 +53,7 @@
 #include "host/executor.hpp"
 #include "refblas/level1.hpp"
 #include "stream/graph.hpp"
+#include "verify/policy.hpp"
 
 namespace fblas::host {
 
@@ -67,11 +68,35 @@ struct RoutineConfig {
   std::int64_t gemm_tile_rows = 16; ///< TR (Level 3 memory tile)
   std::int64_t gemm_tile_cols = 16; ///< TC
 
+  // --- Result verification (ABFT) ---------------------------------------
+  /// When to run checksum/invariant verification of routine results:
+  /// Off (default), Sampled (a deterministic fraction of commands), or
+  /// Always. A rejected result is treated like a detected transient
+  /// fault — rollback, retry, CPU fallback — under the RetryPolicy.
+  verify::VerifyPolicy verify = verify::VerifyPolicy::Off;
+  /// Fraction of commands verified under VerifyPolicy::Sampled, in
+  /// [0, 1]. The choice is a pure hash of (verify_seed, command seq), so
+  /// it is identical across executor policies and re-runs.
+  double verify_sample_rate = 0.25;
+  /// Multiplier on the analytic floating-point error bound used as the
+  /// checksum comparison tolerance. Must be > 0; raise it if legitimate
+  /// rounding on adversarial data ever trips the checkers, lower it to
+  /// tighten detection.
+  double verify_tolerance_scale = 32.0;
+  /// Seed for the Sampled-mode selection hash.
+  std::uint64_t verify_seed = 0;
+  /// Arms the streaming taint trap: a module pushing NaN/Inf into a
+  /// channel raises TaintError (deterministic, non-retryable) naming the
+  /// module, instead of silently poisoning everything downstream.
+  /// Without the trap, taint provenance is still recorded whenever
+  /// verification is on and attached to verification failures.
+  bool trap_nonfinite = false;
+
   /// Rejects nonsensical knobs (width <= 0, tile sizes <= 0, empty
-  /// systolic grid) with a ConfigError naming the offending knob.
-  /// Called by Context::enqueue for every routine command, so a bad
-  /// configuration fails at the call site instead of as undefined
-  /// behavior deep in a lowering.
+  /// systolic grid, out-of-range verification rates) with a ConfigError
+  /// naming the offending knob. Called by Context::enqueue for every
+  /// routine command, so a bad configuration fails at the call site
+  /// instead of as undefined behavior deep in a lowering.
   void validate() const;
 };
 
@@ -89,6 +114,13 @@ struct RoutineConfig {
 struct Command {
   std::function<void()> work;
   std::function<void()> fallback;
+  /// ABFT result verification, armed per the captured RoutineConfig's
+  /// VerifyPolicy. `verify_prepare` captures input checksums before the
+  /// first attempt; `verify_check` re-derives them from the outputs
+  /// after each device-Ok attempt and throws VerificationError on
+  /// mismatch — which the executor handles like a transient fault.
+  std::function<void()> verify_prepare;
+  std::function<void()> verify_check;
   std::vector<const void*> reads;
   std::vector<const void*> writes;
   std::vector<Event> after;
@@ -478,12 +510,18 @@ class Context {
   CommandStatus status_seq(std::uint64_t seq) const;
 
   /// Wraps a routine command body with fault injection (launch failures,
-  /// detected transfer corruption, wedges) and the captured watchdog.
+  /// detected transfer corruption, wedges, silent corruption), the
+  /// captured watchdog, and — when verification or the taint trap is
+  /// armed — non-finite taint tracking across the command's graphs.
   std::function<void()> wrap_work(std::uint64_t seq,
                                   std::function<void()> work,
-                                  std::vector<const void*> writes);
+                                  std::vector<const void*> writes,
+                                  bool taint_record, bool taint_trap);
   /// Snapshot/rollback/fallback hooks for the retry machinery.
   CommandHooks make_hooks(const Command& cmd);
+  /// Wraps a verify_check so a VerificationError carries the taint
+  /// provenance (which module first pushed NaN/Inf) when one exists.
+  std::function<void()> wrap_verify(std::function<void()> check);
 
   /// Runs a built graph and records its cycle count.
   void run_graph(stream::Graph& g);

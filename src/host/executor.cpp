@@ -23,6 +23,11 @@ bool is_transient(const std::exception_ptr& error) {
     return true;
   } catch (const TimeoutError&) {
     return true;
+  } catch (const VerificationError&) {
+    // A checker rejecting a device-Ok result is the signature of silent
+    // data corruption — recoverable exactly like a detected transient
+    // fault: rollback, retry, CPU fallback.
+    return true;
   } catch (...) {
     return false;
   }
@@ -139,6 +144,8 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
   CommandState final_state = CommandState::Ok;
   std::string message;
   std::uint64_t retries_done = 0;
+  std::uint64_t verified_runs = 0;
+  std::uint64_t verify_rejects = 0;
   bool degraded = false;
 
   if (poisoned_by != 0) {
@@ -155,24 +162,43 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
   } else {
     const bool may_recover =
         (policy.max_retries > 0 || policy.cpu_fallback) && hooks.retryable;
-    if (may_recover && hooks.snapshot) hooks.snapshot();
+    // Snapshot whenever a rollback might be needed: for the retry loop,
+    // but also so a verify rejection without any retry budget still
+    // leaves the write-set transactionally untouched.
+    if ((may_recover || hooks.verify_check) && hooks.snapshot) {
+      hooks.snapshot();
+    }
     auto backoff = policy.backoff;
     for (int attempt = 0;; ++attempt) {
       tl_cycles = 0;
       tl_attempt = attempt;
       ++tl_depth;
       error = nullptr;
+      bool verify_rejected = false;
       try {
+        if (attempt == 0 && hooks.verify_prepare) hooks.verify_prepare();
         if (work) work();
+        if (hooks.verify_check) {
+          // Only a device-Ok attempt reaches the checker; a rejection
+          // here means the device lied — silent data corruption.
+          ++verified_runs;
+          try {
+            hooks.verify_check();
+          } catch (const VerificationError&) {
+            verify_rejected = true;
+            throw;
+          }
+        }
       } catch (...) {
         error = std::current_exception();
       }
       --tl_depth;
       tl_attempt = 0;
       cycles += tl_cycles;  // failed attempts still burned device time
+      if (verify_rejected) ++verify_rejects;
       if (!error) break;
-      if (!may_recover || !is_transient(error)) break;
-      if (attempt < policy.max_retries) {
+      const bool transient = is_transient(error);
+      if (transient && may_recover && attempt < policy.max_retries) {
         if (hooks.rollback) hooks.rollback();
         ++retries_done;
         if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
@@ -183,11 +209,13 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
             policy.max_backoff);
         continue;
       }
-      // Retries exhausted. Degrade to the CPU reference path if allowed;
-      // either way the write-set is rolled back first, so a failed
-      // command leaves its outputs exactly as they were (transactional).
-      if (hooks.rollback) hooks.rollback();
-      if (policy.cpu_fallback && hooks.fallback) {
+      // Terminal transient failure (retries exhausted or no retry
+      // budget): roll the write-set back so the command leaves its
+      // outputs exactly as they were (transactional), then degrade to
+      // the CPU reference path if allowed.
+      if (transient && hooks.rollback) hooks.rollback();
+      if (transient && may_recover && policy.cpu_fallback &&
+          hooks.fallback) {
         try {
           hooks.fallback();
           message = "degraded to CPU fallback after: " + describe(error);
@@ -211,6 +239,10 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
   --active_;
   stats_.retries += retries_done;
   if (degraded) ++stats_.degraded;
+  stats_.verified += verified_runs;
+  stats_.verify_failures += verify_rejects;
+  stats_.sdc_caught += verify_rejects;
+  nodes_.at(seq).verify_rejections = static_cast<std::uint32_t>(verify_rejects);
   complete(seq, cycles, error, final_state, std::move(message));
 }
 
@@ -316,7 +348,8 @@ CommandStatus Executor::status(std::uint64_t seq) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = nodes_.find(seq);
   if (it == nodes_.end()) return CommandStatus{};
-  return CommandStatus{it->second.state, it->second.message};
+  return CommandStatus{it->second.state, it->second.message,
+                       it->second.verify_rejections};
 }
 
 }  // namespace fblas::host

@@ -52,6 +52,13 @@ struct ExecStats {
   std::uint64_t retries = 0;          ///< re-run attempts after faults
   std::uint64_t faults_injected = 0;  ///< faults the injector handed out
   std::uint64_t degraded = 0;         ///< commands served by CPU fallback
+  std::uint64_t verified = 0;         ///< result-verification checks run
+  std::uint64_t verify_failures = 0;  ///< checks that rejected the result
+  /// Silent-data-corruption events caught: verify rejections of attempts
+  /// the device reported successful. Today every rejection is one (the
+  /// checker only runs after a device-Ok attempt), but the counter keeps
+  /// its meaning if checkers ever audit fallback results too.
+  std::uint64_t sdc_caught = 0;
 };
 
 /// Retry behavior for transient failures (DeviceError / TimeoutError).
@@ -70,6 +77,14 @@ struct CommandHooks {
   std::function<void()> snapshot;  ///< capture declared write-set bytes
   std::function<void()> rollback;  ///< restore the snapshot
   std::function<void()> fallback;  ///< CPU reference re-execution
+  /// Result verification (ABFT): `verify_prepare` runs once, after the
+  /// snapshot and before the first attempt, capturing input checksums;
+  /// `verify_check` runs after every attempt that reports success and
+  /// throws VerificationError on mismatch. The executor treats that
+  /// rejection exactly like a detected transient fault: rollback, retry
+  /// under the RetryPolicy, CPU fallback once retries are exhausted.
+  std::function<void()> verify_prepare;
+  std::function<void()> verify_check;
   bool retryable = false;          ///< participate in the RetryPolicy
 };
 
@@ -131,6 +146,7 @@ class Executor {
     std::uint64_t poisoned_by = 0;  // lowest-seq failed dependency, or 0
     CommandState state = CommandState::Pending;
     std::string message;  // final error / degradation reason
+    std::uint32_t verify_rejections = 0;  // ABFT rejections across attempts
     bool running = false;
     bool completed = false;
   };

@@ -48,6 +48,8 @@ FaultKind FaultInjector::decide(std::uint64_t seq, int attempt) {
     kind = FaultKind::CorruptTransfer;
   } else if (u < (edge += cfg_.wedge_rate)) {
     kind = FaultKind::Wedge;
+  } else if (u < (edge += cfg_.silent_corrupt_rate)) {
+    kind = FaultKind::SilentCorrupt;
   }
   if (kind == FaultKind::None) return kind;
   // Consume the fault budget; a drawn fault past the budget fires as None
@@ -62,6 +64,15 @@ FaultKind FaultInjector::decide(std::uint64_t seq, int attempt) {
   }
   injected_.fetch_add(1, std::memory_order_relaxed);
   return kind;
+}
+
+void FaultInjector::retract() {
+  injected_.fetch_sub(1, std::memory_order_relaxed);
+  int budget = budget_.load(std::memory_order_relaxed);
+  while (budget >= 0 &&
+         !budget_.compare_exchange_weak(budget, budget + 1,
+                                        std::memory_order_relaxed)) {
+  }
 }
 
 std::uint64_t FaultInjector::corrupt_offset(std::uint64_t seq, int attempt,

@@ -18,16 +18,27 @@
 namespace fblas::host {
 
 /// Per-launch fault probabilities. Rates are cumulative-checked in the
-/// order launch-fail, corrupt, wedge; their sum should stay <= 1.
+/// order launch-fail, corrupt, wedge, silent-corrupt; their sum should
+/// stay <= 1.
 struct FaultConfig {
   std::uint64_t seed = 0;
   double launch_fail_rate = 0.0;  ///< P(kernel launch throws DeviceError)
   double corrupt_rate = 0.0;      ///< P(write-back corrupted, then detected)
   double wedge_rate = 0.0;        ///< P(graph hangs mid-stream)
+  double silent_corrupt_rate = 0.0;  ///< P(write-back corrupted, NOT detected)
   int max_faults = -1;            ///< total faults budget; <0 = unlimited
 };
 
-enum class FaultKind : std::uint8_t { None, LaunchFail, CorruptTransfer, Wedge };
+/// SilentCorrupt mangles write-set bytes like CorruptTransfer but raises
+/// no error — the command completes Ok with a wrong result. Only result
+/// verification (VerifyPolicy + the ABFT checkers) can catch it.
+enum class FaultKind : std::uint8_t {
+  None,
+  LaunchFail,
+  CorruptTransfer,
+  Wedge,
+  SilentCorrupt,
+};
 
 class FaultInjector {
  public:
@@ -47,6 +58,12 @@ class FaultInjector {
   /// Deterministic byte offset (< `size`) to corrupt for this attempt.
   std::uint64_t corrupt_offset(std::uint64_t seq, int attempt,
                                std::uint64_t size) const;
+
+  /// Un-counts a fault that could not be materialized (e.g. a silent
+  /// corruption drawn for a command whose write set holds no registered
+  /// device bytes), restoring the budget it consumed — so injected()
+  /// counts only faults that actually damaged something.
+  void retract();
 
   /// Total faults handed out since configure().
   std::uint64_t injected() const {

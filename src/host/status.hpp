@@ -4,6 +4,7 @@
 // only signal.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace fblas::host {
@@ -21,6 +22,10 @@ struct CommandStatus {
   /// For Failed: the final error. For Degraded: the device error that
   /// forced the CPU fallback. Empty otherwise.
   std::string message;
+  /// Attempts whose device-reported-Ok result was rejected by the ABFT
+  /// verifier (silent data corruption caught and recovered via retry,
+  /// fallback, or ultimately surfaced as Failed).
+  std::uint32_t verify_rejections = 0;
 
   bool ok() const { return state == CommandState::Ok; }
   bool failed() const { return state == CommandState::Failed; }

@@ -4,8 +4,10 @@
 // empty pop suspends the module until its peer makes progress.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -75,6 +77,16 @@ class Channel : public ChannelBase {
   // Non-awaitable access used by awaiters and by unit tests.
   bool try_put(T value) {
     if (full()) return false;
+    // Taint screening at the module boundary: every floating-point value
+    // crossing a channel is checked, so the first NaN/Inf is attributed
+    // to the module that produced it (and, in trap mode, stops the run
+    // deterministically before the poison spreads downstream).
+    if constexpr (std::is_floating_point_v<T>) {
+      if (sched_ != nullptr && sched_->taint_enabled() &&
+          !std::isfinite(static_cast<double>(value))) {
+        sched_->note_nonfinite(*this, static_cast<double>(value));
+      }
+    }
     buf_[(head_ + count_) % capacity_] = std::move(value);
     ++count_;
     on_push();

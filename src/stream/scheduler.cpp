@@ -42,6 +42,24 @@ void Scheduler::wake(int id) {
   }
 }
 
+void Scheduler::note_nonfinite(const ChannelBase& ch, double value) {
+  if (!taint_.tainted) {
+    taint_.tainted = true;
+    taint_.module = current_ >= 0 ? modules_[current_].name : "host";
+    taint_.channel = ch.name();
+    taint_.value = value;
+    taint_.cycle = cycle_;
+  }
+  if (taint_trap_) {
+    std::ostringstream os;
+    os << "non-finite value " << value << " pushed into channel '"
+       << ch.name() << "' by module '"
+       << (current_ >= 0 ? modules_[current_].name : "host")
+       << "' at cycle " << cycle_;
+    throw TaintError(os.str());
+  }
+}
+
 void Scheduler::advance_cycle() {
   if (trace_occupancy_) {
     occupancy_samples_.resize(channels_.size());
@@ -99,7 +117,9 @@ void Scheduler::run(const Watchdog& watchdog) {
       if (wedge_after_steps_ != 0 && steps >= wedge_after_steps_) {
         wedged_ = true;
       }
+      current_ = id;
       m.handle.resume();
+      current_ = -1;
       if (m.handle.done()) {
         m.state = ModuleState::Done;
         --live_;

@@ -55,6 +55,18 @@ enum class ModuleState : std::uint8_t {
   Done,
 };
 
+/// Provenance of the first non-finite value (NaN/Inf) that crossed a
+/// module boundary during a run — recorded when taint tracking is on.
+/// ABFT checkers skip comparisons poisoned by non-finite data, so this
+/// is the diagnostic that tells you *which* module first produced it.
+struct Taint {
+  bool tainted = false;
+  std::string module;   ///< producing module ("host" if pushed off-graph)
+  std::string channel;  ///< channel the value entered
+  double value = 0.0;   ///< the offending value (NaN or ±Inf)
+  std::uint64_t cycle = 0;  ///< simulated cycle of the push (cycle mode)
+};
+
 class Scheduler {
  public:
   explicit Scheduler(Mode mode) : mode_(mode) {}
@@ -100,6 +112,22 @@ class Scheduler {
   /// cycles it was active — a utilization diagnostic).
   std::uint64_t module_resumes(int id) const { return modules_[id].resumes; }
 
+  /// Enables non-finite taint tracking: every floating-point push is
+  /// screened and the first NaN/Inf is recorded with its producing
+  /// module, channel and cycle. With `trap` set the push additionally
+  /// throws TaintError — a deterministic, non-transient failure (a NaN
+  /// re-runs identically, so retrying is pointless). Call before run().
+  void enable_taint(bool trap) {
+    taint_enabled_ = true;
+    taint_trap_ = trap;
+    taint_ = Taint{};
+  }
+  bool taint_enabled() const { return taint_enabled_; }
+  const Taint& taint() const { return taint_; }
+  /// Records (and in trap mode, throws on) a non-finite value entering
+  /// `ch`. Called by Channel<T>::try_put for floating-point payloads.
+  void note_nonfinite(const ChannelBase& ch, double value);
+
   /// Enables per-cycle channel-occupancy sampling (cycle mode only):
   /// after every simulated cycle the fill level of each registered
   /// channel is recorded. Useful for locating where backpressure builds
@@ -134,9 +162,13 @@ class Scheduler {
   std::vector<DramBank*> banks_;
   int live_ = 0;
   bool ran_ = false;
+  int current_ = -1;  // module being resumed right now (-1 = host code)
   std::uint64_t wedge_after_steps_ = 0;  // 0 = no wedge injected
   bool wedged_ = false;
   bool trace_occupancy_ = false;
+  bool taint_enabled_ = false;
+  bool taint_trap_ = false;
+  Taint taint_;
   std::vector<std::vector<std::uint32_t>> occupancy_samples_;
 };
 

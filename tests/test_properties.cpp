@@ -6,10 +6,14 @@
 // element pushed is popped) are asserted on every run.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <tuple>
 #include <vector>
 
 #include "common/workload.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
 #include "fblas/level1.hpp"
 #include "fblas/level2.hpp"
 #include "fblas/level3.hpp"
@@ -380,6 +384,195 @@ TEST(CompositionProperty, LongChainOfRoutines) {
   const float expect = ref::dot<float>(VectorView<const float>(rx.data(), n),
                                        VectorView<const float>(ry.data(), n));
   EXPECT_NEAR(got[0], expect, 1e-2);
+}
+
+// ---- NRM2 extreme values ---------------------------------------------------
+// The scaled sum-of-squares recurrence must survive the whole exponent
+// range. Naive x^2 accumulation overflows to Inf near sqrt(max) and
+// flushes denormal inputs to zero; both streaming and reference NRM2 use
+// the same slassq recurrence, so they must agree exactly.
+
+template <typename T>
+T stream_nrm2(int w, const std::vector<T>& hx) {
+  const std::int64_t n = static_cast<std::int64_t>(hx.size());
+  Graph g;
+  auto& cx = g.channel<T>("x", 64);
+  auto& cr = g.channel<T>("r", 2);
+  std::vector<T> got;
+  g.spawn("feed", stream::feed(hx, cx));
+  g.spawn("nrm2", nrm2<T>({w}, n, cx, cr));
+  g.spawn("collect", stream::collect<T>(1, cr, got));
+  g.run();
+  expect_balanced(g);
+  return got[0];
+}
+
+template <typename T>
+void check_nrm2_extremes() {
+  const T big = std::sqrt(std::numeric_limits<T>::max()) / T(2);
+  const T tiny = std::numeric_limits<T>::denorm_min() * T(1 << 10);
+  for (const int w : {1, 4, 16}) {
+    {
+      // 64 elements of ~sqrt(max)/2: the naive partial sum overflows
+      // after four squares; the true norm (big * 8) is representable.
+      const std::vector<T> hx(64, big);
+      const T got = stream_nrm2<T>(w, hx);
+      EXPECT_TRUE(std::isfinite(got));
+      EXPECT_EQ(got, ref::nrm2<T>(VectorView<const T>(
+                         hx.data(), static_cast<std::int64_t>(hx.size()))));
+      EXPECT_EQ(got, big * T(8));
+    }
+    {
+      // Denormal inputs: every square underflows to exactly zero, so the
+      // naive norm is 0 — the scaled recurrence keeps the full value.
+      const std::vector<T> hx(64, tiny);
+      EXPECT_EQ(tiny * tiny, T(0));  // what naive accumulation would add
+      const T got = stream_nrm2<T>(w, hx);
+      EXPECT_GT(got, T(0));
+      EXPECT_EQ(got, ref::nrm2<T>(VectorView<const T>(
+                         hx.data(), static_cast<std::int64_t>(hx.size()))));
+    }
+    {
+      // Mixed magnitudes spanning the exponent range: the largest value
+      // dominates and the rescale path must not lose it.
+      const std::vector<T> hx{T(1), tiny, big, T(-2), tiny, big};
+      const T got = stream_nrm2<T>(w, hx);
+      EXPECT_TRUE(std::isfinite(got));
+      EXPECT_EQ(got, ref::nrm2<T>(VectorView<const T>(
+                         hx.data(), static_cast<std::int64_t>(hx.size()))));
+      EXPECT_GE(got, big);
+    }
+  }
+}
+
+TEST(Nrm2Extremes, FloatSurvivesOverflowAndDenormals) {
+  check_nrm2_extremes<float>();
+}
+
+TEST(Nrm2Extremes, DoubleSurvivesOverflowAndDenormals) {
+  check_nrm2_extremes<double>();
+}
+
+// ---- Adversarial inputs ----------------------------------------------------
+// IEEE semantics under poisoned data: NaN/Inf must propagate (never be
+// silently swallowed), empty vectors must be well-defined, and negative
+// increments — unsupported by the streaming address generators — must be
+// rejected loudly, not misread memory.
+
+TEST(AdversarialInputs, NaNPropagatesThroughLevel1) {
+  const std::int64_t n = 33;  // not a multiple of any width below
+  Workload wl(6000);
+  auto hx = wl.vector<float>(n);
+  auto hy = wl.vector<float>(n);
+  hx[7] = std::numeric_limits<float>::quiet_NaN();
+  for (const int w : {1, 8}) {
+    {
+      Graph g;
+      auto& cx = g.channel<float>("x", 32);
+      auto& co = g.channel<float>("o", 32);
+      std::vector<float> got;
+      g.spawn("feed", stream::feed(hx, cx));
+      g.spawn("scal", scal<float>({w}, n, 2.0f, cx, co));
+      g.spawn("collect", stream::collect<float>(n, co, got));
+      g.run();
+      EXPECT_TRUE(std::isnan(got[7]));
+      EXPECT_EQ(got[6], 2.0f * hx[6]);  // poison stays where it was
+    }
+    {
+      Graph g;
+      auto& cx = g.channel<float>("x", 32);
+      auto& cy = g.channel<float>("y", 32);
+      auto& cd = g.channel<float>("d", 2);
+      std::vector<float> got;
+      g.spawn("fx", stream::feed(hx, cx));
+      g.spawn("fy", stream::feed(hy, cy));
+      g.spawn("dot", dot<float>({w}, n, cx, cy, cd));
+      g.spawn("collect", stream::collect<float>(1, cd, got));
+      g.run();
+      EXPECT_TRUE(std::isnan(got[0]));
+    }
+    {
+      Graph g;
+      auto& c1 = g.channel<float>("x1", 32);
+      auto& c2 = g.channel<float>("x2", 32);
+      auto& r1 = g.channel<float>("r1", 2);
+      auto& r2 = g.channel<float>("r2", 2);
+      std::vector<float> o1, o2;
+      g.spawn("f1", stream::feed(hx, c1));
+      g.spawn("f2", stream::feed(hx, c2));
+      g.spawn("asum", asum<float>({w}, n, c1, r1));
+      g.spawn("nrm2", nrm2<float>({w}, n, c2, r2));
+      g.spawn("c1", stream::collect<float>(1, r1, o1));
+      g.spawn("c2", stream::collect<float>(1, r2, o2));
+      g.run();
+      EXPECT_TRUE(std::isnan(o1[0]));
+      EXPECT_TRUE(std::isnan(o2[0]));  // the scaled recurrence keeps NaN
+    }
+  }
+}
+
+TEST(AdversarialInputs, InfinityPropagatesThroughReductions) {
+  const std::int64_t n = 17;
+  Workload wl(6001);
+  auto hx = wl.vector<double>(n);
+  hx[5] = std::numeric_limits<double>::infinity();
+  Graph g;
+  auto& c1 = g.channel<double>("x1", 32);
+  auto& c2 = g.channel<double>("x2", 32);
+  auto& r1 = g.channel<double>("r1", 2);
+  auto& r2 = g.channel<double>("r2", 2);
+  std::vector<double> o1, o2;
+  g.spawn("f1", stream::feed(hx, c1));
+  g.spawn("f2", stream::feed(hx, c2));
+  g.spawn("asum", asum<double>({4}, n, c1, r1));
+  g.spawn("nrm2", nrm2<double>({4}, n, c2, r2));
+  g.spawn("c1", stream::collect<double>(1, r1, o1));
+  g.spawn("c2", stream::collect<double>(1, r2, o2));
+  g.run();
+  EXPECT_TRUE(std::isinf(o1[0]));
+  EXPECT_TRUE(std::isinf(o2[0]));  // Inf survives the rescale path
+}
+
+TEST(AdversarialInputs, ZeroLengthVectorsAreWellDefined) {
+  Graph g;
+  auto& c1 = g.channel<double>("x1", 4);
+  auto& c2 = g.channel<double>("x2", 4);
+  auto& c3 = g.channel<double>("x3", 4);
+  auto& r1 = g.channel<double>("r1", 2);
+  auto& r2 = g.channel<double>("r2", 2);
+  auto& r3 = g.channel<std::int64_t>("r3", 2);
+  std::vector<double> o1, o2;
+  std::vector<std::int64_t> o3;
+  g.spawn("asum", asum<double>({8}, 0, c1, r1));
+  g.spawn("nrm2", nrm2<double>({8}, 0, c2, r2));
+  g.spawn("iamax", iamax<double>({8}, 0, c3, r3));
+  g.spawn("c1", stream::collect<double>(1, r1, o1));
+  g.spawn("c2", stream::collect<double>(1, r2, o2));
+  g.spawn("c3", stream::collect<std::int64_t>(1, r3, o3));
+  g.run();
+  expect_balanced(g);
+  EXPECT_EQ(o1[0], 0.0);
+  EXPECT_EQ(o2[0], 0.0);
+  EXPECT_EQ(o3[0], -1);
+}
+
+TEST(AdversarialInputs, NegativeIncrementsAreRejected) {
+  // The streaming address generators only walk forward; a classical
+  // BLAS negative increment must fail as a ConfigError at the view, and
+  // surface as a Failed command through the host API — never as a
+  // silent out-of-bounds walk.
+  std::vector<float> v(8, 1.0f);
+  EXPECT_THROW(VectorView<float>(v.data(), 8, -1), ConfigError);
+  EXPECT_THROW(VectorView<float>(v.data(), 8, 0), ConfigError);
+
+  host::Device dev;
+  host::Context ctx(dev);
+  host::Buffer<float> x(dev, 8, 0);
+  x.write(v);
+  host::Event e = ctx.scal_async<float>(8, 2.0f, x, -1);
+  EXPECT_THROW(e.wait(), ConfigError);
+  EXPECT_TRUE(e.status().failed());
+  EXPECT_EQ(x.to_host(), v);  // operand untouched by the rejected command
 }
 
 }  // namespace

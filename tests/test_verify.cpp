@@ -1,0 +1,638 @@
+// ABFT result verification: checksum checkers at the unit level, and the
+// end-to-end silent-data-corruption story — an unverified run provably
+// misses silent faults, a verified run catches every one and recovers
+// bit-identically through the existing retry/rollback/fallback runtime.
+//
+// Silent corruption decisions hash (seed, command seq, attempt), like
+// every other injected fault, so each test here is deterministic.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/workload.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
+#include "refblas/level1.hpp"
+#include "refblas/level2.hpp"
+#include "refblas/level3.hpp"
+#include "verify/abft.hpp"
+#include "verify/policy.hpp"
+
+namespace fblas {
+namespace {
+
+constexpr double kScale = 32.0;  // default RoutineConfig.verify_tolerance_scale
+
+host::RetryPolicy fast_retry(int max_retries, bool cpu_fallback = false) {
+  host::RetryPolicy p;
+  p.max_retries = max_retries;
+  p.backoff = std::chrono::microseconds(0);
+  p.cpu_fallback = cpu_fallback;
+  return p;
+}
+
+// --- Checker unit tests --------------------------------------------------
+// Each checker must accept the reference result of the routine it guards
+// (no false positives on clean data) and reject a single corrupted
+// element (no false negatives on damage far above rounding).
+
+TEST(VerifyCheckers, GemmRowAndColumnChecksums) {
+  const std::int64_t m = 12, n = 10, k = 8;
+  Workload wl(70);
+  const auto ha = wl.matrix<double>(m, k);
+  const auto hb = wl.matrix<double>(k, n);
+  const auto hc = wl.matrix<double>(m, n);
+  const auto chk = verify::gemm_prepare<double>(
+      Transpose::None, Transpose::None, m, n, k, 1.5,
+      MatrixView<const double>(ha.data(), m, k),
+      MatrixView<const double>(hb.data(), k, n), 0.5,
+      MatrixView<const double>(hc.data(), m, n));
+
+  auto c = hc;
+  ref::gemm(Transpose::None, Transpose::None, 1.5,
+            MatrixView<const double>(ha.data(), m, k),
+            MatrixView<const double>(hb.data(), k, n), 0.5,
+            MatrixView<double>(c.data(), m, n));
+  EXPECT_NO_THROW(verify::gemm_check<double>(
+      chk, MatrixView<const double>(c.data(), m, n), kScale));
+
+  auto bad = c;
+  bad[static_cast<std::size_t>(3 * n + 7)] += 1e-3;
+  try {
+    verify::gemm_check<double>(chk, MatrixView<const double>(bad.data(), m, n),
+                               kScale);
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("gemm"), std::string::npos);
+    EXPECT_NE(msg.find("silent data corruption"), std::string::npos);
+  }
+}
+
+TEST(VerifyCheckers, GemmTransposedOperandsChecksum) {
+  const std::int64_t m = 9, n = 11, k = 7;
+  Workload wl(71);
+  const auto ha = wl.matrix<double>(k, m);  // A^T storage
+  const auto hb = wl.matrix<double>(n, k);  // B^T storage
+  const auto hc = wl.matrix<double>(m, n);
+  const auto chk = verify::gemm_prepare<double>(
+      Transpose::Trans, Transpose::Trans, m, n, k, -0.75,
+      MatrixView<const double>(ha.data(), k, m),
+      MatrixView<const double>(hb.data(), n, k), 2.0,
+      MatrixView<const double>(hc.data(), m, n));
+
+  auto c = hc;
+  ref::gemm(Transpose::Trans, Transpose::Trans, -0.75,
+            MatrixView<const double>(ha.data(), k, m),
+            MatrixView<const double>(hb.data(), n, k), 2.0,
+            MatrixView<double>(c.data(), m, n));
+  EXPECT_NO_THROW(verify::gemm_check<double>(
+      chk, MatrixView<const double>(c.data(), m, n), kScale));
+  c[1] *= 1.0 + 1e-6;
+  EXPECT_THROW(verify::gemm_check<double>(
+                   chk, MatrixView<const double>(c.data(), m, n), kScale),
+               VerificationError);
+}
+
+TEST(VerifyCheckers, SyrkTriangleMaskedChecksums) {
+  const std::int64_t n = 10, k = 6;
+  Workload wl(72);
+  const auto ha = wl.matrix<double>(n, k);
+  const auto hc = wl.matrix<double>(n, n);
+  const auto chk = verify::syrk_prepare<double>(
+      Uplo::Lower, Transpose::None, n, k, 1.25,
+      MatrixView<const double>(ha.data(), n, k), 0.5,
+      MatrixView<const double>(hc.data(), n, n));
+
+  auto c = hc;
+  ref::syrk(Uplo::Lower, Transpose::None, 1.25,
+            MatrixView<const double>(ha.data(), n, k), 0.5,
+            MatrixView<double>(c.data(), n, n));
+  EXPECT_NO_THROW(verify::check_rowsums<double>(
+      chk, "syrk", MatrixView<const double>(c.data(), n, n), kScale));
+
+  // Corruption inside the stored (lower) triangle is caught...
+  auto bad = c;
+  bad[static_cast<std::size_t>(7 * n + 2)] += 1e-4;
+  EXPECT_THROW(
+      verify::check_rowsums<double>(
+          chk, "syrk", MatrixView<const double>(bad.data(), n, n), kScale),
+      VerificationError);
+  // ...while the strict upper triangle is outside SYRK's write-set, so
+  // the tri mask must ignore it (BLAS never touches it).
+  bad = c;
+  bad[static_cast<std::size_t>(2 * n + 7)] += 1e+4;
+  EXPECT_NO_THROW(verify::check_rowsums<double>(
+      chk, "syrk", MatrixView<const double>(bad.data(), n, n), kScale));
+}
+
+TEST(VerifyCheckers, Syr2kUpperChecksums) {
+  const std::int64_t n = 8, k = 5;
+  Workload wl(73);
+  const auto ha = wl.matrix<double>(n, k);
+  const auto hb = wl.matrix<double>(n, k);
+  const auto hc = wl.matrix<double>(n, n);
+  const auto chk = verify::syr2k_prepare<double>(
+      Uplo::Upper, Transpose::None, n, k, 0.5,
+      MatrixView<const double>(ha.data(), n, k),
+      MatrixView<const double>(hb.data(), n, k), 1.0,
+      MatrixView<const double>(hc.data(), n, n));
+
+  auto c = hc;
+  ref::syr2k(Uplo::Upper, Transpose::None, 0.5,
+             MatrixView<const double>(ha.data(), n, k),
+             MatrixView<const double>(hb.data(), n, k), 1.0,
+             MatrixView<double>(c.data(), n, n));
+  EXPECT_NO_THROW(verify::check_rowsums<double>(
+      chk, "syr2k", MatrixView<const double>(c.data(), n, n), kScale));
+  c[static_cast<std::size_t>(3 * n + 6)] -= 1e-3;  // stored upper element
+  EXPECT_THROW(
+      verify::check_rowsums<double>(
+          chk, "syr2k", MatrixView<const double>(c.data(), n, n), kScale),
+      VerificationError);
+}
+
+TEST(VerifyCheckers, TrsmResidualChecksums) {
+  const std::int64_t m = 12, n = 6;
+  Workload wl(74);
+  auto ha = wl.matrix<double>(m, m);
+  // Diagonally dominant lower triangle: a well-conditioned solve.
+  for (std::int64_t i = 0; i < m; ++i) ha[static_cast<std::size_t>(i * m + i)] += m;
+  const auto hb = wl.matrix<double>(m, n);
+  const auto chk = verify::trsm_prepare<double>(
+      Side::Left, m, n, 2.0, MatrixView<const double>(hb.data(), m, n));
+
+  auto x = hb;
+  ref::trsm(Side::Left, Uplo::Lower, Transpose::None, Diag::NonUnit, 2.0,
+            MatrixView<const double>(ha.data(), m, m),
+            MatrixView<double>(x.data(), m, n));
+  EXPECT_NO_THROW(verify::trsm_check<double>(
+      chk, Side::Left, Uplo::Lower, Transpose::None, Diag::NonUnit, m, n,
+      MatrixView<const double>(ha.data(), m, m),
+      MatrixView<const double>(x.data(), m, n), kScale));
+  x[static_cast<std::size_t>(5 * n + 3)] += 1e-4;
+  EXPECT_THROW(verify::trsm_check<double>(
+                   chk, Side::Left, Uplo::Lower, Transpose::None,
+                   Diag::NonUnit, m, n,
+                   MatrixView<const double>(ha.data(), m, m),
+                   MatrixView<const double>(x.data(), m, n), kScale),
+               VerificationError);
+}
+
+TEST(VerifyCheckers, GemvAndGerChecksums) {
+  const std::int64_t rows = 14, cols = 9;
+  Workload wl(75);
+  const auto ha = wl.matrix<double>(rows, cols);
+  const auto hx = wl.vector<double>(cols);
+  const auto hy = wl.vector<double>(rows);
+
+  const auto gv = verify::gemv_prepare<double>(
+      Transpose::None, rows, cols, 1.1,
+      MatrixView<const double>(ha.data(), rows, cols),
+      VectorView<const double>(hx.data(), cols), -0.4,
+      VectorView<const double>(hy.data(), rows));
+  auto y = hy;
+  ref::gemv(Transpose::None, 1.1, MatrixView<const double>(ha.data(), rows, cols),
+            VectorView<const double>(hx.data(), cols), -0.4,
+            VectorView<double>(y.data(), rows));
+  EXPECT_NO_THROW(verify::check_sum<double>(
+      gv, "gemv", VectorView<const double>(y.data(), rows), kScale));
+  y[4] += 1e-5;
+  EXPECT_THROW(verify::check_sum<double>(
+                   gv, "gemv", VectorView<const double>(y.data(), rows),
+                   kScale),
+               VerificationError);
+
+  const auto hyc = wl.vector<double>(cols);
+  const auto gr = verify::ger_prepare<double>(
+      rows, cols, 0.8, VectorView<const double>(hy.data(), rows),
+      VectorView<const double>(hyc.data(), cols),
+      MatrixView<const double>(ha.data(), rows, cols));
+  auto a = ha;
+  ref::ger(0.8, VectorView<const double>(hy.data(), rows),
+           VectorView<const double>(hyc.data(), cols),
+           MatrixView<double>(a.data(), rows, cols));
+  EXPECT_NO_THROW(verify::check_rowsums<double>(
+      gr, "ger", MatrixView<const double>(a.data(), rows, cols), kScale));
+  a[3] *= 1.0 + 1e-7;
+  EXPECT_THROW(
+      verify::check_rowsums<double>(
+          gr, "ger", MatrixView<const double>(a.data(), rows, cols), kScale),
+      VerificationError);
+}
+
+TEST(VerifyCheckers, SingleElementChecksFloat) {
+  const std::int64_t n = 64;
+  Workload wl(76);
+  const auto hx = wl.vector<float>(n);
+  const auto hy = wl.vector<float>(n);
+  const VectorView<const float> x(hx.data(), n), y(hy.data(), n);
+
+  const float d = ref::dot(x, y);
+  EXPECT_NO_THROW(verify::dot_check<float>(x, y, d, kScale));
+  EXPECT_THROW(verify::dot_check<float>(x, y, d + 0.5f, kScale),
+               VerificationError);
+
+  const float nrm = ref::nrm2(x);
+  EXPECT_NO_THROW(verify::nrm2_check<float>(x, nrm, kScale));
+  EXPECT_THROW(verify::nrm2_check<float>(x, -nrm, kScale), VerificationError);
+  EXPECT_THROW(verify::nrm2_check<float>(x, nrm * 4.0f, kScale),
+               VerificationError);
+
+  const float s = ref::asum(x);
+  EXPECT_NO_THROW(verify::asum_check<float>(x, s, kScale));
+  EXPECT_THROW(verify::asum_check<float>(x, s * 1.5f, kScale),
+               VerificationError);
+
+  const std::int64_t idx = ref::iamax(x);
+  EXPECT_NO_THROW(verify::iamax_check<float>(x, idx));
+  EXPECT_THROW(verify::iamax_check<float>(x, (idx + 1) % n),
+               VerificationError);
+  EXPECT_THROW(verify::iamax_check<float>(x, n), VerificationError);
+  EXPECT_NO_THROW(
+      verify::iamax_check<float>(VectorView<const float>(hx.data(), 0), -1));
+}
+
+TEST(VerifyCheckers, NonFinitePredictionsSkipInsteadOfRejecting) {
+  // NaN in the inputs poisons the checksum prediction; that is the taint
+  // channel's territory, not a corruption verdict — the checker skips.
+  const std::int64_t n = 16;
+  Workload wl(77);
+  auto hx = wl.vector<double>(n);
+  hx[5] = std::numeric_limits<double>::quiet_NaN();
+  const auto chk =
+      verify::scal_prepare<double>(2.0, VectorView<const double>(hx.data(), n));
+  auto out = hx;
+  for (auto& v : out) v *= 2.0;
+  EXPECT_NO_THROW(verify::check_sum<double>(
+      chk, "scal", VectorView<const double>(out.data(), n), kScale));
+}
+
+TEST(VerifySampling, DeterministicAndProportional) {
+  EXPECT_FALSE(verify::sampled(1, 42, 0.0));
+  EXPECT_TRUE(verify::sampled(1, 42, 1.0));
+  int hits = 0;
+  for (std::uint64_t seq = 1; seq <= 1000; ++seq) {
+    const bool a = verify::sampled(9, seq, 0.25);
+    const bool b = verify::sampled(9, seq, 0.25);
+    EXPECT_EQ(a, b);  // pure in (seed, seq)
+    hits += a ? 1 : 0;
+  }
+  EXPECT_GT(hits, 180);  // ~250 expected
+  EXPECT_LT(hits, 320);
+}
+
+// --- End-to-end: silent corruption through the host runtime --------------
+
+TEST(VerifyRuntime, UnverifiedBaselineMissesSilentCorruption) {
+  // One silent fault, no verification: the command completes Ok, the
+  // result is wrong, and nothing in the stats hints at the damage —
+  // exactly the failure mode ABFT exists for.
+  const std::int64_t m = 24, n = 20, k = 16;
+  Workload wl(80);
+  const auto ha = wl.matrix<float>(m, k);
+  const auto hb = wl.matrix<float>(k, n);
+  const auto hc = wl.matrix<float>(m, n);
+
+  auto run = [&](bool with_fault) {
+    host::Device dev;
+    host::Context ctx(dev);
+    if (with_fault) {
+      host::FaultConfig fc;
+      fc.seed = 21;
+      fc.silent_corrupt_rate = 1.0;
+      fc.max_faults = 1;
+      dev.inject_faults(fc);
+    }
+    host::Buffer<float> a(dev, m * k, 0), b(dev, k * n, 1), c(dev, m * n, 2);
+    a.write(ha);
+    b.write(hb);
+    c.write(hc);
+    host::Event e = ctx.gemm_async<float>(Transpose::None, Transpose::None,
+                                          m, n, k, 1.5f, a, b, 0.5f, c);
+    e.wait();
+    return std::make_tuple(c.to_host(), e.status(), ctx.exec_stats());
+  };
+
+  const auto [clean, clean_st, clean_stats] = run(false);
+  const auto [dirty, dirty_st, dirty_stats] = run(true);
+  EXPECT_TRUE(clean_st.ok());
+  EXPECT_TRUE(dirty_st.ok());  // the device lied and nobody noticed
+  EXPECT_NE(clean, dirty);
+  EXPECT_EQ(dirty_stats.faults_injected, 1u);
+  EXPECT_EQ(dirty_stats.sdc_caught, 0u);
+  EXPECT_EQ(dirty_stats.verified, 0u);
+}
+
+TEST(VerifyRuntime, AlwaysCatchesSilentCorruptionAndRecoversBitIdentical) {
+  // Two budgeted silent faults under Always + retry: both attempts are
+  // rejected by the checksum, rolled back, and the third (clean) attempt
+  // produces bits identical to a fault-free run.
+  const std::int64_t m = 24, n = 20, k = 16;
+  Workload wl(81);
+  const auto ha = wl.matrix<float>(m, k);
+  const auto hb = wl.matrix<float>(k, n);
+  const auto hc = wl.matrix<float>(m, n);
+
+  auto run = [&](bool with_faults) {
+    host::Device dev;
+    host::Context ctx(dev);
+    if (with_faults) {
+      host::FaultConfig fc;
+      fc.seed = 22;
+      fc.silent_corrupt_rate = 1.0;
+      fc.max_faults = 2;
+      dev.inject_faults(fc);
+    }
+    ctx.set_retry_policy(fast_retry(3));
+    ctx.config().verify = verify::VerifyPolicy::Always;
+    host::Buffer<float> a(dev, m * k, 0), b(dev, k * n, 1), c(dev, m * n, 2);
+    a.write(ha);
+    b.write(hb);
+    c.write(hc);
+    host::Event e = ctx.gemm_async<float>(Transpose::None, Transpose::None,
+                                          m, n, k, 1.5f, a, b, 0.5f, c);
+    e.wait();
+    return std::make_tuple(c.to_host(), e.status(), ctx.exec_stats());
+  };
+
+  const auto [clean, clean_st, clean_stats] = run(false);
+  const auto [rec, rec_st, rec_stats] = run(true);
+  EXPECT_EQ(clean, rec);  // recovered, bit-identical
+  EXPECT_TRUE(rec_st.ok());
+  EXPECT_EQ(rec_st.verify_rejections, 2u);
+  EXPECT_EQ(rec_stats.faults_injected, 2u);
+  EXPECT_EQ(rec_stats.sdc_caught, 2u);
+  EXPECT_EQ(rec_stats.verify_failures, 2u);
+  EXPECT_EQ(rec_stats.retries, 2u);
+  EXPECT_EQ(rec_stats.verified, 3u);  // every attempt was checked
+  EXPECT_EQ(clean_stats.verified, 1u);
+  EXPECT_EQ(clean_stats.sdc_caught, 0u);
+}
+
+TEST(VerifyRuntime, VerifyRejectionWithoutRetryFailsTransactionally) {
+  // No retry budget: the rejection surfaces as VerificationError, but the
+  // write-set was rolled back first — the buffer holds pre-command bytes,
+  // never the corrupted result.
+  const std::int64_t n = 64;
+  const auto hx = Workload(82).vector<float>(n);
+  host::Device dev;
+  host::Context ctx(dev);
+  host::FaultConfig fc;
+  fc.seed = 23;
+  fc.silent_corrupt_rate = 1.0;
+  dev.inject_faults(fc);
+  ctx.config().verify = verify::VerifyPolicy::Always;
+  host::Buffer<float> x(dev, n, 0);
+  x.write(hx);
+  host::Event e = ctx.scal_async<float>(n, 2.0f, x, 1);
+  EXPECT_THROW(e.wait(), VerificationError);
+  EXPECT_EQ(x.to_host(), hx);  // not half-scaled, not corrupted
+  const host::CommandStatus st = e.status();
+  EXPECT_TRUE(st.failed());
+  EXPECT_EQ(st.verify_rejections, 1u);
+  EXPECT_NE(st.message.find("ABFT verification failed"), std::string::npos);
+  EXPECT_EQ(ctx.exec_stats().sdc_caught, 1u);
+}
+
+TEST(VerifyRuntime, VerifyExhaustionDegradesToCpuFallback) {
+  // Unlimited silent corruption: every device attempt is rejected; after
+  // retries the CPU reference path serves the (correct) result and the
+  // command reports Degraded — same path as any other persistent fault.
+  const std::int64_t n = 96;
+  Workload wl(83);
+  auto hx = wl.vector<float>(n);
+  auto hy = wl.vector<float>(n);
+  host::Device dev;
+  host::Context ctx(dev);
+  host::FaultConfig fc;
+  fc.seed = 24;
+  fc.silent_corrupt_rate = 1.0;
+  dev.inject_faults(fc);
+  ctx.set_retry_policy(fast_retry(2, /*cpu_fallback=*/true));
+  ctx.config().verify = verify::VerifyPolicy::Always;
+  host::Buffer<float> x(dev, n, 0), y(dev, n, 1);
+  x.write(hx);
+  y.write(hy);
+  host::Event e = ctx.axpy_async<float>(n, 2.0f, x, 1, y, 1);
+  EXPECT_NO_THROW(e.wait());
+
+  ref::axpy(2.0f, VectorView<const float>(hx.data(), n),
+            VectorView<float>(hy.data(), n));
+  EXPECT_EQ(y.to_host(), hy);
+  const host::CommandStatus st = e.status();
+  EXPECT_TRUE(st.degraded());
+  EXPECT_NE(st.message.find("degraded to CPU fallback"), std::string::npos);
+  EXPECT_NE(st.message.find("ABFT verification failed"), std::string::npos);
+  EXPECT_EQ(st.verify_rejections, 3u);  // initial attempt + 2 retries
+  EXPECT_EQ(ctx.exec_stats().degraded, 1u);
+}
+
+// The acceptance workload: a mixed GEMM / GEMV / Level-1 stream under 5%
+// silent corruption. VerifyPolicy::Always must catch every injected SDC
+// (sdc_caught == faults_injected) and recover bit-identically to a
+// fault-free run; the unverified baseline must provably miss them.
+std::tuple<std::vector<std::vector<float>>, host::ExecStats>
+run_mixed_workload(int workers, bool with_faults, verify::VerifyPolicy vp) {
+  const std::int64_t m = 32, n = 28, k = 24, len = 256;
+  host::Device dev;
+  host::Context ctx(dev, stream::Mode::Functional, workers);
+  if (with_faults) {
+    host::FaultConfig fc;
+    fc.seed = 4;
+    fc.silent_corrupt_rate = 0.05;
+    dev.inject_faults(fc);
+  }
+  ctx.set_retry_policy(fast_retry(4));
+  ctx.config().verify = vp;
+
+  Workload wl(84);
+  host::Buffer<float> a(dev, m * k, 0), b(dev, k * n, 1), c(dev, m * n, 2);
+  host::Buffer<float> ga(dev, m * len, 0), gx(dev, len, 1), gy(dev, m, 2);
+  host::Buffer<float> v0(dev, len, 0), v1(dev, len, 1);
+  a.write(wl.matrix<float>(m, k));
+  b.write(wl.matrix<float>(k, n));
+  c.write(wl.matrix<float>(m, n));
+  ga.write(wl.matrix<float>(m, len));
+  gx.write(wl.vector<float>(len));
+  gy.write(wl.vector<float>(m));
+  v0.write(wl.vector<float>(len));
+  v1.write(wl.vector<float>(len));
+
+  float dots[8] = {};
+  for (int round = 0; round < 8; ++round) {
+    ctx.gemm_async<float>(Transpose::None, Transpose::None, m, n, k, 1.01f,
+                          a, b, 0.5f, c);
+    ctx.gemv_async<float>(Transpose::None, m, len, 0.125f, ga, gx, 1, 0.875f,
+                          gy, 1);
+    ctx.scal_async<float>(len, 1.0009f, v0, 1);
+    ctx.axpy_async<float>(len, 0.01f, v0, 1, v1, 1);
+    ctx.dot_async<float>(len, v0, 1, v1, 1, &dots[round]);
+  }
+  ctx.finish();
+  std::vector<std::vector<float>> out{c.to_host(), gy.to_host(),
+                                      v0.to_host(), v1.to_host(),
+                                      std::vector<float>(dots, dots + 8)};
+  return {out, ctx.exec_stats()};
+}
+
+TEST(VerifyRuntime, MixedWorkloadFivePercentSdcAllCaughtSerial) {
+  const auto [clean, clean_stats] =
+      run_mixed_workload(0, false, verify::VerifyPolicy::Off);
+  const auto [guarded, guarded_stats] =
+      run_mixed_workload(0, true, verify::VerifyPolicy::Always);
+  const auto [naked, naked_stats] =
+      run_mixed_workload(0, true, verify::VerifyPolicy::Off);
+
+  // Seed 4 draws silent faults across the 40 commands (deterministic).
+  EXPECT_GT(guarded_stats.faults_injected, 0u);
+  EXPECT_EQ(guarded_stats.sdc_caught, guarded_stats.faults_injected);
+  EXPECT_EQ(clean, guarded);  // every SDC caught and recovered, bit-identical
+  EXPECT_EQ(guarded_stats.degraded, 0u);
+
+  // The same fault stream without verification: wrong bits, zero caught.
+  EXPECT_GT(naked_stats.faults_injected, 0u);
+  EXPECT_EQ(naked_stats.sdc_caught, 0u);
+  EXPECT_NE(clean, naked);
+}
+
+TEST(VerifyRuntime, MixedWorkloadFivePercentSdcAllCaughtWorkerPool) {
+  // Identical guarantees on the 4-worker out-of-order executor: fault and
+  // sampling decisions hash (seed, seq), not thread interleaving.
+  const auto [clean, clean_stats] =
+      run_mixed_workload(0, false, verify::VerifyPolicy::Off);
+  const auto [guarded, guarded_stats] =
+      run_mixed_workload(4, true, verify::VerifyPolicy::Always);
+  EXPECT_GT(guarded_stats.faults_injected, 0u);
+  EXPECT_EQ(guarded_stats.sdc_caught, guarded_stats.faults_injected);
+  EXPECT_EQ(clean, guarded);
+
+  const auto [serial, serial_stats] =
+      run_mixed_workload(0, true, verify::VerifyPolicy::Always);
+  EXPECT_EQ(serial, guarded);
+  EXPECT_EQ(serial_stats.faults_injected, guarded_stats.faults_injected);
+  EXPECT_EQ(serial_stats.sdc_caught, guarded_stats.sdc_caught);
+}
+
+TEST(VerifyRuntime, SampledVerifiesDeterministicFraction) {
+  const auto [out_a, stats_a] =
+      run_mixed_workload(0, false, verify::VerifyPolicy::Sampled);
+  const auto [out_b, stats_b] =
+      run_mixed_workload(4, false, verify::VerifyPolicy::Sampled);
+  EXPECT_EQ(out_a, out_b);
+  EXPECT_EQ(stats_a.verified, stats_b.verified);  // same commands sampled
+  EXPECT_GT(stats_a.verified, 0u);
+  EXPECT_LT(stats_a.verified, 40u);  // a fraction, not all
+  EXPECT_EQ(stats_a.verify_failures, 0u);
+}
+
+TEST(VerifyRuntime, AlwaysOnCleanRunNeverRejects) {
+  // No-false-positive sweep: every wired routine, both precisions, with
+  // Always verification and no faults — nothing may be rejected.
+  host::Device dev;
+  host::Context ctx(dev);
+  ctx.config().verify = verify::VerifyPolicy::Always;
+  const std::int64_t n = 48, k = 16;
+  Workload wl(85);
+
+  auto sweep = [&](auto tag) {
+    using T = decltype(tag);
+    host::Buffer<T> x(dev, n, 0), y(dev, n, 1), z(dev, n, 2);
+    host::Buffer<T> A(dev, n * n, 0), B(dev, n * n, 1), C(dev, n * n, 2);
+    x.write(wl.vector<T>(n));
+    y.write(wl.vector<T>(n));
+    z.write(wl.vector<T>(n));
+    A.write(wl.matrix<T>(n, n));
+    B.write(wl.matrix<T>(n, n));
+    C.write(wl.matrix<T>(n, n));
+
+    ctx.scal<T>(n, T(1.5), x);
+    ctx.axpy<T>(n, T(0.5), x, y);
+    ctx.copy<T>(n, x, z);
+    ctx.swap<T>(n, y, z);
+    ctx.rot<T>(n, x, y, T(0.8), T(0.6));
+    (void)ctx.dot<T>(n, x, y);
+    (void)ctx.nrm2<T>(n, x);
+    (void)ctx.asum<T>(n, x);
+    (void)ctx.iamax<T>(n, x);
+    ctx.gemv<T>(Transpose::Trans, n, n, T(0.9), A, x, T(0.1), y);
+    ctx.ger<T>(n, n, T(0.05), x, y, C);
+    ctx.syr<T>(Uplo::Lower, n, T(0.04), x, C);
+    ctx.syr2<T>(Uplo::Upper, n, T(0.03), x, y, C);
+    ctx.gemm<T>(Transpose::None, Transpose::Trans, n, n, n, T(0.02), A, B,
+                T(0.5), C);
+    ctx.syrk<T>(Uplo::Lower, Transpose::None, n, k, T(0.1), A, T(0.9), C);
+    ctx.syr2k<T>(Uplo::Upper, Transpose::None, n, k, T(0.1), A, B, T(0.9),
+                 C);
+    // Well-conditioned triangular systems for the solves.
+    {
+      auto ha = wl.matrix<T>(n, n);
+      for (std::int64_t i = 0; i < n; ++i)
+        ha[static_cast<std::size_t>(i * n + i)] += T(n);
+      A.write(ha);
+    }
+    ctx.trsv<T>(Uplo::Lower, Transpose::None, Diag::NonUnit, n, A, x);
+    ctx.trsm<T>(Side::Left, Uplo::Lower, Transpose::None, Diag::NonUnit, n,
+                n, T(1.0), A, B);
+    ctx.trsm<T>(Side::Right, Uplo::Upper, Transpose::Trans, Diag::NonUnit, n,
+                n, T(1.0), A, C);
+  };
+  EXPECT_NO_THROW(sweep(float{}));
+  EXPECT_NO_THROW(sweep(double{}));
+  const auto stats = ctx.exec_stats();
+  EXPECT_GT(stats.verified, 30u);
+  EXPECT_EQ(stats.verify_failures, 0u);
+  EXPECT_EQ(stats.sdc_caught, 0u);
+}
+
+// --- Taint channel: NaN/Inf provenance at module boundaries --------------
+
+TEST(VerifyTaint, TrapNamesTheProducingModule) {
+  const std::int64_t n = 32;
+  auto hx = Workload(86).vector<float>(n);
+  hx[7] = std::numeric_limits<float>::quiet_NaN();
+  host::Device dev;
+  host::Context ctx(dev);
+  ctx.config().trap_nonfinite = true;
+  host::Buffer<float> x(dev, n, 0);
+  x.write(hx);
+  host::Event e = ctx.scal_async<float>(n, 2.0f, x, 1);
+  try {
+    e.wait();
+    FAIL() << "expected TaintError";
+  } catch (const TaintError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("non-finite value"), std::string::npos);
+    EXPECT_NE(msg.find("module 'read_x'"), std::string::npos);
+    EXPECT_NE(msg.find("channel 'x'"), std::string::npos);
+  }
+  EXPECT_TRUE(e.status().failed());
+  // Deterministic, not transient: no retry could ever change the outcome.
+  EXPECT_EQ(ctx.exec_stats().retries, 0u);
+}
+
+TEST(VerifyTaint, VerifiedNaNRunSkipsChecksInsteadOfRejecting) {
+  // Without the trap, NaN data flows through (IEEE semantics) and the
+  // checkers skip their poisoned comparisons: Ok result, NaN output, no
+  // spurious corruption verdict.
+  const std::int64_t n = 32;
+  auto hx = Workload(87).vector<float>(n);
+  hx[3] = std::numeric_limits<float>::infinity();
+  host::Device dev;
+  host::Context ctx(dev);
+  ctx.set_retry_policy(fast_retry(2));
+  ctx.config().verify = verify::VerifyPolicy::Always;
+  host::Buffer<float> x(dev, n, 0);
+  x.write(hx);
+  host::Event e = ctx.scal_async<float>(n, 0.5f, x, 1);
+  EXPECT_NO_THROW(e.wait());
+  EXPECT_TRUE(e.status().ok());
+  EXPECT_TRUE(std::isinf(x.to_host()[3]));
+  EXPECT_EQ(ctx.exec_stats().verify_failures, 0u);
+}
+
+}  // namespace
+}  // namespace fblas
