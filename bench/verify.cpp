@@ -15,10 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "apps/atax.hpp"
 #include "common/table_printer.hpp"
 #include "common/workload.hpp"
 #include "host/buffer.hpp"
 #include "host/context.hpp"
+#include "verify/options.hpp"
 #include "verify/policy.hpp"
 
 namespace {
@@ -43,7 +45,7 @@ double time_policy(verify::VerifyPolicy vp, Body&& body) {
   for (int rep = 0; rep < kReps; ++rep) {
     host::Device dev;
     host::Context ctx(dev);
-    ctx.config().verify = vp;
+    ctx.config().verification.policy(vp);
     const auto t0 = Clock::now();
     body(dev, ctx);
     const auto t1 = Clock::now();
@@ -121,6 +123,82 @@ void overhead_table() {
             "\ncalls are cheap in absolute terms.\n");
 }
 
+void composition_overhead() {
+  // The checksum-carrying composition: Always-on per-edge verification of
+  // the composed ATAX command vs the same command unverified.
+  //
+  // The deployment metric is DEVICE CYCLES (makespan): on the FPGA the
+  // checksum taps are adders sitting beside the datapath — they observe
+  // every value crossing a channel without ever stalling the stream, so
+  // the verified composition must cost the same cycles as the unverified
+  // one. The criterion (< 5%) is on that metric. Wall clock in the
+  // functional simulator is also reported: its gap is the cost of
+  // simulating those adders in software (one double-accumulate per push)
+  // plus the O(nm) host-side pullback predictions, which a real
+  // deployment overlaps with device execution.
+  std::puts("== Composition overhead: composed ATAX, per-edge checksums ==");
+  const std::int64_t n = 128, m = 128;
+  Workload wl(93);
+  const auto ha = wl.matrix<float>(n, m);
+  const auto hx = wl.vector<float>(m);
+
+  auto run_composed = [&](stream::Mode mode, const verify::Options& vo) {
+    std::vector<double> ms;
+    std::uint64_t cycles = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      host::Device dev;
+      host::Context ctx(dev, mode);
+      ctx.config().verification = vo;
+      host::Buffer<float> a(dev, n * m, 0), x(dev, m, 1), y(dev, m, 2);
+      a.write(ha);
+      x.write(hx);
+      y.write(std::vector<float>(static_cast<std::size_t>(m), 0.0f));
+      const auto t0 = Clock::now();
+      apps::atax_composed<float>(ctx, n, m, a, x, y);
+      const auto t1 = Clock::now();
+      ms.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      cycles = ctx.exec_stats().makespan_cycles;
+    }
+    return std::make_pair(median_ms(std::move(ms)), cycles);
+  };
+
+  const auto [cyc_off_ms, cyc_off] =
+      run_composed(stream::Mode::Cycle, verify::Options::off());
+  const auto [cyc_on_ms, cyc_on] =
+      run_composed(stream::Mode::Cycle, verify::Options::always());
+  const auto [fun_off_ms, fun_off_cycles] =
+      run_composed(stream::Mode::Functional, verify::Options::off());
+  const auto [fun_on_ms, fun_on_cycles] =
+      run_composed(stream::Mode::Functional, verify::Options::always());
+  (void)cyc_off_ms;
+  (void)cyc_on_ms;
+  (void)fun_off_cycles;
+  (void)fun_on_cycles;
+
+  TablePrinter t({"Metric", "Off", "Always", "Always overhead"});
+  t.add_row({"device cycles (atax 128x128)",
+             TablePrinter::fmt_int(static_cast<std::int64_t>(cyc_off)),
+             TablePrinter::fmt_int(static_cast<std::int64_t>(cyc_on)),
+             TablePrinter::fmt(
+                 100.0 * (static_cast<double>(cyc_on) -
+                          static_cast<double>(cyc_off)) /
+                     static_cast<double>(cyc_off),
+                 1) +
+                 "%"});
+  t.add_row({"sim wall clock ms (atax 128x128)",
+             TablePrinter::fmt(fun_off_ms, 2), TablePrinter::fmt(fun_on_ms, 2),
+             TablePrinter::fmt(100.0 * (fun_on_ms - fun_off_ms) / fun_off_ms,
+                               1) +
+                 "%"});
+  t.print();
+  std::puts("Criterion: < 5% in device cycles. The taps never stall the"
+            " stream and the\npredictions are flat host passes over the DRAM"
+            " inputs — no intermediate is\nmaterialized. The simulator's"
+            " wall-clock gap prices the per-push software\naccumulate that"
+            " hardware gets for free.\n");
+}
+
 void protection_demo() {
   std::puts("== Protection: 5% silent corruption, GEMM batch ==");
   const std::int64_t d = 96;
@@ -142,7 +220,7 @@ void protection_demo() {
     policy.max_retries = 4;
     policy.backoff = std::chrono::microseconds(0);
     ctx.set_retry_policy(policy);
-    ctx.config().verify = vp;
+    ctx.config().verification.policy(vp);
     host::Buffer<float> a(dev, d * d, 0), b(dev, d * d, 1), c(dev, d * d, 2);
     a.write(ha);
     b.write(hb);
@@ -188,6 +266,7 @@ void protection_demo() {
 int main() {
   std::puts("FBLAS ABFT result verification\n");
   overhead_table();
+  composition_overhead();
   protection_demo();
   return 0;
 }

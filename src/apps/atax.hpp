@@ -63,6 +63,32 @@ template <typename T>
 AtaxResult<T> atax_host_layer(host::Context& ctx, MatrixView<const T> A,
                               VectorView<const T> x);
 
+/// Fully-streaming composition as ONE host command: the whole two-GEMV
+/// graph runs inside a single Command, so the intermediate q never
+/// round-trips DRAM, yet the command still gets the executor's full
+/// fault-tolerance ladder (snapshot, rollback, retry, CPU fallback) and —
+/// when the captured verify::Options enable it — end-to-end checksum
+/// verification of every streaming edge via verify::GraphChecker, which
+/// localizes silent mid-pipeline corruption to the first divergent
+/// channel. `a` is n x m row-major, `x` length m, `y` length m.
+template <typename T>
+host::Event atax_composed_async(host::Context& ctx, std::int64_t n,
+                                std::int64_t m, const host::Buffer<T>& a,
+                                const host::Buffer<T>& x, host::Buffer<T>& y);
+/// Same, with a per-call verification override (scoped via ConfigGuard —
+/// knobs are captured at enqueue, so only this command is affected).
+template <typename T>
+host::Event atax_composed_async(host::Context& ctx, std::int64_t n,
+                                std::int64_t m, const host::Buffer<T>& a,
+                                const host::Buffer<T>& x, host::Buffer<T>& y,
+                                const verify::Options& vo);
+template <typename T>
+void atax_composed(host::Context& ctx, std::int64_t n, std::int64_t m,
+                   const host::Buffer<T>& a, const host::Buffer<T>& x,
+                   host::Buffer<T>& y) {
+  atax_composed_async(ctx, n, m, a, x, y).wait();
+}
+
 /// CPU reference.
 template <typename T>
 std::vector<T> atax_cpu(MatrixView<const T> A, VectorView<const T> x);

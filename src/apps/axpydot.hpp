@@ -39,6 +39,35 @@ AxpydotResult<T> axpydot_host_layer(host::Context& ctx,
                                     VectorView<const T> v,
                                     VectorView<const T> u, T alpha);
 
+/// Streaming composition as ONE host command: AXPY chains into DOT on
+/// chip (z never materializes) and the result lands in `*beta`. The
+/// command gets the executor's fault-tolerance ladder and — when the
+/// captured verify::Options enable it — per-edge checksum verification
+/// (verify::GraphChecker): the z edge is predicted by the AXPY linearity
+/// rule, the beta edge by recomputing the bilinear DOT in double over the
+/// host operands. All vectors have length n.
+template <typename T>
+host::Event axpydot_composed_async(host::Context& ctx, std::int64_t n,
+                                   const host::Buffer<T>& w,
+                                   const host::Buffer<T>& v,
+                                   const host::Buffer<T>& u, T alpha,
+                                   T* beta);
+/// Same, with a per-call verification override (scoped via ConfigGuard).
+template <typename T>
+host::Event axpydot_composed_async(host::Context& ctx, std::int64_t n,
+                                   const host::Buffer<T>& w,
+                                   const host::Buffer<T>& v,
+                                   const host::Buffer<T>& u, T alpha, T* beta,
+                                   const verify::Options& vo);
+template <typename T>
+T axpydot_composed(host::Context& ctx, std::int64_t n,
+                   const host::Buffer<T>& w, const host::Buffer<T>& v,
+                   const host::Buffer<T>& u, T alpha) {
+  T beta{};
+  axpydot_composed_async(ctx, n, w, v, u, alpha, &beta).wait();
+  return beta;
+}
+
 /// CPU reference.
 template <typename T>
 T axpydot_cpu(VectorView<const T> w, VectorView<const T> v,

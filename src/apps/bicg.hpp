@@ -35,6 +35,34 @@ template <typename T>
 BicgResult<T> bicg_host_layer(host::Context& ctx, MatrixView<const T> A,
                               VectorView<const T> p, VectorView<const T> r);
 
+/// Streaming composition as ONE host command: A is read once and
+/// broadcast on chip, q and s land straight in their device buffers, and
+/// the command carries the executor's fault-tolerance ladder plus — when
+/// the captured verify::Options enable it — per-edge checksum
+/// verification (verify::GraphChecker) that localizes mid-pipeline
+/// corruption to the first divergent channel. `a` is n x m row-major,
+/// `p` length m, `r` length n, `q` length n, `s` length m.
+template <typename T>
+host::Event bicg_composed_async(host::Context& ctx, std::int64_t n,
+                                std::int64_t m, const host::Buffer<T>& a,
+                                const host::Buffer<T>& p,
+                                const host::Buffer<T>& r, host::Buffer<T>& q,
+                                host::Buffer<T>& s);
+/// Same, with a per-call verification override (scoped via ConfigGuard).
+template <typename T>
+host::Event bicg_composed_async(host::Context& ctx, std::int64_t n,
+                                std::int64_t m, const host::Buffer<T>& a,
+                                const host::Buffer<T>& p,
+                                const host::Buffer<T>& r, host::Buffer<T>& q,
+                                host::Buffer<T>& s, const verify::Options& vo);
+template <typename T>
+void bicg_composed(host::Context& ctx, std::int64_t n, std::int64_t m,
+                   const host::Buffer<T>& a, const host::Buffer<T>& p,
+                   const host::Buffer<T>& r, host::Buffer<T>& q,
+                   host::Buffer<T>& s) {
+  bicg_composed_async(ctx, n, m, a, p, r, q, s).wait();
+}
+
 /// CPU reference.
 template <typename T>
 BicgResult<T> bicg_cpu(MatrixView<const T> A, VectorView<const T> p,

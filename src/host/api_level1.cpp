@@ -90,13 +90,13 @@ Event Context::rot_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
   cmd.fallback = [n, &x, incx, &y, incy, c, s] {
     ref::rot(x.vec(n, incx), y.vec(n, incy), c, s);
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::PairCheck>();
     cmd.verify_prepare = [chk, n, &x, incx, &y, incy, c, s] {
       *chk = verify::rot_prepare<T>(x.cvec(n, incx), y.cvec(n, incy), c, s);
     };
     cmd.verify_check = [chk, n, &x, incx, &y, incy,
-                        scale = cfg_.verify_tolerance_scale] {
+                        scale = cfg_.verification.tolerance_scale()] {
       verify::check_sum<T>(chk->x, "rot(x)", x.cvec(n, incx), scale);
       verify::check_sum<T>(chk->y, "rot(y)", y.cvec(n, incy), scale);
     };
@@ -166,13 +166,13 @@ Event Context::swap_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
   cmd.fallback = [n, &x, incx, &y, incy] {
     ref::swap(x.vec(n, incx), y.vec(n, incy));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::PairCheck>();
     cmd.verify_prepare = [chk, n, &x, incx, &y, incy] {
       *chk = verify::swap_prepare<T>(x.cvec(n, incx), y.cvec(n, incy));
     };
     cmd.verify_check = [chk, n, &x, incx, &y, incy,
-                        scale = cfg_.verify_tolerance_scale] {
+                        scale = cfg_.verification.tolerance_scale()] {
       verify::check_sum<T>(chk->x, "swap(x)", x.cvec(n, incx), scale);
       verify::check_sum<T>(chk->y, "swap(y)", y.cvec(n, incy), scale);
     };
@@ -201,13 +201,13 @@ Event Context::scal_async(std::int64_t n, T alpha, Buffer<T>& x,
     run_graph(g);
   };
   cmd.fallback = [n, alpha, &x, incx] { ref::scal(alpha, x.vec(n, incx)); };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::ScalarCheck>();
     cmd.verify_prepare = [chk, n, alpha, &x, incx] {
       *chk = verify::scal_prepare<T>(alpha, x.cvec(n, incx));
     };
     cmd.verify_check = [chk, n, &x, incx,
-                        scale = cfg_.verify_tolerance_scale] {
+                        scale = cfg_.verification.tolerance_scale()] {
       verify::check_sum<T>(*chk, "scal", x.cvec(n, incx), scale);
     };
   }
@@ -238,13 +238,13 @@ Event Context::copy_async(std::int64_t n, const Buffer<T>& x,
   cmd.fallback = [n, &x, incx, &y, incy] {
     ref::copy(x.cvec(n, incx), y.vec(n, incy));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::ScalarCheck>();
     cmd.verify_prepare = [chk, n, &x, incx] {
       *chk = verify::copy_prepare<T>(x.cvec(n, incx));
     };
     cmd.verify_check = [chk, n, &y, incy,
-                        scale = cfg_.verify_tolerance_scale] {
+                        scale = cfg_.verification.tolerance_scale()] {
       verify::check_sum<T>(*chk, "copy", y.cvec(n, incy), scale);
     };
   }
@@ -278,13 +278,13 @@ Event Context::axpy_async(std::int64_t n, T alpha, const Buffer<T>& x,
   cmd.fallback = [n, alpha, &x, incx, &y, incy] {
     ref::axpy(alpha, x.cvec(n, incx), y.vec(n, incy));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::ScalarCheck>();
     cmd.verify_prepare = [chk, n, alpha, &x, incx, &y, incy] {
       *chk = verify::axpy_prepare<T>(alpha, x.cvec(n, incx), y.cvec(n, incy));
     };
     cmd.verify_check = [chk, n, &y, incy,
-                        scale = cfg_.verify_tolerance_scale] {
+                        scale = cfg_.verification.tolerance_scale()] {
       verify::check_sum<T>(*chk, "axpy", y.cvec(n, incy), scale);
     };
   }
@@ -319,11 +319,11 @@ Event Context::dot_async(std::int64_t n, const Buffer<T>& x,
   cmd.fallback = [n, &x, incx, &y, incy, result] {
     *result = ref::dot(x.cvec(n, incx), y.cvec(n, incy));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     // Single-phase: the inputs are untouched, so the checker recomputes
     // the reduction in double after the fact — no prepare pass needed.
     cmd.verify_check = [n, &x, incx, &y, incy, result,
-                        scale = cfg_.verify_tolerance_scale] {
+                        scale = cfg_.verification.tolerance_scale()] {
       verify::dot_check<T>(x.cvec(n, incx), y.cvec(n, incy), *result, scale);
     };
   }
@@ -382,9 +382,9 @@ Event Context::nrm2_async(std::int64_t n, const Buffer<T>& x,
     *result = out[0];
   };
   cmd.fallback = [n, &x, incx, result] { *result = ref::nrm2(x.cvec(n, incx)); };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     cmd.verify_check = [n, &x, incx, result,
-                        scale = cfg_.verify_tolerance_scale] {
+                        scale = cfg_.verification.tolerance_scale()] {
       verify::nrm2_check<T>(x.cvec(n, incx), *result, scale);
     };
   }
@@ -413,9 +413,9 @@ Event Context::asum_async(std::int64_t n, const Buffer<T>& x,
     *result = out[0];
   };
   cmd.fallback = [n, &x, incx, result] { *result = ref::asum(x.cvec(n, incx)); };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     cmd.verify_check = [n, &x, incx, result,
-                        scale = cfg_.verify_tolerance_scale] {
+                        scale = cfg_.verification.tolerance_scale()] {
       verify::asum_check<T>(x.cvec(n, incx), *result, scale);
     };
   }
@@ -446,7 +446,7 @@ Event Context::iamax_async(std::int64_t n, const Buffer<T>& x,
   cmd.fallback = [n, &x, incx, result] {
     *result = ref::iamax(x.cvec(n, incx));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     cmd.verify_check = [n, &x, incx, result] {
       verify::iamax_check<T>(x.cvec(n, incx), *result);
     };

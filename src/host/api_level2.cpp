@@ -66,7 +66,7 @@ Event Context::gemv_async(Transpose trans, std::int64_t rows,
     ref::gemv(trans, alpha, a.cmat(rows, cols), x.cvec(xlen, incx), beta,
               y.vec(ylen, incy));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     const std::int64_t xlen = trans == Transpose::None ? cols : rows;
     const std::int64_t ylen = trans == Transpose::None ? rows : cols;
     auto chk = std::make_shared<verify::ScalarCheck>();
@@ -77,7 +77,7 @@ Event Context::gemv_async(Transpose trans, std::int64_t rows,
                                      beta, y.cvec(ylen, incy));
     };
     command.verify_check = [chk, &y, incy, ylen,
-                            scale = cfg_.verify_tolerance_scale] {
+                            scale = cfg_.verification.tolerance_scale()] {
       verify::check_sum<T>(*chk, "gemv", y.cvec(ylen, incy), scale);
     };
   }
@@ -116,7 +116,7 @@ Event Context::trsv_async(Uplo uplo, Transpose trans, Diag diag,
   command.fallback = [uplo, trans, diag, n, &a, &x, incx] {
     ref::trsv(uplo, trans, diag, a.cmat(n, n), x.vec(n, incx));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     // Residual check: the solve overwrites b with x, so capture e^T b
     // first; afterwards e^T (op(A) x) must reproduce it.
     auto chk = std::make_shared<verify::ScalarCheck>();
@@ -124,7 +124,7 @@ Event Context::trsv_async(Uplo uplo, Transpose trans, Diag diag,
       *chk = verify::trsv_prepare<T>(n, x.cvec(n, incx));
     };
     command.verify_check = [chk, uplo, trans, diag, n, &a, &x, incx,
-                            scale = cfg_.verify_tolerance_scale] {
+                            scale = cfg_.verification.tolerance_scale()] {
       verify::trsv_check<T>(*chk, uplo, trans, diag, n, a.cmat(n, n),
                             x.cvec(n, incx), scale);
     };
@@ -172,7 +172,7 @@ Event Context::ger_async(std::int64_t rows, std::int64_t cols, T alpha,
     ref::ger(alpha, x.cvec(rows, incx), y.cvec(cols, incy),
              a.mat(rows, cols));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::RowSumCheck>();
     command.verify_prepare = [chk, rows, cols, alpha, &x, incx, &y, incy,
                               &a] {
@@ -180,7 +180,7 @@ Event Context::ger_async(std::int64_t rows, std::int64_t cols, T alpha,
                                     y.cvec(cols, incy), a.cmat(rows, cols));
     };
     command.verify_check = [chk, rows, cols, &a,
-                            scale = cfg_.verify_tolerance_scale] {
+                            scale = cfg_.verification.tolerance_scale()] {
       verify::check_rowsums<T>(*chk, "ger", a.cmat(rows, cols), scale);
     };
   }
@@ -226,14 +226,14 @@ Event Context::syr_async(Uplo uplo, std::int64_t n, T alpha,
   command.fallback = [uplo, n, alpha, &x, incx, &a] {
     ref::syr(uplo, alpha, x.cvec(n, incx), a.mat(n, n));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::RowSumCheck>();
     command.verify_prepare = [chk, uplo, n, alpha, &x, incx, &a] {
       *chk = verify::syr_prepare<T>(uplo, n, alpha, x.cvec(n, incx),
                                     a.cmat(n, n));
     };
     command.verify_check = [chk, n, &a,
-                            scale = cfg_.verify_tolerance_scale] {
+                            scale = cfg_.verification.tolerance_scale()] {
       verify::check_rowsums<T>(*chk, "syr", a.cmat(n, n), scale);
     };
   }
@@ -290,14 +290,14 @@ Event Context::syr2_async(Uplo uplo, std::int64_t n, T alpha,
   command.fallback = [uplo, n, alpha, &x, incx, &y, incy, &a] {
     ref::syr2(uplo, alpha, x.cvec(n, incx), y.cvec(n, incy), a.mat(n, n));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::RowSumCheck>();
     command.verify_prepare = [chk, uplo, n, alpha, &x, incx, &y, incy, &a] {
       *chk = verify::syr2_prepare<T>(uplo, n, alpha, x.cvec(n, incx),
                                      y.cvec(n, incy), a.cmat(n, n));
     };
     command.verify_check = [chk, n, &a,
-                            scale = cfg_.verify_tolerance_scale] {
+                            scale = cfg_.verification.tolerance_scale()] {
       verify::check_rowsums<T>(*chk, "syr2", a.cmat(n, n), scale);
     };
   }

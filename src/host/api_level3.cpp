@@ -20,6 +20,29 @@ Transpose flip(Transpose t) {
   return t == Transpose::None ? Transpose::Trans : Transpose::None;
 }
 
+// Steers an injected silent corruption of an n x n triangular output onto
+// the written (`uplo`) triangle: the injector's raw byte draw is folded
+// onto a triangle element and the damage lands on that element's last
+// (sign/exponent) byte. Without this the draw can fall in the preserved
+// opposite triangle, which the routine never writes — damage no checker
+// could, or should, detect.
+std::uint64_t steer_triangular(Uplo uplo, std::int64_t n, std::uint64_t elem,
+                               std::uint64_t raw, std::uint64_t size) {
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  const std::uint64_t tri = un * (un + 1) / 2;
+  if (tri == 0 || size == 0) return 0;
+  std::uint64_t t = (raw / elem) % tri;
+  // Row i of the triangle holds i+1 (Lower) or n-i (Upper) elements.
+  std::uint64_t i = 0;
+  for (std::uint64_t len = uplo == Uplo::Lower ? 1 : un; t >= len;
+       ++i, len = uplo == Uplo::Lower ? len + 1 : len - 1) {
+    t -= len;
+  }
+  const std::uint64_t j = uplo == Uplo::Lower ? t : i + t;
+  const std::uint64_t off = (i * un + j) * elem + (elem - 1);
+  return off < size ? off : size - 1;
+}
+
 }  // namespace
 
 template <typename T>
@@ -70,7 +93,7 @@ Event Context::gemm_async(Transpose ta, Transpose tb, std::int64_t m,
                      tb == Transpose::None ? n : k),
               beta, c.mat(m, n));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::GemmCheck<T>>();
     command.verify_prepare = [chk, ta, tb, m, n, k, alpha, &a, &b, beta,
                               &c] {
@@ -83,7 +106,7 @@ Event Context::gemm_async(Transpose ta, Transpose tb, std::int64_t m,
           beta, c.cmat(m, n));
     };
     command.verify_check = [chk, m, n, &c,
-                            scale = cfg_.verify_tolerance_scale] {
+                            scale = cfg_.verification.tolerance_scale()] {
       verify::gemm_check<T>(*chk, c.cmat(m, n), scale);
     };
   }
@@ -135,7 +158,7 @@ Event Context::syrk_async(Uplo uplo, Transpose trans, std::int64_t n,
                      trans == Transpose::None ? k : n),
               beta, c.mat(n, n));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::RowSumCheck>();
     command.verify_prepare = [chk, uplo, trans, n, k, alpha, &a, beta, &c] {
       *chk = verify::syrk_prepare<T>(
@@ -145,10 +168,13 @@ Event Context::syrk_async(Uplo uplo, Transpose trans, std::int64_t n,
           beta, c.cmat(n, n));
     };
     command.verify_check = [chk, n, &c,
-                            scale = cfg_.verify_tolerance_scale] {
+                            scale = cfg_.verification.tolerance_scale()] {
       verify::check_rowsums<T>(*chk, "syrk", c.cmat(n, n), scale);
     };
   }
+  command.corrupt_steer = [uplo, n](std::uint64_t raw, std::uint64_t size) {
+    return steer_triangular(uplo, n, sizeof(T), raw, size);
+  };
   return enqueue(std::move(command));
 }
 
@@ -203,7 +229,7 @@ Event Context::syr2k_async(Uplo uplo, Transpose trans, std::int64_t n,
     ref::syr2k(uplo, trans, alpha, a.cmat(rows, cols), b.cmat(rows, cols),
                beta, c.mat(n, n));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     auto chk = std::make_shared<verify::RowSumCheck>();
     command.verify_prepare = [chk, uplo, trans, n, k, alpha, &a, &b, beta,
                               &c] {
@@ -214,10 +240,13 @@ Event Context::syr2k_async(Uplo uplo, Transpose trans, std::int64_t n,
                                       beta, c.cmat(n, n));
     };
     command.verify_check = [chk, n, &c,
-                            scale = cfg_.verify_tolerance_scale] {
+                            scale = cfg_.verification.tolerance_scale()] {
       verify::check_rowsums<T>(*chk, "syr2k", c.cmat(n, n), scale);
     };
   }
+  command.corrupt_steer = [uplo, n](std::uint64_t raw, std::uint64_t size) {
+    return steer_triangular(uplo, n, sizeof(T), raw, size);
+  };
   return enqueue(std::move(command));
 }
 
@@ -297,7 +326,7 @@ Event Context::trsm_async(Side side, Uplo uplo, Transpose trans, Diag diag,
     ref::trsm(side, uplo, trans, diag, alpha, a.cmat(adim, adim),
               b.mat(m, n));
   };
-  if (cfg_.verify != verify::VerifyPolicy::Off) {
+  if (cfg_.verification.enabled()) {
     // Residual check: the solve overwrites B with X, so capture the
     // right-hand-side checksums alpha*(B e) first; afterwards op(A)(X e)
     // must reproduce them.
@@ -306,7 +335,7 @@ Event Context::trsm_async(Side side, Uplo uplo, Transpose trans, Diag diag,
       *chk = verify::trsm_prepare<T>(side, m, n, alpha, b.cmat(m, n));
     };
     command.verify_check = [chk, side, uplo, trans, diag, m, n, &a, &b,
-                            scale = cfg_.verify_tolerance_scale] {
+                            scale = cfg_.verification.tolerance_scale()] {
       const std::int64_t adim = side == Side::Left ? m : n;
       verify::trsm_check<T>(*chk, side, uplo, trans, diag, m, n,
                             a.cmat(adim, adim), b.cmat(m, n), scale);

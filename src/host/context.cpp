@@ -20,6 +20,12 @@ struct RunScope {
   bool active = false;
   bool taint_record = false;  // screen pushes for NaN/Inf, keep provenance
   bool taint_trap = false;    // additionally throw TaintError on the spot
+  // ChannelCorrupt: flip bits of the corrupt_k-th floating-point value
+  // pushed across this command's graph launches (0 = disarmed). Stays
+  // armed across launches until it fires, so a short first graph cannot
+  // swallow the fault.
+  std::uint64_t corrupt_k = 0;
+  bool corrupt_fired = false;
 };
 thread_local RunScope tl_scope;
 
@@ -46,30 +52,19 @@ void RoutineConfig::validate() const {
   validate_knob(pe_cols > 0, "pe_cols", pe_cols);
   validate_knob(gemm_tile_rows > 0, "gemm_tile_rows", gemm_tile_rows);
   validate_knob(gemm_tile_cols > 0, "gemm_tile_cols", gemm_tile_cols);
-  if (!(verify_sample_rate >= 0.0 && verify_sample_rate <= 1.0)) {
-    std::ostringstream os;
-    os << "RoutineConfig.verify_sample_rate must be in [0, 1] (got "
-       << verify_sample_rate << ")";
-    throw ConfigError(os.str());
-  }
-  if (!(verify_tolerance_scale > 0.0)) {
-    std::ostringstream os;
-    os << "RoutineConfig.verify_tolerance_scale must be > 0 (got "
-       << verify_tolerance_scale << ")";
-    throw ConfigError(os.str());
-  }
+  verification.validate();
 }
 
 Context::Context(Device& dev, stream::Mode mode, int workers)
     : dev_(&dev), mode_(mode), exec_(std::make_unique<Executor>(workers)) {}
 
-std::function<void()> Context::wrap_work(std::uint64_t seq,
-                                         std::function<void()> work,
-                                         std::vector<const void*> writes,
-                                         bool taint_record,
-                                         bool taint_trap) {
+std::function<void()> Context::wrap_work(
+    std::uint64_t seq, std::function<void()> work,
+    std::vector<const void*> writes, bool taint_record, bool taint_trap,
+    std::function<std::uint64_t(std::uint64_t, std::uint64_t)> steer) {
   return [this, seq, inner = std::move(work), writes = std::move(writes),
-          wd = watchdog_, taint_record, taint_trap] {
+          wd = watchdog_, taint_record, taint_trap,
+          steer = std::move(steer)] {
     const int attempt = Executor::current_attempt();
     FaultInjector& faults = dev_->faults();
     const FaultKind fault = faults.enabled()
@@ -84,10 +79,22 @@ std::function<void()> Context::wrap_work(std::uint64_t seq,
     tl_last_taint = stream::Taint{};  // fresh provenance per attempt
     tl_scope = RunScope{wd, fault == FaultKind::Wedge, true, taint_record,
                         taint_trap};
+    if (fault == FaultKind::ChannelCorrupt) {
+      // Corrupt the k-th floating-point value pushed across this
+      // command's graph launches, k in [1, 1024] — deep enough to land
+      // mid-pipeline on realistic sizes, small enough to fire on any
+      // graph streaming more than 1024 values.
+      tl_scope.corrupt_k = 1 + faults.corrupt_offset(seq, attempt, 1024);
+    }
     struct Reset {
       ~Reset() { tl_scope = RunScope{}; }
     } reset;
     if (inner) inner();
+    if (fault == FaultKind::ChannelCorrupt && !tl_scope.corrupt_fired) {
+      // The command launched no graph (or a graph too short to reach the
+      // k-th push): nothing was damaged, so un-count the fault.
+      faults.retract();
+    }
     if (fault == FaultKind::CorruptTransfer) {
       // Model a detected bad write-back (ECC/CRC): the data really is
       // mangled in device memory AND the error is reported, so the
@@ -116,7 +123,13 @@ std::function<void()> Context::wrap_work(std::uint64_t seq,
         std::span<std::byte> bytes = dev_->buffer_bytes(key);
         if (bytes.empty()) continue;
         std::uint64_t off = faults.corrupt_offset(seq, attempt, bytes.size());
-        off |= 7;
+        if (steer) {
+          // The routine steers the fault onto bytes it semantically owns
+          // (e.g. SYRK's written triangle), returning the final offset.
+          off = steer(off, bytes.size());
+        } else {
+          off |= 7;
+        }
         if (off >= bytes.size()) off = bytes.size() - 1;
         bytes[static_cast<std::size_t>(off)] ^= std::byte{0x5a};
         mangled = true;
@@ -159,11 +172,35 @@ CommandHooks Context::make_hooks(const Command& cmd) {
   return hooks;
 }
 
-std::function<void()> Context::wrap_verify(std::function<void()> check) {
-  return [check = std::move(check)] {
+double Context::effective_sample_rate(const verify::Options& vo) const {
+  if (!vo.adaptive()) return vo.sample_rate();
+  const double live = adaptive_rate_.load(std::memory_order_relaxed);
+  return live < 0.0 ? vo.sample_rate() : live;
+}
+
+std::function<void()> Context::wrap_verify(std::function<void()> check,
+                                           bool adaptive) {
+  // Adaptive controller bounds, frozen at enqueue like every other knob:
+  // a rejection quadruples the live rate (towards 1), a clean check
+  // decays it by 2% towards a floor a quarter of the configured base.
+  const double base = cfg_.verification.sample_rate();
+  const double floor = std::max(0.01, base / 4.0);
+  auto feed = [this, adaptive, base, floor](bool rejected) {
+    if (!adaptive) return;
+    const double live = adaptive_rate_.load(std::memory_order_relaxed);
+    const double cur = live < 0.0 ? base : live;
+    const double next = rejected ? std::min(1.0, std::max(cur, floor) * 4.0)
+                                 : std::max(floor, cur * 0.98);
+    // Plain store: concurrent verifiers may overwrite each other's
+    // update, which only costs one controller step of a heuristic.
+    adaptive_rate_.store(next, std::memory_order_relaxed);
+  };
+  return [check = std::move(check), feed = std::move(feed)] {
     try {
       check();
+      feed(false);
     } catch (const VerificationError& e) {
+      feed(true);
       // A checksum mismatch on NaN/Inf-poisoned data is a numerical
       // symptom, not necessarily hardware corruption — attach the taint
       // provenance recorded during the run so the two are separable.
@@ -209,27 +246,32 @@ Event Context::enqueue(Command cmd) {
     const RetryPolicy policy = exec_->retry_policy();
     // Verification arms per command, per the captured config: Always
     // verifies every checkable routine; Sampled draws a pure hash of
-    // (verify_seed, seq) so the choice is deterministic and identical
-    // across executor policies.
+    // (seed, seq) so the choice is deterministic and identical across
+    // executor policies — except under adaptive sampling, where the live
+    // rate (raised by rejections, decayed by clean checks) replaces the
+    // configured base. Read through a const ref: on a mutable Options the
+    // no-arg accessor spellings resolve to the fluent setters.
+    const verify::Options& vo = cfg_.verification;
     const bool verify_armed =
         static_cast<bool>(cmd.verify_check) &&
-        (cfg_.verify == verify::VerifyPolicy::Always ||
-         (cfg_.verify == verify::VerifyPolicy::Sampled &&
-          verify::sampled(cfg_.verify_seed, seq, cfg_.verify_sample_rate)));
+        (vo.policy() == verify::VerifyPolicy::Always ||
+         (vo.policy() == verify::VerifyPolicy::Sampled &&
+          verify::sampled(vo.seed(), seq, effective_sample_rate(vo))));
     const bool instrumented = dev_->faults().enabled() ||
                               watchdog_.enabled() || verify_armed ||
-                              cfg_.trap_nonfinite;
+                              vo.trap_nonfinite();
     if (instrumented) {
       work = wrap_work(seq, std::move(work), cmd.writes,
-                       verify_armed || cfg_.trap_nonfinite,
-                       cfg_.trap_nonfinite);
+                       verify_armed || vo.trap_nonfinite(),
+                       vo.trap_nonfinite(), std::move(cmd.corrupt_steer));
     }
     if (policy.max_retries > 0 || policy.cpu_fallback || verify_armed) {
       hooks = make_hooks(cmd);
     }
     if (verify_armed) {
       hooks.verify_prepare = std::move(cmd.verify_prepare);
-      hooks.verify_check = wrap_verify(std::move(cmd.verify_check));
+      hooks.verify_check =
+          wrap_verify(std::move(cmd.verify_check), vo.adaptive());
     }
   }
   exec_->submit(seq, std::move(work), deps, std::move(hooks));
@@ -265,6 +307,8 @@ CommandStatus Context::status_seq(std::uint64_t seq) const {
 ExecStats Context::exec_stats() const {
   ExecStats stats = exec_->stats();
   stats.faults_injected = dev_->faults().injected();
+  const double live = adaptive_rate_.load(std::memory_order_relaxed);
+  stats.adaptive_sample_rate = live < 0.0 ? 0.0 : live;
   return stats;
 }
 
@@ -280,10 +324,19 @@ void Context::run_graph(stream::Graph& g) {
       g.scheduler().wedge_after(16);
     }
     if (taint) g.scheduler().enable_taint(tl_scope.taint_trap);
+    if (tl_scope.corrupt_k != 0) {
+      g.scheduler().corrupt_push(tl_scope.corrupt_k);
+    }
   }
   g.run(wd);
   if (taint && g.scheduler().taint().tainted && !tl_last_taint.tainted) {
     tl_last_taint = g.scheduler().taint();
+  }
+  if (tl_scope.active && tl_scope.corrupt_k != 0 &&
+      g.scheduler().corruption_fired()) {
+    tl_scope.corrupt_k = 0;
+    tl_scope.corrupt_fired = true;
+    dev_->faults().record_victim(g.scheduler().corrupted_channel());
   }
   const std::uint64_t cycles = g.cycles();
   Executor::note_cycles(cycles);

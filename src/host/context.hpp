@@ -53,12 +53,48 @@
 #include "host/executor.hpp"
 #include "refblas/level1.hpp"
 #include "stream/graph.hpp"
+#include "verify/options.hpp"
 #include "verify/policy.hpp"
 
 namespace fblas::host {
 
 /// Tunable non-functional parameters applied to subsequent calls.
 struct RoutineConfig {
+  // The constructors and the shim declarations below necessarily touch
+  // the deprecated members (their default member initializers bind the
+  // references); that is the shim mechanism itself, not legacy usage, so
+  // the diagnostic is silenced for this block only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  RoutineConfig() = default;
+  // The deprecated legacy verification fields below are references into
+  // `verification`, so copying must copy the value members and let each
+  // object's shims rebind to its *own* Options (the default member
+  // initializers do exactly that when the references are left out of the
+  // mem-init list).
+  RoutineConfig(const RoutineConfig& o)
+      : width(o.width),
+        tile_rows(o.tile_rows),
+        tile_cols(o.tile_cols),
+        tiling(o.tiling),
+        pe_rows(o.pe_rows),
+        pe_cols(o.pe_cols),
+        gemm_tile_rows(o.gemm_tile_rows),
+        gemm_tile_cols(o.gemm_tile_cols),
+        verification(o.verification) {}
+  RoutineConfig& operator=(const RoutineConfig& o) {
+    width = o.width;
+    tile_rows = o.tile_rows;
+    tile_cols = o.tile_cols;
+    tiling = o.tiling;
+    pe_rows = o.pe_rows;
+    pe_cols = o.pe_cols;
+    gemm_tile_rows = o.gemm_tile_rows;
+    gemm_tile_cols = o.gemm_tile_cols;
+    verification = o.verification;
+    return *this;
+  }
+
   int width = 16;                   ///< vectorization width W
   std::int64_t tile_rows = 256;     ///< TN (Level 2)
   std::int64_t tile_cols = 256;     ///< TM (Level 2)
@@ -69,28 +105,31 @@ struct RoutineConfig {
   std::int64_t gemm_tile_cols = 16; ///< TC
 
   // --- Result verification (ABFT) ---------------------------------------
-  /// When to run checksum/invariant verification of routine results:
-  /// Off (default), Sampled (a deterministic fraction of commands), or
-  /// Always. A rejected result is treated like a detected transient
-  /// fault — rollback, retry, CPU fallback — under the RetryPolicy.
-  verify::VerifyPolicy verify = verify::VerifyPolicy::Off;
-  /// Fraction of commands verified under VerifyPolicy::Sampled, in
-  /// [0, 1]. The choice is a pure hash of (verify_seed, command seq), so
-  /// it is identical across executor policies and re-runs.
-  double verify_sample_rate = 0.25;
-  /// Multiplier on the analytic floating-point error bound used as the
-  /// checksum comparison tolerance. Must be > 0; raise it if legitimate
-  /// rounding on adversarial data ever trips the checkers, lower it to
-  /// tighten detection.
-  double verify_tolerance_scale = 32.0;
-  /// Seed for the Sampled-mode selection hash.
-  std::uint64_t verify_seed = 0;
-  /// Arms the streaming taint trap: a module pushing NaN/Inf into a
-  /// channel raises TaintError (deterministic, non-retryable) naming the
-  /// module, instead of silently poisoning everything downstream.
-  /// Without the trap, taint provenance is still recorded whenever
-  /// verification is on and attached to verification failures.
-  bool trap_nonfinite = false;
+  /// All verification knobs in one value type with a fluent builder:
+  ///
+  ///   ctx.config().verification = verify::Options::always()
+  ///                                   .tolerance_scale(4)
+  ///                                   .trap_nonfinite();
+  ///
+  /// A rejected result is treated like a detected transient fault —
+  /// rollback, retry, CPU fallback — under the RetryPolicy. The same
+  /// Options value configures composed app commands (apps/*_composed).
+  verify::Options verification;
+
+  // Legacy spellings of the verification knobs, kept as deprecated
+  // reference shims into `verification` so existing code compiles
+  // unchanged and both spellings always agree.
+  [[deprecated("use RoutineConfig::verification.policy()")]]
+  verify::VerifyPolicy& verify = verification.policy_;
+  [[deprecated("use RoutineConfig::verification.sample_rate()")]]
+  double& verify_sample_rate = verification.sample_rate_;
+  [[deprecated("use RoutineConfig::verification.tolerance_scale()")]]
+  double& verify_tolerance_scale = verification.tolerance_scale_;
+  [[deprecated("use RoutineConfig::verification.seed()")]]
+  std::uint64_t& verify_seed = verification.seed_;
+  [[deprecated("use RoutineConfig::verification.trap_nonfinite()")]]
+  bool& trap_nonfinite = verification.trap_nonfinite_;
+#pragma GCC diagnostic pop
 
   /// Rejects nonsensical knobs (width <= 0, tile sizes <= 0, empty
   /// systolic grid, out-of-range verification rates) with a ConfigError
@@ -121,6 +160,15 @@ struct Command {
   /// mismatch — which the executor handles like a transient fault.
   std::function<void()> verify_prepare;
   std::function<void()> verify_check;
+  /// Optional steering of an injected SilentCorrupt fault: maps the
+  /// injector's raw draw over the write-set byte span to the byte offset
+  /// actually mangled. Routines whose write set is only partially live
+  /// (e.g. SYRK writes one triangle of C) install this so an injected
+  /// silent corruption always lands on bytes the routine semantically
+  /// owns — otherwise the fault can fall in the preserved region, where
+  /// no checker could (or should) see it.
+  std::function<std::uint64_t(std::uint64_t raw, std::uint64_t size)>
+      corrupt_steer;
   std::vector<const void*> reads;
   std::vector<const void*> writes;
   std::vector<Event> after;
@@ -184,6 +232,17 @@ class Context {
   Event enqueue(std::function<void()> work, std::span<const Event> after);
   void finish();
   bool idle() const { return exec_->idle(); }
+
+  /// Runs a built graph under the captured watchdog and records its cycle
+  /// count. Public so composed app commands (apps/*_composed) can execute
+  /// their multi-module graphs through the same accounting and
+  /// fault-injection path as the built-in routines.
+  void run_graph(stream::Graph& g);
+
+  /// Effective Sampled-mode rate for the next command: the configured
+  /// base rate, unless adaptive sampling is on and rejections have pushed
+  /// it up (decaying back toward max(0.01, base/4) as checks come clean).
+  double effective_sample_rate(const verify::Options& vo) const;
 
   // --- Level 1 ----------------------------------------------------------
   // rotg/rotmg are host-scalar setup routines (synchronous only).
@@ -513,18 +572,19 @@ class Context {
   /// detected transfer corruption, wedges, silent corruption), the
   /// captured watchdog, and — when verification or the taint trap is
   /// armed — non-finite taint tracking across the command's graphs.
-  std::function<void()> wrap_work(std::uint64_t seq,
-                                  std::function<void()> work,
-                                  std::vector<const void*> writes,
-                                  bool taint_record, bool taint_trap);
+  std::function<void()> wrap_work(
+      std::uint64_t seq, std::function<void()> work,
+      std::vector<const void*> writes, bool taint_record, bool taint_trap,
+      std::function<std::uint64_t(std::uint64_t, std::uint64_t)> steer);
   /// Snapshot/rollback/fallback hooks for the retry machinery.
   CommandHooks make_hooks(const Command& cmd);
   /// Wraps a verify_check so a VerificationError carries the taint
-  /// provenance (which module first pushed NaN/Inf) when one exists.
-  std::function<void()> wrap_verify(std::function<void()> check);
+  /// provenance (which module first pushed NaN/Inf) when one exists, and
+  /// feeds the adaptive sampling controller (raise the live rate on a
+  /// rejection, decay it on a clean check).
+  std::function<void()> wrap_verify(std::function<void()> check,
+                                    bool adaptive);
 
-  /// Runs a built graph and records its cycle count.
-  void run_graph(stream::Graph& g);
   /// Per-cycle byte budget of one DDR bank at the given clock.
   double bank_bytes_per_cycle(double freq_mhz) const;
 
@@ -537,6 +597,9 @@ class Context {
   std::uint64_t enqueued_ = 0;
   std::atomic<std::uint64_t> last_cycles_{0};
   std::atomic<std::uint64_t> total_cycles_{0};
+  /// Live Sampled-mode rate under verify::Options::adaptive(); < 0 means
+  /// "not yet initialized — use the configured base rate".
+  mutable std::atomic<double> adaptive_rate_{-1.0};
 };
 
 /// RAII override of a Context's RoutineConfig: applies `cfg` on

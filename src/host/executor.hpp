@@ -59,6 +59,10 @@ struct ExecStats {
   /// checker only runs after a device-Ok attempt), but the counter keeps
   /// its meaning if checkers ever audit fallback results too.
   std::uint64_t sdc_caught = 0;
+  /// Live Sampled-mode rate under verify::Options::adaptive(): raised by
+  /// rejections, decayed by clean checks. 0 when adaptive sampling has
+  /// never engaged (filled by Context::exec_stats, not the Executor).
+  double adaptive_sample_rate = 0.0;
 };
 
 /// Retry behavior for transient failures (DeviceError / TimeoutError).

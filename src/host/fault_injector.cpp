@@ -50,6 +50,8 @@ FaultKind FaultInjector::decide(std::uint64_t seq, int attempt) {
     kind = FaultKind::Wedge;
   } else if (u < (edge += cfg_.silent_corrupt_rate)) {
     kind = FaultKind::SilentCorrupt;
+  } else if (u < (edge += cfg_.channel_corrupt_rate)) {
+    kind = FaultKind::ChannelCorrupt;
   }
   if (kind == FaultKind::None) return kind;
   // Consume the fault budget; a drawn fault past the budget fires as None
@@ -79,6 +81,16 @@ std::uint64_t FaultInjector::corrupt_offset(std::uint64_t seq, int attempt,
                                             std::uint64_t size) const {
   if (size == 0) return 0;
   return draw(cfg_.seed, seq, attempt, 1) % size;
+}
+
+void FaultInjector::record_victim(const std::string& channel) {
+  std::lock_guard<std::mutex> lk(victim_mu_);
+  last_victim_ = channel;
+}
+
+std::string FaultInjector::last_victim() const {
+  std::lock_guard<std::mutex> lk(victim_mu_);
+  return last_victim_;
 }
 
 }  // namespace fblas::host

@@ -14,30 +14,41 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <string>
 
 namespace fblas::host {
 
 /// Per-launch fault probabilities. Rates are cumulative-checked in the
-/// order launch-fail, corrupt, wedge, silent-corrupt; their sum should
-/// stay <= 1.
+/// order launch-fail, corrupt, wedge, silent-corrupt, channel-corrupt;
+/// their sum should stay <= 1.
 struct FaultConfig {
   std::uint64_t seed = 0;
   double launch_fail_rate = 0.0;  ///< P(kernel launch throws DeviceError)
   double corrupt_rate = 0.0;      ///< P(write-back corrupted, then detected)
   double wedge_rate = 0.0;        ///< P(graph hangs mid-stream)
   double silent_corrupt_rate = 0.0;  ///< P(write-back corrupted, NOT detected)
+  /// P(an in-flight value is silently corrupted as it crosses a streaming
+  /// channel). Unlike silent_corrupt_rate (which mangles the DRAM
+  /// write-set after the graph drained), this damages an *intermediate*
+  /// stream mid-pipeline — invisible to any write-set snapshot, and
+  /// catchable only by a checksum carried through the composition.
+  double channel_corrupt_rate = 0.0;
   int max_faults = -1;            ///< total faults budget; <0 = unlimited
 };
 
 /// SilentCorrupt mangles write-set bytes like CorruptTransfer but raises
 /// no error — the command completes Ok with a wrong result. Only result
 /// verification (VerifyPolicy + the ABFT checkers) can catch it.
+/// ChannelCorrupt flips bits of one value in flight on a streaming
+/// channel, also without raising an error.
 enum class FaultKind : std::uint8_t {
   None,
   LaunchFail,
   CorruptTransfer,
   Wedge,
   SilentCorrupt,
+  ChannelCorrupt,
 };
 
 class FaultInjector {
@@ -70,11 +81,20 @@ class FaultInjector {
     return injected_.load(std::memory_order_relaxed);
   }
 
+  /// Records which streaming channel a ChannelCorrupt fault landed on
+  /// (called by the runtime when the corruption fires); last_victim()
+  /// returns the most recent one — the ground truth a localization test
+  /// compares the checker's diagnosis against.
+  void record_victim(const std::string& channel);
+  std::string last_victim() const;
+
  private:
   FaultConfig cfg_;
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> injected_{0};
   std::atomic<int> budget_{-1};
+  mutable std::mutex victim_mu_;
+  std::string last_victim_;
 };
 
 }  // namespace fblas::host

@@ -1,0 +1,127 @@
+#include "mdag/checksum.hpp"
+
+#include <cmath>
+
+namespace fblas::mdag {
+
+std::vector<double> ones(std::int64_t n) {
+  return std::vector<double>(static_cast<std::size_t>(n), 1.0);
+}
+
+template <typename T>
+EdgeChecksum vec_checksum(VectorView<const T> v, std::int64_t repeat) {
+  EdgeChecksum c;
+  const std::int64_t n = v.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(v[i]);
+    c.pred += d;
+    c.mag += std::abs(d);
+  }
+  c.pred *= static_cast<double>(repeat);
+  c.mag *= static_cast<double>(repeat);
+  c.terms = n * repeat;
+  return c;
+}
+
+template <typename T>
+EdgeChecksum weighted_vec_checksum(VectorView<const T> v,
+                                   const std::vector<double>& w,
+                                   std::int64_t repeat) {
+  EdgeChecksum c;
+  const std::int64_t n = v.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = w[static_cast<std::size_t>(i)] * static_cast<double>(v[i]);
+    c.pred += d;
+    c.mag += std::abs(d);
+  }
+  c.pred *= static_cast<double>(repeat);
+  c.mag *= static_cast<double>(repeat);
+  c.terms = n * repeat;
+  return c;
+}
+
+template <typename T>
+EdgeChecksum mat_checksum(MatrixView<const T> a) {
+  EdgeChecksum c;
+  const std::int64_t n = a.rows(), m = a.cols();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      const double d = static_cast<double>(a(i, j));
+      c.pred += d;
+      c.mag += std::abs(d);
+    }
+  }
+  c.terms = n * m;
+  return c;
+}
+
+EdgeChecksum zero_checksum(std::int64_t n) { return {0.0, 0.0, n}; }
+
+template <typename T>
+std::vector<double> gemv_pullback(Transpose trans, MatrixView<const T> a,
+                                  const std::vector<double>& w) {
+  const std::int64_t n = a.rows(), m = a.cols();
+  // op(A) is (n x m) for None and (m x n) for Trans; the pullback is
+  // op(A)^T w, i.e. A^T w for None and A w for Trans.
+  if (trans == Transpose::None) {
+    std::vector<double> out(static_cast<std::size_t>(m), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double wi = w[static_cast<std::size_t>(i)];
+      for (std::int64_t j = 0; j < m; ++j) {
+        out[static_cast<std::size_t>(j)] += static_cast<double>(a(i, j)) * wi;
+      }
+    }
+    return out;
+  }
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < m; ++j) {
+      acc += static_cast<double>(a(i, j)) * w[static_cast<std::size_t>(j)];
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+EdgeChecksum combine(const EdgeChecksum& a, const EdgeChecksum& b, double ca,
+                     double cb) {
+  EdgeChecksum c;
+  c.pred = ca * a.pred + cb * b.pred;
+  c.mag = std::abs(ca) * a.mag + std::abs(cb) * b.mag;
+  c.terms = a.terms + b.terms;
+  return c;
+}
+
+EdgeChecksum scale(const EdgeChecksum& a, double alpha) {
+  return {alpha * a.pred, std::abs(alpha) * a.mag, a.terms};
+}
+
+template <typename T>
+EdgeChecksum dot_checksum(VectorView<const T> x, VectorView<const T> y) {
+  EdgeChecksum c;
+  const std::int64_t n = x.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    c.pred += d;
+    c.mag += std::abs(d);
+  }
+  c.terms = n;
+  return c;
+}
+
+#define FBLAS_MDAG_CHECKSUM_INSTANTIATE(T)                                    \
+  template EdgeChecksum vec_checksum<T>(VectorView<const T>, std::int64_t);   \
+  template EdgeChecksum weighted_vec_checksum<T>(                             \
+      VectorView<const T>, const std::vector<double>&, std::int64_t);         \
+  template EdgeChecksum mat_checksum<T>(MatrixView<const T>);                 \
+  template std::vector<double> gemv_pullback<T>(                              \
+      Transpose, MatrixView<const T>, const std::vector<double>&);            \
+  template EdgeChecksum dot_checksum<T>(VectorView<const T>,                  \
+                                        VectorView<const T>);
+
+FBLAS_MDAG_CHECKSUM_INSTANTIATE(float)
+FBLAS_MDAG_CHECKSUM_INSTANTIATE(double)
+#undef FBLAS_MDAG_CHECKSUM_INSTANTIATE
+
+}  // namespace fblas::mdag

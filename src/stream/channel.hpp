@@ -4,6 +4,7 @@
 // empty pop suspends the module until its peer makes progress.
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -18,7 +19,8 @@
 namespace fblas::stream {
 
 /// Type-erased channel state: identity, occupancy and waiter bookkeeping
-/// shared by the scheduler's diagnostics.
+/// shared by the scheduler's diagnostics, plus the checksum tap the
+/// streaming-ABFT layer arms per run.
 class ChannelBase {
  public:
   ChannelBase(Scheduler* sched, std::string name, std::size_t capacity);
@@ -36,9 +38,39 @@ class ChannelBase {
   std::uint64_t total_popped() const { return total_popped_; }
   std::size_t peak_occupancy() const { return peak_; }
 
+  // --- checksum tap (streaming ABFT) ------------------------------------
+  /// Arms a running checksum over every floating-point value pushed into
+  /// this channel: sum, magnitude (sum of absolute values) and element
+  /// count. With `weights` set, the k-th pushed value is weighted by
+  /// weights[k % weights.size()] — the Huang–Abraham weighted checksum a
+  /// GEMV propagation rule calls for. The weights vector must outlive
+  /// the run (verify::GraphChecker owns it). Costs nothing unless armed.
+  void arm_tap(const std::vector<double>* weights = nullptr) {
+    tap_armed_ = true;
+    tap_weights_ =
+        (weights != nullptr && !weights->empty()) ? weights : nullptr;
+    tap_sum_ = tap_mag_ = 0.0;
+    tap_count_ = 0;
+  }
+  bool tap_armed() const { return tap_armed_; }
+  double tap_sum() const { return tap_sum_; }
+  double tap_mag() const { return tap_mag_; }
+  std::uint64_t tap_count() const { return tap_count_; }
+
  protected:
   void on_push();
   void on_pop();
+  void tap_accumulate(double value) {
+    double w = 1.0;
+    if (tap_weights_ != nullptr) {
+      w = (*tap_weights_)[static_cast<std::size_t>(
+          tap_count_ % tap_weights_->size())];
+    }
+    const double d = w * value;
+    tap_sum_ += d;
+    tap_mag_ += d < 0 ? -d : d;
+    ++tap_count_;
+  }
 
   Scheduler* sched_;
   std::string name_;
@@ -48,6 +80,11 @@ class ChannelBase {
   std::uint64_t total_pushed_ = 0;
   std::uint64_t total_popped_ = 0;
   std::size_t peak_ = 0;
+  bool tap_armed_ = false;
+  double tap_sum_ = 0.0;
+  double tap_mag_ = 0.0;
+  std::uint64_t tap_count_ = 0;
+  const std::vector<double>* tap_weights_ = nullptr;
 
   template <typename T>
   friend struct PopAwaiter;
@@ -77,15 +114,28 @@ class Channel : public ChannelBase {
   // Non-awaitable access used by awaiters and by unit tests.
   bool try_put(T value) {
     if (full()) return false;
-    // Taint screening at the module boundary: every floating-point value
-    // crossing a channel is checked, so the first NaN/Inf is attributed
-    // to the module that produced it (and, in trap mode, stops the run
-    // deterministically before the poison spreads downstream).
     if constexpr (std::is_floating_point_v<T>) {
+      // Injected in-flight corruption: when the scheduler's counter says
+      // this is the targeted push, flip the value's top byte (sign /
+      // exponent bits) as it enters the channel — silent damage to an
+      // intermediate stream that no write-set snapshot ever sees.
+      if (sched_ != nullptr && sched_->corrupt_armed() &&
+          sched_->corrupt_hits(*this)) {
+        auto bits = std::bit_cast<BitsOf>(value);
+        bits ^= BitsOf{0x5a} << (8 * (sizeof(T) - 1));
+        value = std::bit_cast<T>(bits);
+      }
+      // Taint screening at the module boundary: every floating-point value
+      // crossing a channel is checked, so the first NaN/Inf is attributed
+      // to the module that produced it (and, in trap mode, stops the run
+      // deterministically before the poison spreads downstream).
       if (sched_ != nullptr && sched_->taint_enabled() &&
           !std::isfinite(static_cast<double>(value))) {
         sched_->note_nonfinite(*this, static_cast<double>(value));
       }
+      // Checksum tap: accumulate after corruption so the tap observes
+      // what actually crossed the module boundary.
+      if (tap_armed_) tap_accumulate(static_cast<double>(value));
     }
     buf_[(head_ + count_) % capacity_] = std::move(value);
     ++count_;
@@ -102,6 +152,10 @@ class Channel : public ChannelBase {
   }
 
  private:
+  // Unsigned integer of T's width, for bit-level corruption injection.
+  using BitsOf =
+      std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+
   std::vector<T> buf_;
   std::size_t head_ = 0;
   std::size_t count_ = 0;

@@ -60,6 +60,14 @@ void Scheduler::note_nonfinite(const ChannelBase& ch, double value) {
   }
 }
 
+bool Scheduler::corrupt_hits(const ChannelBase& ch) {
+  if (++corrupt_seen_ != corrupt_target_) return false;
+  corrupt_fired_ = true;
+  corrupt_channel_ = ch.name();
+  corrupt_module_ = current_ >= 0 ? modules_[current_].name : "host";
+  return true;
+}
+
 void Scheduler::advance_cycle() {
   if (trace_occupancy_) {
     occupancy_samples_.resize(channels_.size());

@@ -128,6 +128,30 @@ class Scheduler {
   /// `ch`. Called by Channel<T>::try_put for floating-point payloads.
   void note_nonfinite(const ChannelBase& ch, double value);
 
+  /// Fault injection: arms silent corruption of the `target`-th (1-based)
+  /// floating-point value pushed into any channel of this graph — the
+  /// value's top byte is flipped as it crosses the module boundary,
+  /// modeling in-flight damage to an intermediate stream that no DRAM
+  /// write-set snapshot can observe. No error is raised; only a checksum
+  /// carried through the composition can catch it. Call before run().
+  void corrupt_push(std::uint64_t target) {
+    corrupt_target_ = target;
+    corrupt_seen_ = 0;
+    corrupt_fired_ = false;
+  }
+  bool corrupt_armed() const {
+    return corrupt_target_ != 0 && !corrupt_fired_;
+  }
+  /// Counts one floating-point push; true exactly when it is the targeted
+  /// one. Records the victim channel and producing module for the
+  /// localization diagnostics. Called by Channel<T>::try_put.
+  bool corrupt_hits(const ChannelBase& ch);
+  /// True once the armed corruption actually fired (the graph pushed at
+  /// least `target` floating-point values).
+  bool corruption_fired() const { return corrupt_fired_; }
+  const std::string& corrupted_channel() const { return corrupt_channel_; }
+  const std::string& corrupting_module() const { return corrupt_module_; }
+
   /// Enables per-cycle channel-occupancy sampling (cycle mode only):
   /// after every simulated cycle the fill level of each registered
   /// channel is recorded. Useful for locating where backpressure builds
@@ -169,6 +193,11 @@ class Scheduler {
   bool taint_enabled_ = false;
   bool taint_trap_ = false;
   Taint taint_;
+  std::uint64_t corrupt_target_ = 0;  // 1-based fp-push index; 0 = unarmed
+  std::uint64_t corrupt_seen_ = 0;
+  bool corrupt_fired_ = false;
+  std::string corrupt_channel_;
+  std::string corrupt_module_;
   std::vector<std::vector<std::uint32_t>> occupancy_samples_;
 };
 

@@ -1,0 +1,24 @@
+#include "verify/options.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fblas::verify {
+
+void Options::validate() const {
+  if (!(sample_rate_ >= 0.0 && sample_rate_ <= 1.0)) {
+    std::ostringstream os;
+    os << "verify::Options.sample_rate must be in [0, 1] (got "
+       << sample_rate_ << ")";
+    throw ConfigError(os.str());
+  }
+  if (!(tolerance_scale_ > 0.0)) {
+    std::ostringstream os;
+    os << "verify::Options.tolerance_scale must be > 0 (got "
+       << tolerance_scale_ << ")";
+    throw ConfigError(os.str());
+  }
+}
+
+}  // namespace fblas::verify

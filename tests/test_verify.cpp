@@ -7,24 +7,33 @@
 // every other injected fault, so each test here is deterministic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "apps/atax.hpp"
+#include "apps/axpydot.hpp"
+#include "apps/bicg.hpp"
+#include "common/error.hpp"
 #include "common/workload.hpp"
 #include "host/buffer.hpp"
 #include "host/context.hpp"
+#include "mdag/checksum.hpp"
 #include "refblas/level1.hpp"
 #include "refblas/level2.hpp"
 #include "refblas/level3.hpp"
 #include "verify/abft.hpp"
+#include "verify/options.hpp"
 #include "verify/policy.hpp"
 
 namespace fblas {
 namespace {
 
-constexpr double kScale = 32.0;  // default RoutineConfig.verify_tolerance_scale
+constexpr double kScale = 32.0;  // default verify::Options tolerance_scale
 
 host::RetryPolicy fast_retry(int max_retries, bool cpu_fallback = false) {
   host::RetryPolicy p;
@@ -32,6 +41,115 @@ host::RetryPolicy fast_retry(int max_retries, bool cpu_fallback = false) {
   p.backoff = std::chrono::microseconds(0);
   p.cpu_fallback = cpu_fallback;
   return p;
+}
+
+// --- verify::Options: the unified knob surface ---------------------------
+
+TEST(VerifyOptions, BuilderRoundTripAndValidation) {
+  const verify::Options o = verify::Options::sampled(0.5)
+                                .tolerance_scale(8.0)
+                                .seed(7)
+                                .trap_nonfinite()
+                                .adaptive();
+  EXPECT_EQ(o.policy(), verify::VerifyPolicy::Sampled);
+  EXPECT_DOUBLE_EQ(o.sample_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(o.tolerance_scale(), 8.0);
+  EXPECT_EQ(o.seed(), 7u);
+  EXPECT_TRUE(o.trap_nonfinite());
+  EXPECT_TRUE(o.adaptive());
+  EXPECT_TRUE(o.enabled());
+  EXPECT_FALSE(verify::Options::off().enabled());
+  EXPECT_EQ(verify::Options::always().policy(), verify::VerifyPolicy::Always);
+  EXPECT_EQ(o, o);
+  EXPECT_NE(o, verify::Options::always());
+
+  EXPECT_NO_THROW(o.validate());
+  EXPECT_THROW(verify::Options::sampled(1.5).validate(), ConfigError);
+  EXPECT_THROW(verify::Options::sampled(-0.1).validate(), ConfigError);
+  EXPECT_THROW(verify::Options::always().tolerance_scale(0.0).validate(),
+               ConfigError);
+}
+
+TEST(VerifyOptions, DeprecatedShimsAliasUnifiedStorage) {
+  host::RoutineConfig rc;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // Writes through the legacy spellings land in the unified Options...
+  rc.verify = verify::VerifyPolicy::Always;
+  rc.verify_sample_rate = 0.75;
+  rc.verify_tolerance_scale = 4.0;
+  rc.verify_seed = 99;
+  rc.trap_nonfinite = true;
+  const verify::Options& ro = rc.verification;
+  EXPECT_EQ(ro.policy(), verify::VerifyPolicy::Always);
+  EXPECT_DOUBLE_EQ(ro.sample_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(ro.tolerance_scale(), 4.0);
+  EXPECT_EQ(ro.seed(), 99u);
+  EXPECT_TRUE(ro.trap_nonfinite());
+
+  // ...and writes through the new API are visible via the old fields.
+  rc.verification.sample_rate(0.125);
+  EXPECT_DOUBLE_EQ(rc.verify_sample_rate, 0.125);
+
+  // Copies rebind the shims: each RoutineConfig's legacy references alias
+  // its *own* verification storage, never the source's.
+  host::RoutineConfig copy = rc;
+  copy.verify = verify::VerifyPolicy::Off;
+  copy.verify_tolerance_scale = 64.0;
+  EXPECT_EQ(rc.verification.policy(), verify::VerifyPolicy::Always);
+  EXPECT_DOUBLE_EQ(rc.verification.tolerance_scale(), 4.0);
+  EXPECT_EQ(copy.verification.policy(), verify::VerifyPolicy::Off);
+  EXPECT_DOUBLE_EQ(copy.verification.tolerance_scale(), 64.0);
+
+  // Assignment copies the values, and the shims keep following the
+  // assigned-to object's own storage afterwards.
+  rc = copy;
+  EXPECT_EQ(rc.verification.policy(), verify::VerifyPolicy::Off);
+  rc.verify = verify::VerifyPolicy::Sampled;
+  EXPECT_EQ(rc.verification.policy(), verify::VerifyPolicy::Sampled);
+  EXPECT_EQ(copy.verification.policy(), verify::VerifyPolicy::Off);
+#pragma GCC diagnostic pop
+}
+
+// --- Checksum-propagation rules (mdag/checksum) ---------------------------
+
+TEST(VerifyChecksum, GemvPullbackPredictsDownstreamChecksum) {
+  const std::int64_t n = 9, m = 7;
+  Workload wl(90);
+  const auto ha = wl.matrix<double>(n, m);
+  const auto hx = wl.vector<double>(m);
+  const MatrixView<const double> A(ha.data(), n, m);
+  const VectorView<const double> x(hx.data(), m);
+
+  // y = A x: sum(y) must equal (A^T 1)^T x — the pullback of unit
+  // weights through the GEMV rule.
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  ref::gemv(Transpose::None, 1.0, A, x, 0.0, VectorView<double>(y.data(), n));
+  double direct = 0.0;
+  for (double val : y) direct += val;
+  const auto w = mdag::gemv_pullback<double>(Transpose::None, A, mdag::ones(n));
+  ASSERT_EQ(static_cast<std::int64_t>(w.size()), m);
+  const auto pred = mdag::weighted_vec_checksum<double>(x, w);
+  EXPECT_NEAR(pred.pred, direct, 1e-9 * std::max(1.0, std::abs(direct)));
+
+  // Transposed direction: s = A^T r pulls back to (A 1) on the r edge.
+  const auto hr = wl.vector<double>(n);
+  const VectorView<const double> r(hr.data(), n);
+  std::vector<double> s(static_cast<std::size_t>(m), 0.0);
+  ref::gemv(Transpose::Trans, 1.0, A, r, 0.0, VectorView<double>(s.data(), m));
+  double sdirect = 0.0;
+  for (double val : s) sdirect += val;
+  const auto wt = mdag::gemv_pullback<double>(Transpose::Trans, A,
+                                              mdag::ones(m));
+  ASSERT_EQ(static_cast<std::int64_t>(wt.size()), n);
+  const auto spred = mdag::weighted_vec_checksum<double>(r, wt);
+  EXPECT_NEAR(spred.pred, sdirect, 1e-9 * std::max(1.0, std::abs(sdirect)));
+
+  // combine() is the AXPY linearity rule; zero generators are exact.
+  const auto c = mdag::combine(pred, spred, 2.0, -3.0);
+  EXPECT_DOUBLE_EQ(c.pred, 2.0 * pred.pred - 3.0 * spred.pred);
+  EXPECT_EQ(c.terms, pred.terms + spred.terms);
+  EXPECT_EQ(mdag::zero_checksum(5).pred, 0.0);
 }
 
 // --- Checker unit tests --------------------------------------------------
@@ -348,7 +466,7 @@ TEST(VerifyRuntime, AlwaysCatchesSilentCorruptionAndRecoversBitIdentical) {
       dev.inject_faults(fc);
     }
     ctx.set_retry_policy(fast_retry(3));
-    ctx.config().verify = verify::VerifyPolicy::Always;
+    ctx.config().verification = verify::Options::always();
     host::Buffer<float> a(dev, m * k, 0), b(dev, k * n, 1), c(dev, m * n, 2);
     a.write(ha);
     b.write(hb);
@@ -385,7 +503,7 @@ TEST(VerifyRuntime, VerifyRejectionWithoutRetryFailsTransactionally) {
   fc.seed = 23;
   fc.silent_corrupt_rate = 1.0;
   dev.inject_faults(fc);
-  ctx.config().verify = verify::VerifyPolicy::Always;
+  ctx.config().verification = verify::Options::always();
   host::Buffer<float> x(dev, n, 0);
   x.write(hx);
   host::Event e = ctx.scal_async<float>(n, 2.0f, x, 1);
@@ -413,7 +531,7 @@ TEST(VerifyRuntime, VerifyExhaustionDegradesToCpuFallback) {
   fc.silent_corrupt_rate = 1.0;
   dev.inject_faults(fc);
   ctx.set_retry_policy(fast_retry(2, /*cpu_fallback=*/true));
-  ctx.config().verify = verify::VerifyPolicy::Always;
+  ctx.config().verification = verify::Options::always();
   host::Buffer<float> x(dev, n, 0), y(dev, n, 1);
   x.write(hx);
   y.write(hy);
@@ -447,7 +565,7 @@ run_mixed_workload(int workers, bool with_faults, verify::VerifyPolicy vp) {
     dev.inject_faults(fc);
   }
   ctx.set_retry_policy(fast_retry(4));
-  ctx.config().verify = vp;
+  ctx.config().verification.policy(vp);
 
   Workload wl(84);
   host::Buffer<float> a(dev, m * k, 0), b(dev, k * n, 1), c(dev, m * n, 2);
@@ -534,7 +652,7 @@ TEST(VerifyRuntime, AlwaysOnCleanRunNeverRejects) {
   // Always verification and no faults — nothing may be rejected.
   host::Device dev;
   host::Context ctx(dev);
-  ctx.config().verify = verify::VerifyPolicy::Always;
+  ctx.config().verification = verify::Options::always();
   const std::int64_t n = 48, k = 16;
   Workload wl(85);
 
@@ -588,6 +706,348 @@ TEST(VerifyRuntime, AlwaysOnCleanRunNeverRejects) {
   EXPECT_EQ(stats.sdc_caught, 0u);
 }
 
+// --- Composed commands: checksum-carrying streaming compositions ----------
+// The three paper applications run as single host commands whose
+// intermediates never touch DRAM; the GraphChecker compares per-channel
+// taps against pullback predictions computed from the DRAM inputs only.
+
+TEST(VerifyComposed, CleanCompositionsMatchCpuReferences) {
+  const std::int64_t n = 20, m = 16, len = 96;
+  Workload wl(91);
+  host::Device dev;
+  host::Context ctx(dev);
+  ctx.config().verification = verify::Options::always();
+
+  const auto ha = wl.matrix<double>(n, m);
+  const auto hx = wl.vector<double>(m);
+  const MatrixView<const double> A(ha.data(), n, m);
+
+  {  // ATAX: y = A^T (A x)
+    host::Buffer<double> a(dev, n * m, 0), x(dev, m, 1), y(dev, m, 2);
+    a.write(ha);
+    x.write(hx);
+    y.write(std::vector<double>(static_cast<std::size_t>(m), -1.0));
+    apps::atax_composed<double>(ctx, n, m, a, x, y);
+    const auto yref =
+        apps::atax_cpu<double>(A, VectorView<const double>(hx.data(), m));
+    const auto got = y.to_host();
+    for (std::int64_t i = 0; i < m; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      EXPECT_NEAR(got[idx], yref[idx],
+                  1e-9 * std::max(1.0, std::abs(yref[idx])));
+    }
+  }
+  {  // BICG: q = A p, s = A^T r
+    const auto hp = wl.vector<double>(m);
+    const auto hr = wl.vector<double>(n);
+    host::Buffer<double> a(dev, n * m, 0), p(dev, m, 1), r(dev, n, 2);
+    host::Buffer<double> q(dev, n, 1), s(dev, m, 2);
+    a.write(ha);
+    p.write(hp);
+    r.write(hr);
+    q.write(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    s.write(std::vector<double>(static_cast<std::size_t>(m), 0.0));
+    apps::bicg_composed<double>(ctx, n, m, a, p, r, q, s);
+    const auto ref = apps::bicg_cpu<double>(
+        A, VectorView<const double>(hp.data(), m),
+        VectorView<const double>(hr.data(), n));
+    const auto gq = q.to_host();
+    const auto gs = s.to_host();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      EXPECT_NEAR(gq[idx], ref.q[idx],
+                  1e-9 * std::max(1.0, std::abs(ref.q[idx])));
+    }
+    for (std::int64_t i = 0; i < m; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      EXPECT_NEAR(gs[idx], ref.s[idx],
+                  1e-9 * std::max(1.0, std::abs(ref.s[idx])));
+    }
+  }
+  {  // AXPYDOT: beta = (w - alpha v)^T u
+    const auto hw = wl.vector<double>(len);
+    const auto hv = wl.vector<double>(len);
+    const auto hu = wl.vector<double>(len);
+    host::Buffer<double> w(dev, len, 0), v(dev, len, 1), u(dev, len, 2);
+    w.write(hw);
+    v.write(hv);
+    u.write(hu);
+    const double beta = apps::axpydot_composed<double>(ctx, len, w, v, u, 0.3);
+    const double bref = apps::axpydot_cpu<double>(
+        VectorView<const double>(hw.data(), len),
+        VectorView<const double>(hv.data(), len),
+        VectorView<const double>(hu.data(), len), 0.3);
+    EXPECT_NEAR(beta, bref, 1e-9 * std::max(1.0, std::abs(bref)));
+  }
+
+  // Every composed command was checked, none rejected.
+  const auto stats = ctx.exec_stats();
+  EXPECT_EQ(stats.verified, 3u);
+  EXPECT_EQ(stats.verify_failures, 0u);
+  EXPECT_EQ(stats.sdc_caught, 0u);
+}
+
+TEST(VerifyComposed, PerCallOptionsOverrideOnlyThatCommand) {
+  // The verify::Options overload scopes its override to the one enqueue:
+  // the context's own (Off) policy is untouched before and after.
+  const std::int64_t n = 12, m = 8;
+  Workload wl(97);
+  host::Device dev;
+  host::Context ctx(dev);
+  ASSERT_FALSE(ctx.config().verification.enabled());
+
+  host::Buffer<double> a(dev, n * m, 0), x(dev, m, 1), y(dev, m, 2);
+  a.write(wl.matrix<double>(n, m));
+  x.write(wl.vector<double>(m));
+  y.write(std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  apps::atax_composed_async<double>(ctx, n, m, a, x, y,
+                                    verify::Options::always())
+      .wait();
+  EXPECT_FALSE(ctx.config().verification.enabled());  // guard restored
+  EXPECT_EQ(ctx.exec_stats().verified, 1u);
+
+  apps::atax_composed_async<double>(ctx, n, m, a, x, y).wait();
+  EXPECT_EQ(ctx.exec_stats().verified, 1u);  // second command unverified
+}
+
+TEST(VerifyComposed, ChannelCorruptionLocalizedToFirstDivergentEdge) {
+  // One in-flight value flipped on an intermediate channel: no write-set
+  // snapshot can see it, but the edge checksums localize it. Without a
+  // retry budget the rejection surfaces transactionally.
+  const std::int64_t n = 32, m = 24;
+  Workload wl(92);
+  host::Device dev;
+  host::Context ctx(dev);
+  host::FaultConfig fc;
+  fc.seed = 31;
+  fc.channel_corrupt_rate = 1.0;
+  fc.max_faults = 1;
+  dev.inject_faults(fc);
+  ctx.set_retry_policy(fast_retry(0));
+  ctx.config().verification = verify::Options::always();
+
+  const auto ha = wl.matrix<float>(n, m);
+  const auto hx = wl.vector<float>(m);
+  const auto hy0 = wl.vector<float>(m);  // pre-command bytes in y
+  host::Buffer<float> a(dev, n * m, 0), x(dev, m, 1), y(dev, m, 2);
+  a.write(ha);
+  x.write(hx);
+  y.write(hy0);
+  host::Event e = apps::atax_composed_async<float>(ctx, n, m, a, x, y);
+  try {
+    e.wait();
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("composition 'atax'"), std::string::npos);
+    // The checker's diagnosis names exactly the channel the injector hit
+    // (ground truth recorded by the runtime when the corruption fired).
+    const std::string victim = dev.faults().last_victim();
+    ASSERT_FALSE(victim.empty());
+    EXPECT_NE(msg.find("edge '" + victim + "'"), std::string::npos);
+    EXPECT_NE(msg.find("first divergent edge"), std::string::npos);
+  }
+  EXPECT_EQ(y.to_host(), hy0);  // rolled back; corrupted bits never landed
+  EXPECT_TRUE(e.status().failed());
+  EXPECT_EQ(ctx.exec_stats().faults_injected, 1u);
+  EXPECT_EQ(ctx.exec_stats().sdc_caught, 1u);
+}
+
+TEST(VerifyComposed, ChannelCorruptionRecoversBitIdentical) {
+  const std::int64_t n = 32, m = 24;
+  Workload wl(93);
+  const auto ha = wl.matrix<float>(n, m);
+  const auto hp = wl.vector<float>(m);
+  const auto hr = wl.vector<float>(n);
+
+  auto run = [&](bool with_fault) {
+    host::Device dev;
+    host::Context ctx(dev);
+    if (with_fault) {
+      host::FaultConfig fc;
+      fc.seed = 32;
+      fc.channel_corrupt_rate = 1.0;
+      fc.max_faults = 1;
+      dev.inject_faults(fc);
+    }
+    ctx.set_retry_policy(fast_retry(3));
+    ctx.config().verification = verify::Options::always();
+    host::Buffer<float> a(dev, n * m, 0), p(dev, m, 1), r(dev, n, 2);
+    host::Buffer<float> q(dev, n, 1), s(dev, m, 2);
+    a.write(ha);
+    p.write(hp);
+    r.write(hr);
+    q.write(std::vector<float>(static_cast<std::size_t>(n), 0.0f));
+    s.write(std::vector<float>(static_cast<std::size_t>(m), 0.0f));
+    apps::bicg_composed<float>(ctx, n, m, a, p, r, q, s);
+    return std::make_tuple(q.to_host(), s.to_host(), ctx.exec_stats());
+  };
+
+  const auto [cq, cs, cstats] = run(false);
+  const auto [rq, rs, rstats] = run(true);
+  EXPECT_EQ(cq, rq);  // recovered, bit-identical to the fault-free run
+  EXPECT_EQ(cs, rs);
+  EXPECT_EQ(rstats.faults_injected, 1u);
+  EXPECT_EQ(rstats.sdc_caught, 1u);
+  EXPECT_EQ(rstats.retries, 1u);
+  EXPECT_EQ(cstats.sdc_caught, 0u);
+}
+
+// Mixed composed workload: all three compositions, repeated, under
+// in-flight channel corruption. Every injected fault must be caught
+// (sdc_caught == faults_injected) and the final state must match a
+// fault-free run bit-for-bit — serially and on the worker pool.
+std::tuple<std::vector<std::vector<float>>, host::ExecStats>
+run_composed_workload(int workers, bool with_faults) {
+  const std::int64_t n = 32, m = 24, len = 400;
+  host::Device dev;
+  host::Context ctx(dev, stream::Mode::Functional, workers);
+  if (with_faults) {
+    host::FaultConfig fc;
+    fc.seed = 6;
+    fc.channel_corrupt_rate = 0.4;
+    fc.max_faults = 4;
+    dev.inject_faults(fc);
+  }
+  ctx.set_retry_policy(fast_retry(4));
+  ctx.config().verification = verify::Options::always();
+
+  Workload wl(94);
+  host::Buffer<float> a(dev, n * m, 0), x(dev, m, 1), y(dev, m, 2);
+  host::Buffer<float> p(dev, m, 1), r(dev, n, 2), q(dev, n, 0), s(dev, m, 1);
+  host::Buffer<float> w(dev, len, 0), v(dev, len, 1), u(dev, len, 2);
+  a.write(wl.matrix<float>(n, m));
+  x.write(wl.vector<float>(m));
+  y.write(std::vector<float>(static_cast<std::size_t>(m), 0.0f));
+  p.write(wl.vector<float>(m));
+  r.write(wl.vector<float>(n));
+  q.write(std::vector<float>(static_cast<std::size_t>(n), 0.0f));
+  s.write(std::vector<float>(static_cast<std::size_t>(m), 0.0f));
+  w.write(wl.vector<float>(len));
+  v.write(wl.vector<float>(len));
+  u.write(wl.vector<float>(len));
+
+  float betas[4] = {};
+  for (int round = 0; round < 4; ++round) {
+    apps::atax_composed_async<float>(ctx, n, m, a, x, y);
+    apps::bicg_composed_async<float>(ctx, n, m, a, p, r, q, s);
+    apps::axpydot_composed_async<float>(ctx, len, w, v, u, 0.3f,
+                                        &betas[round]);
+  }
+  ctx.finish();
+  std::vector<std::vector<float>> out{y.to_host(), q.to_host(), s.to_host(),
+                                      std::vector<float>(betas, betas + 4)};
+  return {out, ctx.exec_stats()};
+}
+
+TEST(VerifyComposed, MixedCompositionWorkloadAllCaughtSerialAndPool) {
+  const auto [clean, clean_stats] = run_composed_workload(0, false);
+  const auto [serial, serial_stats] = run_composed_workload(0, true);
+  EXPECT_GT(serial_stats.faults_injected, 0u);
+  EXPECT_EQ(serial_stats.sdc_caught, serial_stats.faults_injected);
+  EXPECT_EQ(clean, serial);
+  EXPECT_EQ(serial_stats.degraded, 0u);
+  EXPECT_EQ(clean_stats.verify_failures, 0u);
+
+  // Same guarantees out of order: fault and sampling decisions hash
+  // (seed, seq), not thread interleaving.
+  const auto [pool, pool_stats] = run_composed_workload(4, true);
+  EXPECT_EQ(pool_stats.sdc_caught, pool_stats.faults_injected);
+  EXPECT_EQ(clean, pool);
+  EXPECT_EQ(pool_stats.faults_injected, serial_stats.faults_injected);
+}
+
+// --- SilentCorrupt steering: SYRK/SYR2K triangle blind spot ---------------
+
+TEST(VerifyRuntime, SyrkSteeredCorruptionAlwaysLandsInTheTriangle) {
+  // SYRK/SYR2K only write one triangle; an unsteered injector could mangle
+  // a byte in the never-written half, where the tri-masked checksums are
+  // blind by design (BLAS semantics say those bytes are dead). The
+  // corrupt_steer hook remaps every draw into the stored triangle, so the
+  // fault is always live and always caught.
+  const std::int64_t n = 24, k = 10;
+  Workload wl(95);
+  const auto ha = wl.matrix<float>(n, k);
+  const auto hb = wl.matrix<float>(n, k);
+  const auto hc = wl.matrix<float>(n, n);
+
+  auto run = [&](bool with_faults, Uplo uplo, bool two_k) {
+    host::Device dev;
+    host::Context ctx(dev);
+    if (with_faults) {
+      host::FaultConfig fc;
+      fc.seed = 33;
+      fc.silent_corrupt_rate = 1.0;
+      fc.max_faults = 3;
+      dev.inject_faults(fc);
+    }
+    ctx.set_retry_policy(fast_retry(4));
+    ctx.config().verification = verify::Options::always();
+    host::Buffer<float> A(dev, n * k, 0), B(dev, n * k, 1), C(dev, n * n, 2);
+    A.write(ha);
+    B.write(hb);
+    C.write(hc);
+    if (two_k) {
+      ctx.syr2k<float>(uplo, Transpose::None, n, k, 0.5f, A, B, 0.9f, C);
+    } else {
+      ctx.syrk<float>(uplo, Transpose::None, n, k, 1.25f, A, 0.5f, C);
+    }
+    return std::make_pair(C.to_host(), ctx.exec_stats());
+  };
+
+  for (const bool two_k : {false, true}) {
+    const Uplo uplo = two_k ? Uplo::Upper : Uplo::Lower;
+    const auto [clean, clean_stats] = run(false, uplo, two_k);
+    const auto [rec, rec_stats] = run(true, uplo, two_k);
+    EXPECT_EQ(rec_stats.faults_injected, 3u);
+    EXPECT_EQ(rec_stats.sdc_caught, rec_stats.faults_injected);
+    EXPECT_EQ(clean, rec);  // caught every time, recovered bit-identical
+    EXPECT_EQ(clean_stats.sdc_caught, 0u);
+  }
+}
+
+// --- Adaptive sampling: the rate follows the device's behavior ------------
+
+TEST(VerifyRuntime, AdaptiveSamplingReactsToRejections) {
+  const std::int64_t len = 64;
+  const auto hx = Workload(96).vector<float>(len);
+  auto run = [&](bool with_faults) {
+    host::Device dev;
+    host::Context ctx(dev);
+    if (with_faults) {
+      host::FaultConfig fc;
+      fc.seed = 34;
+      fc.silent_corrupt_rate = 1.0;  // unlimited: every attempt corrupted
+      dev.inject_faults(fc);
+    }
+    ctx.set_retry_policy(fast_retry(1, /*cpu_fallback=*/true));
+    ctx.config().verification = verify::Options::sampled(0.25).adaptive();
+    host::Buffer<float> x(dev, len, 0);
+    for (int i = 0; i < 40; ++i) {
+      x.write(hx);  // fresh operand: missed corruption cannot accumulate
+      ctx.scal<float>(len, 2.0f, x);
+    }
+    return ctx.exec_stats();
+  };
+
+  // Clean device: every sampled check passes, so the live rate decays
+  // below the configured base (never below the floor of base/4).
+  const auto clean = run(false);
+  EXPECT_GT(clean.verified, 0u);
+  EXPECT_GT(clean.adaptive_sample_rate, 0.0);
+  EXPECT_LT(clean.adaptive_sample_rate, 0.25);
+  EXPECT_GE(clean.adaptive_sample_rate, 0.25 / 4 - 1e-12);
+  EXPECT_EQ(clean.verify_failures, 0u);
+
+  // Hostile device: the first caught corruption escalates the rate (x4
+  // per rejection), driving coverage toward Always.
+  const auto hostile = run(true);
+  EXPECT_GT(hostile.verify_failures, 0u);
+  EXPECT_GT(hostile.degraded, 0u);
+  EXPECT_GT(hostile.adaptive_sample_rate, 0.25);
+  EXPECT_GT(hostile.verified, clean.verified);
+}
+
 // --- Taint channel: NaN/Inf provenance at module boundaries --------------
 
 TEST(VerifyTaint, TrapNamesTheProducingModule) {
@@ -596,7 +1056,7 @@ TEST(VerifyTaint, TrapNamesTheProducingModule) {
   hx[7] = std::numeric_limits<float>::quiet_NaN();
   host::Device dev;
   host::Context ctx(dev);
-  ctx.config().trap_nonfinite = true;
+  ctx.config().verification.trap_nonfinite();
   host::Buffer<float> x(dev, n, 0);
   x.write(hx);
   host::Event e = ctx.scal_async<float>(n, 2.0f, x, 1);
@@ -624,7 +1084,7 @@ TEST(VerifyTaint, VerifiedNaNRunSkipsChecksInsteadOfRejecting) {
   host::Device dev;
   host::Context ctx(dev);
   ctx.set_retry_policy(fast_retry(2));
-  ctx.config().verify = verify::VerifyPolicy::Always;
+  ctx.config().verification = verify::Options::always();
   host::Buffer<float> x(dev, n, 0);
   x.write(hx);
   host::Event e = ctx.scal_async<float>(n, 0.5f, x, 1);
