@@ -261,6 +261,125 @@ void protection_demo() {
               static_cast<unsigned long long>(clean_stats.verify_failures));
 }
 
+void in_grid_abft() {
+  // In-grid ABFT for the systolic engine. Two questions:
+  //
+  //   1. Cycle overhead of the checksum rank: the extra column/row fill
+  //      and drain step cost a constant 3 cycles per tile, independent of
+  //      k — so overhead shrinks as the reduction deepens (< 5%
+  //      criterion at k = 64 on an 8x8 grid).
+  //   2. Correction economics: an in-grid-corrected fault costs one
+  //      k-cycle replay; the same fault caught by the host-side checker
+  //      costs a full rollback + re-execution (one retry).
+  std::puts("== In-grid ABFT: systolic engine checksum rank ==");
+  const std::int64_t dim = 64;
+  Workload wl(95);
+  const auto ha = wl.matrix<float>(dim, dim);
+  const auto hb = wl.matrix<float>(dim, dim);
+
+  auto cycles_with = [&](const verify::Options& vo,
+                         std::int64_t k) -> std::uint64_t {
+    host::Device dev;
+    host::Context ctx(dev);
+    ctx.config().pe_rows = 8;
+    ctx.config().pe_cols = 8;
+    ctx.config().verification = vo;
+    host::Buffer<float> a(dev, dim * k, 0), b(dev, k * dim, 1),
+        c(dev, dim * dim, 2);
+    std::vector<float> hak(ha.begin(), ha.begin() + dim * k);
+    std::vector<float> hbk(hb.begin(), hb.begin() + k * dim);
+    a.write(hak);
+    b.write(hbk);
+    c.write(std::vector<float>(static_cast<std::size_t>(dim * dim), 0.0f));
+    ctx.gemm_systolic<float>(dim, dim, k, a, b, c);
+    return ctx.last_cycles();
+  };
+
+  TablePrinter t({"Reduction depth k", "Plain cycles", "ABFT cycles",
+                  "Checksum-rank overhead"});
+  double overhead_at_64 = 0.0;
+  for (std::int64_t k : {8, 16, 32, 64}) {
+    const auto plain = cycles_with(verify::Options::off(), k);
+    const auto abft = cycles_with(verify::Options::always().in_grid(), k);
+    const double pct = 100.0 * (static_cast<double>(abft) -
+                                static_cast<double>(plain)) /
+                       static_cast<double>(plain);
+    if (k == 64) overhead_at_64 = pct;
+    t.add_row({TablePrinter::fmt_int(k),
+               TablePrinter::fmt_int(static_cast<std::int64_t>(plain)),
+               TablePrinter::fmt_int(static_cast<std::int64_t>(abft)),
+               TablePrinter::fmt(pct, 1) + "%"});
+  }
+  t.print();
+  std::printf("Criterion: < 5%% at k = 64 — %s (%.1f%%). The rank costs a"
+              " constant 3\ncycles per tile, so deeper reductions amortize"
+              " it away.\n\n",
+              overhead_at_64 < 5.0 ? "PASS" : "FAIL", overhead_at_64);
+
+  // Correction economics: N single PE faults, in-grid correction vs the
+  // host-side checker's reject-and-retry.
+  std::puts("-- Correction economics: 8 injected single PE faults --");
+  const std::int64_t d = 48, kk = 32;
+  const int rounds = 8;
+  // One fault per round (fresh budget each time, so a host-side retry
+  // always re-runs clean); the stats are summed across rounds.
+  auto faulted = [&](const verify::Options& vo) {
+    host::ExecStats sum;
+    for (int i = 0; i < rounds; ++i) {
+      host::Device dev;
+      host::Context ctx(dev);
+      host::FaultConfig fc;
+      fc.seed = 21 + static_cast<std::uint64_t>(i);
+      fc.pe_fault_rate = 1.0;
+      fc.max_faults = 1;
+      dev.inject_faults(fc);
+      host::RetryPolicy policy;
+      policy.max_retries = 4;
+      policy.backoff = std::chrono::microseconds(0);
+      ctx.set_retry_policy(policy);
+      ctx.config().verification = vo;
+      host::Buffer<float> a(dev, d * kk, 0), b(dev, kk * d, 1),
+          c(dev, d * d, 2);
+      a.write(std::vector<float>(ha.begin(), ha.begin() + d * kk));
+      b.write(std::vector<float>(hb.begin(), hb.begin() + kk * d));
+      c.write(std::vector<float>(static_cast<std::size_t>(d * d), 0.0f));
+      ctx.gemm_systolic<float>(d, d, kk, a, b, c);
+      const auto stats = ctx.exec_stats();
+      sum.pe_faults_localized += stats.pe_faults_localized;
+      sum.faults_corrected += stats.faults_corrected;
+      sum.retries += stats.retries;
+      sum.makespan_cycles += stats.makespan_cycles;
+    }
+    return sum;
+  };
+  const auto grid = faulted(verify::Options::always().in_grid());
+  const auto host_side = faulted(verify::Options::always());
+
+  TablePrinter e({"Recovery path", "Localized", "Corrected in grid",
+                  "Retries", "Makespan cycles"});
+  e.add_row({"in-grid (correct)",
+             TablePrinter::fmt_int(
+                 static_cast<std::int64_t>(grid.pe_faults_localized)),
+             TablePrinter::fmt_int(
+                 static_cast<std::int64_t>(grid.faults_corrected)),
+             TablePrinter::fmt_int(static_cast<std::int64_t>(grid.retries)),
+             TablePrinter::fmt_int(
+                 static_cast<std::int64_t>(grid.makespan_cycles))});
+  e.add_row({"host-side (retry)",
+             TablePrinter::fmt_int(
+                 static_cast<std::int64_t>(host_side.pe_faults_localized)),
+             TablePrinter::fmt_int(
+                 static_cast<std::int64_t>(host_side.faults_corrected)),
+             TablePrinter::fmt_int(
+                 static_cast<std::int64_t>(host_side.retries)),
+             TablePrinter::fmt_int(
+                 static_cast<std::int64_t>(host_side.makespan_cycles))});
+  e.print();
+  std::puts("An in-grid-corrected fault costs one k-cycle replay; the"
+            " host-side checker\npays a full rollback + re-execution per"
+            " fault. Both end bit-identical.\n");
+}
+
 }  // namespace
 
 int main() {
@@ -268,5 +387,6 @@ int main() {
   overhead_table();
   composition_overhead();
   protection_demo();
+  in_grid_abft();
   return 0;
 }

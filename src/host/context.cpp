@@ -26,6 +26,14 @@ struct RunScope {
   // swallow the fault.
   std::uint64_t corrupt_k = 0;
   bool corrupt_fired = false;
+  // PeFault: a drawn PE-targeted fault waiting for a systolic lowering to
+  // derive its (tile, r, c, mac) plan from (pe_fault_seq,
+  // pe_fault_attempt) and arm the grid. Cleared by pe_fault_fired() when
+  // the flip materializes; still pending after the body means no systolic
+  // multiply consumed it (or the planned MAC never fired) — retract.
+  bool pe_fault_pending = false;
+  std::uint64_t pe_fault_seq = 0;
+  int pe_fault_attempt = 0;
 };
 thread_local RunScope tl_scope;
 
@@ -86,6 +94,11 @@ std::function<void()> Context::wrap_work(
       // graph streaming more than 1024 values.
       tl_scope.corrupt_k = 1 + faults.corrupt_offset(seq, attempt, 1024);
     }
+    if (fault == FaultKind::PeFault) {
+      tl_scope.pe_fault_pending = true;
+      tl_scope.pe_fault_seq = seq;
+      tl_scope.pe_fault_attempt = attempt;
+    }
     struct Reset {
       ~Reset() { tl_scope = RunScope{}; }
     } reset;
@@ -93,6 +106,11 @@ std::function<void()> Context::wrap_work(
     if (fault == FaultKind::ChannelCorrupt && !tl_scope.corrupt_fired) {
       // The command launched no graph (or a graph too short to reach the
       // k-th push): nothing was damaged, so un-count the fault.
+      faults.retract();
+    }
+    if (fault == FaultKind::PeFault && tl_scope.pe_fault_pending) {
+      // No systolic multiply consumed the draw (or the planned MAC never
+      // produced a nonzero product): nothing was damaged.
       faults.retract();
     }
     if (fault == FaultKind::CorruptTransfer) {
@@ -346,6 +364,25 @@ void Context::run_graph(stream::Graph& g) {
 
 double Context::bank_bytes_per_cycle(double freq_mhz) const {
   return dev_->spec().bank_bandwidth_gbs * 1e9 / (freq_mhz * 1e6);
+}
+
+bool Context::pe_fault_draw(std::uint64_t* seq, int* attempt) {
+  if (!tl_scope.active || !tl_scope.pe_fault_pending) return false;
+  *seq = tl_scope.pe_fault_seq;
+  *attempt = tl_scope.pe_fault_attempt;
+  return true;
+}
+
+void Context::pe_fault_fired() { tl_scope.pe_fault_pending = false; }
+
+void Context::store_grid_report(const systolic::AbftReport& report) {
+  std::lock_guard<std::mutex> lk(grid_mu_);
+  last_grid_report_ = report;
+}
+
+systolic::AbftReport Context::last_grid_report() const {
+  std::lock_guard<std::mutex> lk(grid_mu_);
+  return last_grid_report_;
 }
 
 }  // namespace fblas::host

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -53,6 +54,7 @@
 #include "host/executor.hpp"
 #include "refblas/level1.hpp"
 #include "stream/graph.hpp"
+#include "systolic/systolic_array.hpp"
 #include "verify/options.hpp"
 #include "verify/policy.hpp"
 
@@ -505,6 +507,30 @@ class Context {
     trsm_async(side, uplo, trans, diag, m, n, alpha, a, b).wait();
   }
 
+  // --- Systolic PE-grid engine (in-grid ABFT) ---------------------------
+  /// C = A * B (A: m x k, B: k x n) on the explicit PE-grid systolic
+  /// engine (RoutineConfig::pe_rows x pe_cols). With the captured
+  /// verification Options enabled and .in_grid(), the grid's checksum
+  /// row/column rank detects a corrupted accumulator as each tile drains,
+  /// localizes it to the victim PE, and (per .correct_single_faults())
+  /// corrects single-fault tiles in place — the cheapest rung of the
+  /// recovery ladder, below rollback/retry and CPU fallback, which
+  /// multi-fault tiles still degrade to.
+  template <typename T>
+  Event gemm_systolic_async(std::int64_t m, std::int64_t n, std::int64_t k,
+                            const Buffer<T>& a, const Buffer<T>& b,
+                            Buffer<T>& c);
+  template <typename T>
+  void gemm_systolic(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const Buffer<T>& a, const Buffer<T>& b, Buffer<T>& c) {
+    gemm_systolic_async(m, n, k, a, b, c).wait();
+  }
+
+  /// In-grid ABFT outcome of the most recently executed systolic command
+  /// (localized faults with tile/PE coordinates) — what localization
+  /// tests compare against FaultInjector::last_pe_victim().
+  systolic::AbftReport last_grid_report() const;
+
   // --- Specialized matrix routines ---------------------------------------
   // Implemented in terms of the generic routines, as the paper prescribes
   // (Sec. VI: "Specialized matrix routines (triangular and symmetric
@@ -585,6 +611,15 @@ class Context {
   std::function<void()> wrap_verify(std::function<void()> check,
                                     bool adaptive);
 
+  /// Fault-injector PE-fault draw for the command running on this thread
+  /// (context.cpp owns the thread-local run scope): true when wrap_work
+  /// drew a PeFault, with the (seq, attempt) the deterministic plan is
+  /// derived from. pe_fault_fired() marks the draw materialized so the
+  /// wrapper does not retract it.
+  static bool pe_fault_draw(std::uint64_t* seq, int* attempt);
+  static void pe_fault_fired();
+  void store_grid_report(const systolic::AbftReport& report);
+
   /// Per-cycle byte budget of one DDR bank at the given clock.
   double bank_bytes_per_cycle(double freq_mhz) const;
 
@@ -600,6 +635,8 @@ class Context {
   /// Live Sampled-mode rate under verify::Options::adaptive(); < 0 means
   /// "not yet initialized — use the configured base rate".
   mutable std::atomic<double> adaptive_rate_{-1.0};
+  mutable std::mutex grid_mu_;
+  systolic::AbftReport last_grid_report_;
 };
 
 /// RAII override of a Context's RoutineConfig: applies `cfg` on

@@ -13,6 +13,8 @@ namespace {
 // inside a command body run inline, so their graph cycles accumulate
 // into the enclosing command.
 thread_local std::uint64_t tl_cycles = 0;
+thread_local std::uint64_t tl_pe_localized = 0;
+thread_local std::uint64_t tl_pe_corrected = 0;
 thread_local int tl_depth = 0;
 thread_local int tl_attempt = 0;
 
@@ -47,6 +49,14 @@ std::string describe(const std::exception_ptr& error) {
 
 void Executor::note_cycles(std::uint64_t cycles) {
   if (tl_depth > 0) tl_cycles += cycles;
+}
+
+void Executor::note_pe_faults(std::uint64_t localized,
+                              std::uint64_t corrected) {
+  if (tl_depth > 0) {
+    tl_pe_localized += localized;
+    tl_pe_corrected += corrected;
+  }
 }
 
 bool Executor::in_command() { return tl_depth > 0; }
@@ -146,6 +156,8 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
   std::uint64_t retries_done = 0;
   std::uint64_t verified_runs = 0;
   std::uint64_t verify_rejects = 0;
+  std::uint64_t pe_localized = 0;
+  std::uint64_t pe_corrected = 0;
   bool degraded = false;
 
   if (poisoned_by != 0) {
@@ -171,6 +183,8 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
     auto backoff = policy.backoff;
     for (int attempt = 0;; ++attempt) {
       tl_cycles = 0;
+      tl_pe_localized = 0;
+      tl_pe_corrected = 0;
       tl_attempt = attempt;
       ++tl_depth;
       error = nullptr;
@@ -195,6 +209,8 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
       --tl_depth;
       tl_attempt = 0;
       cycles += tl_cycles;  // failed attempts still burned device time
+      pe_localized += tl_pe_localized;
+      pe_corrected += tl_pe_corrected;
       if (verify_rejected) ++verify_rejects;
       if (!error) break;
       const bool transient = is_transient(error);
@@ -242,6 +258,8 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
   stats_.verified += verified_runs;
   stats_.verify_failures += verify_rejects;
   stats_.sdc_caught += verify_rejects;
+  stats_.pe_faults_localized += pe_localized;
+  stats_.faults_corrected += pe_corrected;
   nodes_.at(seq).verify_rejections = static_cast<std::uint32_t>(verify_rejects);
   complete(seq, cycles, error, final_state, std::move(message));
 }

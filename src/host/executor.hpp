@@ -59,6 +59,11 @@ struct ExecStats {
   /// checker only runs after a device-Ok attempt), but the counter keeps
   /// its meaning if checkers ever audit fallback results too.
   std::uint64_t sdc_caught = 0;
+  /// In-grid ABFT (systolic engine): faults the checksum rank pinned to a
+  /// specific PE, and the subset corrected in place — the recovery rung
+  /// below rollback/retry, so a corrected fault never shows in retries.
+  std::uint64_t pe_faults_localized = 0;
+  std::uint64_t faults_corrected = 0;
   /// Live Sampled-mode rate under verify::Options::adaptive(): raised by
   /// rejections, decayed by clean checks. 0 when adaptive sampling has
   /// never engaged (filled by Context::exec_stats, not the Executor).
@@ -129,6 +134,11 @@ class Executor {
   /// Accumulates simulated device cycles into the command currently
   /// executing on this thread (no-op outside a command).
   static void note_cycles(std::uint64_t cycles);
+  /// Accumulates in-grid ABFT outcomes (faults localized to a PE /
+  /// corrected in place) into the command currently executing on this
+  /// thread — the engine-side analogue of note_cycles.
+  static void note_pe_faults(std::uint64_t localized,
+                             std::uint64_t corrected);
   /// True while the calling thread is inside a command body — used by
   /// Context::enqueue to run nested library calls inline as part of the
   /// enclosing command.

@@ -52,6 +52,8 @@ FaultKind FaultInjector::decide(std::uint64_t seq, int attempt) {
     kind = FaultKind::SilentCorrupt;
   } else if (u < (edge += cfg_.channel_corrupt_rate)) {
     kind = FaultKind::ChannelCorrupt;
+  } else if (u < (edge += cfg_.pe_fault_rate)) {
+    kind = FaultKind::PeFault;
   }
   if (kind == FaultKind::None) return kind;
   // Consume the fault budget; a drawn fault past the budget fires as None
@@ -83,6 +85,13 @@ std::uint64_t FaultInjector::corrupt_offset(std::uint64_t seq, int attempt,
   return draw(cfg_.seed, seq, attempt, 1) % size;
 }
 
+std::uint64_t FaultInjector::pick(std::uint64_t seq, int attempt,
+                                  std::uint64_t stream,
+                                  std::uint64_t bound) const {
+  if (bound == 0) return 0;
+  return draw(cfg_.seed, seq, attempt, stream) % bound;
+}
+
 void FaultInjector::record_victim(const std::string& channel) {
   std::lock_guard<std::mutex> lk(victim_mu_);
   last_victim_ = channel;
@@ -91,6 +100,16 @@ void FaultInjector::record_victim(const std::string& channel) {
 std::string FaultInjector::last_victim() const {
   std::lock_guard<std::mutex> lk(victim_mu_);
   return last_victim_;
+}
+
+void FaultInjector::record_pe_victim(const PeVictim& victim) {
+  std::lock_guard<std::mutex> lk(victim_mu_);
+  last_pe_victim_ = victim;
+}
+
+PeVictim FaultInjector::last_pe_victim() const {
+  std::lock_guard<std::mutex> lk(victim_mu_);
+  return last_pe_victim_;
 }
 
 }  // namespace fblas::host

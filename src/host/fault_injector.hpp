@@ -20,8 +20,8 @@
 namespace fblas::host {
 
 /// Per-launch fault probabilities. Rates are cumulative-checked in the
-/// order launch-fail, corrupt, wedge, silent-corrupt, channel-corrupt;
-/// their sum should stay <= 1.
+/// order launch-fail, corrupt, wedge, silent-corrupt, channel-corrupt,
+/// pe-fault; their sum should stay <= 1.
 struct FaultConfig {
   std::uint64_t seed = 0;
   double launch_fail_rate = 0.0;  ///< P(kernel launch throws DeviceError)
@@ -34,6 +34,17 @@ struct FaultConfig {
   /// stream mid-pipeline — invisible to any write-set snapshot, and
   /// catchable only by a checksum carried through the composition.
   double channel_corrupt_rate = 0.0;
+  /// P(one MAC product is bit-flipped inside a PE of the systolic grid).
+  /// The victim (tile, r, c, mac) is a pure hash of (seed, seq, attempt)
+  /// drawn by the systolic lowering via pick(); the materialized plan is
+  /// recorded as last_pe_victim() ground truth so tests can cross-check
+  /// the in-grid ABFT localization. Commands that never run the systolic
+  /// engine retract the draw.
+  double pe_fault_rate = 0.0;
+  /// Testing knob for the double-fault policy: a drawn PeFault plants TWO
+  /// bit flips in distinct PEs of the same tile, which the in-grid ABFT
+  /// must refuse to correct (falling back to rollback -> retry).
+  bool pe_fault_pairs = false;
   int max_faults = -1;            ///< total faults budget; <0 = unlimited
 };
 
@@ -41,7 +52,9 @@ struct FaultConfig {
 /// no error — the command completes Ok with a wrong result. Only result
 /// verification (VerifyPolicy + the ABFT checkers) can catch it.
 /// ChannelCorrupt flips bits of one value in flight on a streaming
-/// channel, also without raising an error.
+/// channel, also without raising an error. PeFault flips one MAC product
+/// inside a systolic-grid PE — the fault the in-grid checksum rank
+/// localizes and corrects.
 enum class FaultKind : std::uint8_t {
   None,
   LaunchFail,
@@ -49,6 +62,20 @@ enum class FaultKind : std::uint8_t {
   Wedge,
   SilentCorrupt,
   ChannelCorrupt,
+  PeFault,
+};
+
+/// Ground truth of the last PE-targeted fault that materialized in the
+/// systolic grid: which tile (tile indices, not element offsets), which
+/// PE, which per-tile MAC. Localization tests compare the in-grid ABFT
+/// diagnosis against this record.
+struct PeVictim {
+  std::int64_t tile_row = -1;
+  std::int64_t tile_col = -1;
+  int r = -1;
+  int c = -1;
+  std::int64_t mac = -1;
+  bool valid = false;
 };
 
 class FaultInjector {
@@ -70,6 +97,17 @@ class FaultInjector {
   std::uint64_t corrupt_offset(std::uint64_t seq, int attempt,
                                std::uint64_t size) const;
 
+  /// Deterministic uniform draw in [0, bound) on an auxiliary stream —
+  /// lets a lowering derive a multi-coordinate fault plan (the PE fault's
+  /// tile / row / column / MAC) from one decide() without perturbing the
+  /// decision hash. Returns 0 for bound == 0.
+  std::uint64_t pick(std::uint64_t seq, int attempt, std::uint64_t stream,
+                     std::uint64_t bound) const;
+
+  /// True when a drawn PeFault should plant a second flip in a distinct
+  /// PE of the same tile (FaultConfig::pe_fault_pairs).
+  bool pe_fault_pairs() const { return cfg_.pe_fault_pairs; }
+
   /// Un-counts a fault that could not be materialized (e.g. a silent
   /// corruption drawn for a command whose write set holds no registered
   /// device bytes), restoring the budget it consumed — so injected()
@@ -88,6 +126,11 @@ class FaultInjector {
   void record_victim(const std::string& channel);
   std::string last_victim() const;
 
+  /// Ground truth of the last PE fault the systolic engine materialized
+  /// (recorded by the systolic lowering when the planned flip fired).
+  void record_pe_victim(const PeVictim& victim);
+  PeVictim last_pe_victim() const;
+
  private:
   FaultConfig cfg_;
   std::atomic<bool> enabled_{false};
@@ -95,6 +138,7 @@ class FaultInjector {
   std::atomic<int> budget_{-1};
   mutable std::mutex victim_mu_;
   std::string last_victim_;
+  PeVictim last_pe_victim_;
 };
 
 }  // namespace fblas::host

@@ -110,6 +110,15 @@ EdgeChecksum dot_checksum(VectorView<const T> x, VectorView<const T> y) {
   return c;
 }
 
+EdgeChecksum ger_propagate(const EdgeChecksum& a0, const EdgeChecksum& x,
+                           const EdgeChecksum& y, double alpha) {
+  EdgeChecksum c;
+  c.pred = a0.pred + alpha * x.pred * y.pred;
+  c.mag = a0.mag + std::abs(alpha) * x.mag * y.mag;
+  c.terms = a0.terms + x.terms * y.terms;
+  return c;
+}
+
 #define FBLAS_MDAG_CHECKSUM_INSTANTIATE(T)                                    \
   template EdgeChecksum vec_checksum<T>(VectorView<const T>, std::int64_t);   \
   template EdgeChecksum weighted_vec_checksum<T>(                             \

@@ -96,4 +96,18 @@ EdgeChecksum scale(const EdgeChecksum& a, double alpha);
 template <typename T>
 EdgeChecksum dot_checksum(VectorView<const T> x, VectorView<const T> y);
 
+/// GER rule (rank-1 update, bilinear like DOT): for
+/// A = alpha x y^T + A0, the unit-weight output checksum is
+///
+///   e^T A e = alpha (e^T x)(y^T e) + e^T A0 e
+///
+/// so it follows from the *per-pass* (repeat == 1) checksums of the x and
+/// y edges and the checksum of the streamed-in A0 — the first module-DAG
+/// rule beyond the linear set (GEMV/AXPY/SCAL) and DOT. The magnitude
+/// bound uses |alpha| (Σ|x|)(Σ|y|), conservative for the |Σ| the residual
+/// actually sees, and the term count x.terms * y.terms matches the
+/// alpha x_i y_j products accumulated into the output stream.
+EdgeChecksum ger_propagate(const EdgeChecksum& a0, const EdgeChecksum& x,
+                           const EdgeChecksum& y, double alpha);
+
 }  // namespace fblas::mdag

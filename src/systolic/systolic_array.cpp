@@ -1,10 +1,41 @@
 #include "systolic/systolic_array.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
 
 #include "common/types.hpp"
+#include "verify/policy.hpp"
 
 namespace fblas::systolic {
+namespace {
+
+// PE-fault materialization: XOR an exponent bit of the product, so a
+// corrupted MAC is many orders of magnitude off and cannot hide under the
+// residual tolerance. For operands in (-2, 2) the flipped value stays
+// finite (the exponent gains +2^7 / +2^10 without saturating).
+template <typename T>
+T flip_product(T v) {
+  if constexpr (sizeof(T) == 4) {
+    std::uint32_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    u ^= 0x40000000u;
+    std::memcpy(&v, &u, sizeof(u));
+  } else {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    u ^= 0x4000000000000000ull;
+    std::memcpy(&v, &u, sizeof(u));
+  }
+  return v;
+}
+
+bool flagged(double residual, double tol) {
+  return !std::isfinite(residual) || std::abs(residual) > tol;
+}
+
+}  // namespace
 
 template <typename T>
 SystolicArray<T>::SystolicArray(int pe_rows, int pe_cols)
@@ -21,17 +52,186 @@ std::uint64_t SystolicArray<T>::total_macs() const {
   return total;
 }
 
+// Compares the drained tile against the checksum rank's predictions and
+// resolves the residual pattern: intersecting row/column residuals pin a
+// single fault to its PE, which is then corrected (when allowed) by
+// replaying that PE's dot product in the grid's own accumulation order —
+// so a corrected tile is bit-identical to a fault-free run. Any other
+// flagged pattern (>=2 rows or columns, or inconsistent residuals) is a
+// multi-fault tile: recorded uncorrectable, for the host to reject.
 template <typename T>
-void SystolicArray<T>::run_tile(MatrixView<const T> A, MatrixView<const T> B,
-                                MatrixView<T> C, std::int64_t row0,
-                                std::int64_t col0, std::int64_t th,
-                                std::int64_t tw, std::int64_t k) {
+void SystolicArray<T>::check_tile(MatrixView<const T> A, MatrixView<const T> B,
+                                  std::int64_t row0, std::int64_t col0,
+                                  std::int64_t th, std::int64_t tw,
+                                  std::int64_t k, std::uint64_t* corrected) {
+  auto pe = [&](int r, int c) -> Pe<T>& {
+    return grid_[static_cast<std::size_t>(r * pc_ + c)];
+  };
+  ++report_.tiles_checked;
+
+  // What the feeders emitted alongside the data: Feed-B's running column
+  // sums (driving the checksum COLUMN, which accumulates per-row sums
+  // C·e) and Feed-A's running row sums (driving the checksum ROW, eᵀ·C).
+  // Checksum arithmetic is double regardless of the stream precision.
+  std::vector<double> bsum(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> babs(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> asum(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> aabs(static_cast<std::size_t>(k), 0.0);
+  for (std::int64_t j = 0; j < k; ++j) {
+    for (std::int64_t c = 0; c < tw; ++c) {
+      const double b = static_cast<double>(B(j, col0 + c));
+      bsum[static_cast<std::size_t>(j)] += b;
+      babs[static_cast<std::size_t>(j)] += std::abs(b);
+    }
+    for (std::int64_t r = 0; r < th; ++r) {
+      const double a = static_cast<double>(A(row0 + r, j));
+      asum[static_cast<std::size_t>(j)] += a;
+      aabs[static_cast<std::size_t>(j)] += std::abs(a);
+    }
+  }
+  std::vector<double> res_row(static_cast<std::size_t>(th), 0.0);
+  std::vector<double> tol_row(static_cast<std::size_t>(th), 0.0);
+  std::vector<double> res_col(static_cast<std::size_t>(tw), 0.0);
+  std::vector<double> tol_col(static_cast<std::size_t>(tw), 0.0);
+  const double scale = abft_.tolerance_scale;
+  for (std::int64_t r = 0; r < th; ++r) {
+    double pred = 0.0, mag = 0.0, meas = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const double a = static_cast<double>(A(row0 + r, j));
+      pred += a * bsum[static_cast<std::size_t>(j)];
+      mag += std::abs(a) * babs[static_cast<std::size_t>(j)];
+    }
+    for (int c = 0; c < static_cast<int>(tw); ++c) {
+      meas += static_cast<double>(pe(static_cast<int>(r), c).acc);
+    }
+    res_row[static_cast<std::size_t>(r)] = meas - pred;
+    tol_row[static_cast<std::size_t>(r)] =
+        verify::rel_bound<T>(k * tw, scale) * mag;
+  }
+  for (std::int64_t c = 0; c < tw; ++c) {
+    double pred = 0.0, mag = 0.0, meas = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const double b = static_cast<double>(B(j, col0 + c));
+      pred += asum[static_cast<std::size_t>(j)] * b;
+      mag += aabs[static_cast<std::size_t>(j)] * std::abs(b);
+    }
+    for (int r = 0; r < static_cast<int>(th); ++r) {
+      meas += static_cast<double>(pe(r, static_cast<int>(c)).acc);
+    }
+    res_col[static_cast<std::size_t>(c)] = meas - pred;
+    tol_col[static_cast<std::size_t>(c)] =
+        verify::rel_bound<T>(k * th, scale) * mag;
+  }
+
+  int flagged_rows = 0, flagged_cols = 0, fr = -1, fc = -1;
+  for (std::int64_t r = 0; r < th; ++r) {
+    if (flagged(res_row[static_cast<std::size_t>(r)],
+                tol_row[static_cast<std::size_t>(r)])) {
+      ++flagged_rows;
+      fr = static_cast<int>(r);
+    }
+  }
+  for (std::int64_t c = 0; c < tw; ++c) {
+    if (flagged(res_col[static_cast<std::size_t>(c)],
+                tol_col[static_cast<std::size_t>(c)])) {
+      ++flagged_cols;
+      fc = static_cast<int>(c);
+    }
+  }
+  if (flagged_rows == 0 && flagged_cols == 0) return;  // clean tile
+
+  ++report_.faults_detected;
+  const std::int64_t ti = row0 / pr_, tj = col0 / pc_;
+  auto uncorrectable = [&](const std::string& why) {
+    ++report_.uncorrectable_tiles;
+    if (report_.first_uncorrectable.empty()) {
+      std::ostringstream os;
+      os << "tile (" << ti << ", " << tj << "): " << why << " ("
+         << flagged_rows << " row residual(s), " << flagged_cols
+         << " column residual(s))";
+      report_.first_uncorrectable = os.str();
+    }
+  };
+  if (flagged_rows != 1 || flagged_cols != 1) {
+    uncorrectable("residuals do not intersect in one PE — multiple faults");
+    return;
+  }
+  const double rr = res_row[static_cast<std::size_t>(fr)];
+  const double rc = res_col[static_cast<std::size_t>(fc)];
+  // A single fault produces the SAME delta in its row and column sums;
+  // disagreeing residuals mean two faults conspired into one row and one
+  // column, which a single replay could not explain.
+  const bool consistent =
+      std::isfinite(rr) && std::isfinite(rc) &&
+      std::abs(rr - rc) <= tol_row[static_cast<std::size_t>(fr)] +
+                               tol_col[static_cast<std::size_t>(fc)] +
+                               1e-6 * std::max(std::abs(rr), std::abs(rc));
+  if (!consistent) {
+    uncorrectable("row/column residuals disagree — masked multiple faults");
+    return;
+  }
+  ++report_.faults_localized;
+  Pe<T>& victim = pe(fr, fc);
+  ++victim.faults;
+  LocalizedFault lf;
+  lf.tile_row = ti;
+  lf.tile_col = tj;
+  lf.r = fr;
+  lf.c = fc;
+  lf.residual = rr;
+  if (abft_.correct_single_faults) {
+    // Replay the victim's dot product in the PE's own accumulation order
+    // (ascending j, precision T): the corrected accumulator is bit-equal
+    // to what a fault-free pass would have produced.
+    T acc = T(0);
+    for (std::int64_t j = 0; j < k; ++j) {
+      acc += A(row0 + fr, j) * B(j, col0 + fc);
+    }
+    const double delta =
+        static_cast<double>(victim.acc) - static_cast<double>(acc);
+    victim.acc = acc;
+    // The replay must explain the residuals it was blamed for; if not,
+    // the localization was a coincidence of several faults.
+    if (flagged(rr - delta, tol_row[static_cast<std::size_t>(fr)]) ||
+        flagged(rc - delta, tol_col[static_cast<std::size_t>(fc)])) {
+      --report_.faults_localized;
+      --victim.faults;
+      uncorrectable("replayed correction does not explain the residuals");
+      return;
+    }
+    lf.corrected = true;
+    ++report_.faults_corrected;
+    ++*corrected;
+  }
+  report_.faults.push_back(lf);
+}
+
+template <typename T>
+std::uint64_t SystolicArray<T>::run_tile(MatrixView<const T> A,
+                                         MatrixView<const T> B,
+                                         MatrixView<T> C, std::int64_t row0,
+                                         std::int64_t col0, std::int64_t th,
+                                         std::int64_t tw, std::int64_t k,
+                                         std::int64_t tile) {
   auto pe = [&](int r, int c) -> Pe<T>& {
     return grid_[static_cast<std::size_t>(r * pc_ + c)];
   };
   for (auto& p : grid_) {
     p.acc = T(0);
     p.a_valid = p.b_valid = p.drain_valid = false;
+  }
+  // Armed faults targeting this tile, with the victim PE's MAC count at
+  // tile entry so the plan's per-tile MAC index can be matched.
+  struct Live {
+    ArmedFault* af;
+    std::uint64_t base;
+  };
+  std::vector<Live> live;
+  for (ArmedFault& af : pending_) {
+    if (!af.fired && af.plan.tile == tile && af.plan.r < th &&
+        af.plan.c < tw) {
+      live.push_back({&af, pe(af.plan.r, af.plan.c).macs});
+    }
   }
   // ---- Compute phase: skewed wavefronts ------------------------------
   // Feed-A(r) injects A(row0+r, t-r) at cycle t; Feed-B(c) injects
@@ -63,13 +263,39 @@ void SystolicArray<T>::run_tile(MatrixView<const T> A, MatrixView<const T> B,
       }
     }
     // MAC on the freshly latched pair.
-    for (auto& p : grid_) {
-      if (p.a_valid && p.b_valid) {
-        p.acc += p.a_reg * p.b_reg;
+    for (int r = 0; r < pr_; ++r) {
+      for (int c = 0; c < pc_; ++c) {
+        Pe<T>& p = pe(r, c);
+        if (!(p.a_valid && p.b_valid)) continue;
+        T prod = p.a_reg * p.b_reg;
+        for (Live& lv : live) {
+          if (lv.af->fired || lv.af->plan.r != r || lv.af->plan.c != c) {
+            continue;
+          }
+          // Fire at the planned per-tile MAC index, postponing past
+          // exactly-zero products (a flipped zero is still zero-delta in
+          // the accumulator for the worst corruption patterns; requiring
+          // a nonzero product guarantees the fault is live).
+          if (p.macs - lv.base >=
+                  static_cast<std::uint64_t>(lv.af->plan.mac) &&
+              prod != T(0)) {
+            prod = flip_product(prod);
+            lv.af->fired = true;
+            ++faults_fired_;
+          }
+        }
+        p.acc += prod;
         ++p.macs;
       }
     }
   }
+  // ---- Checksum rank: detect / localize / correct before the drain ----
+  // Architecturally the comparison happens in the extra accumulator rank
+  // as the tile drains; checking the (still output-stationary) ACCs here
+  // and then draining normally is the same dataflow without duplicating
+  // the drain logic.
+  std::uint64_t corrected = 0;
+  if (abft_.enabled) check_tile(A, B, row0, col0, th, tw, k, &corrected);
   // ---- Drain phase: accumulators shift down the column chains --------
   for (auto& p : grid_) {
     p.drain_reg = p.acc;
@@ -90,6 +316,7 @@ void SystolicArray<T>::run_tile(MatrixView<const T> A, MatrixView<const T> B,
       }
     }
   }
+  return corrected;
 }
 
 template <typename T>
@@ -99,15 +326,24 @@ std::uint64_t SystolicArray<T>::multiply(MatrixView<const T> A,
   const std::int64_t m = A.rows(), k = A.cols(), n = B.cols();
   FBLAS_REQUIRE(B.rows() == k && C.rows() == m && C.cols() == n,
                 "systolic multiply: shape mismatch");
+  report_ = AbftReport{};
+  faults_fired_ = 0;
   std::uint64_t cycles = 0;
+  std::int64_t tile = 0;
   for (std::int64_t row0 = 0; row0 < m; row0 += pr_) {
     const std::int64_t th = std::min<std::int64_t>(pr_, m - row0);
     for (std::int64_t col0 = 0; col0 < n; col0 += pc_) {
       const std::int64_t tw = std::min<std::int64_t>(pc_, n - col0);
-      run_tile(A, B, C, row0, col0, th, tw, k);
-      cycles += cycles_per_tile(k);
+      const std::uint64_t corrected =
+          run_tile(A, B, C, row0, col0, th, tw, k, tile);
+      // A correction replays the victim's k operand pairs through the
+      // checksum rank while the next tile fills — k extra cycles, far
+      // cheaper than the full-tile rollback + re-execution it replaces.
+      cycles += cycles_per_tile(k) + corrected * static_cast<std::uint64_t>(k);
+      ++tile;
     }
   }
+  pending_.clear();
   return cycles;
 }
 

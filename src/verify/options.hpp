@@ -97,6 +97,34 @@ class Options {
   Options& trap_nonfinite() { return trap_nonfinite(true); }
   bool trap_nonfinite() const { return trap_nonfinite_; }
 
+  /// Runs verification *inside* the systolic engine (gemm_systolic): the
+  /// grid carries a checksum row/column rank that detects a corrupted
+  /// accumulator as the tile drains and localizes it to the offending PE
+  /// — instead of re-deriving Huang–Abraham checksums from DRAM after
+  /// the fact. Off (the default), systolic commands use the host-side
+  /// GEMM checkers like every other routine. The rank is hardware that is
+  /// either present or not: once armed it checks every tile, so under
+  /// VerifyPolicy::Sampled only the reject-and-retry hook is sampled.
+  Options& in_grid(bool on) {
+    in_grid_ = on;
+    return *this;
+  }
+  Options& in_grid() { return in_grid(true); }
+  bool in_grid() const { return in_grid_; }
+
+  /// Lets the in-grid checksum rank *correct* a single-fault tile in
+  /// place (replaying the victim PE's dot product — bit-identical to a
+  /// fault-free run) instead of rejecting the result: the cheapest rung
+  /// of the recovery ladder. Multi-fault tiles always reject and fall
+  /// back to rollback -> retry -> CPU fallback. On by default; only
+  /// meaningful with in_grid().
+  Options& correct_single_faults(bool on) {
+    correct_single_faults_ = on;
+    return *this;
+  }
+  Options& correct_single_faults() { return correct_single_faults(true); }
+  bool correct_single_faults() const { return correct_single_faults_; }
+
   /// Auto-tunes the effective Sampled rate online: every caught silent
   /// corruption multiplies the rate (the device is misbehaving — look
   /// harder), every clean check decays it back toward a floor of
@@ -130,6 +158,8 @@ class Options {
   std::uint64_t seed_ = 0;
   bool trap_nonfinite_ = false;
   bool adaptive_ = false;
+  bool in_grid_ = false;
+  bool correct_single_faults_ = true;
 };
 
 }  // namespace fblas::verify

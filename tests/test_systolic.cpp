@@ -3,6 +3,8 @@
 // module, cycle-count formula, load balance, constant fan-out.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/workload.hpp"
@@ -143,6 +145,231 @@ TYPED_TEST(Systolic, AgreesWithTimeMultiplexedGemmModule) {
                                   out));
   g.run();
   EXPECT_LT(rel_error(c_grid, c_module), 1e-5);
+}
+
+// --- Ragged-tile properties ----------------------------------------------
+// m, n not multiples of PR, PC: partial tiles on the right and bottom
+// edges. The grid's per-PE accumulation order (ascending j) matches the
+// reference GEMM's, so for alpha=1, beta=0 the results must agree BIT FOR
+// BIT — the property the in-grid replay correction also relies on.
+
+TYPED_TEST(Systolic, RaggedTilesBitAgreeWithReference) {
+  using T = TypeParam;
+  Workload wl(406);
+  struct Case {
+    std::int64_t m, n, k;
+    int pr, pc;
+  };
+  const Case cases[] = {
+      {10, 7, 9, 4, 3},  {5, 5, 1, 4, 4},   {13, 11, 17, 5, 2},
+      {3, 9, 4, 8, 8},   {16, 16, 32, 4, 4}, {7, 1, 6, 2, 3},
+  };
+  for (const Case& tc : cases) {
+    auto a = wl.matrix<T>(tc.m, tc.k);
+    auto b = wl.matrix<T>(tc.k, tc.n);
+    std::vector<T> c(static_cast<std::size_t>(tc.m * tc.n), T(0));
+    std::vector<T> expect(static_cast<std::size_t>(tc.m * tc.n), T(0));
+    ref::gemm<T>(Transpose::None, Transpose::None, T(1),
+                 MatrixView<const T>(a.data(), tc.m, tc.k),
+                 MatrixView<const T>(b.data(), tc.k, tc.n), T(0),
+                 MatrixView<T>(expect.data(), tc.m, tc.n));
+    SystolicArray<T> arr(tc.pr, tc.pc);
+    arr.multiply(MatrixView<const T>(a.data(), tc.m, tc.k),
+                 MatrixView<const T>(b.data(), tc.k, tc.n),
+                 MatrixView<T>(c.data(), tc.m, tc.n));
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(c[i], expect[i])
+          << "element " << i << " of m=" << tc.m << " n=" << tc.n
+          << " k=" << tc.k << " grid " << tc.pr << "x" << tc.pc;
+    }
+  }
+}
+
+TYPED_TEST(Systolic, PartialTileMacAccounting) {
+  using T = TypeParam;
+  Workload wl(407);
+  // 10x7 result on a 4x3 grid: rows 0-1 of the grid see 3 row-tiles,
+  // rows 2-3 see 2 (the last row-tile is 2 high); columns 0 sees 3
+  // column-tiles, columns 1-2 see 2 (the last column-tile is 1 wide).
+  const std::int64_t m = 10, n = 7, k = 9;
+  const int pr = 4, pc = 3;
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  std::vector<T> c(static_cast<std::size_t>(m * n), T(0));
+  SystolicArray<T> arr(pr, pc);
+  arr.multiply(MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n),
+               MatrixView<T>(c.data(), m, n));
+  std::uint64_t total = 0;
+  for (int r = 0; r < pr; ++r) {
+    // Row-tiles covering grid row r: full tiles plus the partial one if
+    // its height exceeds r. Same for columns.
+    const std::uint64_t row_tiles =
+        static_cast<std::uint64_t>(m / pr) + ((m % pr) > r ? 1u : 0u);
+    for (int cc = 0; cc < pc; ++cc) {
+      const std::uint64_t col_tiles =
+          static_cast<std::uint64_t>(n / pc) + ((n % pc) > cc ? 1u : 0u);
+      const std::uint64_t want = row_tiles * col_tiles *
+                                 static_cast<std::uint64_t>(k);
+      EXPECT_EQ(arr.pe_macs(r, cc), want)
+          << "PE(" << r << "," << cc << ")";
+      total += want;
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(m * n * k));
+  EXPECT_EQ(arr.total_macs(), total);
+}
+
+// --- In-grid ABFT at the engine level -------------------------------------
+
+TYPED_TEST(Systolic, AbftCleanRunDetectsNothingAndCostsThreeCycles) {
+  using T = TypeParam;
+  Workload wl(408);
+  const std::int64_t m = 8, n = 8, k = 16;
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  std::vector<T> plain(static_cast<std::size_t>(m * n), T(0));
+  std::vector<T> checked(static_cast<std::size_t>(m * n), T(0));
+  SystolicArray<T> arr(4, 4);
+  const auto base = arr.multiply(MatrixView<const T>(a.data(), m, k),
+                                 MatrixView<const T>(b.data(), k, n),
+                                 MatrixView<T>(plain.data(), m, n));
+  SystolicArray<T> armed(4, 4);
+  armed.set_abft(AbftConfig{true, true, 32.0});
+  const auto cycles = armed.multiply(MatrixView<const T>(a.data(), m, k),
+                                     MatrixView<const T>(b.data(), k, n),
+                                     MatrixView<T>(checked.data(), m, n));
+  // The checksum rank costs a constant 3 cycles per tile (4 tiles here)
+  // and never perturbs the data path.
+  EXPECT_EQ(cycles, base + 4u * 3u);
+  EXPECT_EQ(checked, plain);
+  const AbftReport& report = armed.report();
+  EXPECT_EQ(report.tiles_checked, 4u);
+  EXPECT_EQ(report.faults_detected, 0u);
+  EXPECT_EQ(report.faults_localized, 0u);
+  EXPECT_EQ(report.faults_corrected, 0u);
+  EXPECT_EQ(report.uncorrectable_tiles, 0u);
+}
+
+TYPED_TEST(Systolic, AbftLocalizesAndCorrectsArmedFaultBitIdentically) {
+  using T = TypeParam;
+  Workload wl(409);
+  const std::int64_t m = 10, n = 7, k = 9;  // ragged: partial victim tiles
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  std::vector<T> expect(static_cast<std::size_t>(m * n), T(0));
+  ref::gemm<T>(Transpose::None, Transpose::None, T(1),
+               MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n), T(0),
+               MatrixView<T>(expect.data(), m, n));
+  // One fault in every tile of the sweep (3x3 tiles on a 4x3 grid), each
+  // at a different PE/MAC — all must be localized and corrected in place.
+  int plan_no = 0;
+  std::vector<T> c(static_cast<std::size_t>(m * n), T(0));
+  SystolicArray<T> arr(4, 3);
+  arr.set_abft(AbftConfig{true, true, 32.0});
+  for (std::int64_t ti = 0; ti < 3; ++ti) {
+    for (std::int64_t tj = 0; tj < 3; ++tj) {
+      PeFaultPlan plan;
+      plan.tile = ti * 3 + tj;
+      const std::int64_t th = std::min<std::int64_t>(4, m - ti * 4);
+      const std::int64_t tw = std::min<std::int64_t>(3, n - tj * 3);
+      plan.r = static_cast<int>(plan_no % th);
+      plan.c = static_cast<int>((plan_no / 2) % tw);
+      plan.mac = plan_no % k;
+      arr.arm_fault(plan);
+      ++plan_no;
+    }
+  }
+  arr.multiply(MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n),
+               MatrixView<T>(c.data(), m, n));
+  EXPECT_EQ(arr.faults_fired(), 9u);
+  const AbftReport& report = arr.report();
+  EXPECT_EQ(report.faults_detected, 9u);
+  EXPECT_EQ(report.faults_localized, 9u);
+  EXPECT_EQ(report.faults_corrected, 9u);
+  EXPECT_EQ(report.uncorrectable_tiles, 0u);
+  // Corrected result is bit-identical to the fault-free reference.
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c[i], expect[i]) << "element " << i;
+  }
+  // Per-PE fault counters sum to the faults localized.
+  std::uint64_t fault_sum = 0;
+  for (int r = 0; r < 4; ++r) {
+    for (int cc = 0; cc < 3; ++cc) fault_sum += arr.pe_faults(r, cc);
+  }
+  EXPECT_EQ(fault_sum, 9u);
+}
+
+TYPED_TEST(Systolic, AbftDetectOnlyLeavesFaultInPlace) {
+  using T = TypeParam;
+  Workload wl(410);
+  const std::int64_t m = 8, n = 8, k = 12;
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  std::vector<T> expect(static_cast<std::size_t>(m * n), T(0));
+  ref::gemm<T>(Transpose::None, Transpose::None, T(1),
+               MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n), T(0),
+               MatrixView<T>(expect.data(), m, n));
+  std::vector<T> c(static_cast<std::size_t>(m * n), T(0));
+  SystolicArray<T> arr(4, 4);
+  arr.set_abft(AbftConfig{true, /*correct_single_faults=*/false, 32.0});
+  PeFaultPlan plan;
+  plan.tile = 2;  // tile (1, 0): rows 4-7, cols 0-3
+  plan.r = 1;
+  plan.c = 2;
+  plan.mac = 5;
+  arr.arm_fault(plan);
+  arr.multiply(MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n),
+               MatrixView<T>(c.data(), m, n));
+  const AbftReport& report = arr.report();
+  EXPECT_EQ(report.faults_detected, 1u);
+  EXPECT_EQ(report.faults_localized, 1u);
+  EXPECT_EQ(report.faults_corrected, 0u);
+  ASSERT_EQ(report.faults.size(), 1u);
+  EXPECT_EQ(report.faults[0].tile_row, 1);
+  EXPECT_EQ(report.faults[0].tile_col, 0);
+  EXPECT_EQ(report.faults[0].r, 1);
+  EXPECT_EQ(report.faults[0].c, 2);
+  EXPECT_FALSE(report.faults[0].corrected);
+  // The corrupted accumulator reached C: exactly the diagnosed element
+  // diverges, everything else is untouched.
+  const std::size_t bad = static_cast<std::size_t>((4 + 1) * n + (0 + 2));
+  EXPECT_NE(c[bad], expect[bad]);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i != bad) {
+      EXPECT_EQ(c[i], expect[i]) << "element " << i;
+    }
+  }
+}
+
+TYPED_TEST(Systolic, AbftDoubleFaultIsUncorrectable) {
+  using T = TypeParam;
+  Workload wl(411);
+  const std::int64_t m = 8, n = 8, k = 12;
+  auto a = wl.matrix<T>(m, k);
+  auto b = wl.matrix<T>(k, n);
+  std::vector<T> c(static_cast<std::size_t>(m * n), T(0));
+  SystolicArray<T> arr(4, 4);
+  arr.set_abft(AbftConfig{true, true, 32.0});
+  PeFaultPlan first{1, 0, 1, 3};
+  PeFaultPlan second{1, 2, 3, 7};  // same tile, distinct PE
+  arr.arm_fault(first);
+  arr.arm_fault(second);
+  arr.multiply(MatrixView<const T>(a.data(), m, k),
+               MatrixView<const T>(b.data(), k, n),
+               MatrixView<T>(c.data(), m, n));
+  EXPECT_EQ(arr.faults_fired(), 2u);
+  const AbftReport& report = arr.report();
+  EXPECT_EQ(report.faults_detected, 1u);  // one bad tile
+  EXPECT_EQ(report.faults_corrected, 0u);
+  EXPECT_EQ(report.uncorrectable_tiles, 1u);
+  EXPECT_NE(report.first_uncorrectable.find("tile (0, 1)"),
+            std::string::npos)
+      << report.first_uncorrectable;
 }
 
 TYPED_TEST(Systolic, RejectsBadShapes) {

@@ -20,9 +20,13 @@
 #include "apps/bicg.hpp"
 #include "common/error.hpp"
 #include "common/workload.hpp"
+#include "fblas/level2.hpp"
 #include "host/buffer.hpp"
 #include "host/context.hpp"
 #include "mdag/checksum.hpp"
+#include "stream/graph.hpp"
+#include "stream/streamers.hpp"
+#include "verify/graph_checker.hpp"
 #include "refblas/level1.hpp"
 #include "refblas/level2.hpp"
 #include "refblas/level3.hpp"
@@ -150,6 +154,142 @@ TEST(VerifyChecksum, GemvPullbackPredictsDownstreamChecksum) {
   EXPECT_DOUBLE_EQ(c.pred, 2.0 * pred.pred - 3.0 * spred.pred);
   EXPECT_EQ(c.terms, pred.terms + spred.terms);
   EXPECT_EQ(mdag::zero_checksum(5).pred, 0.0);
+}
+
+TEST(VerifyChecksum, GerPropagationRulePredictsOutputChecksum) {
+  // GER rule: for A = alpha x y^T + A0 the unit-weight output checksum is
+  // e^T A0 e + alpha (e^T x)(y^T e) — the first bilinear module-DAG rule
+  // beyond DOT, computed from per-pass input checksums only.
+  const std::int64_t n = 11, m = 8;
+  const double alpha = 0.75;
+  Workload wl(95);
+  auto ha = wl.matrix<double>(n, m);
+  const auto hx = wl.vector<double>(n);
+  const auto hy = wl.vector<double>(m);
+
+  const auto a0 = mdag::mat_checksum<double>(
+      MatrixView<const double>(ha.data(), n, m));
+  const auto cx = mdag::vec_checksum<double>(
+      VectorView<const double>(hx.data(), n));
+  const auto cy = mdag::vec_checksum<double>(
+      VectorView<const double>(hy.data(), m));
+  const auto pred = mdag::ger_propagate(a0, cx, cy, alpha);
+
+  ref::ger(alpha, VectorView<const double>(hx.data(), n),
+           VectorView<const double>(hy.data(), m),
+           MatrixView<double>(ha.data(), n, m));
+  double direct = 0.0;
+  for (double val : ha) direct += val;
+  EXPECT_NEAR(pred.pred, direct, 1e-9 * std::max(1.0, std::abs(direct)));
+  EXPECT_EQ(pred.terms, a0.terms + cx.terms * cy.terms);
+  EXPECT_GE(pred.mag, std::abs(pred.pred));
+}
+
+// --- GraphChecker over a GER-shaped module graph ---------------------------
+// The rank-1 update partition the mdag planner emits: read_A / read_x /
+// read_y feeding the GER module, writing the updated panel out. The GER
+// propagation rule predicts the out edge from the DRAM operands alone.
+
+template <typename T>
+void run_ger_checked(verify::GraphChecker& chk, std::int64_t rows,
+                     std::int64_t cols, T alpha, const std::vector<T>& a,
+                     const std::vector<T>& x, const std::vector<T>& y,
+                     std::vector<T>& out_a, std::uint64_t corrupt_at,
+                     std::string* victim) {
+  const core::GerConfig cfg{core::MatrixTiling::TilesByRows, 4, 16, 16};
+  stream::Graph g(stream::Mode::Functional);
+  auto& ca = g.channel<T>("A", 128);
+  auto& cx = g.channel<T>("x", 128);
+  auto& cy = g.channel<T>("y", 128);
+  auto& out = g.channel<T>("out", 128);
+  const auto sched = core::ger_a_schedule(cfg);
+  g.spawn("read_A",
+          stream::read_matrix<T>(MatrixView<const T>(a.data(), rows, cols),
+                                 sched, 1, cfg.width, ca));
+  g.spawn("read_x",
+          stream::read_vector<T>(VectorView<const T>(x.data(), rows),
+                                 core::ger_x_repeat(cfg, rows, cols),
+                                 cfg.width, cx));
+  g.spawn("read_y",
+          stream::read_vector<T>(VectorView<const T>(y.data(), cols),
+                                 core::ger_y_repeat(cfg, rows, cols),
+                                 cfg.width, cy));
+  g.spawn("ger", core::ger<T>(cfg, rows, cols, alpha, ca, cx, cy, out));
+  g.spawn("write_A",
+          stream::write_matrix<T>(MatrixView<T>(out_a.data(), rows, cols),
+                                  sched, cfg.width, out));
+  if (corrupt_at != 0) g.scheduler().corrupt_push(corrupt_at);
+  chk.arm(g);
+  g.run();
+  chk.capture(g);
+  if (victim != nullptr && g.scheduler().corruption_fired()) {
+    *victim = g.scheduler().corrupted_channel();
+  }
+}
+
+TEST(VerifyChecksum, GerGraphCheckerAcceptsCleanAndLocalizesCorruption) {
+  using T = float;
+  const std::int64_t rows = 13, cols = 9;
+  const T alpha = T(0.5);
+  Workload wl(96);
+  const auto ha = wl.matrix<T>(rows, cols);
+  const auto hx = wl.vector<T>(rows);
+  const auto hy = wl.vector<T>(cols);
+  const double eps = static_cast<double>(std::numeric_limits<T>::epsilon());
+  const core::GerConfig cfg{core::MatrixTiling::TilesByRows, 4, 16, 16};
+
+  auto expect_edges = [&](verify::GraphChecker& chk) {
+    chk.reset("ger");
+    const auto a0 = mdag::mat_checksum<T>(
+        MatrixView<const T>(ha.data(), rows, cols));
+    const auto cx1 = mdag::vec_checksum<T>(
+        VectorView<const T>(hx.data(), rows));
+    const auto cy1 = mdag::vec_checksum<T>(
+        VectorView<const T>(hy.data(), cols));
+    // Edges in topological order: operands, then the module's output.
+    chk.expect("A", a0, eps);
+    chk.expect("x",
+               mdag::vec_checksum<T>(VectorView<const T>(hx.data(), rows),
+                                     core::ger_x_repeat(cfg, rows, cols)),
+               eps);
+    chk.expect("y",
+               mdag::vec_checksum<T>(VectorView<const T>(hy.data(), cols),
+                                     core::ger_y_repeat(cfg, rows, cols)),
+               eps);
+    chk.expect("out", mdag::ger_propagate(a0, cx1, cy1, alpha), eps);
+  };
+
+  {  // Clean run: all four edges match their predictions.
+    verify::GraphChecker chk;
+    expect_edges(chk);
+    std::vector<T> out(static_cast<std::size_t>(rows * cols), T(0));
+    run_ger_checked<T>(chk, rows, cols, alpha, ha, hx, hy, out, 0, nullptr);
+    EXPECT_NO_THROW(chk.check(kScale));
+    // The realized panel is the reference rank-1 update.
+    auto aref = ha;
+    ref::ger(alpha, VectorView<const T>(hx.data(), rows),
+             VectorView<const T>(hy.data(), cols),
+             MatrixView<T>(aref.data(), rows, cols));
+    EXPECT_EQ(out, aref);
+  }
+  {  // One in-flight value flipped: the checker rejects and names exactly
+     // the channel the corruption crossed.
+    verify::GraphChecker chk;
+    expect_edges(chk);
+    std::vector<T> out(static_cast<std::size_t>(rows * cols), T(0));
+    std::string victim;
+    run_ger_checked<T>(chk, rows, cols, alpha, ha, hx, hy, out, 40, &victim);
+    ASSERT_FALSE(victim.empty());
+    try {
+      chk.check(kScale);
+      FAIL() << "expected VerificationError";
+    } catch (const VerificationError& err) {
+      const std::string msg = err.what();
+      EXPECT_NE(msg.find("composition 'ger'"), std::string::npos);
+      EXPECT_NE(msg.find("edge '" + victim + "'"), std::string::npos);
+      EXPECT_NE(msg.find("first divergent edge"), std::string::npos);
+    }
+  }
 }
 
 // --- Checker unit tests --------------------------------------------------
