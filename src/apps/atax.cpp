@@ -1,19 +1,11 @@
 #include "apps/atax.hpp"
 
-#include <limits>
-#include <memory>
-
-#include "mdag/auto_partition.hpp"
-#include "mdag/checksum.hpp"
-
 #include "fblas/level2.hpp"
-#include "host/detail.hpp"
+#include "host/composition.hpp"
 #include "refblas/level2.hpp"
 #include "sim/frequency_model.hpp"
 #include "stream/graph.hpp"
 #include "stream/streamers.hpp"
-#include "verify/abft.hpp"
-#include "verify/graph_checker.hpp"
 
 namespace fblas::apps {
 namespace {
@@ -168,110 +160,27 @@ host::Event atax_composed_async(host::Context& ctx, std::int64_t n,
                                 std::int64_t m, const host::Buffer<T>& a,
                                 const host::Buffer<T>& x,
                                 host::Buffer<T>& y) {
-  // Checker plus the output-edge prediction, shared across the prepare /
-  // work / check hooks (the graph itself dies with each attempt's body).
-  struct VerifyState {
-    verify::GraphChecker chk;
-    mdag::EdgeChecksum out_y;
-  };
-  auto vs = std::make_shared<VerifyState>();
+  // A pure description. The compiler detects the two vertex-disjoint
+  // A-paths into the transposed GEMV and sizes the direct channel to one
+  // full row of tiles (the atax_min_channel_depth analysis), synthesizes
+  // the A fan-out and the zero q0/y0 inputs, and derives the per-FIFO
+  // checksum plan the hand-wired path used to spell out.
   const host::RoutineConfig& rc = ctx.config();
-  const int width = rc.width;
-  const std::int64_t tile = rc.tile_rows;
-  host::Command command;
-  command.reads = {&a, &x};
-  command.writes = {&y};
-  command.work = [&ctx, vs, n, m, width, tile, &a, &x, &y] {
-    const auto cfg_n = atax_cfg<T>(Transpose::None, width, tile);
-    const auto cfg_t = atax_cfg<T>(Transpose::Trans, width, tile);
-    stream::Graph g(ctx.mode());
-    const auto f = sim::composition_frequency(2, PrecisionTraits<T>::value,
-                                              ctx.device().spec());
-    host::detail::BankSet banks(g, ctx.device(), f.mhz);
-    const std::size_t cap = static_cast<std::size_t>(std::max(64, 4 * width));
-    auto& ca = g.channel<T>("A", cap);
-    auto& ca1 = g.channel<T>("A_gemv", cap);
-    auto& ca2 = g.channel<T>(
-        "A_gemvT",
-        static_cast<std::size_t>(atax_min_channel_depth(m, tile, width)));
-    auto& cx = g.channel<T>("x", cap);
-    auto& cq0 = g.channel<T>("q0", cap);
-    auto& cy0 = g.channel<T>("y0", cap);
-    auto& cq = g.channel<T>("q", cap);
-    auto& cy = g.channel<T>("y", cap);
-    g.spawn("read_A",
-            stream::read_matrix<T>(a.cmat(n, m), core::gemv_a_schedule(cfg_n),
-                                   1, width, ca, banks.at(a.bank())));
-    g.spawn("fanout_A", stream::fanout2<T>(n * m, width, ca, ca1, ca2));
-    g.spawn("read_x",
-            stream::read_vector<T>(x.cvec(m), core::gemv_x_repeat(cfg_n, n, m),
-                                   width, cx, banks.at(x.bank())));
-    g.spawn("zero_q", stream::generate<T>(n, T(0), width, cq0));
-    g.spawn("zero_y", stream::generate<T>(m, T(0), width, cy0));
-    g.spawn("gemv", core::gemv<T>(cfg_n, n, m, T(1), T(0), ca1, cx, cq0, cq));
-    g.spawn("gemv_T",
-            core::gemv<T>(cfg_t, n, m, T(1), T(0), ca2, cq, cy0, cy));
-    g.spawn("store_y",
-            stream::write_vector<T>(y.vec(m), 1, width, cy, banks.at(y.bank())));
-    if (vs->chk.active()) vs->chk.arm(g);
-    ctx.run_graph(g);
-    if (vs->chk.active()) vs->chk.capture(g);
-  };
-  command.fallback = [n, m, &a, &x, &y] {
-    std::vector<T> out = atax_cpu<T>(a.cmat(n, m), x.cvec(m));
-    auto yv = y.vec(m);
-    for (std::int64_t j = 0; j < m; ++j) {
-      yv[j] = out[static_cast<std::size_t>(j)];
-    }
-  };
-  if (rc.verification.enabled()) {
-    command.verify_prepare = [vs, n, m, width, tile, &a, &x] {
-      const auto cfg_n = atax_cfg<T>(Transpose::None, width, tile);
-      const auto A = a.cmat(n, m);
-      const auto xv = x.cvec(m);
-      const double eps =
-          static_cast<double>(std::numeric_limits<T>::epsilon());
-      vs->chk.reset("atax");
-      // Edges in topological order, so check() reports the first channel
-      // the corruption crossed. The A reader fans out to both GEMVs; all
-      // three copies carry the same full-matrix checksum.
-      const auto sum_a = mdag::mat_checksum<T>(A);
-      vs->chk.expect("A", sum_a, eps);
-      vs->chk.expect("A_gemv", sum_a, eps);
-      vs->chk.expect("A_gemvT", sum_a, eps);
-      vs->chk.expect(
-          "x", mdag::vec_checksum<T>(xv, core::gemv_x_repeat(cfg_n, n, m)),
-          eps);
-      vs->chk.expect("q0", mdag::zero_checksum(n), eps);
-      vs->chk.expect("y0", mdag::zero_checksum(m), eps);
-      // q = A x: the unit weights on q pull back to A^T e on x. The
-      // device accumulates n*m products behind the streamed sum, so the
-      // bound grows with that, not with the pullback's length.
-      auto q_sum = mdag::weighted_vec_checksum<T>(
-          xv, mdag::gemv_pullback<T>(Transpose::None, A, mdag::ones(n)));
-      q_sum.terms = n * m;
-      vs->chk.expect("q", q_sum, eps);
-      // y = A^T q: pull e back through gemv_T (A e) and then through the
-      // first GEMV (A^T (A e)) onto x — two GEMVs' worth of rounding.
-      auto y_sum = mdag::weighted_vec_checksum<T>(
-          xv, mdag::gemv_pullback<T>(
-                  Transpose::None, A,
-                  mdag::gemv_pullback<T>(Transpose::Trans, A, mdag::ones(m))));
-      y_sum.terms = 2 * n * m;
-      vs->chk.expect("y", y_sum, eps);
-      vs->out_y = y_sum;
-    };
-    command.verify_check = [vs, m, &y,
-                            scale = rc.verification.tolerance_scale()] {
-      vs->chk.check(scale);
-      // The in-flight edges were clean; also audit what actually landed
-      // in DRAM, so a classic write-back corruption is caught too.
-      const verify::ScalarCheck sc{vs->out_y.pred, vs->out_y.mag,
-                                   vs->out_y.terms, false};
-      verify::check_sum<T>(sc, "atax_composed", y.cvec(m), scale);
-    };
-  }
-  return ctx.enqueue(std::move(command));
+  const auto cfg = atax_cfg<T>(Transpose::None, rc.width, rc.tile_rows);
+  host::Composition<T> c("atax");
+  const int ra = c.input("read_A", a);
+  const int rx = c.input("read_x", x);
+  const int wy = c.output("store_y", y);
+  const int g1 = c.gemv("gemv", T(1), T(0));
+  const int g2 = c.gemv("gemv_T", T(1), T(0), Transpose::Trans);
+  const auto a_sig = mdag::StreamSig::mat(n, m, core::gemv_a_schedule(cfg));
+  c.connect(ra, g1, a_sig);
+  c.connect(ra, g2, a_sig);
+  c.connect(rx, g1,
+            mdag::StreamSig::vec(m, core::gemv_x_repeat(cfg, n, m)));
+  c.connect(g1, g2, mdag::StreamSig::vec(n));
+  c.connect(g2, wy, mdag::StreamSig::vec(m));
+  return ctx.run_composition_async(c);
 }
 
 template <typename T>

@@ -1,17 +1,13 @@
 #include "apps/axpydot.hpp"
 
-#include <limits>
-#include <memory>
 #include <vector>
 
 #include "fblas/level1.hpp"
-#include "host/detail.hpp"
-#include "mdag/checksum.hpp"
+#include "host/composition.hpp"
 #include "refblas/level1.hpp"
 #include "sim/frequency_model.hpp"
 #include "stream/graph.hpp"
 #include "stream/streamers.hpp"
-#include "verify/graph_checker.hpp"
 
 namespace fblas::apps {
 
@@ -87,71 +83,22 @@ host::Event axpydot_composed_async(host::Context& ctx, std::int64_t n,
                                    const host::Buffer<T>& v,
                                    const host::Buffer<T>& u, T alpha,
                                    T* beta) {
-  auto vs = std::make_shared<verify::GraphChecker>();
-  const host::RoutineConfig& rc = ctx.config();
-  const int width = rc.width;
-  host::Command command;
-  command.reads = {&w, &v, &u};
-  command.writes = {beta};
-  command.work = [&ctx, vs, n, width, alpha, &w, &v, &u, beta] {
-    stream::Graph g(ctx.mode());
-    const auto f = sim::composition_frequency(0, PrecisionTraits<T>::value,
-                                              ctx.device().spec());
-    host::detail::BankSet banks(g, ctx.device(), f.mhz);
-    const std::size_t cap = static_cast<std::size_t>(std::max(64, 2 * width));
-    auto& cw = g.channel<T>("w", cap);
-    auto& cv = g.channel<T>("v", cap);
-    auto& cu = g.channel<T>("u", cap);
-    auto& cz = g.channel<T>("z", cap);
-    auto& cres = g.channel<T>("beta", 2);
-    std::vector<T> out;
-    g.spawn("read_w",
-            stream::read_vector<T>(w.cvec(n), 1, width, cw, banks.at(w.bank())));
-    g.spawn("read_v",
-            stream::read_vector<T>(v.cvec(n), 1, width, cv, banks.at(v.bank())));
-    g.spawn("read_u",
-            stream::read_vector<T>(u.cvec(n), 1, width, cu, banks.at(u.bank())));
-    g.spawn("axpy", core::axpy<T>({width}, n, -alpha, cv, cw, cz));
-    g.spawn("dot", core::dot<T>({width}, n, cz, cu, cres));
-    g.spawn("collect", stream::collect<T>(1, cres, out));
-    if (vs->active()) vs->arm(g);
-    ctx.run_graph(g);
-    if (vs->active()) vs->capture(g);
-    *beta = out.at(0);
-  };
-  command.fallback = [n, alpha, &w, &v, &u, beta] {
-    *beta = axpydot_cpu<T>(w.cvec(n), v.cvec(n), u.cvec(n), alpha);
-  };
-  if (rc.verification.enabled()) {
-    command.verify_prepare = [vs, n, alpha, &w, &v, &u] {
-      const auto wv = w.cvec(n);
-      const auto vv = v.cvec(n);
-      const auto uv = u.cvec(n);
-      const double eps =
-          static_cast<double>(std::numeric_limits<T>::epsilon());
-      vs->reset("axpydot");
-      vs->expect("w", mdag::vec_checksum<T>(wv), eps);
-      vs->expect("v", mdag::vec_checksum<T>(vv), eps);
-      vs->expect("u", mdag::vec_checksum<T>(uv), eps);
-      // z = w - alpha v: the AXPY linearity rule on the unit-weight sums.
-      vs->expect("z",
-                 mdag::combine(mdag::vec_checksum<T>(wv),
-                               mdag::vec_checksum<T>(vv), 1.0,
-                               -static_cast<double>(alpha)),
-                 eps);
-      // beta = z^T u is bilinear, not linear: recompute it in double over
-      // the host operands (w^T u - alpha v^T u).
-      vs->expect("beta",
-                 mdag::combine(mdag::dot_checksum<T>(wv, uv),
-                               mdag::dot_checksum<T>(vv, uv), 1.0,
-                               -static_cast<double>(alpha)),
-                 eps);
-    };
-    command.verify_check = [vs, scale = rc.verification.tolerance_scale()] {
-      vs->check(scale);
-    };
-  }
-  return ctx.enqueue(std::move(command));
+  // A pure description: the compiler derives the channels, the checksum
+  // taps on every FIFO, and the refblas fallback the old hand-wired path
+  // spelled out module by module.
+  host::Composition<T> c("axpydot");
+  const int rv = c.input("read_v", v);
+  const int rw = c.input("read_w", w);
+  const int ru = c.input("read_u", u);
+  const int wb = c.output_scalar("write_beta", beta);
+  const int ax = c.axpy("axpy", -alpha);  // z = w - alpha v
+  const int dt = c.dot("dot");
+  c.connect(rv, ax, mdag::StreamSig::vec(n));
+  c.connect(rw, ax, mdag::StreamSig::vec(n));
+  c.connect(ax, dt, mdag::StreamSig::vec(n));
+  c.connect(ru, dt, mdag::StreamSig::vec(n));
+  c.connect(dt, wb, mdag::StreamSig::vec(1));
+  return ctx.run_composition_async(c);
 }
 
 template <typename T>

@@ -1,6 +1,7 @@
 #include "apps/gemver.hpp"
 
 #include "fblas/level2.hpp"
+#include "host/composition.hpp"
 #include "refblas/level2.hpp"
 #include "sim/frequency_model.hpp"
 #include "stream/graph.hpp"
@@ -174,6 +175,89 @@ GemverResult<T> gemver_host_layer(host::Context& ctx, T alpha, T beta,
 }
 
 template <typename T>
+host::Event gemver_composed_async(
+    host::Context& ctx, std::int64_t n, T alpha, T beta,
+    const host::Buffer<T>& a, const host::Buffer<T>& u1,
+    const host::Buffer<T>& v1, const host::Buffer<T>& u2,
+    const host::Buffer<T>& v2, const host::Buffer<T>& y,
+    const host::Buffer<T>& z, host::Buffer<T>& b, host::Buffer<T>& x,
+    host::Buffer<T>& w) {
+  // The full MDAG is the invalid non-multitree of Fig. 9: B reaches the
+  // w-GEMV both directly and through the x-GEMV. prefer_split makes the
+  // compiler cut both in-edges of that GEMV through DRAM — reusing the
+  // B and x output buffers as the round-trip carriers — instead of
+  // buffering a row of B tiles on chip, reproducing the paper's
+  // two-component schedule (~3N^2 I/O, ~2N^2 completion).
+  const host::RoutineConfig& rc = ctx.config();
+  const core::GerConfig gcfg{core::MatrixTiling::TilesByRows, rc.width,
+                             rc.tile_rows, rc.tile_rows};
+  const core::GemvConfig tcfg{Transpose::Trans,
+                              core::MatrixTiling::TilesByRows, rc.width,
+                              rc.tile_rows, rc.tile_rows};
+  const core::GemvConfig ncfg{Transpose::None,
+                              core::MatrixTiling::TilesByRows, rc.width,
+                              rc.tile_rows, rc.tile_rows};
+  host::Composition<T> c("gemver");
+  c.prefer_split();
+  const int ra = c.input("read_A", a);
+  const int ru1 = c.input("read_u1", u1);
+  const int rv1 = c.input("read_v1", v1);
+  const int ru2 = c.input("read_u2", u2);
+  const int rv2 = c.input("read_v2", v2);
+  const int ry = c.input("read_y", y);
+  const int rz = c.input("read_z", z);
+  const int wb = c.output("store_B", b);
+  const int wx = c.output("store_x", x);
+  const int ww = c.output("store_w", w);
+  const int g1 = c.ger("ger1", T(1));
+  const int g2 = c.ger("ger2", T(1));
+  const int gt = c.gemv("gemv_T", beta, T(1), Transpose::Trans);
+  const int gw = c.gemv("gemv_w", alpha, T(0));
+  const auto m_sig =
+      mdag::StreamSig::mat(n, n, core::ger_a_schedule(gcfg));
+  c.connect(ra, g1, m_sig);
+  c.connect(ru1, g1,
+            mdag::StreamSig::vec(n, core::ger_x_repeat(gcfg, n, n)));
+  c.connect(rv1, g1,
+            mdag::StreamSig::vec(n, core::ger_y_repeat(gcfg, n, n)));
+  c.connect(g1, g2, m_sig);
+  c.connect(ru2, g2,
+            mdag::StreamSig::vec(n, core::ger_x_repeat(gcfg, n, n)));
+  c.connect(rv2, g2,
+            mdag::StreamSig::vec(n, core::ger_y_repeat(gcfg, n, n)));
+  // B's fan-out: DRAM first, then the transposed GEMV — the declaration
+  // order fixes the replication module's branch order.
+  c.connect(g2, wb, m_sig);
+  c.connect(g2, gt, m_sig);
+  c.connect(ry, gt,
+            mdag::StreamSig::vec(n, core::gemv_x_repeat(tcfg, n, n)));
+  c.connect(rz, gt, mdag::StreamSig::vec(n));
+  c.connect(g2, gw, m_sig);
+  // x re-enters with a per-tile-row replay the x-GEMV cannot get from a
+  // FIFO — a forced DRAM cut whenever n spans multiple tiles.
+  c.connect(gt, gw, mdag::StreamSig::vec(n),
+            mdag::StreamSig::vec(n, core::gemv_x_repeat(ncfg, n, n)));
+  c.connect(gt, wx, mdag::StreamSig::vec(n));
+  c.connect(gw, ww, mdag::StreamSig::vec(n));
+  return ctx.run_composition_async(c);
+}
+
+template <typename T>
+host::Event gemver_composed_async(
+    host::Context& ctx, std::int64_t n, T alpha, T beta,
+    const host::Buffer<T>& a, const host::Buffer<T>& u1,
+    const host::Buffer<T>& v1, const host::Buffer<T>& u2,
+    const host::Buffer<T>& v2, const host::Buffer<T>& y,
+    const host::Buffer<T>& z, host::Buffer<T>& b, host::Buffer<T>& x,
+    host::Buffer<T>& w, const verify::Options& vo) {
+  host::RoutineConfig rc = ctx.config();
+  rc.verification = vo;
+  host::ConfigGuard guard = ctx.with(rc);
+  return gemver_composed_async(ctx, n, alpha, beta, a, u1, v1, u2, v2, y, z,
+                               b, x, w);
+}
+
+template <typename T>
 GemverResult<T> gemver_cpu(T alpha, T beta, MatrixView<const T> A,
                            VectorView<const T> u1, VectorView<const T> v1,
                            VectorView<const T> u2, VectorView<const T> v2,
@@ -239,6 +323,18 @@ mdag::Mdag gemver_mdag(std::int64_t n, std::int64_t tile) {
       host::Context&, T, T, MatrixView<const T>, VectorView<const T>,        \
       VectorView<const T>, VectorView<const T>, VectorView<const T>,         \
       VectorView<const T>, VectorView<const T>);                             \
+  template host::Event gemver_composed_async<T>(                             \
+      host::Context&, std::int64_t, T, T, const host::Buffer<T>&,            \
+      const host::Buffer<T>&, const host::Buffer<T>&,                        \
+      const host::Buffer<T>&, const host::Buffer<T>&,                        \
+      const host::Buffer<T>&, const host::Buffer<T>&, host::Buffer<T>&,     \
+      host::Buffer<T>&, host::Buffer<T>&);                                   \
+  template host::Event gemver_composed_async<T>(                             \
+      host::Context&, std::int64_t, T, T, const host::Buffer<T>&,            \
+      const host::Buffer<T>&, const host::Buffer<T>&,                        \
+      const host::Buffer<T>&, const host::Buffer<T>&,                        \
+      const host::Buffer<T>&, const host::Buffer<T>&, host::Buffer<T>&,     \
+      host::Buffer<T>&, host::Buffer<T>&, const verify::Options&);           \
   template GemverResult<T> gemver_cpu<T>(                                    \
       T, T, MatrixView<const T>, VectorView<const T>, VectorView<const T>,   \
       VectorView<const T>, VectorView<const T>, VectorView<const T>,         \

@@ -54,6 +54,40 @@ GemverResult<T> gemver_host_layer(host::Context& ctx, T alpha, T beta,
                                   VectorView<const T> y,
                                   VectorView<const T> z);
 
+/// Fault-tolerant composed command through the generic MDAG compiler
+/// (rollback / retry / CPU-fallback ladder, per-FIFO checksum taps).
+/// The compiler derives the Fig. 9 two-component schedule itself:
+/// `prefer_split` cuts B and x through DRAM instead of buffering B on
+/// chip. `a` is n x n row-major; every vector is length n; `b` (n x n),
+/// `x` and `w` receive the results.
+template <typename T>
+host::Event gemver_composed_async(
+    host::Context& ctx, std::int64_t n, T alpha, T beta,
+    const host::Buffer<T>& a, const host::Buffer<T>& u1,
+    const host::Buffer<T>& v1, const host::Buffer<T>& u2,
+    const host::Buffer<T>& v2, const host::Buffer<T>& y,
+    const host::Buffer<T>& z, host::Buffer<T>& b, host::Buffer<T>& x,
+    host::Buffer<T>& w);
+/// Same, with a per-call verification override.
+template <typename T>
+host::Event gemver_composed_async(
+    host::Context& ctx, std::int64_t n, T alpha, T beta,
+    const host::Buffer<T>& a, const host::Buffer<T>& u1,
+    const host::Buffer<T>& v1, const host::Buffer<T>& u2,
+    const host::Buffer<T>& v2, const host::Buffer<T>& y,
+    const host::Buffer<T>& z, host::Buffer<T>& b, host::Buffer<T>& x,
+    host::Buffer<T>& w, const verify::Options& vo);
+template <typename T>
+void gemver_composed(host::Context& ctx, std::int64_t n, T alpha, T beta,
+                     const host::Buffer<T>& a, const host::Buffer<T>& u1,
+                     const host::Buffer<T>& v1, const host::Buffer<T>& u2,
+                     const host::Buffer<T>& v2, const host::Buffer<T>& y,
+                     const host::Buffer<T>& z, host::Buffer<T>& b,
+                     host::Buffer<T>& x, host::Buffer<T>& w) {
+  gemver_composed_async(ctx, n, alpha, beta, a, u1, v1, u2, v2, y, z, b, x, w)
+      .wait();
+}
+
 /// CPU reference.
 template <typename T>
 GemverResult<T> gemver_cpu(T alpha, T beta, MatrixView<const T> A,

@@ -2,6 +2,7 @@
 
 #include "fblas/level1.hpp"
 #include "fblas/level2.hpp"
+#include "host/composition.hpp"
 #include "refblas/level1.hpp"
 #include "refblas/level2.hpp"
 #include "sim/frequency_model.hpp"
@@ -107,6 +108,58 @@ GesummvResult<T> gesummv_host_layer(host::Context& ctx, T alpha, T beta,
 }
 
 template <typename T>
+host::Event gesummv_composed_async(host::Context& ctx, std::int64_t n,
+                                   std::int64_t m, T alpha, T beta,
+                                   const host::Buffer<T>& a,
+                                   const host::Buffer<T>& b,
+                                   const host::Buffer<T>& x,
+                                   host::Buffer<T>& y) {
+  // A pure description of the Fig. 7 shared-interface pattern: x is read
+  // once and broadcast on chip to both GEMVs. The graph is a
+  // non-multitree, but the two sibling x-paths have identical lag, so
+  // the compiler keeps it fully streaming (sizing the reconvergent
+  // channel) instead of splitting.
+  const host::RoutineConfig& rc = ctx.config();
+  const core::GemvConfig cfg{Transpose::None,
+                             core::MatrixTiling::TilesByRows, rc.width,
+                             rc.tile_rows, rc.tile_rows};
+  host::Composition<T> c("gesummv");
+  const int ra = c.input("read_A", a);
+  const int rb = c.input("read_B", b);
+  const int rx = c.input("read_x", x);
+  const int wy = c.output("store_y", y);
+  const int g1 = c.gemv("gemv_A", alpha, T(0));
+  const int g2 = c.gemv("gemv_B", beta, T(0));
+  const int ad = c.axpy("add", T(1));
+  const auto a_sig = mdag::StreamSig::mat(n, m, core::gemv_a_schedule(cfg));
+  const auto x_sig =
+      mdag::StreamSig::vec(m, core::gemv_x_repeat(cfg, n, m));
+  c.connect(ra, g1, a_sig);
+  c.connect(rb, g2, a_sig);
+  c.connect(rx, g1, x_sig);
+  c.connect(rx, g2, x_sig);
+  // y = 1 * q + s: the AXPY's x port is the alpha-scaled GEMV.
+  c.connect(g1, ad, mdag::StreamSig::vec(n));
+  c.connect(g2, ad, mdag::StreamSig::vec(n));
+  c.connect(ad, wy, mdag::StreamSig::vec(n));
+  return ctx.run_composition_async(c);
+}
+
+template <typename T>
+host::Event gesummv_composed_async(host::Context& ctx, std::int64_t n,
+                                   std::int64_t m, T alpha, T beta,
+                                   const host::Buffer<T>& a,
+                                   const host::Buffer<T>& b,
+                                   const host::Buffer<T>& x,
+                                   host::Buffer<T>& y,
+                                   const verify::Options& vo) {
+  host::RoutineConfig rc = ctx.config();
+  rc.verification = vo;
+  host::ConfigGuard guard = ctx.with(rc);
+  return gesummv_composed_async(ctx, n, m, alpha, beta, a, b, x, y);
+}
+
+template <typename T>
 std::vector<T> gesummv_cpu(T alpha, T beta, MatrixView<const T> A,
                            MatrixView<const T> B, VectorView<const T> x) {
   const std::int64_t n = A.rows();
@@ -148,6 +201,14 @@ mdag::Mdag gesummv_mdag(std::int64_t n, std::int64_t m, std::int64_t tile) {
   template GesummvResult<T> gesummv_host_layer<T>(                           \
       host::Context&, T, T, MatrixView<const T>, MatrixView<const T>,        \
       VectorView<const T>);                                                  \
+  template host::Event gesummv_composed_async<T>(                            \
+      host::Context&, std::int64_t, std::int64_t, T, T,                      \
+      const host::Buffer<T>&, const host::Buffer<T>&,                        \
+      const host::Buffer<T>&, host::Buffer<T>&);                             \
+  template host::Event gesummv_composed_async<T>(                            \
+      host::Context&, std::int64_t, std::int64_t, T, T,                      \
+      const host::Buffer<T>&, const host::Buffer<T>&,                        \
+      const host::Buffer<T>&, host::Buffer<T>&, const verify::Options&);     \
   template std::vector<T> gesummv_cpu<T>(T, T, MatrixView<const T>,          \
                                          MatrixView<const T>,                \
                                          VectorView<const T>);

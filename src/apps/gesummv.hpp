@@ -49,6 +49,35 @@ GesummvResult<T> gesummv_host_layer(host::Context& ctx, T alpha, T beta,
                                     MatrixView<const T> B,
                                     VectorView<const T> x);
 
+/// Fault-tolerant composed command through the generic MDAG compiler.
+/// The compiler proves the non-multitree streams with bounded channels
+/// (equal first-output lag on the two sibling x-paths), synthesizes the
+/// x broadcast and both zero y0 streams, and taps every FIFO. `a` and
+/// `b` are n x m row-major, `x` length m, `y` length n.
+template <typename T>
+host::Event gesummv_composed_async(host::Context& ctx, std::int64_t n,
+                                   std::int64_t m, T alpha, T beta,
+                                   const host::Buffer<T>& a,
+                                   const host::Buffer<T>& b,
+                                   const host::Buffer<T>& x,
+                                   host::Buffer<T>& y);
+/// Same, with a per-call verification override.
+template <typename T>
+host::Event gesummv_composed_async(host::Context& ctx, std::int64_t n,
+                                   std::int64_t m, T alpha, T beta,
+                                   const host::Buffer<T>& a,
+                                   const host::Buffer<T>& b,
+                                   const host::Buffer<T>& x,
+                                   host::Buffer<T>& y,
+                                   const verify::Options& vo);
+template <typename T>
+void gesummv_composed(host::Context& ctx, std::int64_t n, std::int64_t m,
+                      T alpha, T beta, const host::Buffer<T>& a,
+                      const host::Buffer<T>& b, const host::Buffer<T>& x,
+                      host::Buffer<T>& y) {
+  gesummv_composed_async(ctx, n, m, alpha, beta, a, b, x, y).wait();
+}
+
 /// CPU reference.
 template <typename T>
 std::vector<T> gesummv_cpu(T alpha, T beta, MatrixView<const T> A,

@@ -178,6 +178,8 @@ struct Command {
 };
 
 class ConfigGuard;
+template <typename T>
+class Composition;
 
 class Context {
  public:
@@ -530,6 +532,30 @@ class Context {
   /// (localized faults with tile/PE coordinates) — what localization
   /// tests compare against FaultInjector::last_pe_victim().
   systolic::AbftReport last_grid_report() const;
+
+  // --- Compiled streaming compositions -----------------------------------
+  /// Compiles a host::Composition (mdag::compile: validity, partition,
+  /// lowering, tap plan) and enqueues it as ONE command: every component's
+  /// stream graph, the GraphChecker armed from the compiled tap plan, a
+  /// refblas fallback synthesized by topologically replaying the nodes,
+  /// and the declared read/write sets — all under the same rollback /
+  /// retry / CPU-fallback ladder as the built-in routines. An
+  /// unexecutable description throws ConfigError here, at enqueue.
+  template <typename T>
+  Event run_composition_async(const Composition<T>& comp);
+  template <typename T>
+  void run_composition(const Composition<T>& comp) {
+    run_composition_async(comp).wait();
+  }
+  /// Per-call verification override, scoped to this one enqueue.
+  template <typename T>
+  Event run_composition_async(const Composition<T>& comp,
+                              const verify::Options& vo);
+  template <typename T>
+  void run_composition(const Composition<T>& comp,
+                       const verify::Options& vo) {
+    run_composition_async(comp, vo).wait();
+  }
 
   // --- Specialized matrix routines ---------------------------------------
   // Implemented in terms of the generic routines, as the paper prescribes

@@ -119,6 +119,39 @@ EdgeChecksum ger_propagate(const EdgeChecksum& a0, const EdgeChecksum& x,
   return c;
 }
 
+template <typename T>
+EdgeChecksum trsv_propagate(Uplo uplo, Transpose trans, Diag diag,
+                            MatrixView<const T> a, VectorView<const T> b) {
+  const std::int64_t n = b.size();
+  const auto op = [&](std::int64_t i, std::int64_t j) {
+    return static_cast<double>(trans == Transpose::None ? a(i, j) : a(j, i));
+  };
+  // The triangle op(A) actually occupies: transposition flips it.
+  const Uplo op_uplo =
+      trans == Transpose::None
+          ? uplo
+          : (uplo == Uplo::Lower ? Uplo::Upper : Uplo::Lower);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::int64_t i = op_uplo == Uplo::Lower ? k : n - 1 - k;
+    const std::int64_t j0 = op_uplo == Uplo::Lower ? 0 : i + 1;
+    const std::int64_t j1 = op_uplo == Uplo::Lower ? i : n;
+    double acc = static_cast<double>(b[i]);
+    for (std::int64_t j = j0; j < j1; ++j) {
+      acc -= op(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] =
+        diag == Diag::Unit ? acc : acc / op(i, i);
+  }
+  EdgeChecksum c;
+  for (double v : x) {
+    c.pred += v;
+    c.mag += std::abs(v);
+  }
+  c.terms = n * n;
+  return c;
+}
+
 #define FBLAS_MDAG_CHECKSUM_INSTANTIATE(T)                                    \
   template EdgeChecksum vec_checksum<T>(VectorView<const T>, std::int64_t);   \
   template EdgeChecksum weighted_vec_checksum<T>(                             \
@@ -127,7 +160,10 @@ EdgeChecksum ger_propagate(const EdgeChecksum& a0, const EdgeChecksum& x,
   template std::vector<double> gemv_pullback<T>(                              \
       Transpose, MatrixView<const T>, const std::vector<double>&);            \
   template EdgeChecksum dot_checksum<T>(VectorView<const T>,                  \
-                                        VectorView<const T>);
+                                        VectorView<const T>);                 \
+  template EdgeChecksum trsv_propagate<T>(Uplo, Transpose, Diag,              \
+                                          MatrixView<const T>,                \
+                                          VectorView<const T>);
 
 FBLAS_MDAG_CHECKSUM_INSTANTIATE(float)
 FBLAS_MDAG_CHECKSUM_INSTANTIATE(double)

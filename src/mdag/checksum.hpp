@@ -110,4 +110,20 @@ EdgeChecksum dot_checksum(VectorView<const T> x, VectorView<const T> y);
 EdgeChecksum ger_propagate(const EdgeChecksum& a0, const EdgeChecksum& x,
                            const EdgeChecksum& y, double alpha);
 
+/// TRSV rule (residual-style, the last composition building block): for
+/// x = op(A)^{-1} b the output checksum cannot be pulled back linearly
+/// without inverting A, so the rule re-solves the triangular system in
+/// double over the host operands — the same few O(n^2) flops the residual
+/// check of verify::trsv_check spends — and predicts e^T x directly.
+/// `uplo` is the stored triangle of `a`; `trans` selects op(A). The term
+/// count is n^2, covering the up-to-n(n+1)/2 MACs plus n divisions the
+/// streaming module accumulates. The bound does NOT model the
+/// condition-number amplification of a solve; like the TRSM/TRSV result
+/// checks it is calibrated for well-conditioned (e.g. diagonally
+/// dominant) systems, which exponent-scale stream corruption exceeds by
+/// many orders of magnitude regardless.
+template <typename T>
+EdgeChecksum trsv_propagate(Uplo uplo, Transpose trans, Diag diag,
+                            MatrixView<const T> a, VectorView<const T> b);
+
 }  // namespace fblas::mdag

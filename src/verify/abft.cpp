@@ -126,6 +126,13 @@ void check_sum(const ScalarCheck& chk, const char* routine,
   }
 }
 
+template <typename T>
+void check_output(const mdag::EdgeChecksum& pred, const char* composition,
+                  VectorView<const T> out, double tol_scale) {
+  const ScalarCheck chk{pred.pred, pred.mag, pred.terms, false};
+  check_sum<T>(chk, composition, out, tol_scale);
+}
+
 // --- Level 3 -------------------------------------------------------------
 
 template <typename T>
@@ -762,7 +769,9 @@ void iamax_check(VectorView<const T> x, std::int64_t result) {
   template void check_rowsums<T>(const RowSumCheck&, const char*,            \
                                  MatrixView<const T>, double);               \
   template void check_sum<T>(const ScalarCheck&, const char*,                \
-                             VectorView<const T>, double);
+                             VectorView<const T>, double);                   \
+  template void check_output<T>(const mdag::EdgeChecksum&, const char*,      \
+                                VectorView<const T>, double);
 
 FBLAS_VERIFY_INSTANTIATE(float)
 FBLAS_VERIFY_INSTANTIATE(double)

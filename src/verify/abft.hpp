@@ -34,6 +34,7 @@
 
 #include "common/types.hpp"
 #include "common/view.hpp"
+#include "mdag/checksum.hpp"
 #include "verify/policy.hpp"
 
 namespace fblas::verify {
@@ -186,5 +187,15 @@ void check_rowsums(const RowSumCheck& chk, const char* routine,
 template <typename T>
 void check_sum(const ScalarCheck& chk, const char* routine,
                VectorView<const T> v, double tol_scale);
+
+/// Output-tap audit of a composition: compares what actually landed in
+/// DRAM against the edge prediction the in-flight tap was checked with,
+/// catching a classic write-back corruption after the clean stream. One
+/// helper instead of the ScalarCheck boilerplate every composed app used
+/// to repeat; the composition compiler's output stage calls it for every
+/// buffer-bound interface writer.
+template <typename T>
+void check_output(const mdag::EdgeChecksum& pred, const char* composition,
+                  VectorView<const T> out, double tol_scale);
 
 }  // namespace fblas::verify

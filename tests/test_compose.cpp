@@ -1,0 +1,425 @@
+// The generic MDAG composition compiler, end to end: descriptions are
+// rejected at enqueue with the validity diagnostic, the compiled
+// AXPYDOT/ATAX/BICG pipelines are bit-identical to the hand-wired
+// streaming graphs they replaced, the new composed GEMVER/GESUMMV match
+// refblas (serially and on the worker pool), and in-flight corruption is
+// caught on every compiled composition (sdc_caught == faults_injected)
+// with the divergence localized to the injector's ground-truth channel.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/atax.hpp"
+#include "apps/axpydot.hpp"
+#include "apps/bicg.hpp"
+#include "apps/gemver.hpp"
+#include "apps/gesummv.hpp"
+#include "common/error.hpp"
+#include "common/workload.hpp"
+#include "fblas/level2.hpp"
+#include "host/buffer.hpp"
+#include "host/composition.hpp"
+#include "host/context.hpp"
+#include "verify/options.hpp"
+
+namespace fblas {
+namespace {
+
+host::RetryPolicy fast_retry(int max_retries, bool cpu_fallback = false) {
+  host::RetryPolicy p;
+  p.max_retries = max_retries;
+  p.backoff = std::chrono::microseconds(0);
+  p.cpu_fallback = cpu_fallback;
+  return p;
+}
+
+template <typename T>
+void expect_close(const std::vector<T>& got, const std::vector<T>& want,
+                  double tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(got[i]), static_cast<double>(want[i]),
+                tol)
+        << "at index " << i;
+  }
+}
+
+// --- Rejection at enqueue -------------------------------------------------
+
+TEST(ComposeCompiler, NonMultitreeRejectionSurfacesValidityDiagnostic) {
+  // The ATAX shape (two vertex-disjoint A-paths into the transposed GEMV)
+  // with a channel budget too small to buffer a row of tiles and
+  // require_streaming(): the compiler must refuse the description at the
+  // run_composition_async call itself — no command enqueued, no Event —
+  // and explain *why* with the multitree analysis.
+  const std::int64_t n = 24, m = 16;
+  Workload wl(41);
+  host::Device dev;
+  host::Context ctx(dev);
+  host::Buffer<float> a(dev, n * m, 0), x(dev, m, 1), y(dev, m, 2);
+  a.write(wl.matrix<float>(n, m));
+  x.write(wl.vector<float>(m));
+  y.write(std::vector<float>(static_cast<std::size_t>(m), 0.0f));
+
+  const host::RoutineConfig& rc = ctx.config();
+  const core::GemvConfig cfg{Transpose::None,
+                             core::MatrixTiling::TilesByRows, rc.width,
+                             rc.tile_rows, rc.tile_rows};
+  host::Composition<float> c("atax_strict");
+  c.require_streaming().max_channel_depth(16);
+  const int ra = c.input("read_A", a);
+  const int rx = c.input("read_x", x);
+  const int wy = c.output("store_y", y);
+  const int g1 = c.gemv("gemv", 1.0f, 0.0f);
+  const int g2 = c.gemv("gemv_T", 1.0f, 0.0f, Transpose::Trans);
+  const auto a_sig = mdag::StreamSig::mat(n, m, core::gemv_a_schedule(cfg));
+  c.connect(ra, g1, a_sig);
+  c.connect(ra, g2, a_sig);
+  c.connect(rx, g1,
+            mdag::StreamSig::vec(m, core::gemv_x_repeat(cfg, n, m)));
+  c.connect(g1, g2, mdag::StreamSig::vec(n));
+  c.connect(g2, wy, mdag::StreamSig::vec(m));
+
+  try {
+    ctx.run_composition_async(c);
+    FAIL() << "expected ConfigError at enqueue";
+  } catch (const ConfigError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("single streaming component"), std::string::npos);
+    EXPECT_NE(msg.find("vertex-disjoint"), std::string::npos);
+  }
+  // Nothing ran, nothing landed.
+  ctx.finish();
+  EXPECT_EQ(ctx.exec_stats().executed, 0u);
+
+  // The same description with the budget restored streams fine.
+  c.max_channel_depth(1 << 16);
+  EXPECT_NO_THROW(ctx.run_composition(c));
+}
+
+// --- Bit-identity with the hand-wired streaming graphs --------------------
+
+TEST(ComposeCompiler, CompiledAxpydotBitIdenticalToHandWired) {
+  const std::int64_t n = 300;
+  const float alpha = 0.37f;
+  Workload wl(42);
+  const auto hw = wl.vector<float>(n);
+  const auto hv = wl.vector<float>(n);
+  const auto hu = wl.vector<float>(n);
+
+  host::Device dev;
+  host::Context ctx(dev, stream::Mode::Functional, 0);
+  host::Buffer<float> w(dev, n, 0), v(dev, n, 1), u(dev, n, 2);
+  w.write(hw);
+  v.write(hv);
+  u.write(hu);
+  const float beta = apps::axpydot_composed<float>(ctx, n, w, v, u, alpha);
+
+  const auto hand = apps::axpydot_streaming<float>(
+      dev.spec(), stream::Mode::Functional, ctx.config().width,
+      VectorView<const float>(hw.data(), n),
+      VectorView<const float>(hv.data(), n),
+      VectorView<const float>(hu.data(), n), alpha);
+  EXPECT_EQ(beta, hand.beta);  // bit-identical, not just close
+}
+
+TEST(ComposeCompiler, CompiledAtaxBitIdenticalToHandWired) {
+  const std::int64_t n = 40, m = 28;
+  Workload wl(43);
+  const auto ha = wl.matrix<float>(n, m);
+  const auto hx = wl.vector<float>(m);
+
+  host::Device dev;
+  host::Context ctx(dev, stream::Mode::Functional, 0);
+  host::Buffer<float> a(dev, n * m, 0), x(dev, m, 1), y(dev, m, 2);
+  a.write(ha);
+  x.write(hx);
+  y.write(std::vector<float>(static_cast<std::size_t>(m), 0.0f));
+  apps::atax_composed<float>(ctx, n, m, a, x, y);
+
+  const auto& rc = ctx.config();
+  const auto hand = apps::atax_streaming<float>(
+      dev.spec(), stream::Mode::Functional, rc.width, rc.tile_rows,
+      apps::atax_min_channel_depth(m, rc.tile_rows, rc.width),
+      MatrixView<const float>(ha.data(), n, m),
+      VectorView<const float>(hx.data(), m));
+  EXPECT_EQ(y.to_host(), hand.y);
+}
+
+TEST(ComposeCompiler, CompiledBicgBitIdenticalToHandWired) {
+  const std::int64_t n = 36, m = 24;
+  Workload wl(44);
+  const auto ha = wl.matrix<float>(n, m);
+  const auto hp = wl.vector<float>(m);
+  const auto hr = wl.vector<float>(n);
+
+  host::Device dev;
+  host::Context ctx(dev, stream::Mode::Functional, 0);
+  host::Buffer<float> a(dev, n * m, 0), p(dev, m, 1), r(dev, n, 2);
+  host::Buffer<float> q(dev, n, 1), s(dev, m, 2);
+  a.write(ha);
+  p.write(hp);
+  r.write(hr);
+  q.write(std::vector<float>(static_cast<std::size_t>(n), 0.0f));
+  s.write(std::vector<float>(static_cast<std::size_t>(m), 0.0f));
+  apps::bicg_composed<float>(ctx, n, m, a, p, r, q, s);
+
+  const auto& rc = ctx.config();
+  const auto hand = apps::bicg_streaming<float>(
+      dev.spec(), stream::Mode::Functional, rc.width, rc.tile_rows,
+      MatrixView<const float>(ha.data(), n, m),
+      VectorView<const float>(hp.data(), m),
+      VectorView<const float>(hr.data(), n));
+  EXPECT_EQ(q.to_host(), hand.q);
+  EXPECT_EQ(s.to_host(), hand.s);
+}
+
+// --- Composed GEMVER / GESUMMV against refblas ---------------------------
+
+// Runs both new compositions `rounds` times (alternating, to interleave
+// on the pool) and returns every output buffer.
+std::tuple<std::vector<std::vector<float>>, host::ExecStats>
+run_gemver_gesummv(int workers, bool with_faults, bool verified = true) {
+  const std::int64_t n = 24, m = 20;
+  const float alpha = 0.6f, beta = -0.8f;
+  Workload wl(45);
+  host::Device dev;
+  host::Context ctx(dev, stream::Mode::Functional, workers);
+  if (with_faults) {
+    host::FaultConfig fc;
+    fc.seed = 51;
+    fc.channel_corrupt_rate = 0.4;
+    fc.max_faults = 4;
+    dev.inject_faults(fc);
+  }
+  ctx.set_retry_policy(fast_retry(4));
+  if (verified) ctx.config().verification = verify::Options::always();
+
+  host::Buffer<float> A(dev, n * n, 0);
+  host::Buffer<float> u1(dev, n, 1), v1(dev, n, 2), u2(dev, n, 1),
+      v2(dev, n, 2), yy(dev, n, 1), zz(dev, n, 2);
+  host::Buffer<float> B(dev, n * n, 1), X(dev, n, 2), W(dev, n, 1);
+  A.write(wl.matrix<float>(n, n));
+  u1.write(wl.vector<float>(n));
+  v1.write(wl.vector<float>(n));
+  u2.write(wl.vector<float>(n));
+  v2.write(wl.vector<float>(n));
+  yy.write(wl.vector<float>(n));
+  zz.write(wl.vector<float>(n));
+
+  host::Buffer<float> GA(dev, n * m, 0), GB(dev, n * m, 1), gx(dev, m, 2),
+      gy(dev, n, 1);
+  GA.write(wl.matrix<float>(n, m));
+  GB.write(wl.matrix<float>(n, m));
+  gx.write(wl.vector<float>(m));
+
+  // Outputs are zeroed once, up front: a host-side Buffer::write is not a
+  // tracked command, so touching these buffers inside the loop would race
+  // with the still-in-flight rounds on the worker pool. The commands'
+  // own WAW hazards keep the rounds ordered.
+  B.write(std::vector<float>(static_cast<std::size_t>(n * n), 0.0f));
+  X.write(std::vector<float>(static_cast<std::size_t>(n), 0.0f));
+  W.write(std::vector<float>(static_cast<std::size_t>(n), 0.0f));
+  gy.write(std::vector<float>(static_cast<std::size_t>(n), 0.0f));
+  for (int round = 0; round < 3; ++round) {
+    apps::gemver_composed_async<float>(ctx, n, alpha, beta, A, u1, v1, u2,
+                                       v2, yy, zz, B, X, W);
+    apps::gesummv_composed_async<float>(ctx, n, m, alpha, beta, GA, GB, gx,
+                                        gy);
+  }
+  ctx.finish();
+  std::vector<std::vector<float>> out{B.to_host(), X.to_host(), W.to_host(),
+                                      gy.to_host()};
+  return {out, ctx.exec_stats()};
+}
+
+TEST(ComposeApps, GemverAndGesummvMatchRefblasSerially) {
+  const auto [out, stats] = run_gemver_gesummv(0, false);
+  EXPECT_EQ(stats.verify_failures, 0u);
+
+  const std::int64_t n = 24, m = 20;
+  const float alpha = 0.6f, beta = -0.8f;
+  Workload wl(45);  // same seed => same operands as the device run
+  const auto hA = wl.matrix<float>(n, n);
+  const auto hu1 = wl.vector<float>(n);
+  const auto hv1 = wl.vector<float>(n);
+  const auto hu2 = wl.vector<float>(n);
+  const auto hv2 = wl.vector<float>(n);
+  const auto hy = wl.vector<float>(n);
+  const auto hz = wl.vector<float>(n);
+  const auto ref = apps::gemver_cpu<float>(
+      alpha, beta, MatrixView<const float>(hA.data(), n, n),
+      VectorView<const float>(hu1.data(), n),
+      VectorView<const float>(hv1.data(), n),
+      VectorView<const float>(hu2.data(), n),
+      VectorView<const float>(hv2.data(), n),
+      VectorView<const float>(hy.data(), n),
+      VectorView<const float>(hz.data(), n));
+  const double tol = 1e-3 * static_cast<double>(n);
+  expect_close(out[0], ref.b, tol);
+  expect_close(out[1], ref.x, tol);
+  expect_close(out[2], ref.w, tol);
+
+  const auto hGA = wl.matrix<float>(n, m);
+  const auto hGB = wl.matrix<float>(n, m);
+  const auto hgx = wl.vector<float>(m);
+  const auto gref = apps::gesummv_cpu<float>(
+      alpha, beta, MatrixView<const float>(hGA.data(), n, m),
+      MatrixView<const float>(hGB.data(), n, m),
+      VectorView<const float>(hgx.data(), m));
+  expect_close(out[3], gref, tol);
+}
+
+TEST(ComposeApps, GemverAndGesummvIdenticalOnWorkerPool) {
+  const auto [serial, serial_stats] = run_gemver_gesummv(0, false);
+  const auto [pool, pool_stats] = run_gemver_gesummv(4, false);
+  EXPECT_EQ(serial, pool);
+  EXPECT_EQ(pool_stats.verify_failures, 0u);
+  EXPECT_EQ(serial_stats.executed, pool_stats.executed);
+}
+
+// --- Fault injection across the compiled compositions ---------------------
+
+TEST(ComposeFaults, EveryInjectedFaultCaughtAndRecoveredBitIdentical) {
+  const auto [clean, clean_stats] = run_gemver_gesummv(0, false);
+  const auto [faulted, fstats] = run_gemver_gesummv(0, true);
+  EXPECT_GT(fstats.faults_injected, 0u);
+  EXPECT_EQ(fstats.sdc_caught, fstats.faults_injected);
+  EXPECT_EQ(clean, faulted);  // retries converge to the fault-free bits
+  EXPECT_EQ(clean_stats.sdc_caught, 0u);
+
+  const auto [pool, pstats] = run_gemver_gesummv(4, true);
+  EXPECT_EQ(pstats.sdc_caught, pstats.faults_injected);
+  EXPECT_EQ(clean, pool);
+}
+
+TEST(ComposeFaults, GemverCorruptionLocalizedToGroundTruthChannel) {
+  // One corrupted FIFO element somewhere in the compiled two-component
+  // GEMVER pipeline; the tap plan must name exactly the channel the
+  // injector recorded as ground truth.
+  const std::int64_t n = 20;
+  Workload wl(46);
+  host::Device dev;
+  host::Context ctx(dev);
+  host::FaultConfig fc;
+  fc.seed = 52;
+  fc.channel_corrupt_rate = 1.0;
+  fc.max_faults = 1;
+  dev.inject_faults(fc);
+  ctx.set_retry_policy(fast_retry(0));
+  ctx.config().verification = verify::Options::always();
+
+  host::Buffer<float> A(dev, n * n, 0);
+  host::Buffer<float> u1(dev, n, 1), v1(dev, n, 2), u2(dev, n, 1),
+      v2(dev, n, 2), yy(dev, n, 1), zz(dev, n, 2);
+  host::Buffer<float> B(dev, n * n, 1), X(dev, n, 2), W(dev, n, 1);
+  A.write(wl.matrix<float>(n, n));
+  u1.write(wl.vector<float>(n));
+  v1.write(wl.vector<float>(n));
+  u2.write(wl.vector<float>(n));
+  v2.write(wl.vector<float>(n));
+  yy.write(wl.vector<float>(n));
+  zz.write(wl.vector<float>(n));
+  B.write(std::vector<float>(static_cast<std::size_t>(n * n), 0.0f));
+  X.write(std::vector<float>(static_cast<std::size_t>(n), 0.0f));
+  W.write(std::vector<float>(static_cast<std::size_t>(n), 0.0f));
+
+  host::Event e = apps::gemver_composed_async<float>(
+      ctx, n, 0.5f, 1.5f, A, u1, v1, u2, v2, yy, zz, B, X, W);
+  try {
+    e.wait();
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("composition 'gemver'"), std::string::npos);
+    EXPECT_NE(msg.find("first divergent edge"), std::string::npos);
+    const std::string victim = dev.faults().last_victim();
+    ASSERT_FALSE(victim.empty());
+    EXPECT_NE(msg.find("edge '" + victim + "'"), std::string::npos);
+  }
+  EXPECT_EQ(ctx.exec_stats().faults_injected, 1u);
+  EXPECT_EQ(ctx.exec_stats().sdc_caught, 1u);
+}
+
+TEST(ComposeFaults, GesummvCorruptionLocalizedToGroundTruthChannel) {
+  const std::int64_t n = 24, m = 18;
+  Workload wl(47);
+  host::Device dev;
+  host::Context ctx(dev);
+  host::FaultConfig fc;
+  fc.seed = 53;
+  fc.channel_corrupt_rate = 1.0;
+  fc.max_faults = 1;
+  dev.inject_faults(fc);
+  ctx.set_retry_policy(fast_retry(0));
+  ctx.config().verification = verify::Options::always();
+
+  host::Buffer<float> a(dev, n * m, 0), b(dev, n * m, 1), x(dev, m, 2),
+      y(dev, n, 1);
+  a.write(wl.matrix<float>(n, m));
+  b.write(wl.matrix<float>(n, m));
+  x.write(wl.vector<float>(m));
+  y.write(std::vector<float>(static_cast<std::size_t>(n), 0.0f));
+
+  host::Event e =
+      apps::gesummv_composed_async<float>(ctx, n, m, 0.7f, 0.2f, a, b, x, y);
+  try {
+    e.wait();
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("composition 'gesummv'"), std::string::npos);
+    const std::string victim = dev.faults().last_victim();
+    ASSERT_FALSE(victim.empty());
+    EXPECT_NE(msg.find("edge '" + victim + "'"), std::string::npos);
+  }
+  EXPECT_EQ(ctx.exec_stats().sdc_caught, 1u);
+}
+
+// --- Degradation: the synthesized refblas fallback ------------------------
+
+TEST(ComposeFaults, PersistentCorruptionDegradesToSynthesizedCpuFallback) {
+  // Unlimited corruption exhausts the retry budget; the command must
+  // complete through the compiler's topologically-synthesized refblas
+  // replay and still produce the exact refblas result. Sizes chosen so
+  // every attempt streams well past the injector's deepest strike point
+  // (the k-th pushed value, k <= 1024) — no attempt can escape clean.
+  const std::int64_t n = 32, m = 24;
+  const float alpha = 1.1f, beta = -0.4f;
+  Workload wl(48);
+  const auto ha = wl.matrix<float>(n, m);
+  const auto hb = wl.matrix<float>(n, m);
+  const auto hx = wl.vector<float>(m);
+
+  host::Device dev;
+  host::Context ctx(dev);
+  host::FaultConfig fc;
+  fc.seed = 54;
+  fc.channel_corrupt_rate = 1.0;  // every attempt corrupted
+  dev.inject_faults(fc);
+  ctx.set_retry_policy(fast_retry(2, /*cpu_fallback=*/true));
+  ctx.config().verification = verify::Options::always();
+
+  host::Buffer<float> a(dev, n * m, 0), b(dev, n * m, 1), x(dev, m, 2),
+      y(dev, n, 1);
+  a.write(ha);
+  b.write(hb);
+  x.write(hx);
+  y.write(std::vector<float>(static_cast<std::size_t>(n), 0.0f));
+  apps::gesummv_composed<float>(ctx, n, m, alpha, beta, a, b, x, y);
+
+  EXPECT_EQ(ctx.exec_stats().degraded, 1u);
+  EXPECT_EQ(ctx.exec_stats().retries, 2u);
+  const auto ref = apps::gesummv_cpu<float>(
+      alpha, beta, MatrixView<const float>(ha.data(), n, m),
+      MatrixView<const float>(hb.data(), n, m),
+      VectorView<const float>(hx.data(), m));
+  EXPECT_EQ(y.to_host(), ref);  // fallback IS refblas, bit for bit
+}
+
+}  // namespace
+}  // namespace fblas
