@@ -46,8 +46,10 @@ Event Context::gemm_systolic_async(std::int64_t m, std::int64_t n,
       acfg.tolerance_scale = rc.verification.tolerance_scale();
       arr.set_abft(acfg);
     }
-    // Derive and arm this attempt's PE fault plan, if wrap_work drew one.
-    FaultInjector& faults = dev_->faults();
+    // Derive and arm this attempt's PE fault plan, if wrap_work drew one
+    // — from the injector of the device this attempt was placed on, so
+    // the recorded ground truth lands next to the draw.
+    FaultInjector& faults = attempt_device().faults();
     std::uint64_t seq = 0;
     int attempt = 0;
     bool armed = false;

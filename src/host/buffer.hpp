@@ -103,9 +103,18 @@ class Buffer {
   // The fault-tolerant runtime snapshots / restores / corrupts declared
   // write-sets through the device's registry of raw buffer bytes, keyed
   // by the Buffer's own address (the same key used in command sets).
+  // The re-home callback is how DevicePool migrates this buffer off a
+  // quarantined device: the pool moves the registry record and bank
+  // accounting, then calls back so dev_/bank_ track the new home (and
+  // the destructor releases the right bank). Data lives in host memory
+  // either way, so migration is pure bookkeeping — no bytes move.
   void register_self() {
     dev_->register_buffer(
-        this, std::as_writable_bytes(std::span<T>(data_.data(), data_.size())));
+        this, std::as_writable_bytes(std::span<T>(data_.data(), data_.size())),
+        bank_, [this](Device& d, int bank) {
+          dev_ = &d;
+          bank_ = bank;
+        });
   }
 
   Device* dev_;

@@ -20,6 +20,9 @@ struct RunScope {
   bool active = false;
   bool taint_record = false;  // screen pushes for NaN/Inf, keep provenance
   bool taint_trap = false;    // additionally throw TaintError on the spot
+  // The pool device this attempt was placed on: where fault draws come
+  // from and where ground truth (channel/PE victims) is recorded.
+  Device* dev = nullptr;
   // ChannelCorrupt: flip bits of the corrupt_k-th floating-point value
   // pushed across this command's graph launches (0 = disarmed). Stays
   // armed across launches until it fires, so a short first graph cannot
@@ -43,6 +46,12 @@ thread_local RunScope tl_scope;
 // provenance) runs after the body returns.
 thread_local stream::Taint tl_last_taint;
 
+// Pool index of the device the attempt running on this thread was
+// placed on. Separate from tl_scope (like tl_last_taint) because
+// wrap_verify reports the verdict to the pool *after* the command body
+// — and tl_scope — are gone.
+thread_local int tl_attempt_device = -1;
+
 void validate_knob(bool ok, const char* knob, std::int64_t got) {
   if (ok) return;
   std::ostringstream os;
@@ -64,101 +73,140 @@ void RoutineConfig::validate() const {
 }
 
 Context::Context(Device& dev, stream::Mode mode, int workers)
-    : dev_(&dev), mode_(mode), exec_(std::make_unique<Executor>(workers)) {}
+    : mode_(mode), exec_(std::make_unique<Executor>(workers)) {
+  Device* devp = &dev;
+  pool_owned_ =
+      std::make_unique<DevicePool>(std::span<Device* const>(&devp, 1));
+  pool_ = pool_owned_.get();
+  dev_ = &dev;
+}
+
+Context::Context(DevicePool& pool, stream::Mode mode, int workers)
+    : pool_(&pool),
+      dev_(&pool.device(0)),
+      mode_(mode),
+      exec_(std::make_unique<Executor>(workers)) {}
 
 std::function<void()> Context::wrap_work(
     std::uint64_t seq, std::function<void()> work,
-    std::vector<const void*> writes, bool taint_record, bool taint_trap,
+    std::vector<const void*> reads, std::vector<const void*> writes,
+    bool verify_armed, bool taint_record, bool taint_trap,
     std::function<std::uint64_t(std::uint64_t, std::uint64_t)> steer) {
-  return [this, seq, inner = std::move(work), writes = std::move(writes),
-          wd = watchdog_, taint_record, taint_trap,
-          steer = std::move(steer)] {
+  return [this, seq, inner = std::move(work), reads = std::move(reads),
+          writes = std::move(writes), wd = watchdog_, verify_armed,
+          taint_record, taint_trap, steer = std::move(steer)] {
     const int attempt = Executor::current_attempt();
-    FaultInjector& faults = dev_->faults();
+    // Fault-aware placement, per attempt: the pool advances the breaker
+    // clocks, probes Half-Open devices, and stages the command's buffers
+    // onto the chosen device — so a retry after the victim's breaker
+    // opened transparently lands (write-set already rolled back) on a
+    // healthy sibling.
+    const int placed = pool_->place(seq, reads, writes);
+    Device& dev = pool_->device(placed);
+    tl_attempt_device = placed;
+    FaultInjector& faults = dev.faults();
     const FaultKind fault = faults.enabled()
                                 ? faults.decide(seq, attempt)
                                 : FaultKind::None;
-    if (fault == FaultKind::LaunchFail) {
-      std::ostringstream os;
-      os << "injected kernel launch failure (command " << seq
-         << ", attempt " << attempt << ")";
-      throw DeviceError(os.str());
-    }
-    tl_last_taint = stream::Taint{};  // fresh provenance per attempt
-    tl_scope = RunScope{wd, fault == FaultKind::Wedge, true, taint_record,
-                        taint_trap};
-    if (fault == FaultKind::ChannelCorrupt) {
-      // Corrupt the k-th floating-point value pushed across this
-      // command's graph launches, k in [1, 1024] — deep enough to land
-      // mid-pipeline on realistic sizes, small enough to fire on any
-      // graph streaming more than 1024 values.
-      tl_scope.corrupt_k = 1 + faults.corrupt_offset(seq, attempt, 1024);
-    }
-    if (fault == FaultKind::PeFault) {
-      tl_scope.pe_fault_pending = true;
-      tl_scope.pe_fault_seq = seq;
-      tl_scope.pe_fault_attempt = attempt;
-    }
-    struct Reset {
-      ~Reset() { tl_scope = RunScope{}; }
-    } reset;
-    if (inner) inner();
-    if (fault == FaultKind::ChannelCorrupt && !tl_scope.corrupt_fired) {
-      // The command launched no graph (or a graph too short to reach the
-      // k-th push): nothing was damaged, so un-count the fault.
-      faults.retract();
-    }
-    if (fault == FaultKind::PeFault && tl_scope.pe_fault_pending) {
-      // No systolic multiply consumed the draw (or the planned MAC never
-      // produced a nonzero product): nothing was damaged.
-      faults.retract();
-    }
-    if (fault == FaultKind::CorruptTransfer) {
-      // Model a detected bad write-back (ECC/CRC): the data really is
-      // mangled in device memory AND the error is reported, so the
-      // retry machinery must restore the snapshot before re-running.
-      for (const void* key : writes) {
-        std::span<std::byte> bytes = dev_->buffer_bytes(key);
-        if (bytes.empty()) continue;
-        const std::uint64_t off =
-            faults.corrupt_offset(seq, attempt, bytes.size());
-        bytes[static_cast<std::size_t>(off)] ^= std::byte{0x5a};
-        break;
+    try {
+      if (fault == FaultKind::LaunchFail) {
+        std::ostringstream os;
+        os << "injected kernel launch failure (command " << seq
+           << ", attempt " << attempt << ")";
+        throw DeviceError(os.str());
       }
-      std::ostringstream os;
-      os << "injected transfer corruption detected (command " << seq
-         << ", attempt " << attempt << ")";
-      throw DeviceError(os.str());
-    }
-    if (fault == FaultKind::SilentCorrupt) {
-      // Model an undetected bad write-back: the data is mangled but NO
-      // error is raised — the command completes Ok with a wrong result.
-      // Only result verification can catch this. The offset is forced
-      // onto a sign/exponent byte (the last byte of a 4- or 8-byte
-      // element) so the damage always dwarfs the checker tolerance.
-      bool mangled = false;
-      for (const void* key : writes) {
-        std::span<std::byte> bytes = dev_->buffer_bytes(key);
-        if (bytes.empty()) continue;
-        std::uint64_t off = faults.corrupt_offset(seq, attempt, bytes.size());
-        if (steer) {
-          // The routine steers the fault onto bytes it semantically owns
-          // (e.g. SYRK's written triangle), returning the final offset.
-          off = steer(off, bytes.size());
-        } else {
-          off |= 7;
+      tl_last_taint = stream::Taint{};  // fresh provenance per attempt
+      tl_scope = RunScope{wd, fault == FaultKind::Wedge, true, taint_record,
+                          taint_trap, &dev};
+      if (fault == FaultKind::ChannelCorrupt) {
+        // Corrupt the k-th floating-point value pushed across this
+        // command's graph launches, k in [1, 1024] — deep enough to land
+        // mid-pipeline on realistic sizes, small enough to fire on any
+        // graph streaming more than 1024 values.
+        tl_scope.corrupt_k = 1 + faults.corrupt_offset(seq, attempt, 1024);
+      }
+      if (fault == FaultKind::PeFault) {
+        tl_scope.pe_fault_pending = true;
+        tl_scope.pe_fault_seq = seq;
+        tl_scope.pe_fault_attempt = attempt;
+      }
+      struct Reset {
+        ~Reset() { tl_scope = RunScope{}; }
+      } reset;
+      if (inner) inner();
+      if (fault == FaultKind::ChannelCorrupt && !tl_scope.corrupt_fired) {
+        // The command launched no graph (or a graph too short to reach
+        // the k-th push): nothing was damaged, so un-count the fault.
+        faults.retract();
+      }
+      if (fault == FaultKind::PeFault && tl_scope.pe_fault_pending) {
+        // No systolic multiply consumed the draw (or the planned MAC
+        // never produced a nonzero product): nothing was damaged.
+        faults.retract();
+      }
+      if (fault == FaultKind::CorruptTransfer) {
+        // Model a detected bad write-back (ECC/CRC): the data really is
+        // mangled in device memory AND the error is reported, so the
+        // retry machinery must restore the snapshot before re-running.
+        for (const void* key : writes) {
+          std::span<std::byte> bytes = pool_->buffer_bytes(key);
+          if (bytes.empty()) continue;
+          const std::uint64_t off =
+              faults.corrupt_offset(seq, attempt, bytes.size());
+          bytes[static_cast<std::size_t>(off)] ^= std::byte{0x5a};
+          break;
         }
-        if (off >= bytes.size()) off = bytes.size() - 1;
-        bytes[static_cast<std::size_t>(off)] ^= std::byte{0x5a};
-        mangled = true;
-        break;
+        std::ostringstream os;
+        os << "injected transfer corruption detected (command " << seq
+           << ", attempt " << attempt << ")";
+        throw DeviceError(os.str());
       }
-      // A write set with no registered device bytes (e.g. a host scalar
-      // result) cannot be silently corrupted through the buffer
-      // registry: un-count the fault so injected() only counts faults
-      // that actually damaged something.
-      if (!mangled) faults.retract();
+      if (fault == FaultKind::SilentCorrupt) {
+        // Model an undetected bad write-back: the data is mangled but NO
+        // error is raised — the command completes Ok with a wrong
+        // result. Only result verification can catch this. The offset is
+        // forced onto a sign/exponent byte (the last byte of a 4- or
+        // 8-byte element) so the damage always dwarfs the checker
+        // tolerance.
+        bool mangled = false;
+        for (const void* key : writes) {
+          std::span<std::byte> bytes = pool_->buffer_bytes(key);
+          if (bytes.empty()) continue;
+          std::uint64_t off =
+              faults.corrupt_offset(seq, attempt, bytes.size());
+          if (steer) {
+            // The routine steers the fault onto bytes it semantically
+            // owns (e.g. SYRK's written triangle), returning the final
+            // offset.
+            off = steer(off, bytes.size());
+          } else {
+            off |= 7;
+          }
+          if (off >= bytes.size()) off = bytes.size() - 1;
+          bytes[static_cast<std::size_t>(off)] ^= std::byte{0x5a};
+          mangled = true;
+          break;
+        }
+        // A write set with no registered device bytes (e.g. a host
+        // scalar result) cannot be silently corrupted through the buffer
+        // registry: un-count the fault so injected() only counts faults
+        // that actually damaged something.
+        if (!mangled) faults.retract();
+      }
+    } catch (const DeviceError&) {
+      pool_->note_attempt_failed(placed,
+                                 fault == FaultKind::CorruptTransfer
+                                     ? HealthEvent::TransferCorrupt
+                                     : HealthEvent::LaunchFail);
+      throw;
+    } catch (const TimeoutError&) {
+      pool_->note_attempt_failed(placed, HealthEvent::Timeout);
+      throw;
     }
+    // Health accounting for a device-Ok attempt: report now unless an
+    // armed checker still gets a vote (wrap_verify reports the verdict,
+    // so per-device `executed` counts accepted completions exactly once).
+    if (!verify_armed) pool_->note_attempt_ok(placed);
   };
 }
 
@@ -171,11 +219,15 @@ CommandHooks Context::make_hooks(const Command& cmd) {
   using Snap = std::vector<std::pair<std::span<std::byte>,
                                      std::vector<std::byte>>>;
   auto snaps = std::make_shared<Snap>();
-  Device* dev = dev_;
-  hooks.snapshot = [dev, writes = cmd.writes, snaps] {
+  // Lookups go through the pool: the buffer may migrate between the
+  // snapshot and a rollback, but the captured spans stay valid either
+  // way — migration moves registry records and bank accounting, never
+  // the host-resident bytes.
+  DevicePool* pool = pool_;
+  hooks.snapshot = [pool, writes = cmd.writes, snaps] {
     snaps->clear();
     for (const void* key : writes) {
-      std::span<std::byte> bytes = dev->buffer_bytes(key);
+      std::span<std::byte> bytes = pool->buffer_bytes(key);
       if (bytes.empty()) continue;
       snaps->emplace_back(bytes,
                           std::vector<std::byte>(bytes.begin(), bytes.end()));
@@ -197,7 +249,8 @@ double Context::effective_sample_rate(const verify::Options& vo) const {
 }
 
 std::function<void()> Context::wrap_verify(std::function<void()> check,
-                                           bool adaptive) {
+                                           bool adaptive,
+                                           bool feed_breaker) {
   // Adaptive controller bounds, frozen at enqueue like every other knob:
   // a rejection quadruples the live rate (towards 1), a clean check
   // decays it by 2% towards a floor a quarter of the configured base.
@@ -213,12 +266,21 @@ std::function<void()> Context::wrap_verify(std::function<void()> check,
     // update, which only costs one controller step of a heuristic.
     adaptive_rate_.store(next, std::memory_order_relaxed);
   };
-  return [check = std::move(check), feed = std::move(feed)] {
+  return [this, check = std::move(check), feed = std::move(feed),
+          feed_breaker] {
     try {
       check();
       feed(false);
+      // The checker accepted this device-Ok attempt: the command is
+      // complete, and the placed device earns its success sample.
+      if (tl_attempt_device >= 0) {
+        pool_->note_verify(tl_attempt_device, true, feed_breaker);
+      }
     } catch (const VerificationError& e) {
       feed(true);
+      if (tl_attempt_device >= 0) {
+        pool_->note_verify(tl_attempt_device, false, feed_breaker);
+      }
       // A checksum mismatch on NaN/Inf-poisoned data is a numerical
       // symptom, not necessarily hardware corruption — attach the taint
       // provenance recorded during the run so the two are separable.
@@ -275,21 +337,19 @@ Event Context::enqueue(Command cmd) {
         (vo.policy() == verify::VerifyPolicy::Always ||
          (vo.policy() == verify::VerifyPolicy::Sampled &&
           verify::sampled(vo.seed(), seq, effective_sample_rate(vo))));
-    const bool instrumented = dev_->faults().enabled() ||
-                              watchdog_.enabled() || verify_armed ||
-                              vo.trap_nonfinite();
-    if (instrumented) {
-      work = wrap_work(seq, std::move(work), cmd.writes,
-                       verify_armed || vo.trap_nonfinite(),
-                       vo.trap_nonfinite(), std::move(cmd.corrupt_steer));
-    }
+    // Every routine command is wrapped: placement and per-device health
+    // accounting always run, on top of fault injection / watchdog /
+    // taint tracking when those are armed.
+    work = wrap_work(seq, std::move(work), cmd.reads, cmd.writes,
+                     verify_armed, verify_armed || vo.trap_nonfinite(),
+                     vo.trap_nonfinite(), std::move(cmd.corrupt_steer));
     if (policy.max_retries > 0 || policy.cpu_fallback || verify_armed) {
       hooks = make_hooks(cmd);
     }
     if (verify_armed) {
       hooks.verify_prepare = std::move(cmd.verify_prepare);
-      hooks.verify_check =
-          wrap_verify(std::move(cmd.verify_check), vo.adaptive());
+      hooks.verify_check = wrap_verify(std::move(cmd.verify_check),
+                                       vo.adaptive(), vo.breaker_feedback());
     }
   }
   exec_->submit(seq, std::move(work), deps, std::move(hooks));
@@ -319,14 +379,25 @@ void Context::wait_seq(std::uint64_t seq) { exec_->wait(seq); }
 bool Context::done_seq(std::uint64_t seq) const { return exec_->done(seq); }
 
 CommandStatus Context::status_seq(std::uint64_t seq) const {
-  return exec_->status(seq);
+  CommandStatus st = exec_->status(seq);
+  st.device = pool_->device_of(seq);
+  return st;
 }
 
 ExecStats Context::exec_stats() const {
   ExecStats stats = exec_->stats();
-  stats.faults_injected = dev_->faults().injected();
+  stats.faults_injected = pool_->faults_injected();
   const double live = adaptive_rate_.load(std::memory_order_relaxed);
   stats.adaptive_sample_rate = live < 0.0 ? 0.0 : live;
+  stats.per_device = pool_->per_device_stats();
+  for (const PerDeviceStats& d : stats.per_device) {
+    // One migration moves one buffer out of one device into another, so
+    // the in-side alone is the fleet-wide total.
+    stats.migrations += d.migrations_in;
+    stats.migrated_bytes += d.migrated_bytes_in;
+    stats.breaker_opens += d.breaker_opens;
+    stats.breaker_readmissions += d.breaker_readmissions;
+  }
   return stats;
 }
 
@@ -354,12 +425,19 @@ void Context::run_graph(stream::Graph& g) {
       g.scheduler().corruption_fired()) {
     tl_scope.corrupt_k = 0;
     tl_scope.corrupt_fired = true;
-    dev_->faults().record_victim(g.scheduler().corrupted_channel());
+    // Ground truth goes to the injector that drew the fault: the device
+    // this attempt was placed on.
+    Device* dev = tl_scope.dev != nullptr ? tl_scope.dev : dev_;
+    dev->faults().record_victim(g.scheduler().corrupted_channel());
   }
   const std::uint64_t cycles = g.cycles();
   Executor::note_cycles(cycles);
   last_cycles_.store(cycles);
   total_cycles_.fetch_add(cycles);
+}
+
+Device& Context::attempt_device() {
+  return (tl_scope.active && tl_scope.dev != nullptr) ? *tl_scope.dev : *dev_;
 }
 
 double Context::bank_bytes_per_cycle(double freq_mhz) const {

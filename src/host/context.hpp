@@ -50,6 +50,7 @@
 #include "host/buffer.hpp"
 #include "host/dep_graph.hpp"
 #include "host/device.hpp"
+#include "host/device_pool.hpp"
 #include "host/event.hpp"
 #include "host/executor.hpp"
 #include "refblas/level1.hpp"
@@ -185,10 +186,25 @@ class Context {
  public:
   /// `workers == 0` (default) keeps the serial in-order queue; `workers
   /// > 0` enables the out-of-order executor with that many threads.
+  /// A single device is wrapped in a (non-owning) pool of one, so every
+  /// Context runs the same fleet-health path — placement, breaker
+  /// tracking, per-device stats — whether it drives one board or many.
   explicit Context(Device& dev, stream::Mode mode = stream::Mode::Functional,
                    int workers = 0);
+  /// Drives a device fleet: commands are placed per attempt by the
+  /// pool's health-weighted scoring, buffers migrate off quarantined
+  /// devices, and a retry after a breaker opened transparently lands on
+  /// a healthy sibling. The pool must outlive the Context.
+  explicit Context(DevicePool& pool,
+                   stream::Mode mode = stream::Mode::Functional,
+                   int workers = 0);
 
+  /// The primary device (pool device 0): where buffers land by default
+  /// and what spec-level lowering decisions read. Same spec across the
+  /// pool, so any device answers spec queries identically.
   Device& device() { return *dev_; }
+  DevicePool& pool() { return *pool_; }
+  const DevicePool& pool() const { return *pool_; }
   RoutineConfig& config() { return cfg_; }
   const RoutineConfig& config() const { return cfg_; }
   stream::Mode mode() const { return mode_; }
@@ -620,22 +636,31 @@ class Context {
   bool done_seq(std::uint64_t seq) const;
   CommandStatus status_seq(std::uint64_t seq) const;
 
-  /// Wraps a routine command body with fault injection (launch failures,
-  /// detected transfer corruption, wedges, silent corruption), the
-  /// captured watchdog, and — when verification or the taint trap is
-  /// armed — non-finite taint tracking across the command's graphs.
+  /// Wraps a routine command body with per-attempt pool placement (and
+  /// health reporting), fault injection (launch failures, detected
+  /// transfer corruption, wedges, silent corruption), the captured
+  /// watchdog, and — when verification or the taint trap is armed —
+  /// non-finite taint tracking across the command's graphs.
   std::function<void()> wrap_work(
       std::uint64_t seq, std::function<void()> work,
-      std::vector<const void*> writes, bool taint_record, bool taint_trap,
+      std::vector<const void*> reads, std::vector<const void*> writes,
+      bool verify_armed, bool taint_record, bool taint_trap,
       std::function<std::uint64_t(std::uint64_t, std::uint64_t)> steer);
   /// Snapshot/rollback/fallback hooks for the retry machinery.
   CommandHooks make_hooks(const Command& cmd);
   /// Wraps a verify_check so a VerificationError carries the taint
-  /// provenance (which module first pushed NaN/Inf) when one exists, and
+  /// provenance (which module first pushed NaN/Inf) when one exists,
   /// feeds the adaptive sampling controller (raise the live rate on a
-  /// rejection, decay it on a clean check).
+  /// rejection, decay it on a clean check), and reports the verdict to
+  /// the device pool (per-device stats; breaker per `feed_breaker`).
   std::function<void()> wrap_verify(std::function<void()> check,
-                                    bool adaptive);
+                                    bool adaptive, bool feed_breaker);
+
+  /// The device this thread's running attempt was placed on (the pool's
+  /// choice recorded by wrap_work), or the primary device outside a
+  /// placed command — what lowerings must use for fault-injector access
+  /// so draws and ground truth land on the attempt's device.
+  Device& attempt_device();
 
   /// Fault-injector PE-fault draw for the command running on this thread
   /// (context.cpp owns the thread-local run scope): true when wrap_work
@@ -649,7 +674,11 @@ class Context {
   /// Per-cycle byte budget of one DDR bank at the given clock.
   double bank_bytes_per_cycle(double freq_mhz) const;
 
-  Device* dev_;
+  /// Wraps the single-device constructor's board in a pool of one, so
+  /// pool_ is never null and both constructors share one runtime path.
+  std::unique_ptr<DevicePool> pool_owned_;
+  DevicePool* pool_;
+  Device* dev_;  ///< primary (pool device 0)
   stream::Mode mode_;
   RoutineConfig cfg_;
   stream::Watchdog watchdog_;

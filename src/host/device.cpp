@@ -38,9 +38,11 @@ void Device::note_free(int bank, std::uint64_t bytes) {
   used = bytes > used ? 0 : used - bytes;
 }
 
-void Device::register_buffer(const void* key, std::span<std::byte> bytes) {
+void Device::register_buffer(const void* key, std::span<std::byte> bytes,
+                             int bank,
+                             std::function<void(Device&, int)> rehome) {
   std::lock_guard<std::mutex> lk(mu_);
-  buffers_[key] = bytes;
+  buffers_[key] = BufferRecord{bytes, bank, std::move(rehome)};
 }
 
 void Device::unregister_buffer(const void* key) {
@@ -51,7 +53,26 @@ void Device::unregister_buffer(const void* key) {
 std::span<std::byte> Device::buffer_bytes(const void* key) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = buffers_.find(key);
-  return it == buffers_.end() ? std::span<std::byte>() : it->second;
+  return it == buffers_.end() ? std::span<std::byte>() : it->second.bytes;
+}
+
+bool Device::has_buffer(const void* key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return buffers_.find(key) != buffers_.end();
+}
+
+bool Device::take_buffer(const void* key, BufferRecord* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = buffers_.find(key);
+  if (it == buffers_.end()) return false;
+  *out = std::move(it->second);
+  buffers_.erase(it);
+  return true;
+}
+
+void Device::install_buffer(const void* key, BufferRecord rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  buffers_[key] = std::move(rec);
 }
 
 }  // namespace fblas::host

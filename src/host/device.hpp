@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -34,29 +35,57 @@ class Device {
   void note_alloc(int bank, std::uint64_t bytes);
   void note_free(int bank, std::uint64_t bytes);
 
-  /// Seeded fault injection (see FaultInjector). `inject_faults` arms the
-  /// injector for subsequent kernel launches; configure it while the
-  /// executor is idle.
-  void inject_faults(const FaultConfig& cfg) { faults_.configure(cfg); }
+  /// Seeded fault injection (see FaultInjector). `inject_faults`
+  /// validates the configuration (ConfigError naming the bad knob) and
+  /// arms the injector for subsequent kernel launches; configure it
+  /// while the executor is idle.
+  void inject_faults(const FaultConfig& cfg) {
+    cfg.validate();
+    faults_.configure(cfg);
+  }
   FaultInjector& faults() { return faults_; }
   const FaultInjector& faults() const { return faults_; }
+
+  /// One registry entry: the raw device bytes, the DDR bank they are
+  /// accounted against, and the owner's re-home callback — how the
+  /// DevicePool moves a quarantined device's buffers onto a healthy
+  /// sibling (the callback points the owning Buffer at its new home).
+  struct BufferRecord {
+    std::span<std::byte> bytes;
+    int bank = 0;
+    std::function<void(Device&, int)> rehome;
+  };
 
   /// Device-buffer registry (maintained by Buffer). Maps the Buffer
   /// object's address — the key commands declare in their read/write
   /// sets — to the raw device bytes, so the runtime can snapshot,
   /// restore, and corrupt write-sets without knowing element types.
   /// Thread-safe: buffers are created/destroyed on executor workers.
-  void register_buffer(const void* key, std::span<std::byte> bytes);
+  void register_buffer(const void* key, std::span<std::byte> bytes,
+                       int bank = 0,
+                       std::function<void(Device&, int)> rehome = {});
   void unregister_buffer(const void* key);
   /// Raw bytes of a registered buffer; empty span for unknown keys
   /// (e.g. host scalar result pointers, which are also valid set keys).
   std::span<std::byte> buffer_bytes(const void* key) const;
+  /// True when `key` is registered here — residency, as distinct from
+  /// buffer_bytes (whose empty span cannot tell a zero-length buffer
+  /// from an unknown key).
+  bool has_buffer(const void* key) const;
+
+  /// Migration support (DevicePool): atomically removes and returns the
+  /// record for `key` (false when unknown), and installs a record taken
+  /// from another device. Neither touches bank accounting — the pool
+  /// moves the note_alloc/note_free bookkeeping explicitly so a failed
+  /// re-stage can put the record back untouched.
+  bool take_buffer(const void* key, BufferRecord* out);
+  void install_buffer(const void* key, BufferRecord rec);
 
  private:
   const sim::DeviceSpec* spec_;
   mutable std::mutex mu_;
   std::vector<std::uint64_t> allocated_;
-  std::unordered_map<const void*, std::span<std::byte>> buffers_;
+  std::unordered_map<const void*, BufferRecord> buffers_;
   FaultInjector faults_;
 };
 

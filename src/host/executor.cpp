@@ -18,6 +18,15 @@ thread_local std::uint64_t tl_pe_corrected = 0;
 thread_local int tl_depth = 0;
 thread_local int tl_attempt = 0;
 
+// splitmix64 (same public-domain constants as the fault injector's
+// hash), so jittered delays are a pure function of (seed, seq, attempt).
+std::uint64_t jitter_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 bool is_transient(const std::exception_ptr& error) {
   try {
     std::rethrow_exception(error);
@@ -46,6 +55,17 @@ std::string describe(const std::exception_ptr& error) {
 }
 
 }  // namespace
+
+std::chrono::microseconds jittered_backoff(std::uint64_t seed,
+                                           std::uint64_t seq, int attempt,
+                                           std::chrono::microseconds cap) {
+  if (cap.count() <= 0) return std::chrono::microseconds{0};
+  std::uint64_t h = jitter_mix64(seed ^ 0x6a09e667f3bcc909ULL);
+  h = jitter_mix64(h ^ seq);
+  h = jitter_mix64(h ^ (static_cast<std::uint64_t>(attempt) + 1));
+  return std::chrono::microseconds(static_cast<std::int64_t>(
+      h % (static_cast<std::uint64_t>(cap.count()) + 1)));
+}
 
 void Executor::note_cycles(std::uint64_t cycles) {
   if (tl_depth > 0) tl_cycles += cycles;
@@ -217,7 +237,11 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
       if (transient && may_recover && attempt < policy.max_retries) {
         if (hooks.rollback) hooks.rollback();
         ++retries_done;
-        if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+        const auto delay =
+            policy.full_jitter
+                ? jittered_backoff(policy.jitter_seed, seq, attempt, backoff)
+                : backoff;
+        if (delay.count() > 0) std::this_thread::sleep_for(delay);
         backoff = std::min(
             std::chrono::microseconds(static_cast<std::int64_t>(
                 static_cast<double>(backoff.count()) *

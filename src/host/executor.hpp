@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "host/health.hpp"
 #include "host/status.hpp"
 
 namespace fblas::host {
@@ -68,6 +69,19 @@ struct ExecStats {
   /// rejections, decayed by clean checks. 0 when adaptive sampling has
   /// never engaged (filled by Context::exec_stats, not the Executor).
   double adaptive_sample_rate = 0.0;
+  // --- Device-fleet health (filled by Context::exec_stats from the
+  // DevicePool; the Executor itself is device-agnostic) -----------------
+  std::uint64_t migrations = 0;      ///< buffers re-staged across devices
+  std::uint64_t migrated_bytes = 0;  ///< bytes those re-stagings moved
+  std::uint64_t breaker_opens = 0;   ///< circuit-breaker Closed/HalfOpen->Open
+  std::uint64_t breaker_readmissions = 0;  ///< probes that re-closed one
+  /// Per-device breakdown (one entry per pool device; a single-device
+  /// Context is a pool of one). Event counters reconcile with the
+  /// globals: sum(faults) == faults_injected, sum(verify_rejects) ==
+  /// verify_failures, sum(executed) == executed - degraded - failed -
+  /// barrier commands, sum(failed_attempts + verify_rejects) == retries
+  /// + terminal transient failures.
+  std::vector<PerDeviceStats> per_device;
 };
 
 /// Retry behavior for transient failures (DeviceError / TimeoutError).
@@ -79,7 +93,23 @@ struct RetryPolicy {
   std::chrono::microseconds max_backoff{2000};  ///< delay ceiling
   bool cpu_fallback = false;  ///< after retries: run the command's CPU
                               ///< reference path and mark it Degraded
+  /// Deterministic full-jitter: each retry sleeps a uniform fraction of
+  /// the current exponential delay, hashed from (jitter_seed, seq,
+  /// attempt) exactly like the fault injector's draws — so workers
+  /// retrying after a correlated fault spread out instead of hammering
+  /// the device in lockstep, yet the delays replay identically across
+  /// runs. Off (the default) keeps the exact legacy delays; jitter only
+  /// changes *when* a retry runs, never its result.
+  bool full_jitter = false;
+  std::uint64_t jitter_seed = 0;
 };
+
+/// The full-jitter delay for retry `attempt` of command `seq`: a
+/// deterministic uniform draw in [0, cap]. Exposed for tests; the
+/// executor calls it with the current exponential backoff as the cap.
+std::chrono::microseconds jittered_backoff(std::uint64_t seed,
+                                           std::uint64_t seq, int attempt,
+                                           std::chrono::microseconds cap);
 
 /// Fault-tolerance hooks attached to a command by the Context.
 struct CommandHooks {

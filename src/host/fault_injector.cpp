@@ -1,5 +1,10 @@
 #include "host/fault_injector.hpp"
 
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
 namespace fblas::host {
 namespace {
 
@@ -24,11 +29,49 @@ double unit_interval(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+// The probe decision stream; decide() uses 0, corrupt_offset 1, and the
+// systolic fault plan 2-8, so probes never perturb real draws.
+constexpr std::uint64_t kProbeStream = 15;
+
+void check_rate(double rate, const char* knob) {
+  if (std::isnan(rate) || rate < 0.0 || rate > 1.0) {
+    std::ostringstream os;
+    os << "FaultConfig." << knob << " must be within [0, 1] (got " << rate
+       << ")";
+    throw ConfigError(os.str());
+  }
+}
+
 }  // namespace
+
+void FaultConfig::validate() const {
+  check_rate(launch_fail_rate, "launch_fail_rate");
+  check_rate(corrupt_rate, "corrupt_rate");
+  check_rate(wedge_rate, "wedge_rate");
+  check_rate(silent_corrupt_rate, "silent_corrupt_rate");
+  check_rate(channel_corrupt_rate, "channel_corrupt_rate");
+  check_rate(pe_fault_rate, "pe_fault_rate");
+  const DeviceFaultWindow& w = device_fault_window;
+  if (w.end < w.begin) {
+    std::ostringstream os;
+    os << "FaultConfig.device_fault_window must not be inverted (begin "
+       << w.begin << " > end " << w.end << ")";
+    throw ConfigError(os.str());
+  }
+  if (std::isnan(w.multiplier) || std::isinf(w.multiplier) ||
+      w.multiplier < 0.0) {
+    std::ostringstream os;
+    os << "FaultConfig.device_fault_window.multiplier must be finite and "
+          ">= 0 (got "
+       << w.multiplier << ")";
+    throw ConfigError(os.str());
+  }
+}
 
 void FaultInjector::configure(const FaultConfig& cfg) {
   cfg_ = cfg;
   injected_.store(0, std::memory_order_relaxed);
+  sick_faults_.store(0, std::memory_order_relaxed);
   budget_.store(cfg.max_faults, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_release);
 }
@@ -37,24 +80,38 @@ void FaultInjector::disable() {
   enabled_.store(false, std::memory_order_release);
 }
 
+namespace {
+
+// Shared edge walk for decide() and probe(): the cumulative-rate check
+// with the sick-window multiplier applied to the board-sickness modes
+// (launch / corrupt / wedge / silent); channel and PE faults model
+// pipeline damage, not board health, and keep their base rates.
+FaultKind classify(const FaultConfig& cfg, double u, double mult) {
+  double edge = cfg.launch_fail_rate * mult;
+  if (u < edge) return FaultKind::LaunchFail;
+  if (u < (edge += cfg.corrupt_rate * mult)) return FaultKind::CorruptTransfer;
+  if (u < (edge += cfg.wedge_rate * mult)) return FaultKind::Wedge;
+  if (u < (edge += cfg.silent_corrupt_rate * mult)) {
+    return FaultKind::SilentCorrupt;
+  }
+  if (u < (edge += cfg.channel_corrupt_rate)) return FaultKind::ChannelCorrupt;
+  if (u < (edge += cfg.pe_fault_rate)) return FaultKind::PeFault;
+  return FaultKind::None;
+}
+
+bool in_window(const FaultConfig& cfg, std::uint64_t seq) {
+  const DeviceFaultWindow& w = cfg.device_fault_window;
+  return w.active() && seq >= w.begin && seq < w.end;
+}
+
+}  // namespace
+
 FaultKind FaultInjector::decide(std::uint64_t seq, int attempt) {
   if (!enabled_.load(std::memory_order_acquire)) return FaultKind::None;
   const double u = unit_interval(draw(cfg_.seed, seq, attempt, 0));
-  FaultKind kind = FaultKind::None;
-  double edge = cfg_.launch_fail_rate;
-  if (u < edge) {
-    kind = FaultKind::LaunchFail;
-  } else if (u < (edge += cfg_.corrupt_rate)) {
-    kind = FaultKind::CorruptTransfer;
-  } else if (u < (edge += cfg_.wedge_rate)) {
-    kind = FaultKind::Wedge;
-  } else if (u < (edge += cfg_.silent_corrupt_rate)) {
-    kind = FaultKind::SilentCorrupt;
-  } else if (u < (edge += cfg_.channel_corrupt_rate)) {
-    kind = FaultKind::ChannelCorrupt;
-  } else if (u < (edge += cfg_.pe_fault_rate)) {
-    kind = FaultKind::PeFault;
-  }
+  const bool sick = in_window(cfg_, seq);
+  const FaultKind kind =
+      classify(cfg_, u, sick ? cfg_.device_fault_window.multiplier : 1.0);
   if (kind == FaultKind::None) return kind;
   // Consume the fault budget; a drawn fault past the budget fires as None
   // so long runs stay bounded. Budget < 0 means unlimited.
@@ -67,7 +124,18 @@ FaultKind FaultInjector::decide(std::uint64_t seq, int attempt) {
     }
   }
   injected_.fetch_add(1, std::memory_order_relaxed);
+  if (sick) sick_faults_.fetch_add(1, std::memory_order_relaxed);
   return kind;
+}
+
+FaultKind FaultInjector::probe(std::uint64_t seq) const {
+  if (!enabled_.load(std::memory_order_acquire)) return FaultKind::None;
+  // An exhausted budget means no further fault can fire — a probe would
+  // launch clean, so report that instead of keeping the breaker open.
+  if (budget_.load(std::memory_order_relaxed) == 0) return FaultKind::None;
+  const double u = unit_interval(draw(cfg_.seed, seq, 0, kProbeStream));
+  const bool sick = in_window(cfg_, seq);
+  return classify(cfg_, u, sick ? cfg_.device_fault_window.multiplier : 1.0);
 }
 
 void FaultInjector::retract() {

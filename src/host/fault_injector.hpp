@@ -19,6 +19,27 @@
 
 namespace fblas::host {
 
+/// Correlated sick-device mode: for command seqs in [begin, end), the
+/// device's launch / corruption / wedge rates are multiplied — the
+/// signature of a board that overheats or a DDR bank that degrades,
+/// where *every* command routed to the victim starts failing. `device`
+/// names the victim by pool index; DevicePool::inject_faults strips the
+/// window from every other device so the rest of the fleet keeps the
+/// identical base rates (and thus identical fault draws) regardless of
+/// placement. The interval is over command seq, not wall time, so the
+/// sickness replays deterministically under any executor policy.
+struct DeviceFaultWindow {
+  int device = -1;          ///< victim pool index; < 0 disarms
+  std::uint64_t begin = 0;  ///< first command seq inside the window
+  std::uint64_t end = 0;    ///< one past the last seq inside
+  /// Multiplier on launch_fail / corrupt / wedge / silent_corrupt rates
+  /// inside the window (channel/PE faults model pipeline damage, not
+  /// board sickness, and are left alone).
+  double multiplier = 1.0;
+
+  bool active() const { return device >= 0 && end > begin; }
+};
+
 /// Per-launch fault probabilities. Rates are cumulative-checked in the
 /// order launch-fail, corrupt, wedge, silent-corrupt, channel-corrupt,
 /// pe-fault; their sum should stay <= 1.
@@ -46,6 +67,15 @@ struct FaultConfig {
   /// must refuse to correct (falling back to rollback -> retry).
   bool pe_fault_pairs = false;
   int max_faults = -1;            ///< total faults budget; <0 = unlimited
+  /// Correlated sick-device interval (see DeviceFaultWindow).
+  DeviceFaultWindow device_fault_window;
+
+  /// Rejects nonsensical knobs — negative/NaN/>1 rates, an inverted
+  /// window, a negative or non-finite multiplier — with a ConfigError
+  /// naming the offending knob (mirroring RoutineConfig::validate).
+  /// Called by Device::inject_faults so a bad configuration fails at the
+  /// arming site instead of skewing fault draws silently.
+  void validate() const;
 };
 
 /// SilentCorrupt mangles write-set bytes like CorruptTransfer but raises
@@ -108,6 +138,30 @@ class FaultInjector {
   /// PE of the same tile (FaultConfig::pe_fault_pairs).
   bool pe_fault_pairs() const { return cfg_.pe_fault_pairs; }
 
+  /// Synthetic-probe draw for circuit-breaker re-admission: would a
+  /// trivial kernel launched *now* (at command seq `seq`) hit a fault?
+  /// Drawn on its own hash stream so it never perturbs decide(), and it
+  /// consumes no fault budget and damages nothing — the probe is how a
+  /// Half-Open breaker peeks at the device without risking a real
+  /// command. Inside an armed device_fault_window the multiplied rates
+  /// apply, so probes keep failing until the window closes. Returns the
+  /// fault the probe would hit, or None when the launch would succeed
+  /// (also when the injector is disarmed or its budget is exhausted).
+  FaultKind probe(std::uint64_t seq) const;
+
+  /// The armed sick-device window ({} when none).
+  const DeviceFaultWindow& sick_window() const {
+    return cfg_.device_fault_window;
+  }
+  /// Ground truth: faults from decide() that landed inside the armed
+  /// sick-device window. Counts budget-consuming draws; a later
+  /// retract() of an unmaterialized fault is not attributed back here
+  /// (retract carries no provenance), so this is an upper bound that is
+  /// exact for the launch/corrupt/wedge modes sick-window tests use.
+  std::uint64_t sick_faults() const {
+    return sick_faults_.load(std::memory_order_relaxed);
+  }
+
   /// Un-counts a fault that could not be materialized (e.g. a silent
   /// corruption drawn for a command whose write set holds no registered
   /// device bytes), restoring the budget it consumed — so injected()
@@ -135,6 +189,7 @@ class FaultInjector {
   FaultConfig cfg_;
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> sick_faults_{0};
   std::atomic<int> budget_{-1};
   mutable std::mutex victim_mu_;
   std::string last_victim_;

@@ -1,0 +1,64 @@
+#include "host/health.hpp"
+
+namespace fblas::host {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed:
+      return "Closed";
+    case BreakerState::Open:
+      return "Open";
+    case BreakerState::HalfOpen:
+      return "HalfOpen";
+  }
+  return "?";
+}
+
+void HealthTracker::tick() {
+  ++now_;
+  if (state_ == BreakerState::Open &&
+      now_ - opened_at_ >= cfg_.cooldown_ticks) {
+    state_ = BreakerState::HalfOpen;
+    ++half_opens_;
+  }
+}
+
+void HealthTracker::record_success() {
+  ewma_ = (1.0 - cfg_.ewma_alpha) * ewma_;
+  consecutive_failures_ = 0;
+  ++events_;
+}
+
+void HealthTracker::record_failure() {
+  ewma_ = (1.0 - cfg_.ewma_alpha) * ewma_ + cfg_.ewma_alpha;
+  ++consecutive_failures_;
+  ++events_;
+  if (state_ != BreakerState::Closed) return;
+  if (consecutive_failures_ >= cfg_.open_consecutive_failures ||
+      (events_ >= cfg_.min_events && ewma_ > cfg_.open_error_rate)) {
+    open();
+  }
+}
+
+void HealthTracker::probe_result(bool ok) {
+  if (state_ != BreakerState::HalfOpen) return;
+  if (ok) {
+    // Clean slate: the quarantine already served the penalty, and stale
+    // failure history must not re-open the breaker on the first wobble.
+    state_ = BreakerState::Closed;
+    ewma_ = 0.0;
+    consecutive_failures_ = 0;
+    events_ = 0;
+    ++readmissions_;
+  } else {
+    open();
+  }
+}
+
+void HealthTracker::open() {
+  state_ = BreakerState::Open;
+  opened_at_ = now_;
+  ++opens_;
+}
+
+}  // namespace fblas::host

@@ -1,0 +1,118 @@
+// Per-device health tracking for the fleet runtime: an EWMA of failure
+// events driving a circuit breaker.
+//
+// Real accelerator fleets fail in correlated ways — a board overheats, a
+// DDR bank degrades — and once a device is sick, every command routed to
+// it burns its full retry budget before degrading. The breaker gives the
+// pool memory: failures move a device Closed -> Open (quarantined, no
+// new placements), a cool-down moves it Open -> HalfOpen, and a cheap
+// synthetic probe decides re-admission (HalfOpen -> Closed) or another
+// quarantine round (HalfOpen -> Open).
+//
+// Determinism: the breaker clock is the *placement tick* — one tick per
+// pool placement decision — not wall time, so the state machine replays
+// identically under the serial and worker-pool executors and across
+// re-runs with the same seed.
+#pragma once
+
+#include <cstdint>
+
+namespace fblas::host {
+
+enum class BreakerState : std::uint8_t {
+  Closed,    ///< healthy: accepts placements
+  Open,      ///< quarantined: no placements until the cool-down expires
+  HalfOpen,  ///< cooling down done: next placement probes the device
+};
+
+const char* to_string(BreakerState s);
+
+/// Failure classification fed into the tracker. All kinds are failure
+/// samples to the EWMA; the split exists so per-device stats can tell a
+/// flaky launch path from silent-corruption rejections.
+enum class HealthEvent : std::uint8_t {
+  LaunchFail,
+  TransferCorrupt,
+  Timeout,
+  VerifyReject,
+};
+
+/// Breaker thresholds. Defaults are deliberately conservative: three
+/// consecutive failures (a sick board fails back-to-back) or a sustained
+/// 50% error rate open the breaker; re-admission is probed after 16
+/// placement ticks.
+struct HealthConfig {
+  double ewma_alpha = 0.25;  ///< weight of the newest sample
+  /// EWMA failure rate above which the breaker opens (once min_events
+  /// samples have been seen — a single early failure is not a trend).
+  double open_error_rate = 0.5;
+  std::uint64_t min_events = 8;
+  int open_consecutive_failures = 3;
+  /// Placement ticks a quarantined device waits before Half-Open.
+  std::uint64_t cooldown_ticks = 16;
+};
+
+/// Per-device slice of ExecStats: everything an operator needs to spot a
+/// sick board from counters alone. Sums of the event counters reconcile
+/// with the global ExecStats (see tests/test_device_pool.cpp).
+struct PerDeviceStats {
+  int device = -1;
+  BreakerState breaker = BreakerState::Closed;
+  double health_ewma = 0.0;  ///< live EWMA failure rate
+  std::uint64_t attempts = 0;         ///< command attempts placed here
+  std::uint64_t executed = 0;         ///< accepted completions (device-Ok
+                                      ///< and, when armed, verify-clean)
+  std::uint64_t failed_attempts = 0;  ///< launch/transfer/timeout failures
+  std::uint64_t verify_rejects = 0;   ///< checker rejections of device-Ok
+  std::uint64_t faults = 0;           ///< injector ground truth
+  std::uint64_t migrations_in = 0;    ///< buffers re-staged onto this device
+  std::uint64_t migrations_out = 0;   ///< buffers drained off this device
+  std::uint64_t migrated_bytes_in = 0;
+  std::uint64_t migrated_bytes_out = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_readmissions = 0;  ///< probes that closed the breaker
+  std::uint64_t probes = 0;
+  std::uint64_t probe_failures = 0;
+};
+
+/// The breaker state machine for one device. Not thread-safe: the
+/// DevicePool serializes access under its own mutex.
+class HealthTracker {
+ public:
+  explicit HealthTracker(const HealthConfig& cfg = {}) : cfg_(cfg) {}
+
+  BreakerState state() const { return state_; }
+  double ewma() const { return ewma_; }
+  std::uint64_t opens() const { return opens_; }
+  std::uint64_t half_opens() const { return half_opens_; }
+  std::uint64_t readmissions() const { return readmissions_; }
+
+  /// One placement tick: advances the cool-down clock and moves an Open
+  /// breaker to HalfOpen once cooldown_ticks have elapsed.
+  void tick();
+  /// Feeds one success sample (decays the EWMA).
+  void record_success();
+  /// Feeds one failure sample; may open the breaker.
+  void record_failure();
+  /// Outcome of a Half-Open synthetic probe: success re-admits (Closed,
+  /// with a clean slate — quarantine already served the penalty), failure
+  /// re-opens with a fresh cool-down.
+  void probe_result(bool ok);
+
+ private:
+  void open();
+
+  HealthConfig cfg_;
+  BreakerState state_ = BreakerState::Closed;
+  double ewma_ = 0.0;
+  int consecutive_failures_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t now_ = 0;
+  std::uint64_t opened_at_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t half_opens_ = 0;
+  std::uint64_t readmissions_ = 0;
+};
+
+}  // namespace fblas::host

@@ -26,6 +26,11 @@ struct CommandStatus {
   /// verifier (silent data corruption caught and recovered via retry,
   /// fallback, or ultimately surfaced as Failed).
   std::uint32_t verify_rejections = 0;
+  /// Pool index of the device the command's *last* attempt was placed on
+  /// (filled by Context from the DevicePool). -1 for barriers and
+  /// commands never placed; for Degraded commands it names the device
+  /// whose failure forced the CPU fallback.
+  int device = -1;
 
   bool ok() const { return state == CommandState::Ok; }
   bool failed() const { return state == CommandState::Failed; }

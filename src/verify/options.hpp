@@ -138,6 +138,19 @@ class Options {
   Options& adaptive() { return adaptive(true); }
   bool adaptive() const { return adaptive_; }
 
+  /// Feeds checker verdicts into the device-fleet circuit breakers: a
+  /// rejection counts as a failure sample against the device that ran
+  /// the attempt (silent corruption is a board-health signal), a clean
+  /// check as a success. On by default. Turn it off to keep numerically
+  /// marginal ABFT rejections from opening breakers — per-device
+  /// verify_rejects stats are recorded either way.
+  Options& breaker_feedback(bool on) {
+    breaker_feedback_ = on;
+    return *this;
+  }
+  Options& breaker_feedback() { return breaker_feedback(true); }
+  bool breaker_feedback() const { return breaker_feedback_; }
+
   /// True when any verification work can arm (policy != Off).
   bool enabled() const { return policy_ != VerifyPolicy::Off; }
 
@@ -160,6 +173,7 @@ class Options {
   bool adaptive_ = false;
   bool in_grid_ = false;
   bool correct_single_faults_ = true;
+  bool breaker_feedback_ = true;
 };
 
 }  // namespace fblas::verify

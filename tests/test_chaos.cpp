@@ -1,0 +1,200 @@
+// Chaos soak for the device-fleet runtime: a long mixed workload (L1 /
+// L2 / L3 / composed MDAG / systolic) on a 3-device pool with EVERY
+// fault mode armed at once — launch failures, detected and silent
+// transfer corruption, wedges, in-flight channel corruption, PE faults —
+// plus a correlated sick-device window on one board. The pool must keep
+// the results bit-identical to a clean run (zero wrong results, zero
+// degradations) while the per-device ledgers reconcile exactly with the
+// global ExecStats, under both executor policies.
+//
+// Labeled `chaos` (ctest -L chaos); CI runs it under ASan and TSan too.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "apps/atax.hpp"
+#include "common/workload.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
+#include "host/device_pool.hpp"
+#include "verify/options.hpp"
+
+namespace fblas {
+namespace {
+
+host::RetryPolicy chaos_retry() {
+  host::RetryPolicy p;
+  p.max_retries = 8;
+  p.backoff = std::chrono::microseconds(0);
+  p.full_jitter = true;  // deterministic full-jitter (cap 0 -> no sleep)
+  p.jitter_seed = 7;
+  return p;
+}
+
+struct ChaosOutputs {
+  std::vector<std::vector<float>> buffers;
+  host::ExecStats stats;
+};
+
+// The mixed workload: 5 rounds x 8 commands, chained so every round's
+// results feed later rounds (a corruption anywhere would surface in the
+// final bytes). Initial residency is spread across the fleet so the
+// sick-device window on device 1 actually sees traffic.
+ChaosOutputs run_chaos(int workers, bool with_faults) {
+  const std::int64_t vn = 96;                    // L1 chain
+  const std::int64_t gr = 40, gc = vn;           // gemv
+  const std::int64_t m3 = 32, n3 = 28, k3 = 24;  // gemm
+  const std::int64_t ms = 24, ns = 20, ks = 16;  // systolic
+  const std::int64_t an = 24, am = 18;           // atax
+
+  host::DevicePool pool(3);
+  host::Context ctx(pool, stream::Mode::Cycle, workers);
+  ctx.config().verification = verify::Options::always().in_grid();
+  stream::Watchdog wd;
+  wd.max_cycles = 1u << 20;  // wedges end in TimeoutError, not a hang
+  ctx.set_watchdog(wd);
+  ctx.set_retry_policy(chaos_retry());
+  if (with_faults) {
+    host::FaultConfig faults;
+    faults.seed = 23;
+    faults.launch_fail_rate = 0.02;
+    faults.corrupt_rate = 0.02;
+    faults.wedge_rate = 0.004;
+    faults.silent_corrupt_rate = 0.02;
+    faults.channel_corrupt_rate = 0.01;
+    faults.pe_fault_rate = 0.06;
+    // Device 1 runs sick for an early stretch of command seqs: x25 turns
+    // the launch+corrupt mass into certainty, so every in-window attempt
+    // placed there fails fast (and cheaply) until its breaker opens.
+    faults.device_fault_window.device = 1;
+    faults.device_fault_window.begin = 8;
+    faults.device_fault_window.end = 24;
+    faults.device_fault_window.multiplier = 25.0;
+    pool.inject_faults(faults);
+  }
+
+  Workload wl(60);
+  host::Buffer<float> v0(pool.device(0), vn, 0), v1(pool.device(0), vn, 1);
+  host::Buffer<float> ga(pool.device(0), gr * gc, 0);
+  host::Buffer<float> gy(pool.device(0), gr, 2);
+  host::Buffer<float> ma(pool.device(1), m3 * k3, 0);
+  host::Buffer<float> mb(pool.device(1), k3 * n3, 1);
+  host::Buffer<float> mc(pool.device(1), m3 * n3, 2);
+  host::Buffer<float> sa(pool.device(2), ms * ks, 0);
+  host::Buffer<float> sb(pool.device(2), ks * ns, 1);
+  host::Buffer<float> sc(pool.device(2), ms * ns, 2);
+  host::Buffer<float> acc(pool.device(0), ms * ns, 3);
+  host::Buffer<float> aa(pool.device(2), an * am, 0);
+  host::Buffer<float> ax(pool.device(2), am, 1);
+  host::Buffer<float> ay(pool.device(2), am, 2);
+  host::Buffer<float> acc2(pool.device(0), am, 3);
+  v0.write(wl.vector<float>(vn));
+  v1.write(wl.vector<float>(vn));
+  ga.write(wl.matrix<float>(gr, gc));
+  gy.write(std::vector<float>(static_cast<std::size_t>(gr), 0.0f));
+  ma.write(wl.matrix<float>(m3, k3));
+  mb.write(wl.matrix<float>(k3, n3));
+  mc.write(wl.matrix<float>(m3, n3));
+  sa.write(wl.matrix<float>(ms, ks));
+  sb.write(wl.matrix<float>(ks, ns));
+  sc.write(std::vector<float>(static_cast<std::size_t>(ms * ns), 0.0f));
+  acc.write(std::vector<float>(static_cast<std::size_t>(ms * ns), 0.0f));
+  aa.write(wl.matrix<float>(an, am));
+  ax.write(wl.vector<float>(am));
+  ay.write(std::vector<float>(static_cast<std::size_t>(am), 0.0f));
+  acc2.write(std::vector<float>(static_cast<std::size_t>(am), 0.0f));
+
+  for (int round = 0; round < 5; ++round) {
+    ctx.scal_async<float>(vn, 1.01f, v0, 1);
+    ctx.axpy_async<float>(vn, 0.5f, v0, 1, v1, 1);
+    ctx.gemv_async<float>(Transpose::None, gr, gc, 1.0f, ga, v1, 1, 0.5f,
+                          gy, 1);
+    ctx.gemm_async<float>(Transpose::None, Transpose::None, m3, n3, k3,
+                          1.0f, ma, mb, 0.5f, mc);
+    ctx.gemm_systolic_async<float>(ms, ns, ks, sa, sb, sc);
+    ctx.axpy_async<float>(ms * ns, 0.25f, sc, 1, acc, 1);
+    apps::atax_composed_async<float>(ctx, an, am, aa, ax, ay);
+    ctx.axpy_async<float>(am, 0.2f, ay, 1, acc2, 1);
+  }
+  ctx.finish();
+
+  ChaosOutputs out;
+  for (const host::Buffer<float>* b :
+       {&v0, &v1, &gy, &mc, &sc, &acc, &ay, &acc2}) {
+    out.buffers.push_back(b->to_host());
+  }
+  out.stats = ctx.exec_stats();
+  return out;
+}
+
+void expect_reconciled(const host::ExecStats& stats) {
+  ASSERT_EQ(stats.per_device.size(), 3u);
+  std::uint64_t faults = 0, executed = 0, failed = 0, rejects = 0,
+                attempts = 0;
+  for (const host::PerDeviceStats& d : stats.per_device) {
+    faults += d.faults;
+    executed += d.executed;
+    failed += d.failed_attempts;
+    rejects += d.verify_rejects;
+    attempts += d.attempts;
+  }
+  // The fleet-wide ledgers reconcile exactly with the global counters:
+  // nothing is double-counted, nothing vanishes.
+  EXPECT_EQ(faults, stats.faults_injected);
+  EXPECT_EQ(rejects, stats.verify_failures);
+  EXPECT_EQ(executed, stats.executed - stats.degraded);
+  // Every retry was triggered by a device failure or a checker rejection
+  // (no command failed terminally in this soak).
+  EXPECT_EQ(failed + rejects, stats.retries);
+  // Every placement ended as exactly one accepted / failed / rejected.
+  EXPECT_EQ(attempts, executed + failed + rejects);
+}
+
+TEST(Chaos, MixedWorkloadAllFaultModesSerial) {
+  const ChaosOutputs clean = run_chaos(0, false);
+  const ChaosOutputs chaotic = run_chaos(0, true);
+
+  // Zero wrong results: bit-identical to the clean fleet despite every
+  // fault mode firing, and nothing fell back to the CPU.
+  EXPECT_EQ(chaotic.buffers, clean.buffers);
+  EXPECT_EQ(chaotic.stats.degraded, 0u);
+  EXPECT_EQ(clean.stats.retries, 0u);
+  EXPECT_EQ(clean.stats.faults_injected, 0u);
+
+  // The soak actually exercised the machinery.
+  EXPECT_GT(chaotic.stats.faults_injected, 0u);
+  EXPECT_GT(chaotic.stats.retries, 0u);
+  EXPECT_GT(chaotic.stats.verified, 0u);
+  // The sick window opened device 1's breaker and its buffers moved.
+  EXPECT_GE(chaotic.stats.breaker_opens, 1u);
+  EXPECT_GE(chaotic.stats.per_device[1].breaker_opens, 1u);
+  EXPECT_GE(chaotic.stats.migrations, 1u);
+  EXPECT_GT(chaotic.stats.migrated_bytes, 0u);
+
+  expect_reconciled(clean.stats);
+  expect_reconciled(chaotic.stats);
+}
+
+TEST(Chaos, MixedWorkloadAllFaultModesConcurrent) {
+  // The same soak on the 4-worker executor: placement tick interleavings
+  // (and thus which device a sick-window attempt lands on) may differ,
+  // but the results must still be bit-identical to the clean run and the
+  // ledgers must still reconcile.
+  const ChaosOutputs clean = run_chaos(0, false);
+  const ChaosOutputs chaotic = run_chaos(4, true);
+
+  EXPECT_EQ(chaotic.buffers, clean.buffers);
+  EXPECT_EQ(chaotic.stats.degraded, 0u);
+  EXPECT_GT(chaotic.stats.faults_injected, 0u);
+  EXPECT_GT(chaotic.stats.retries, 0u);
+  expect_reconciled(chaotic.stats);
+
+  // And a clean concurrent run matches the clean serial run bit-for-bit.
+  const ChaosOutputs clean4 = run_chaos(4, false);
+  EXPECT_EQ(clean4.buffers, clean.buffers);
+  EXPECT_EQ(clean4.stats.retries, 0u);
+}
+
+}  // namespace
+}  // namespace fblas

@@ -1,0 +1,579 @@
+// Device fleet health: the breaker state machine, FaultConfig
+// validation, deterministic full-jitter backoff, health-weighted
+// placement, quarantine with transparent buffer migration, probe-based
+// re-admission, whole-pool-sick CPU fallback, and the reconciliation of
+// per-device stats against the global ExecStats counters.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/workload.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
+#include "host/device_pool.hpp"
+#include "host/health.hpp"
+#include "refblas/level3.hpp"
+#include "verify/options.hpp"
+
+namespace fblas {
+namespace {
+
+host::RetryPolicy fast_retry(int max_retries, bool cpu_fallback = false) {
+  host::RetryPolicy p;
+  p.max_retries = max_retries;
+  p.backoff = std::chrono::microseconds(0);
+  p.cpu_fallback = cpu_fallback;
+  return p;
+}
+
+// --- HealthTracker state machine -----------------------------------------
+
+TEST(HealthTracker, ConsecutiveFailuresOpenThenProbeReadmits) {
+  host::HealthConfig cfg;
+  cfg.open_consecutive_failures = 3;
+  cfg.cooldown_ticks = 4;
+  host::HealthTracker t(cfg);
+  EXPECT_EQ(t.state(), host::BreakerState::Closed);
+
+  t.record_failure();
+  t.record_failure();
+  EXPECT_EQ(t.state(), host::BreakerState::Closed);
+  t.record_failure();  // third consecutive: quarantine
+  EXPECT_EQ(t.state(), host::BreakerState::Open);
+  EXPECT_EQ(t.opens(), 1u);
+
+  // The cool-down runs on the placement-tick clock, not wall time.
+  for (int i = 0; i < 3; ++i) t.tick();
+  EXPECT_EQ(t.state(), host::BreakerState::Open);
+  t.tick();
+  EXPECT_EQ(t.state(), host::BreakerState::HalfOpen);
+  EXPECT_EQ(t.half_opens(), 1u);
+
+  // A clean probe re-admits with a clean slate: the quarantine served the
+  // penalty, so one later wobble must not immediately re-open.
+  t.probe_result(true);
+  EXPECT_EQ(t.state(), host::BreakerState::Closed);
+  EXPECT_EQ(t.readmissions(), 1u);
+  EXPECT_EQ(t.ewma(), 0.0);
+  t.record_failure();
+  EXPECT_EQ(t.state(), host::BreakerState::Closed);
+}
+
+TEST(HealthTracker, FailedProbeStartsAnotherQuarantineRound) {
+  host::HealthConfig cfg;
+  cfg.open_consecutive_failures = 2;
+  cfg.cooldown_ticks = 2;
+  host::HealthTracker t(cfg);
+  t.record_failure();
+  t.record_failure();
+  EXPECT_EQ(t.state(), host::BreakerState::Open);
+  t.tick();
+  t.tick();
+  EXPECT_EQ(t.state(), host::BreakerState::HalfOpen);
+  t.probe_result(false);  // device still sick: fresh cool-down
+  EXPECT_EQ(t.state(), host::BreakerState::Open);
+  EXPECT_EQ(t.opens(), 2u);
+  t.tick();
+  t.tick();
+  EXPECT_EQ(t.state(), host::BreakerState::HalfOpen);
+  t.probe_result(true);
+  EXPECT_EQ(t.state(), host::BreakerState::Closed);
+  EXPECT_EQ(t.readmissions(), 1u);
+}
+
+TEST(HealthTracker, EwmaPathOpensOnlyAfterMinEvents) {
+  // Error-rate path: failures interleaved with successes never trip the
+  // consecutive threshold, but the EWMA crosses open_error_rate — which
+  // must not count until min_events samples exist (one early failure is
+  // not a trend).
+  host::HealthConfig cfg;
+  cfg.ewma_alpha = 0.25;
+  cfg.open_error_rate = 0.5;
+  cfg.min_events = 6;
+  cfg.open_consecutive_failures = 100;  // isolate the EWMA path
+  host::HealthTracker t(cfg);
+  t.record_failure();  // ewma 0.25
+  t.record_success();  // 0.1875
+  t.record_failure();  // 0.390625
+  t.record_failure();  // 0.54296875 > 0.5, but only 4 events
+  EXPECT_EQ(t.state(), host::BreakerState::Closed);
+  t.record_success();  // 0.40722656
+  t.record_failure();  // 0.55541992 > 0.5 at event 6: open
+  EXPECT_EQ(t.state(), host::BreakerState::Open);
+  EXPECT_GT(t.ewma(), cfg.open_error_rate);
+}
+
+// --- FaultConfig::validate -----------------------------------------------
+
+void expect_rejects(const host::FaultConfig& bad, const std::string& knob) {
+  host::Device dev;
+  try {
+    dev.inject_faults(bad);
+    FAIL() << "expected ConfigError for " << knob;
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(knob), std::string::npos)
+        << "message was: " << e.what();
+  }
+  // A rejected config must not have armed the injector.
+  EXPECT_FALSE(dev.faults().enabled());
+}
+
+TEST(FaultConfigValidate, EachBadKnobNamedInTheError) {
+  const double nan = std::nan("");
+  {
+    host::FaultConfig bad;
+    bad.launch_fail_rate = -0.1;
+    expect_rejects(bad, "FaultConfig.launch_fail_rate");
+  }
+  {
+    host::FaultConfig bad;
+    bad.corrupt_rate = nan;
+    expect_rejects(bad, "FaultConfig.corrupt_rate");
+  }
+  {
+    host::FaultConfig bad;
+    bad.wedge_rate = 1.5;
+    expect_rejects(bad, "FaultConfig.wedge_rate");
+  }
+  {
+    host::FaultConfig bad;
+    bad.silent_corrupt_rate = -1.0;
+    expect_rejects(bad, "FaultConfig.silent_corrupt_rate");
+  }
+  {
+    host::FaultConfig bad;
+    bad.channel_corrupt_rate = 2.0;
+    expect_rejects(bad, "FaultConfig.channel_corrupt_rate");
+  }
+  {
+    host::FaultConfig bad;
+    bad.pe_fault_rate = nan;
+    expect_rejects(bad, "FaultConfig.pe_fault_rate");
+  }
+  {
+    host::FaultConfig bad;
+    bad.device_fault_window.device = 0;
+    bad.device_fault_window.begin = 9;
+    bad.device_fault_window.end = 3;
+    expect_rejects(bad, "FaultConfig.device_fault_window must not be "
+                        "inverted (begin 9 > end 3)");
+  }
+  {
+    host::FaultConfig bad;
+    bad.device_fault_window.multiplier = -2.0;
+    expect_rejects(bad, "FaultConfig.device_fault_window.multiplier");
+  }
+  {
+    host::FaultConfig bad;
+    bad.device_fault_window.multiplier = nan;
+    expect_rejects(bad, "FaultConfig.device_fault_window.multiplier");
+  }
+  // A valid config (including an armed window) still arms.
+  host::Device dev;
+  host::FaultConfig good;
+  good.launch_fail_rate = 0.5;
+  good.device_fault_window.device = 0;
+  good.device_fault_window.begin = 1;
+  good.device_fault_window.end = 10;
+  good.device_fault_window.multiplier = 2.0;
+  EXPECT_NO_THROW(dev.inject_faults(good));
+  EXPECT_TRUE(dev.faults().enabled());
+}
+
+TEST(FaultConfigValidate, PoolValidatesOnceAndStripsWindowFromNonVictims) {
+  host::DevicePool pool(3);
+  host::FaultConfig bad;
+  bad.corrupt_rate = -0.5;
+  EXPECT_THROW(pool.inject_faults(bad), ConfigError);
+
+  host::FaultConfig good;
+  good.launch_fail_rate = 0.1;
+  good.device_fault_window.device = 1;
+  good.device_fault_window.begin = 2;
+  good.device_fault_window.end = 8;
+  good.device_fault_window.multiplier = 10.0;
+  pool.inject_faults(good);
+  // Only the victim keeps the window; siblings run identical base rates
+  // so fault draws stay placement-independent.
+  EXPECT_FALSE(pool.device(0).faults().sick_window().active());
+  EXPECT_TRUE(pool.device(1).faults().sick_window().active());
+  EXPECT_FALSE(pool.device(2).faults().sick_window().active());
+}
+
+// --- Deterministic full-jitter backoff -----------------------------------
+
+TEST(RetryJitter, JitteredBackoffDeterministicAndBounded) {
+  using std::chrono::microseconds;
+  const microseconds cap(800);
+  // Same (seed, seq, attempt) -> same delay, always within [0, cap].
+  for (std::uint64_t seq = 1; seq <= 64; ++seq) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const auto d = host::jittered_backoff(7, seq, attempt, cap);
+      EXPECT_EQ(d, host::jittered_backoff(7, seq, attempt, cap));
+      EXPECT_GE(d.count(), 0);
+      EXPECT_LE(d.count(), cap.count());
+    }
+  }
+  // A zero cap yields a zero delay (retry immediately, like the legacy
+  // zero-backoff test policies).
+  EXPECT_EQ(host::jittered_backoff(7, 1, 0, microseconds(0)).count(), 0);
+  // The draws actually vary across commands — that is the whole point:
+  // workers retrying after a correlated fault must not sleep in lockstep.
+  bool varies = false;
+  const auto first = host::jittered_backoff(7, 1, 0, cap);
+  for (std::uint64_t seq = 2; seq <= 64 && !varies; ++seq) {
+    varies = host::jittered_backoff(7, seq, 0, cap) != first;
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(RetryJitter, FullJitterKeepsResultsAndStatsBitIdentical) {
+  // Jitter only changes *when* a retry runs, never what it computes: the
+  // corrupted-GEMM recovery must produce the same bits and the same
+  // fault/retry counters with jitter on and off.
+  const std::int64_t m = 24, n = 20, k = 16;
+  Workload wl(53);
+  const auto ha = wl.matrix<float>(m, k);
+  const auto hb = wl.matrix<float>(k, n);
+  const auto hc = wl.matrix<float>(m, n);
+
+  auto run = [&](bool jitter) {
+    host::Device dev;
+    host::Context ctx(dev);
+    host::FaultConfig faults;
+    faults.seed = 24;
+    faults.corrupt_rate = 1.0;
+    faults.max_faults = 2;
+    dev.inject_faults(faults);
+    host::RetryPolicy policy;
+    policy.max_retries = 3;
+    policy.backoff = std::chrono::microseconds(20);
+    policy.max_backoff = std::chrono::microseconds(100);
+    policy.full_jitter = jitter;
+    policy.jitter_seed = 99;
+    ctx.set_retry_policy(policy);
+    host::Buffer<float> a(dev, m * k, 0), b(dev, k * n, 1), c(dev, m * n, 2);
+    a.write(ha);
+    b.write(hb);
+    c.write(hc);
+    ctx.gemm<float>(Transpose::None, Transpose::None, m, n, k, 1.5f, a, b,
+                    0.5f, c);
+    return std::make_pair(c.to_host(), ctx.exec_stats());
+  };
+
+  const auto [plain, plain_stats] = run(false);
+  const auto [jittered, jitter_stats] = run(true);
+  EXPECT_EQ(plain, jittered);
+  EXPECT_EQ(plain_stats.retries, jitter_stats.retries);
+  EXPECT_EQ(plain_stats.faults_injected, jitter_stats.faults_injected);
+  EXPECT_EQ(jitter_stats.retries, 2u);
+}
+
+// --- Placement ------------------------------------------------------------
+
+TEST(DevicePool, PlacementFollowsResidencyWithoutMigration) {
+  // A healthy fleet keeps each hazard chain on the device already holding
+  // its buffers: no migrations, and the command status names the device.
+  const std::int64_t n = 128;
+  host::DevicePool pool(3);
+  host::Context ctx(pool);
+  host::Buffer<float> x(pool.device(1), n, 0);
+  host::Buffer<float> y(pool.device(2), n, 0);
+  Workload wl(54);
+  x.write(wl.vector<float>(n));
+  y.write(wl.vector<float>(n));
+
+  host::Event ex = ctx.scal_async<float>(n, 2.0f, x, 1);
+  host::Event ey = ctx.scal_async<float>(n, 3.0f, y, 1);
+  ctx.finish();
+  EXPECT_EQ(ex.status().device, 1);
+  EXPECT_EQ(ey.status().device, 2);
+  EXPECT_EQ(pool.resident_device(&x), 1);
+  EXPECT_EQ(pool.resident_device(&y), 2);
+
+  const host::ExecStats stats = ctx.exec_stats();
+  EXPECT_EQ(stats.migrations, 0u);
+  ASSERT_EQ(stats.per_device.size(), 3u);
+  EXPECT_EQ(stats.per_device[1].attempts, 1u);
+  EXPECT_EQ(stats.per_device[2].attempts, 1u);
+  EXPECT_EQ(stats.per_device[0].attempts, 0u);
+}
+
+TEST(DevicePool, MixedResidencyPullsOperandsTogetherOnce) {
+  // axpy reading x (device 0) and writing y (device 1): the pool
+  // co-locates the operands on the winner, exactly one buffer moves, and
+  // the migrated bytes are accounted on both sides.
+  const std::int64_t n = 64;
+  host::DevicePool pool(2);
+  host::Context ctx(pool);
+  host::Buffer<float> x(pool.device(0), n, 0);
+  host::Buffer<float> y(pool.device(1), n, 1);
+  Workload wl(55);
+  const auto hx = wl.vector<float>(n);
+  auto hy = wl.vector<float>(n);
+  x.write(hx);
+  y.write(hy);
+
+  ctx.axpy<float>(n, 2.0f, x, 1, y, 1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    hy[static_cast<std::size_t>(i)] += 2.0f * hx[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(y.to_host(), hy);
+
+  // Both operands now live on one device...
+  EXPECT_EQ(pool.resident_device(&x), pool.resident_device(&y));
+  const host::ExecStats stats = ctx.exec_stats();
+  EXPECT_EQ(stats.migrations, 1u);
+  EXPECT_EQ(stats.migrated_bytes, static_cast<std::uint64_t>(n) * 4);
+  // ...and a follow-up command on the pair stays put.
+  ctx.axpy<float>(n, -1.0f, x, 1, y, 1);
+  EXPECT_EQ(ctx.exec_stats().migrations, 1u);
+}
+
+// --- The sick-device acceptance scenario ----------------------------------
+
+TEST(DevicePool, SickDeviceOpensBreakerMigratesAndReadmits) {
+  // End to end: device 0 goes sick for an early window of command seqs
+  // (launch rate x50 = certainty), the breaker opens after the configured
+  // consecutive failures, the in-flight command's buffer migrates to a
+  // healthy sibling and the command completes there — bit-identically to
+  // a healthy-pool run — and once the window has passed, the half-open
+  // probe re-admits device 0 with a clean slate.
+  const std::int64_t n = 256;
+  const auto hx = Workload(56).vector<float>(n);
+  const int kCommands = 40;
+
+  auto run = [&](bool with_faults) {
+    host::DevicePool pool(3);
+    host::Context ctx(pool);
+    if (with_faults) {
+      host::FaultConfig faults;
+      faults.seed = 24;
+      faults.launch_fail_rate = 0.02;
+      faults.device_fault_window.device = 0;
+      faults.device_fault_window.begin = 1;  // first command seq is 1
+      faults.device_fault_window.end = 6;
+      faults.device_fault_window.multiplier = 50.0;  // 0.02 * 50 = 1.0
+      pool.inject_faults(faults);
+      ctx.set_retry_policy(fast_retry(6));
+    }
+    host::Buffer<float> x(pool.device(0), n, 0);
+    x.write(hx);
+    std::vector<host::Event> events;
+    for (int i = 0; i < kCommands; ++i) {
+      events.push_back(ctx.scal_async<float>(n, 1.01f, x, 1));
+      events.back().wait();
+    }
+    struct Out {
+      std::vector<float> x;
+      host::ExecStats stats;
+      host::BreakerState breaker0;
+      int resident;
+      int first_device;
+      std::uint64_t alloc0;
+      std::uint64_t sick_faults;
+    } out;
+    out.x = x.to_host();
+    out.stats = ctx.exec_stats();
+    out.breaker0 = pool.breaker(0);
+    out.resident = pool.resident_device(&x);
+    out.first_device = events.front().status().device;
+    out.alloc0 = pool.device(0).allocated_bytes(0);
+    out.sick_faults = pool.device(0).faults().sick_faults();
+    for (const host::Event& e : events) EXPECT_TRUE(e.status().ok());
+    return out;
+  };
+
+  const auto healthy = run(false);
+  const auto sick = run(true);
+
+  // Transparent failover: identical bits despite the sick device.
+  EXPECT_EQ(sick.x, healthy.x);
+  EXPECT_EQ(sick.stats.degraded, 0u);
+
+  ASSERT_EQ(sick.stats.per_device.size(), 3u);
+  const host::PerDeviceStats& d0 = sick.stats.per_device[0];
+  // The breaker opened after exactly the configured consecutive-failure
+  // threshold (3): attempts 0-2 of command 1 all fail inside the window.
+  EXPECT_EQ(d0.failed_attempts, 3u);
+  EXPECT_EQ(d0.breaker_opens, 1u);
+  EXPECT_GE(sick.stats.retries, 3u);
+  // Command 1 finished on the device it failed over to.
+  EXPECT_NE(sick.first_device, 0);
+  // Its buffer was re-staged off the quarantined device, with the bank
+  // accounting following it (device 0's bank is empty again).
+  EXPECT_EQ(d0.migrations_out, 1u);
+  EXPECT_EQ(d0.migrated_bytes_out, static_cast<std::uint64_t>(n) * 4);
+  EXPECT_EQ(sick.stats.migrations, 1u);
+  EXPECT_NE(sick.resident, 0);
+  EXPECT_EQ(sick.alloc0, 0u);
+  EXPECT_EQ(healthy.alloc0, static_cast<std::uint64_t>(n) * 4);
+  // After the window closed, the cool-down elapsed and the synthetic
+  // probe re-admitted device 0.
+  EXPECT_EQ(d0.breaker_half_opens, 1u);
+  EXPECT_EQ(d0.breaker_readmissions, 1u);
+  EXPECT_GE(d0.probes, 1u);
+  EXPECT_EQ(sick.breaker0, host::BreakerState::Closed);
+  // Ground truth: every injected fault landed inside the sick window
+  // (the seed draws no base-rate fault elsewhere in this run).
+  EXPECT_EQ(sick.sick_faults, sick.stats.faults_injected);
+  EXPECT_EQ(sick.sick_faults, 3u);
+}
+
+// --- Whole pool sick: CPU fallback is the last rung -----------------------
+
+TEST(DevicePool, WholePoolSickDegradesToCpuFallback) {
+  const std::int64_t m = 16, n = 12, k = 20;
+  Workload wl(57);
+  const auto ha = wl.matrix<float>(m, k);
+  const auto hb = wl.matrix<float>(k, n);
+  auto hc = wl.matrix<float>(m, n);
+
+  host::DevicePool pool(3);
+  host::Context ctx(pool);
+  host::FaultConfig faults;
+  faults.seed = 24;
+  faults.launch_fail_rate = 1.0;  // every launch on every device fails
+  pool.inject_faults(faults);
+  ctx.set_retry_policy(fast_retry(2, /*cpu_fallback=*/true));
+
+  host::Buffer<float> a(pool.device(0), m * k, 0);
+  host::Buffer<float> b(pool.device(0), k * n, 1);
+  host::Buffer<float> c(pool.device(0), m * n, 2);
+  a.write(ha);
+  b.write(hb);
+  c.write(hc);
+  const int kCommands = 4;
+  for (int i = 0; i < kCommands; ++i) {
+    host::Event e = ctx.gemm_async<float>(Transpose::None, Transpose::None,
+                                          m, n, k, 1.0f, a, b, 0.5f, c);
+    EXPECT_NO_THROW(e.wait());
+    EXPECT_TRUE(e.status().degraded());
+  }
+  for (int i = 0; i < kCommands; ++i) {
+    ref::gemm(Transpose::None, Transpose::None, 1.0f,
+              MatrixView<const float>(ha.data(), m, k),
+              MatrixView<const float>(hb.data(), k, n), 0.5f,
+              MatrixView<float>(hc.data(), m, n));
+  }
+  EXPECT_EQ(c.to_host(), hc);
+
+  const host::ExecStats stats = ctx.exec_stats();
+  EXPECT_EQ(stats.degraded, static_cast<std::uint64_t>(kCommands));
+  // 3 attempts per command, every one a failure somewhere in the fleet.
+  std::uint64_t failed = 0, executed = 0;
+  for (const host::PerDeviceStats& d : stats.per_device) {
+    failed += d.failed_attempts;
+    executed += d.executed;
+    EXPECT_NE(d.breaker, host::BreakerState::Closed);
+  }
+  EXPECT_EQ(failed, stats.retries + stats.degraded);
+  EXPECT_EQ(executed, stats.executed - stats.degraded);
+  EXPECT_EQ(executed, 0u);
+}
+
+// --- Per-device stats reconcile with the global counters ------------------
+
+TEST(DevicePool, PerDeviceStatsReconcileSerialAndConcurrent) {
+  const std::int64_t n = 512;
+  auto run = [&](int workers) {
+    host::DevicePool pool(3);
+    host::Context ctx(pool, stream::Mode::Functional, workers);
+    host::FaultConfig faults;
+    faults.seed = 24;
+    faults.launch_fail_rate = 0.15;
+    faults.corrupt_rate = 0.15;
+    pool.inject_faults(faults);
+    ctx.set_retry_policy(fast_retry(8));
+    Workload wl(58);
+    std::vector<host::Buffer<float>> bufs;
+    for (int i = 0; i < 4; ++i) {
+      bufs.emplace_back(pool.device(i % pool.size()), n, 0);
+      bufs.back().write(wl.vector<float>(n));
+    }
+    for (int round = 0; round < 8; ++round) {
+      ctx.scal_async<float>(n, 1.01f, bufs[0], 1);
+      ctx.axpy_async<float>(n, 0.5f, bufs[0], 1, bufs[1], 1);
+      ctx.copy_async<float>(n, bufs[1], 1, bufs[2], 1);
+      ctx.axpy_async<float>(n, -0.25f, bufs[2], 1, bufs[3], 1);
+    }
+    ctx.finish();
+    std::vector<std::vector<float>> out;
+    for (auto& b : bufs) out.push_back(b.to_host());
+    return std::make_pair(out, ctx.exec_stats());
+  };
+
+  const auto [serial, serial_stats] = run(0);
+  const auto [pooled, pooled_stats] = run(4);
+  // Results are bit-identical across executor policies even on a fleet:
+  // fault draws hash (seed, seq, attempt) and every device computes the
+  // same bits.
+  EXPECT_EQ(serial, pooled);
+  EXPECT_GT(serial_stats.retries, 0u);
+
+  for (const host::ExecStats& stats : {serial_stats, pooled_stats}) {
+    ASSERT_EQ(stats.per_device.size(), 3u);
+    std::uint64_t faults_sum = 0, executed = 0, failed = 0, attempts = 0;
+    for (const host::PerDeviceStats& d : stats.per_device) {
+      faults_sum += d.faults;
+      executed += d.executed;
+      failed += d.failed_attempts;
+      attempts += d.attempts;
+    }
+    EXPECT_EQ(faults_sum, stats.faults_injected);
+    EXPECT_EQ(executed, stats.executed);  // no degradations, no barriers
+    EXPECT_EQ(failed, stats.retries);     // every failure was retried
+    // Every placement ended as exactly one of accepted / failed.
+    EXPECT_EQ(attempts, executed + failed);
+    EXPECT_EQ(stats.degraded, 0u);
+  }
+}
+
+TEST(DevicePool, VerifyRejectsCountPerDeviceAndFeedOrSpareTheBreaker) {
+  // Silent corruption caught by the checkers lands in the per-device
+  // verify_rejects ledger; whether the verdicts also feed the breaker is
+  // verify::Options::breaker_feedback's call.
+  const std::int64_t n = 128;
+  auto run = [&](bool feed) {
+    host::Device dev;
+    host::Context ctx(dev);
+    ctx.config().verification =
+        verify::Options::always().breaker_feedback(feed);
+    host::FaultConfig faults;
+    faults.seed = 24;
+    faults.silent_corrupt_rate = 1.0;
+    faults.max_faults = 3;  // three straight rejections, then clean
+    dev.inject_faults(faults);
+    ctx.set_retry_policy(fast_retry(6));
+    Workload wl(59);
+    auto hx = wl.vector<float>(n);
+    host::Buffer<float> x(dev, n, 0);
+    x.write(hx);
+    ctx.scal<float>(n, 2.0f, x);
+    for (float& v : hx) v *= 2.0f;
+    EXPECT_EQ(x.to_host(), hx);
+    return ctx.exec_stats();
+  };
+
+  const host::ExecStats fed = run(true);
+  ASSERT_EQ(fed.per_device.size(), 1u);
+  EXPECT_EQ(fed.per_device[0].verify_rejects, 3u);
+  EXPECT_EQ(fed.per_device[0].verify_rejects, fed.verify_failures);
+  // Three consecutive rejections opened the (pool-of-one) breaker.
+  EXPECT_EQ(fed.per_device[0].breaker_opens, 1u);
+  EXPECT_EQ(fed.breaker_opens, 1u);
+
+  const host::ExecStats spared = run(false);
+  ASSERT_EQ(spared.per_device.size(), 1u);
+  EXPECT_EQ(spared.per_device[0].verify_rejects, 3u);
+  EXPECT_EQ(spared.per_device[0].verify_rejects, spared.verify_failures);
+  // Stats recorded either way; quarantine decisions untouched.
+  EXPECT_EQ(spared.per_device[0].breaker_opens, 0u);
+  EXPECT_EQ(spared.per_device[0].breaker, host::BreakerState::Closed);
+}
+
+}  // namespace
+}  // namespace fblas

@@ -362,6 +362,14 @@ TEST(FaultTolerance, CorruptedGemmRollsBackAndRetriesBitIdentical) {
   EXPECT_EQ(faulty_stats.retries, 2u);
   EXPECT_EQ(faulty_stats.faults_injected, 2u);
   EXPECT_EQ(faulty_stats.degraded, 0u);
+  // A single-device Context is a pool of one: the per-device breakdown
+  // has exactly one entry and it reconciles with the globals.
+  ASSERT_EQ(faulty_stats.per_device.size(), 1u);
+  EXPECT_EQ(faulty_stats.per_device[0].faults,
+            faulty_stats.faults_injected);
+  EXPECT_EQ(faulty_stats.per_device[0].failed_attempts,
+            faulty_stats.retries);
+  EXPECT_EQ(faulty_stats.per_device[0].executed, faulty_stats.executed);
 }
 
 TEST(FaultTolerance, SeededFaultsDeterministicAcrossExecutorPolicies) {
@@ -402,6 +410,18 @@ TEST(FaultTolerance, SeededFaultsDeterministicAcrossExecutorPolicies) {
   EXPECT_EQ(serial_stats.faults_injected, pooled_stats.faults_injected);
   EXPECT_EQ(serial_stats.retries, pooled_stats.retries);
   EXPECT_GT(serial_stats.retries, 0u);
+  // Per-device sums reconcile under both executor policies.
+  for (const host::ExecStats& stats : {serial_stats, pooled_stats}) {
+    std::uint64_t faults = 0, executed = 0, failed = 0;
+    for (const host::PerDeviceStats& d : stats.per_device) {
+      faults += d.faults;
+      executed += d.executed;
+      failed += d.failed_attempts;
+    }
+    EXPECT_EQ(faults, stats.faults_injected);
+    EXPECT_EQ(executed, stats.executed);
+    EXPECT_EQ(failed, stats.retries);
+  }
 }
 
 TEST(FaultTolerance, CpuFallbackDegradesLevel1) {
