@@ -1,0 +1,152 @@
+// Tracing overhead benchmark. Two questions:
+//
+//   1. Armed cost on the simulated clock: does tracing perturb the
+//      makespan the runtime reports? (Criterion: < 1% difference on a
+//      mixed GEMM/GEMV/composition workload — by design it should be
+//      exactly 0: emission happens on the host clock, never inside a
+//      cycle-metered graph.)
+//   2. Armed cost on the wall clock: how much host time does recording
+//      every lifecycle span, engine summary and counter sample add?
+//      (Reported for the record; wall time on shared CI machines is too
+//      noisy to gate on.)
+//
+// Exits non-zero when criterion 1 fails, so CI can run it as a test.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/atax.hpp"
+#include "common/workload.hpp"
+#include "host/buffer.hpp"
+#include "host/context.hpp"
+#include "host/device_pool.hpp"
+#include "trace/trace.hpp"
+#include "verify/options.hpp"
+
+namespace {
+
+using namespace fblas;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kRounds = 12;
+constexpr int kWorkers = 4;
+
+struct RunResult {
+  double wall_ms = 0;
+  std::uint64_t makespan_cycles = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t events_recorded = 0;
+};
+
+// Mixed workload: chained L1 + GEMV + GEMM + systolic GEMM + composed
+// MDAG per round, on a 3-device pool with verification on — the same
+// shape the tracing layer is meant to observe in production runs.
+RunResult run_mixed(bool traced) {
+  const std::int64_t vn = 128;
+  const std::int64_t gr = 48, gc = vn;
+  const std::int64_t m3 = 40, n3 = 36, k3 = 32;
+  const std::int64_t ms = 24, ns = 20, ks = 16;
+  const std::int64_t an = 24, am = 18;
+
+  host::DevicePool pool(3);
+  host::Context ctx(pool, stream::Mode::Cycle, kWorkers);
+  ctx.config().verification = verify::Options::always().in_grid();
+  std::shared_ptr<trace::Recorder> rec;
+  if (traced) rec = ctx.tracing();
+
+  Workload wl(71);
+  host::Buffer<float> v0(pool.device(0), vn, 0), v1(pool.device(0), vn, 1);
+  host::Buffer<float> ga(pool.device(0), gr * gc, 0);
+  host::Buffer<float> gy(pool.device(0), gr, 2);
+  host::Buffer<float> ma(pool.device(1), m3 * k3, 0);
+  host::Buffer<float> mb(pool.device(1), k3 * n3, 1);
+  host::Buffer<float> mc(pool.device(1), m3 * n3, 2);
+  host::Buffer<float> sa(pool.device(2), ms * ks, 0);
+  host::Buffer<float> sb(pool.device(2), ks * ns, 1);
+  host::Buffer<float> sc(pool.device(2), ms * ns, 2);
+  host::Buffer<float> aa(pool.device(2), an * am, 0);
+  host::Buffer<float> ax(pool.device(2), am, 1);
+  host::Buffer<float> ay(pool.device(2), am, 2);
+  v0.write(wl.vector<float>(vn));
+  v1.write(wl.vector<float>(vn));
+  ga.write(wl.matrix<float>(gr, gc));
+  gy.write(std::vector<float>(static_cast<std::size_t>(gr), 0.0f));
+  ma.write(wl.matrix<float>(m3, k3));
+  mb.write(wl.matrix<float>(k3, n3));
+  mc.write(wl.matrix<float>(m3, n3));
+  sa.write(wl.matrix<float>(ms, ks));
+  sb.write(wl.matrix<float>(ks, ns));
+  sc.write(std::vector<float>(static_cast<std::size_t>(ms * ns), 0.0f));
+  aa.write(wl.matrix<float>(an, am));
+  ax.write(wl.vector<float>(am));
+  ay.write(std::vector<float>(static_cast<std::size_t>(am), 0.0f));
+
+  const auto t0 = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    ctx.scal_async<float>(vn, 1.01f, v0, 1);
+    ctx.axpy_async<float>(vn, 0.5f, v0, 1, v1, 1);
+    ctx.gemv_async<float>(Transpose::None, gr, gc, 1.0f, ga, v1, 1, 0.5f, gy,
+                          1);
+    ctx.gemm_async<float>(Transpose::None, Transpose::None, m3, n3, k3, 1.0f,
+                          ma, mb, 0.5f, mc);
+    ctx.gemm_systolic_async<float>(ms, ns, ks, sa, sb, sc);
+    apps::atax_composed_async<float>(ctx, an, am, aa, ax, ay);
+  }
+  ctx.finish();
+  const auto t1 = Clock::now();
+
+  RunResult r;
+  r.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  const host::ExecStats stats = ctx.exec_stats();
+  r.makespan_cycles = stats.makespan_cycles;
+  r.executed = stats.executed;
+  if (rec) r.events_recorded = rec->metrics().recorded;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  // Warm-up evens out allocator / code-page effects before timing.
+  (void)run_mixed(false);
+  const RunResult off = run_mixed(false);
+  const RunResult on = run_mixed(true);
+
+  const double cyc_off = static_cast<double>(off.makespan_cycles);
+  const double cyc_on = static_cast<double>(on.makespan_cycles);
+  const double cycle_delta_pct =
+      cyc_off == 0 ? 0.0 : 100.0 * (cyc_on - cyc_off) / cyc_off;
+  const double wall_delta_pct =
+      off.wall_ms == 0 ? 0.0 : 100.0 * (on.wall_ms - off.wall_ms) / off.wall_ms;
+
+  std::printf("trace overhead (mixed GEMM/GEMV/composition, %d workers)\n",
+              kWorkers);
+  std::printf("  %-22s %12s %16s %10s\n", "", "wall [ms]", "makespan [cyc]",
+              "commands");
+  std::printf("  %-22s %12.2f %16llu %10llu\n", "tracing off", off.wall_ms,
+              static_cast<unsigned long long>(off.makespan_cycles),
+              static_cast<unsigned long long>(off.executed));
+  std::printf("  %-22s %12.2f %16llu %10llu\n", "tracing on", on.wall_ms,
+              static_cast<unsigned long long>(on.makespan_cycles),
+              static_cast<unsigned long long>(on.executed));
+  std::printf("  events recorded: %llu\n",
+              static_cast<unsigned long long>(on.events_recorded));
+  std::printf("  makespan delta: %+.4f%% (criterion: |delta| < 1%%)\n",
+              cycle_delta_pct);
+  std::printf("  wall delta:     %+.2f%% (informational)\n", wall_delta_pct);
+
+  if (on.events_recorded == 0) {
+    std::printf("FAIL: traced run recorded no events\n");
+    return EXIT_FAILURE;
+  }
+  if (cycle_delta_pct > 1.0 || cycle_delta_pct < -1.0) {
+    std::printf("FAIL: tracing perturbed the simulated makespan\n");
+    return EXIT_FAILURE;
+  }
+  std::printf("PASS\n");
+  return EXIT_SUCCESS;
+}

@@ -38,6 +38,7 @@ Event Context::gemm_batched_async(std::int64_t size, std::int64_t batch,
                                   T alpha, const Buffer<T>& a,
                                   const Buffer<T>& b, Buffer<T>& c) {
   Command command;
+  command.label = "gemm_batched";
   command.reads = {&a, &b, &c};
   command.writes = {&c};
   command.work = [this, size, batch, alpha, &a, &b, &c] {
@@ -76,6 +77,7 @@ Event Context::trsm_batched_async(std::int64_t size, std::int64_t batch,
                                   T alpha, const Buffer<T>& a,
                                   Buffer<T>& x) {
   Command command;
+  command.label = "trsm_batched";
   command.reads = {&a, &x};
   command.writes = {&x};
   command.work = [this, size, batch, alpha, &a, &x] {

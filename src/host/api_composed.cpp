@@ -802,6 +802,7 @@ Event Context::run_composition_async(const Composition<T>& comp) {
   }
 
   Command command;
+  command.label = "composition";
   for (int u = 0; u < g.node_count(); ++u) {
     if (g.node(u).type != mdag::NodeType::Interface) continue;
     const auto& b = st->comp.binding(u);

@@ -65,6 +65,7 @@ template <typename T>
 Event Context::rot_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
                          Buffer<T>& y, std::int64_t incy, T c, T s) {
   Command cmd;
+  cmd.label = "rot";
   cmd.reads = {&x, &y};
   cmd.writes = {&x, &y};
   cmd.work = [this, rc = cfg_, n, &x, incx, &y, incy, c, s] {
@@ -109,6 +110,7 @@ Event Context::rotm_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
                           Buffer<T>& y, std::int64_t incy,
                           ref::RotmParam<T> p) {
   Command cmd;
+  cmd.label = "rotm";
   cmd.reads = {&x, &y};
   cmd.writes = {&x, &y};
   cmd.work = [this, rc = cfg_, n, &x, incx, &y, incy, p] {
@@ -141,6 +143,7 @@ template <typename T>
 Event Context::swap_async(std::int64_t n, Buffer<T>& x, std::int64_t incx,
                           Buffer<T>& y, std::int64_t incy) {
   Command cmd;
+  cmd.label = "swap";
   cmd.reads = {&x, &y};
   cmd.writes = {&x, &y};
   cmd.work = [this, rc = cfg_, n, &x, incx, &y, incy] {
@@ -184,6 +187,7 @@ template <typename T>
 Event Context::scal_async(std::int64_t n, T alpha, Buffer<T>& x,
                           std::int64_t incx) {
   Command cmd;
+  cmd.label = "scal";
   cmd.reads = {&x};
   cmd.writes = {&x};
   cmd.work = [this, rc = cfg_, n, alpha, &x, incx] {
@@ -219,6 +223,7 @@ Event Context::copy_async(std::int64_t n, const Buffer<T>& x,
                           std::int64_t incx, Buffer<T>& y,
                           std::int64_t incy) {
   Command cmd;
+  cmd.label = "copy";
   cmd.reads = {&x};
   cmd.writes = {&y};
   cmd.work = [this, rc = cfg_, n, &x, incx, &y, incy] {
@@ -256,6 +261,7 @@ Event Context::axpy_async(std::int64_t n, T alpha, const Buffer<T>& x,
                           std::int64_t incx, Buffer<T>& y,
                           std::int64_t incy) {
   Command cmd;
+  cmd.label = "axpy";
   cmd.reads = {&x, &y};
   cmd.writes = {&y};
   cmd.work = [this, rc = cfg_, n, alpha, &x, incx, &y, incy] {
@@ -296,6 +302,7 @@ Event Context::dot_async(std::int64_t n, const Buffer<T>& x,
                          std::int64_t incx, const Buffer<T>& y,
                          std::int64_t incy, T* result) {
   Command cmd;
+  cmd.label = "dot";
   cmd.reads = {&x, &y};
   cmd.writes = {result};
   cmd.work = [this, rc = cfg_, n, &x, incx, &y, incy, result] {
@@ -334,6 +341,7 @@ Event Context::sdsdot_async(std::int64_t n, float sb, const Buffer<float>& x,
                             std::int64_t incx, const Buffer<float>& y,
                             std::int64_t incy, float* result) {
   Command cmd;
+  cmd.label = "sdsdot";
   cmd.reads = {&x, &y};
   cmd.writes = {result};
   cmd.work = [this, rc = cfg_, n, sb, &x, incx, &y, incy, result] {
@@ -364,6 +372,7 @@ template <typename T>
 Event Context::nrm2_async(std::int64_t n, const Buffer<T>& x,
                           std::int64_t incx, T* result) {
   Command cmd;
+  cmd.label = "nrm2";
   cmd.reads = {&x};
   cmd.writes = {result};
   cmd.work = [this, rc = cfg_, n, &x, incx, result] {
@@ -395,6 +404,7 @@ template <typename T>
 Event Context::asum_async(std::int64_t n, const Buffer<T>& x,
                           std::int64_t incx, T* result) {
   Command cmd;
+  cmd.label = "asum";
   cmd.reads = {&x};
   cmd.writes = {result};
   cmd.work = [this, rc = cfg_, n, &x, incx, result] {
@@ -426,6 +436,7 @@ template <typename T>
 Event Context::iamax_async(std::int64_t n, const Buffer<T>& x,
                            std::int64_t incx, std::int64_t* result) {
   Command cmd;
+  cmd.label = "iamax";
   cmd.reads = {&x};
   cmd.writes = {result};
   cmd.work = [this, rc = cfg_, n, &x, incx, result] {

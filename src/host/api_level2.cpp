@@ -27,6 +27,7 @@ Event Context::gemv_async(Transpose trans, std::int64_t rows,
                           const Buffer<T>& x, std::int64_t incx, T beta,
                           Buffer<T>& y, std::int64_t incy) {
   Command command;
+  command.label = "gemv";
   command.reads = {&a, &x, &y};
   command.writes = {&y};
   command.work = [this, rc = cfg_, trans, rows, cols, alpha, &a, &x, incx,
@@ -89,6 +90,7 @@ Event Context::trsv_async(Uplo uplo, Transpose trans, Diag diag,
                           std::int64_t n, const Buffer<T>& a, Buffer<T>& x,
                           std::int64_t incx) {
   Command command;
+  command.label = "trsv";
   command.reads = {&a, &x};
   command.writes = {&x};
   command.work = [this, rc = cfg_, uplo, trans, diag, n, &a, &x, incx] {
@@ -138,6 +140,7 @@ Event Context::ger_async(std::int64_t rows, std::int64_t cols, T alpha,
                          const Buffer<T>& y, std::int64_t incy,
                          Buffer<T>& a) {
   Command command;
+  command.label = "ger";
   command.reads = {&x, &y, &a};
   command.writes = {&a};
   command.work = [this, rc = cfg_, rows, cols, alpha, &x, incx, &y, incy,
@@ -192,6 +195,7 @@ Event Context::syr_async(Uplo uplo, std::int64_t n, T alpha,
                          const Buffer<T>& x, std::int64_t incx,
                          Buffer<T>& a) {
   Command command;
+  command.label = "syr";
   command.reads = {&x, &a};
   command.writes = {&a};
   command.work = [this, rc = cfg_, uplo, n, alpha, &x, incx, &a] {
@@ -246,6 +250,7 @@ Event Context::syr2_async(Uplo uplo, std::int64_t n, T alpha,
                           const Buffer<T>& y, std::int64_t incy,
                           Buffer<T>& a) {
   Command command;
+  command.label = "syr2";
   command.reads = {&x, &y, &a};
   command.writes = {&a};
   command.work = [this, rc = cfg_, uplo, n, alpha, &x, incx, &y, incy, &a] {

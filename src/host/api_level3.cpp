@@ -51,6 +51,7 @@ Event Context::gemm_async(Transpose ta, Transpose tb, std::int64_t m,
                           const Buffer<T>& a, const Buffer<T>& b, T beta,
                           Buffer<T>& c) {
   Command command;
+  command.label = "gemm";
   command.reads = {&a, &b, &c};
   command.writes = {&c};
   command.work = [this, rc = cfg_, ta, tb, m, n, k, alpha, &a, &b, beta,
@@ -118,6 +119,7 @@ Event Context::syrk_async(Uplo uplo, Transpose trans, std::int64_t n,
                           std::int64_t k, T alpha, const Buffer<T>& a,
                           T beta, Buffer<T>& c) {
   Command command;
+  command.label = "syrk";
   command.reads = {&a, &c};
   command.writes = {&c};
   command.work = [this, rc = cfg_, uplo, trans, n, k, alpha, &a, beta, &c] {
@@ -183,6 +185,7 @@ Event Context::syr2k_async(Uplo uplo, Transpose trans, std::int64_t n,
                            std::int64_t k, T alpha, const Buffer<T>& a,
                            const Buffer<T>& b, T beta, Buffer<T>& c) {
   Command command;
+  command.label = "syr2k";
   command.reads = {&a, &b, &c};
   command.writes = {&c};
   command.work = [this, rc = cfg_, uplo, trans, n, k, alpha, &a, &b, beta,
@@ -255,6 +258,7 @@ Event Context::trsm_async(Side side, Uplo uplo, Transpose trans, Diag diag,
                           std::int64_t m, std::int64_t n, T alpha,
                           const Buffer<T>& a, Buffer<T>& b) {
   Command command;
+  command.label = "trsm";
   command.reads = {&a, &b};
   command.writes = {&b};
   command.work = [this, rc = cfg_, side, uplo, trans, diag, m, n, alpha, &a,

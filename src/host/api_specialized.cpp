@@ -13,6 +13,7 @@ Event Context::symv_async(Uplo uplo, std::int64_t n, T alpha,
                           std::int64_t incx, T beta, Buffer<T>& y,
                           std::int64_t incy) {
   Command command;
+  command.label = "symv";
   command.reads = {&a, &x, &y};
   command.writes = {&y};
   command.work = [this, uplo, n, alpha, &a, &x, incx, beta, &y, incy] {
@@ -44,6 +45,7 @@ Event Context::trmv_async(Uplo uplo, Transpose trans, Diag diag,
                           std::int64_t n, const Buffer<T>& a, Buffer<T>& x,
                           std::int64_t incx) {
   Command command;
+  command.label = "trmv";
   command.reads = {&a, &x};
   command.writes = {&x};
   command.work = [this, uplo, trans, diag, n, &a, &x, incx] {

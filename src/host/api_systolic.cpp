@@ -27,6 +27,7 @@ Event Context::gemm_systolic_async(std::int64_t m, std::int64_t n,
                                    std::int64_t k, const Buffer<T>& a,
                                    const Buffer<T>& b, Buffer<T>& c) {
   Command command;
+  command.label = "gemm_systolic";
   command.reads = {&a, &b};
   command.writes = {&c};
   const verify::Options& vo = cfg_.verification;
@@ -96,6 +97,24 @@ Event Context::gemm_systolic_async(std::int64_t m, std::int64_t n,
     }
     const std::uint64_t cycles =
         arr.multiply(a.cmat(m, k), b.cmat(k, n), c.mat(m, n));
+    // Per-PE utilization for the tracing layer: one event per grid cell
+    // with its MAC count and fault tally for this attempt's multiply.
+    if (trace::Recorder* tr = trace::sink();
+        tr != nullptr && tr->options().engine_events) {
+      for (int r = 0; r < rc.pe_rows; ++r) {
+        for (int col = 0; col < rc.pe_cols; ++col) {
+          trace::Event te;
+          te.kind = trace::EventKind::PeStats;
+          te.device = static_cast<std::int16_t>(trace::attempt_device());
+          te.attempt = static_cast<std::uint8_t>(std::min(r, 255));
+          te.flags = static_cast<std::uint16_t>(col);
+          te.a = arr.pe_macs(r, col);
+          te.b = arr.pe_faults(r, col);
+          te.set_name("pe");
+          trace::emit(te);
+        }
+      }
+    }
     st->report = arr.report();
     store_grid_report(arr.report());
     if (armed && arr.faults_fired() > 0) {

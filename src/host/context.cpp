@@ -1,6 +1,7 @@
 #include "host/context.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <memory>
 #include <sstream>
@@ -104,6 +105,15 @@ std::function<void()> Context::wrap_work(
     const int placed = pool_->place(seq, reads, writes);
     Device& dev = pool_->device(placed);
     tl_attempt_device = placed;
+    trace::set_attempt_device(placed);
+    if (trace::Recorder* tr = trace::sink()) {
+      trace::Event te;
+      te.kind = trace::EventKind::Placed;
+      te.seq = seq;
+      te.attempt = attempt > 255 ? 255 : static_cast<std::uint8_t>(attempt);
+      te.device = static_cast<std::int16_t>(placed);
+      tr->emit(te);
+    }
     FaultInjector& faults = dev.faults();
     const FaultKind fault = faults.enabled()
                                 ? faults.decide(seq, attempt)
@@ -265,6 +275,13 @@ std::function<void()> Context::wrap_verify(std::function<void()> check,
     // Plain store: concurrent verifiers may overwrite each other's
     // update, which only costs one controller step of a heuristic.
     adaptive_rate_.store(next, std::memory_order_relaxed);
+    if (trace::Recorder* tr = trace::sink();
+        tr != nullptr && tr->options().counter_samples) {
+      trace::Event te;
+      te.kind = trace::EventKind::RateSample;
+      te.a = std::bit_cast<std::uint64_t>(next);
+      tr->emit(te);
+    }
   };
   return [this, check = std::move(check), feed = std::move(feed),
           feed_breaker] {
@@ -318,6 +335,19 @@ Event Context::enqueue(Command cmd) {
       deps_.add(seq, cmd.reads, cmd.writes, cmd.barrier);
   for (const Event& e : cmd.after) {
     if (e.ctx_ == this && e.seq_ != 0) deps.push_back(e.seq_);
+  }
+
+  if (trace_) {
+    // The Enqueue event opens the command's async span and carries its
+    // routine label — the export joins every later event to it by seq.
+    trace::Event te;
+    te.kind = trace::EventKind::Enqueue;
+    te.seq = seq;
+    te.flags = cmd.barrier ? 1 : 0;
+    te.set_name(!cmd.label.empty() ? std::string_view(cmd.label)
+                : cmd.barrier     ? std::string_view("barrier")
+                                  : std::string_view("cmd"));
+    trace_->emit(te);
   }
 
   std::function<void()> work = std::move(cmd.work);
@@ -431,9 +461,43 @@ void Context::run_graph(stream::Graph& g) {
     dev->faults().record_victim(g.scheduler().corrupted_channel());
   }
   const std::uint64_t cycles = g.cycles();
+  if (trace::Recorder* tr = trace::sink();
+      tr != nullptr && tr->options().engine_events) {
+    // Engine summaries, emitted host-side after the run so the stream
+    // layer never links the trace library: per-channel high-water and
+    // stall counts, plus the graph's cycle/stall totals.
+    for (const auto& ch : g.channels()) {
+      trace::Event te;
+      te.kind = trace::EventKind::ChannelStats;
+      te.set_name(ch->name());
+      te.device = static_cast<std::int16_t>(trace::attempt_device());
+      te.a = ch->peak_occupancy();
+      te.b = ch->stall_events();
+      te.flags = static_cast<std::uint16_t>(
+          std::min<std::size_t>(ch->capacity(), 0xffff));
+      tr->emit(te);
+    }
+    trace::Event te;
+    te.kind = trace::EventKind::GraphStats;
+    te.device = static_cast<std::int16_t>(trace::attempt_device());
+    te.a = cycles;
+    te.b = g.scheduler().stall_module_cycles();
+    tr->emit(te);
+  }
   Executor::note_cycles(cycles);
   last_cycles_.store(cycles);
   total_cycles_.fetch_add(cycles);
+}
+
+std::shared_ptr<trace::Recorder> Context::tracing(const trace::Options& opts) {
+  trace_ = std::make_shared<trace::Recorder>(opts);
+  exec_->set_trace(trace_);
+  return trace_;
+}
+
+void Context::stop_tracing() {
+  trace_.reset();
+  exec_->set_trace(nullptr);
 }
 
 Device& Context::attempt_device() {

@@ -56,6 +56,7 @@
 #include "refblas/level1.hpp"
 #include "stream/graph.hpp"
 #include "systolic/systolic_array.hpp"
+#include "trace/trace.hpp"
 #include "verify/options.hpp"
 #include "verify/policy.hpp"
 
@@ -176,6 +177,10 @@ struct Command {
   std::vector<const void*> writes;
   std::vector<Event> after;
   bool barrier = false;
+  /// Routine name for observability ("gemm", "atax", ...). Shows up as
+  /// the span name in trace::export_chrome; empty labels render as
+  /// "cmd" (barriers as "barrier"). Purely diagnostic.
+  std::string label;
 };
 
 class ConfigGuard;
@@ -227,6 +232,22 @@ class Context {
   /// Executor counters (commands executed, in-flight high-water mark,
   /// retries, injected faults, degraded completions...).
   ExecStats exec_stats() const;
+
+  // --- Tracing -----------------------------------------------------------
+  /// Arms cycle-accurate tracing for subsequently enqueued commands:
+  /// lifecycle spans (enqueue -> deps-ready -> placed -> attempt ->
+  /// verify -> retry/migrate -> complete), engine summaries and counter
+  /// samples land in the returned Recorder — render it with
+  /// trace::export_chrome or query trace::MetricsSnapshot via
+  /// Recorder::metrics(). Off by default with near-zero disarmed cost;
+  /// re-arming replaces the recorder (commands already in flight keep
+  /// emitting into the one they started with).
+  std::shared_ptr<trace::Recorder> tracing(const trace::Options& opts = {});
+  /// The armed recorder, or nullptr when tracing is off.
+  std::shared_ptr<trace::Recorder> trace_recorder() const { return trace_; }
+  /// Disarms tracing: subsequently enqueued commands stop emitting. The
+  /// recorder itself stays valid for as long as someone holds it.
+  void stop_tracing();
 
   // --- Fault tolerance ---------------------------------------------------
   /// Retry policy for transient device failures (DeviceError /
@@ -684,6 +705,7 @@ class Context {
   stream::Watchdog watchdog_;
   DepGraph deps_;
   std::unique_ptr<Executor> exec_;
+  std::shared_ptr<trace::Recorder> trace_;  // null = tracing off
   std::uint64_t enqueued_ = 0;
   std::atomic<std::uint64_t> last_cycles_{0};
   std::atomic<std::uint64_t> total_cycles_{0};

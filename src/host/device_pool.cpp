@@ -4,8 +4,27 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace fblas::host {
+namespace {
+
+// Emits a breaker state change through the thread-local trace sink
+// (installed by the executor for the span of the running command;
+// no-op when tracing is off). The event carries the raw enum codes —
+// the trace library cannot see BreakerState, but the declaration order
+// (Closed, Open, HalfOpen) is the shared contract.
+void trace_breaker(int dev, BreakerState before, BreakerState after) {
+  if (before == after) return;
+  trace::Event te;
+  te.kind = trace::EventKind::BreakerTransition;
+  te.device = static_cast<std::int16_t>(dev);
+  te.a = static_cast<std::uint64_t>(before);
+  te.flags = static_cast<std::uint16_t>(after);
+  trace::emit(te);
+}
+
+}  // namespace
 
 DevicePool::DevicePool(int devices, sim::DeviceId id,
                        const HealthConfig& health)
@@ -132,6 +151,14 @@ void DevicePool::migrate_locked(const void* key, int from, int to) {
   out.stats.migrated_bytes_out += bytes;
   ++in.stats.migrations_in;
   in.stats.migrated_bytes_in += bytes;
+  if (trace::sink() != nullptr) {
+    trace::Event te;
+    te.kind = trace::EventKind::Migrate;
+    te.device = static_cast<std::int16_t>(to);
+    te.flags = static_cast<std::uint16_t>(from);
+    te.a = bytes;
+    trace::emit(te);
+  }
   auto rehome = rec.rehome;
   rec.bank = bank;
   dst.install_buffer(key, std::move(rec));
@@ -158,14 +185,29 @@ int DevicePool::place(std::uint64_t seq,
   // One placement tick: cool-downs advance, then Half-Open devices get
   // their synthetic probe *before* candidate selection, so a re-admitted
   // device can take this very placement.
-  for (Slot& slot : slots_) slot.health.tick();
+  for (int i = 0; i < size(); ++i) {
+    Slot& slot = slots_[static_cast<std::size_t>(i)];
+    const BreakerState before = slot.health.state();
+    slot.health.tick();
+    trace_breaker(i, before, slot.health.state());
+  }
   for (int i = 0; i < size(); ++i) {
     Slot& slot = slots_[static_cast<std::size_t>(i)];
     if (slot.health.state() != BreakerState::HalfOpen) continue;
     ++slot.stats.probes;
     const FaultKind hit = slot.dev->faults().probe(seq);
     if (hit != FaultKind::None) ++slot.stats.probe_failures;
+    const BreakerState before = slot.health.state();
     slot.health.probe_result(hit == FaultKind::None);
+    if (trace::sink() != nullptr) {
+      trace::Event te;
+      te.kind = trace::EventKind::Probe;
+      te.seq = seq;
+      te.device = static_cast<std::int16_t>(i);
+      te.flags = hit != FaultKind::None ? 1 : 0;
+      trace::emit(te);
+    }
+    trace_breaker(i, before, slot.health.state());
   }
 
   const int best = pick_locked(seq, keys);
@@ -186,7 +228,9 @@ void DevicePool::note_attempt_failed(int dev, HealthEvent ev) {
   Slot& slot = slots_[static_cast<std::size_t>(dev)];
   ++slot.stats.failed_attempts;
   (void)ev;  // all kinds are failure samples; the split is for stats only
+  const BreakerState before = slot.health.state();
   slot.health.record_failure();
+  trace_breaker(dev, before, slot.health.state());
 }
 
 void DevicePool::note_attempt_ok(int dev) {
@@ -199,6 +243,7 @@ void DevicePool::note_attempt_ok(int dev) {
 void DevicePool::note_verify(int dev, bool ok, bool feed_breaker) {
   std::lock_guard<std::mutex> lk(mu_);
   Slot& slot = slots_[static_cast<std::size_t>(dev)];
+  const BreakerState before = slot.health.state();
   if (ok) {
     ++slot.stats.executed;
     if (feed_breaker) slot.health.record_success();
@@ -206,6 +251,7 @@ void DevicePool::note_verify(int dev, bool ok, bool feed_breaker) {
     ++slot.stats.verify_rejects;
     if (feed_breaker) slot.health.record_failure();
   }
+  trace_breaker(dev, before, slot.health.state());
 }
 
 std::span<std::byte> DevicePool::buffer_bytes(const void* key) const {

@@ -1,10 +1,12 @@
 #include "host/executor.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace fblas::host {
 namespace {
@@ -17,6 +19,9 @@ thread_local std::uint64_t tl_pe_localized = 0;
 thread_local std::uint64_t tl_pe_corrected = 0;
 thread_local int tl_depth = 0;
 thread_local int tl_attempt = 0;
+// Trace row of this thread: 0 = the caller (serial policy), 1..N = pool
+// worker threads (assigned once in the worker's entry lambda).
+thread_local std::uint16_t tl_worker = 0;
 
 // splitmix64 (same public-domain constants as the fault injector's
 // hash), so jittered delays are a pure function of (seed, seq, attempt).
@@ -63,8 +68,15 @@ std::chrono::microseconds jittered_backoff(std::uint64_t seed,
   std::uint64_t h = jitter_mix64(seed ^ 0x6a09e667f3bcc909ULL);
   h = jitter_mix64(h ^ seq);
   h = jitter_mix64(h ^ (static_cast<std::uint64_t>(attempt) + 1));
-  return std::chrono::microseconds(static_cast<std::int64_t>(
-      h % (static_cast<std::uint64_t>(cap.count()) + 1)));
+  // The draw is uniform in [0, cap]. `cap + 1` as the modulus would wrap
+  // to zero (UB) if cap ever held the full uint64 range; clamping at the
+  // boundary keeps microseconds::max() a legal, if absurd, cap — the
+  // draw then spans [0, max - 1], indistinguishable in practice.
+  const std::uint64_t cap_us = static_cast<std::uint64_t>(cap.count());
+  const std::uint64_t mod =
+      cap_us == std::numeric_limits<std::uint64_t>::max() ? cap_us
+                                                          : cap_us + 1;
+  return std::chrono::microseconds(static_cast<std::int64_t>(h % mod));
 }
 
 void Executor::note_cycles(std::uint64_t cycles) {
@@ -86,7 +98,10 @@ int Executor::current_attempt() { return tl_attempt; }
 Executor::Executor(int workers) : workers_(workers < 0 ? 0 : workers) {
   threads_.reserve(static_cast<std::size_t>(workers_));
   for (int i = 0; i < workers_; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] {
+      tl_worker = static_cast<std::uint16_t>(i + 1);
+      worker_loop();
+    });
   }
 }
 
@@ -107,6 +122,11 @@ void Executor::set_retry_policy(const RetryPolicy& policy) {
 RetryPolicy Executor::retry_policy() const {
   std::lock_guard<std::mutex> lk(mu_);
   return policy_;
+}
+
+void Executor::set_trace(std::shared_ptr<trace::Recorder> rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  trace_ = std::move(rec);
 }
 
 void Executor::submit(std::uint64_t seq, std::function<void()> work,
@@ -136,6 +156,13 @@ void Executor::submit(std::uint64_t seq, std::function<void()> work,
       ++node.unresolved;
     }
     ++incomplete_;
+    if (trace_ && node.unresolved == 0) {
+      trace::Event te;
+      te.kind = trace::EventKind::DepsReady;
+      te.seq = seq;
+      te.worker = tl_worker;
+      trace_->emit(te);
+    }
     if (workers_ > 0 && node.unresolved == 0) ready_.push_back(seq);
   }
   if (workers_ > 0) work_cv_.notify_one();
@@ -167,7 +194,14 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
   const std::uint64_t poisoned_by = node.poisoned_by;
   std::string poison_cause;
   if (poisoned_by != 0) poison_cause = nodes_.at(poisoned_by).message;
+  const std::shared_ptr<trace::Recorder> rec = trace_;
   lk.unlock();
+
+  // Install the recorder as this thread's trace sink for the span of the
+  // command: pool placement, breaker transitions, migrations and engine
+  // summaries all emit through it from inside the body.
+  trace::ThreadScope trace_scope(rec.get());
+  trace::set_attempt_device(-1);
 
   std::uint64_t cycles = 0;
   std::exception_ptr error;
@@ -207,6 +241,10 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
       tl_pe_corrected = 0;
       tl_attempt = attempt;
       ++tl_depth;
+      trace::set_attempt_device(-1);  // until the pool places this attempt
+      const std::uint8_t attempt8 =
+          attempt > 255 ? 255 : static_cast<std::uint8_t>(attempt);
+      const std::uint64_t attempt_t0 = rec ? rec->now_ns() : 0;
       error = nullptr;
       bool verify_rejected = false;
       try {
@@ -216,11 +254,36 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
           // Only a device-Ok attempt reaches the checker; a rejection
           // here means the device lied — silent data corruption.
           ++verified_runs;
+          const std::uint64_t verify_t0 = rec ? rec->now_ns() : 0;
           try {
             hooks.verify_check();
           } catch (const VerificationError&) {
             verify_rejected = true;
+            if (rec) {
+              trace::Event te;
+              te.kind = trace::EventKind::Verify;
+              te.seq = seq;
+              te.attempt = attempt8;
+              te.worker = tl_worker;
+              te.device =
+                  static_cast<std::int16_t>(trace::attempt_device());
+              te.wall_ns = verify_t0;
+              te.a = rec->now_ns() - verify_t0;
+              te.flags = 1;
+              rec->emit(te);
+            }
             throw;
+          }
+          if (rec) {
+            trace::Event te;
+            te.kind = trace::EventKind::Verify;
+            te.seq = seq;
+            te.attempt = attempt8;
+            te.worker = tl_worker;
+            te.device = static_cast<std::int16_t>(trace::attempt_device());
+            te.wall_ns = verify_t0;
+            te.a = rec->now_ns() - verify_t0;
+            rec->emit(te);
           }
         }
       } catch (...) {
@@ -232,6 +295,21 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
       pe_localized += tl_pe_localized;
       pe_corrected += tl_pe_corrected;
       if (verify_rejected) ++verify_rejects;
+      if (rec) {
+        trace::Event te;
+        te.kind = trace::EventKind::Attempt;
+        te.seq = seq;
+        te.attempt = attempt8;
+        te.worker = tl_worker;
+        te.device = static_cast<std::int16_t>(trace::attempt_device());
+        te.wall_ns = attempt_t0;
+        te.a = rec->now_ns() - attempt_t0;
+        te.b = tl_cycles;
+        te.flags = !error ? trace::kAttemptOk
+                          : (verify_rejected ? trace::kAttemptVerifyReject
+                                             : trace::kAttemptError);
+        rec->emit(te);
+      }
       if (!error) break;
       const bool transient = is_transient(error);
       if (transient && may_recover && attempt < policy.max_retries) {
@@ -241,12 +319,27 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
             policy.full_jitter
                 ? jittered_backoff(policy.jitter_seed, seq, attempt, backoff)
                 : backoff;
+        if (rec) {
+          trace::Event te;
+          te.kind = trace::EventKind::Retry;
+          te.seq = seq;
+          te.attempt = attempt8;
+          te.worker = tl_worker;
+          te.device = static_cast<std::int16_t>(trace::attempt_device());
+          te.a = static_cast<std::uint64_t>(delay.count());
+          rec->emit(te);
+        }
         if (delay.count() > 0) std::this_thread::sleep_for(delay);
-        backoff = std::min(
-            std::chrono::microseconds(static_cast<std::int64_t>(
-                static_cast<double>(backoff.count()) *
-                policy.backoff_multiplier)),
-            policy.max_backoff);
+        // Grow in double and pick the cap *before* casting back: the old
+        // int64 cast of the grown product was UB once it exceeded the
+        // int64 range (a max_backoff near microseconds::max() gets there
+        // in a few doublings).
+        const double grown = static_cast<double>(backoff.count()) *
+                             policy.backoff_multiplier;
+        backoff =
+            grown >= static_cast<double>(policy.max_backoff.count())
+                ? policy.max_backoff
+                : std::chrono::microseconds(static_cast<std::int64_t>(grown));
         continue;
       }
       // Terminal transient failure (retries exhausted or no retry
@@ -261,6 +354,14 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
           message = "degraded to CPU fallback after: " + describe(error);
           error = nullptr;
           degraded = true;
+          if (rec) {
+            trace::Event te;
+            te.kind = trace::EventKind::Fallback;
+            te.seq = seq;
+            te.worker = tl_worker;
+            te.device = static_cast<std::int16_t>(trace::attempt_device());
+            rec->emit(te);
+          }
         } catch (...) {
           error = std::current_exception();
         }
@@ -286,6 +387,18 @@ void Executor::run_command(std::unique_lock<std::mutex>& lk,
   stats_.faults_corrected += pe_corrected;
   nodes_.at(seq).verify_rejections = static_cast<std::uint32_t>(verify_rejects);
   complete(seq, cycles, error, final_state, std::move(message));
+  if (rec) {
+    const Node& done = nodes_.at(seq);
+    trace::Event te;
+    te.kind = trace::EventKind::Complete;
+    te.seq = seq;
+    te.worker = tl_worker;
+    te.device = static_cast<std::int16_t>(trace::attempt_device());
+    te.flags = static_cast<std::uint16_t>(done.state);
+    te.a = done.start_cycles;
+    te.b = done.finish_cycles;
+    rec->emit(te);
+  }
 }
 
 void Executor::complete(std::uint64_t seq, std::uint64_t cycles,
@@ -310,9 +423,19 @@ void Executor::complete(std::uint64_t seq, std::uint64_t cycles,
         (succ.poisoned_by == 0 || seq < succ.poisoned_by)) {
       succ.poisoned_by = seq;
     }
-    if (--succ.unresolved == 0 && workers_ > 0) {
-      ready_.push_back(succ_seq);
-      woke_ready = true;
+    if (--succ.unresolved == 0) {
+      if (trace_) {
+        trace::Event te;
+        te.kind = trace::EventKind::DepsReady;
+        te.seq = succ_seq;
+        te.worker = tl_worker;
+        te.a = seq;  // the dependency whose completion freed it
+        trace_->emit(te);
+      }
+      if (workers_ > 0) {
+        ready_.push_back(succ_seq);
+        woke_ready = true;
+      }
     }
   }
   node.succs.clear();

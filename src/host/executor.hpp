@@ -36,6 +36,7 @@
 #include <exception>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -43,6 +44,10 @@
 
 #include "host/health.hpp"
 #include "host/status.hpp"
+
+namespace fblas::trace {
+class Recorder;
+}
 
 namespace fblas::host {
 
@@ -140,6 +145,14 @@ class Executor {
   void set_retry_policy(const RetryPolicy& policy);
   RetryPolicy retry_policy() const;
 
+  /// Arms (or with nullptr disarms) lifecycle tracing: every subsequent
+  /// command emits DepsReady / Attempt / Retry / Verify / Fallback /
+  /// Complete events into the recorder, and the recorder is installed
+  /// as the thread-local trace sink for the span of each command body
+  /// so deeper layers (pool placement, engine summaries) emit too.
+  /// Shared ownership: commands already in flight keep their recorder.
+  void set_trace(std::shared_ptr<trace::Recorder> rec);
+
   /// Registers command `seq` with its unresolved-dependency list (seqs
   /// from DepGraph::add; already-completed deps are fine). In concurrent
   /// mode a hazard-free command starts immediately.
@@ -212,6 +225,7 @@ class Executor {
   std::deque<std::uint64_t> ready_;
   std::vector<std::thread> threads_;
   RetryPolicy policy_;
+  std::shared_ptr<trace::Recorder> trace_;  // null = tracing off
   std::uint64_t incomplete_ = 0;  // submitted, not yet completed
   int active_ = 0;
   bool stop_ = false;

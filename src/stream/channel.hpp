@@ -37,6 +37,24 @@ class ChannelBase {
   std::uint64_t total_pushed() const { return total_pushed_; }
   std::uint64_t total_popped() const { return total_popped_; }
   std::size_t peak_occupancy() const { return peak_; }
+  /// Times a module suspended on this channel (full push / empty pop) —
+  /// the per-channel backpressure split of
+  /// Scheduler::stall_module_cycles(). Bumped by the scheduler when a
+  /// module blocks here.
+  std::uint64_t stall_events() const { return stalls_; }
+  void note_stall() { ++stalls_; }
+
+  /// Clears the per-run statistics (push/pop totals, peak occupancy,
+  /// stall events) without touching an armed checksum tap — the
+  /// GraphChecker arms taps *before* Graph::run, which calls this at
+  /// entry. Peak restarts at the current fill: values already buffered
+  /// genuinely occupy the FIFO.
+  void reset_run_stats() {
+    total_pushed_ = 0;
+    total_popped_ = 0;
+    stalls_ = 0;
+    peak_ = size();
+  }
 
   // --- checksum tap (streaming ABFT) ------------------------------------
   /// Arms a running checksum over every floating-point value pushed into
@@ -80,6 +98,7 @@ class ChannelBase {
   std::uint64_t total_pushed_ = 0;
   std::uint64_t total_popped_ = 0;
   std::size_t peak_ = 0;
+  std::uint64_t stalls_ = 0;
   bool tap_armed_ = false;
   double tap_sum_ = 0.0;
   double tap_mag_ = 0.0;

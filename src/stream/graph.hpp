@@ -55,8 +55,15 @@ class Graph {
   }
 
   /// Runs the design to completion (throws DeadlockError on stall and
-  /// TimeoutError when a watchdog limit expires first).
-  void run(const Watchdog& watchdog = {}) { sched_.run(watchdog); }
+  /// TimeoutError when a watchdog limit expires first). Per-run channel
+  /// statistics (push/pop totals, peak occupancy, stall events) are
+  /// reset at entry so they describe this run alone — host-side
+  /// pre-loading (try_put before the run) no longer inflates peaks.
+  /// Armed checksum taps are untouched (they are armed pre-run).
+  void run(const Watchdog& watchdog = {}) {
+    for (const auto& ch : channels_) ch->reset_run_stats();
+    sched_.run(watchdog);
+  }
 
   const std::vector<std::unique_ptr<ChannelBase>>& channels() const {
     return channels_;

@@ -21,11 +21,15 @@ int Scheduler::add_module(TaskHandle handle, std::string name) {
 void Scheduler::block_on_pop(int id, ChannelBase& ch) {
   modules_[id].state = ModuleState::BlockedPop;
   modules_[id].blocked_on = &ch;
+  ++blocked_modules_;
+  ch.note_stall();
 }
 
 void Scheduler::block_on_push(int id, ChannelBase& ch) {
   modules_[id].state = ModuleState::BlockedPush;
   modules_[id].blocked_on = &ch;
+  ++blocked_modules_;
+  ch.note_stall();
 }
 
 void Scheduler::wait_cycle(int id) {
@@ -38,6 +42,7 @@ void Scheduler::wake(int id) {
   if (m.state == ModuleState::BlockedPop || m.state == ModuleState::BlockedPush) {
     m.state = ModuleState::Ready;
     m.blocked_on = nullptr;
+    --blocked_modules_;
     ready_.push_back(id);
   }
 }
@@ -76,6 +81,10 @@ void Scheduler::advance_cycle() {
           static_cast<std::uint32_t>(channels_[c]->size()));
     }
   }
+  // Stall accounting: every module still parked on a channel at a cycle
+  // boundary burned this cycle waiting — the per-graph backpressure
+  // total the tracing layer exports next to the cycle count.
+  stall_module_cycles_ += static_cast<std::uint64_t>(blocked_modules_);
   ++cycle_;
   for (DramBank* bank : banks_) bank->reset_cycle();
   for (const int id : cycle_waiters_) {
@@ -206,6 +215,30 @@ std::string Scheduler::diagnose_deadlock() const {
        << ch->total_popped() << " popped\n";
   }
   return os.str();
+}
+
+const std::vector<std::uint32_t>& Scheduler::occupancy_trace(
+    std::size_t chan) const {
+  if (!trace_occupancy_) {
+    throw ConfigError(
+        "Scheduler::occupancy_trace: occupancy sampling was never enabled "
+        "— call enable_occupancy_trace() before run() (and note it only "
+        "records in cycle mode)");
+  }
+  if (chan >= channels_.size()) {
+    std::ostringstream os;
+    os << "Scheduler::occupancy_trace: channel index " << chan
+       << " out of range (" << channels_.size() << " channels registered)";
+    throw ConfigError(os.str());
+  }
+  if (chan >= occupancy_samples_.size()) {
+    // Enabled, but the clock never advanced (functional mode, or the
+    // graph drained within cycle 0): defined-empty instead of indexing
+    // a vector advance_cycle never grew.
+    static const std::vector<std::uint32_t> kEmpty;
+    return kEmpty;
+  }
+  return occupancy_samples_[chan];
 }
 
 void Scheduler::throw_timeout(const char* limit, std::uint64_t steps) {

@@ -152,16 +152,25 @@ class Scheduler {
   const std::string& corrupted_channel() const { return corrupt_channel_; }
   const std::string& corrupting_module() const { return corrupt_module_; }
 
-  /// Enables per-cycle channel-occupancy sampling (cycle mode only):
-  /// after every simulated cycle the fill level of each registered
-  /// channel is recorded. Useful for locating where backpressure builds
-  /// up in a composition. Call before run().
+  /// Enables per-cycle channel-occupancy sampling (cycle mode only —
+  /// samples are taken by advance_cycle, which functional mode never
+  /// reaches, so a functional run records nothing even when enabled).
+  /// Call before run().
   void enable_occupancy_trace() { trace_occupancy_ = true; }
-  /// Occupancy samples of the i-th registered channel (one per cycle).
-  const std::vector<std::uint32_t>& occupancy_trace(std::size_t chan) const {
-    return occupancy_samples_[chan];
-  }
+  /// Occupancy samples of the i-th registered channel (one per simulated
+  /// cycle). Throws ConfigError when enable_occupancy_trace() was never
+  /// called or `chan` is not a registered channel index; a run that
+  /// never advanced a cycle (functional mode) yields an empty vector.
+  const std::vector<std::uint32_t>& occupancy_trace(std::size_t chan) const;
+  bool occupancy_trace_enabled() const { return trace_occupancy_; }
   std::size_t channel_count() const { return channels_.size(); }
+
+  /// Module-cycles spent blocked on a channel: each simulated cycle adds
+  /// the number of modules blocked pushing or popping at that moment
+  /// (cycle mode only — functional mode never advances the clock). The
+  /// graph-level stall diagnostic the tracing layer exports; per-channel
+  /// splits live on ChannelBase::stall_events().
+  std::uint64_t stall_module_cycles() const { return stall_module_cycles_; }
 
  private:
   struct ModuleEntry {
@@ -190,6 +199,8 @@ class Scheduler {
   std::uint64_t wedge_after_steps_ = 0;  // 0 = no wedge injected
   bool wedged_ = false;
   bool trace_occupancy_ = false;
+  int blocked_modules_ = 0;  // currently BlockedPop/BlockedPush
+  std::uint64_t stall_module_cycles_ = 0;
   bool taint_enabled_ = false;
   bool taint_trap_ = false;
   Taint taint_;

@@ -1,0 +1,467 @@
+#include "trace/chrome.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fblas::trace {
+namespace {
+
+void escape_into(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// One trace-event JSON object, appended comma-separated. Keeps the
+/// builder honest about commas and escaping without a DOM round-trip.
+class EntryWriter {
+ public:
+  explicit EntryWriter(std::ostream& os) : os_(os) {}
+
+  EntryWriter& begin() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << "{";
+    field_first_ = true;
+    return *this;
+  }
+  EntryWriter& str(const char* key, std::string_view v) {
+    sep();
+    os_ << '"' << key << "\":\"";
+    escape_into(os_, v);
+    os_ << '"';
+    return *this;
+  }
+  EntryWriter& num(const char* key, std::uint64_t v) {
+    sep();
+    os_ << '"' << key << "\":" << v;
+    return *this;
+  }
+  EntryWriter& inum(const char* key, std::int64_t v) {
+    sep();
+    os_ << '"' << key << "\":" << v;
+    return *this;
+  }
+  EntryWriter& us(const char* key, std::uint64_t ns) {
+    sep();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                  static_cast<unsigned>(ns % 1000));
+    os_ << '"' << key << "\":" << buf;
+    return *this;
+  }
+  EntryWriter& real(const char* key, double v) {
+    sep();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os_ << '"' << key << "\":" << buf;
+    return *this;
+  }
+  EntryWriter& raw(const char* key, const std::string& json) {
+    sep();
+    os_ << '"' << key << "\":" << json;
+    return *this;
+  }
+  void end() { os_ << "}"; }
+
+ private:
+  void sep() {
+    if (!field_first_) os_ << ",";
+    field_first_ = false;
+  }
+  std::ostream& os_;
+  bool first_ = true;
+  bool field_first_ = true;
+};
+
+std::string args_json(
+    std::initializer_list<std::pair<const char*, std::string>> kv) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : kv) {
+    if (!first) os << ",";
+    first = false;
+    os << '"' << k << "\":" << v;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string qstr(std::string_view s) {
+  std::ostringstream os;
+  os << '"';
+  escape_into(os, s);
+  os << '"';
+  return os.str();
+}
+
+const char* state_name(std::uint16_t command_state) {
+  switch (command_state) {
+    case 2: return "ok";
+    case 3: return "failed";
+    case 4: return "degraded";
+    default: return "?";
+  }
+}
+
+constexpr int kHostPid = 1;
+constexpr int kDeviceWallPid = 2;
+constexpr int kDeviceCyclePid = 3;
+
+}  // namespace
+
+std::string chrome_json(const Recorder& rec) {
+  const std::vector<Event> events = rec.events();
+
+  // seq -> routine label (from the Enqueue event, which may have been
+  // overwritten in a wrapped ring — fall back to "cmd <seq>").
+  std::map<std::uint64_t, std::string> labels;
+  std::set<std::uint16_t> workers;
+  std::set<int> devices;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::Enqueue) {
+      std::string label(e.name_view());
+      if (label.empty()) label = "cmd";
+      labels[e.seq] = std::move(label);
+    }
+    workers.insert(e.worker);
+    if (e.device >= 0) devices.insert(e.device);
+  }
+  auto label_of = [&labels](std::uint64_t seq) -> std::string {
+    auto it = labels.find(seq);
+    if (it != labels.end()) return it->second;
+    return "cmd " + std::to_string(seq);
+  };
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EntryWriter w(os);
+
+  // Metadata rows: name the processes (the three tracks of the two-clock
+  // model) and every worker/device thread that appears.
+  struct Meta {
+    int pid;
+    const char* name;
+  };
+  for (const Meta m : {Meta{kHostPid, "host runtime"},
+                       Meta{kDeviceWallPid, "devices (wall clock)"},
+                       Meta{kDeviceCyclePid, "devices (simulated cycles)"}}) {
+    w.begin()
+        .str("ph", "M")
+        .str("name", "process_name")
+        .num("pid", static_cast<std::uint64_t>(m.pid))
+        .num("tid", 0)
+        .raw("args", args_json({{"name", qstr(m.name)}}));
+    w.end();
+    w.begin()
+        .str("ph", "M")
+        .str("name", "process_sort_index")
+        .num("pid", static_cast<std::uint64_t>(m.pid))
+        .num("tid", 0)
+        .raw("args", args_json({{"sort_index", std::to_string(m.pid)}}));
+    w.end();
+  }
+  for (const std::uint16_t worker : workers) {
+    const std::string name =
+        worker == 0 ? std::string("caller") : "worker " + std::to_string(worker);
+    w.begin()
+        .str("ph", "M")
+        .str("name", "thread_name")
+        .num("pid", kHostPid)
+        .num("tid", worker)
+        .raw("args", args_json({{"name", qstr(name)}}));
+    w.end();
+  }
+  for (const int dev : devices) {
+    const std::string name = "device " + std::to_string(dev);
+    for (const int pid : {kDeviceWallPid, kDeviceCyclePid}) {
+      w.begin()
+          .str("ph", "M")
+          .str("name", "thread_name")
+          .num("pid", static_cast<std::uint64_t>(pid))
+          .num("tid", static_cast<std::uint64_t>(dev))
+          .raw("args", args_json({{"name", qstr(name)}}));
+      w.end();
+    }
+  }
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::Enqueue:
+        w.begin()
+            .str("ph", "b")
+            .str("cat", "command")
+            .num("id", e.seq)
+            .str("name", label_of(e.seq))
+            .num("pid", kHostPid)
+            .num("tid", e.worker)
+            .us("ts", e.wall_ns)
+            .raw("args", args_json({{"seq", std::to_string(e.seq)},
+                                    {"barrier", e.flags ? "true" : "false"}}));
+        w.end();
+        break;
+      case EventKind::DepsReady:
+        w.begin()
+            .str("ph", "i")
+            .str("s", "t")
+            .str("name", "deps-ready")
+            .num("pid", kHostPid)
+            .num("tid", e.worker)
+            .us("ts", e.wall_ns)
+            .raw("args", args_json({{"seq", std::to_string(e.seq)}}));
+        w.end();
+        break;
+      case EventKind::Placed:
+        if (e.device >= 0) {
+          w.begin()
+              .str("ph", "i")
+              .str("s", "t")
+              .str("name", "place " + label_of(e.seq))
+              .num("pid", kDeviceWallPid)
+              .num("tid", static_cast<std::uint64_t>(e.device))
+              .us("ts", e.wall_ns)
+              .raw("args",
+                   args_json({{"seq", std::to_string(e.seq)},
+                              {"attempt", std::to_string(e.attempt)}}));
+          w.end();
+        }
+        break;
+      case EventKind::Attempt: {
+        const std::string args = args_json(
+            {{"seq", std::to_string(e.seq)},
+             {"attempt", std::to_string(e.attempt)},
+             {"device", std::to_string(e.device)},
+             {"cycles", std::to_string(e.b)},
+             {"outcome", qstr(e.flags == kAttemptOk ? "ok"
+                              : e.flags == kAttemptVerifyReject
+                                  ? "verify-reject"
+                                  : "error")}});
+        w.begin()
+            .str("ph", "X")
+            .str("name", label_of(e.seq))
+            .num("pid", kHostPid)
+            .num("tid", e.worker)
+            .us("ts", e.wall_ns)
+            .us("dur", e.a)
+            .raw("args", args);
+        w.end();
+        if (e.device >= 0) {
+          w.begin()
+              .str("ph", "X")
+              .str("name", label_of(e.seq))
+              .num("pid", kDeviceWallPid)
+              .num("tid", static_cast<std::uint64_t>(e.device))
+              .us("ts", e.wall_ns)
+              .us("dur", e.a)
+              .raw("args", args);
+          w.end();
+        }
+        break;
+      }
+      case EventKind::Retry:
+        w.begin()
+            .str("ph", "i")
+            .str("s", "t")
+            .str("name", "retry " + label_of(e.seq))
+            .num("pid", kHostPid)
+            .num("tid", e.worker)
+            .us("ts", e.wall_ns)
+            .raw("args",
+                 args_json({{"seq", std::to_string(e.seq)},
+                            {"attempt", std::to_string(e.attempt)},
+                            {"backoff_us", std::to_string(e.a)}}));
+        w.end();
+        break;
+      case EventKind::Verify:
+        w.begin()
+            .str("ph", "X")
+            .str("name", "verify " + label_of(e.seq))
+            .num("pid", kHostPid)
+            .num("tid", e.worker)
+            .us("ts", e.wall_ns)
+            .us("dur", e.a)
+            .raw("args",
+                 args_json({{"seq", std::to_string(e.seq)},
+                            {"device", std::to_string(e.device)},
+                            {"rejected", e.flags ? "true" : "false"}}));
+        w.end();
+        break;
+      case EventKind::Fallback:
+        w.begin()
+            .str("ph", "i")
+            .str("s", "t")
+            .str("name", "cpu-fallback " + label_of(e.seq))
+            .num("pid", kHostPid)
+            .num("tid", e.worker)
+            .us("ts", e.wall_ns)
+            .raw("args", args_json({{"seq", std::to_string(e.seq)}}));
+        w.end();
+        break;
+      case EventKind::Complete: {
+        w.begin()
+            .str("ph", "e")
+            .str("cat", "command")
+            .num("id", e.seq)
+            .str("name", label_of(e.seq))
+            .num("pid", kHostPid)
+            .num("tid", e.worker)
+            .us("ts", e.wall_ns)
+            .raw("args",
+                 args_json({{"state", qstr(state_name(e.flags))},
+                            {"start_cycles", std::to_string(e.a)},
+                            {"finish_cycles", std::to_string(e.b)}}));
+        w.end();
+        // The simulated-cycle row: the same command plotted on the
+        // makespan axis (1 µs per cycle), on the device that ran it.
+        if (e.device >= 0 && e.b > e.a) {
+          w.begin()
+              .str("ph", "X")
+              .str("name", label_of(e.seq))
+              .num("pid", kDeviceCyclePid)
+              .num("tid", static_cast<std::uint64_t>(e.device))
+              .num("ts", e.a)
+              .num("dur", e.b - e.a)
+              .raw("args",
+                   args_json({{"seq", std::to_string(e.seq)},
+                              {"state", qstr(state_name(e.flags))}}));
+          w.end();
+        }
+        break;
+      }
+      case EventKind::Migrate:
+        if (e.device >= 0) {
+          w.begin()
+              .str("ph", "i")
+              .str("s", "t")
+              .str("name", "migrate")
+              .num("pid", kDeviceWallPid)
+              .num("tid", static_cast<std::uint64_t>(e.device))
+              .us("ts", e.wall_ns)
+              .raw("args", args_json({{"from", std::to_string(e.flags)},
+                                      {"bytes", std::to_string(e.a)}}));
+          w.end();
+        }
+        break;
+      case EventKind::BreakerTransition:
+        if (e.device >= 0) {
+          w.begin()
+              .str("ph", "C")
+              .str("name", "breaker[" + std::to_string(e.device) + "]")
+              .num("pid", kDeviceWallPid)
+              .num("tid", static_cast<std::uint64_t>(e.device))
+              .us("ts", e.wall_ns)
+              .raw("args",
+                   args_json({{"state", std::to_string(e.flags)}}));
+          w.end();
+        }
+        break;
+      case EventKind::Probe:
+        if (e.device >= 0) {
+          w.begin()
+              .str("ph", "i")
+              .str("s", "t")
+              .str("name", e.flags ? "probe (failed)" : "probe (ok)")
+              .num("pid", kDeviceWallPid)
+              .num("tid", static_cast<std::uint64_t>(e.device))
+              .us("ts", e.wall_ns)
+              .raw("args", args_json({{"seq", std::to_string(e.seq)}}));
+          w.end();
+        }
+        break;
+      case EventKind::RateSample:
+        w.begin()
+            .str("ph", "C")
+            .str("name", "adaptive_sample_rate")
+            .num("pid", kHostPid)
+            .num("tid", 0)
+            .us("ts", e.wall_ns)
+            .raw("args", [&] {
+              std::ostringstream a;
+              char buf[48];
+              std::snprintf(buf, sizeof(buf), "%.9g",
+                            std::bit_cast<double>(e.a));
+              a << "{\"rate\":" << buf << "}";
+              return a.str();
+            }());
+        w.end();
+        break;
+      case EventKind::ChannelStats:
+        w.begin()
+            .str("ph", "i")
+            .str("s", "t")
+            .str("name", "chan " + std::string(e.name_view()))
+            .num("pid", kHostPid)
+            .num("tid", e.worker)
+            .us("ts", e.wall_ns)
+            .raw("args",
+                 args_json({{"peak", std::to_string(e.a)},
+                            {"stalls", std::to_string(e.b)},
+                            {"capacity", std::to_string(e.flags)}}));
+        w.end();
+        break;
+      case EventKind::GraphStats:
+        w.begin()
+            .str("ph", "i")
+            .str("s", "t")
+            .str("name", "graph-run")
+            .num("pid", kHostPid)
+            .num("tid", e.worker)
+            .us("ts", e.wall_ns)
+            .raw("args",
+                 args_json({{"cycles", std::to_string(e.a)},
+                            {"stall_module_cycles", std::to_string(e.b)}}));
+        w.end();
+        break;
+      case EventKind::PeStats:
+        w.begin()
+            .str("ph", "i")
+            .str("s", "t")
+            .str("name", "pe(" + std::to_string(e.attempt) + "," +
+                             std::to_string(e.flags) + ")")
+            .num("pid", kHostPid)
+            .num("tid", e.worker)
+            .us("ts", e.wall_ns)
+            .raw("args", args_json({{"macs", std::to_string(e.a)},
+                                    {"faults", std::to_string(e.b)}}));
+        w.end();
+        break;
+    }
+  }
+
+  const MetricsSnapshot m = rec.metrics();
+  os << "\n],\"otherData\":{\"recorded\":" << m.recorded
+     << ",\"dropped\":" << m.dropped << "}}\n";
+  return os.str();
+}
+
+void export_chrome(const Recorder& rec, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("trace::export_chrome: cannot open '" + path + "'");
+  out << chrome_json(rec);
+  out.flush();
+  if (!out) throw Error("trace::export_chrome: write to '" + path +
+                        "' failed");
+}
+
+}  // namespace fblas::trace

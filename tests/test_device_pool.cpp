@@ -230,6 +230,31 @@ TEST(RetryJitter, JitteredBackoffDeterministicAndBounded) {
   EXPECT_TRUE(varies);
 }
 
+TEST(RetryJitter, BoundaryCapsDrawInRangeWithoutOverflow) {
+  using std::chrono::microseconds;
+  // Regression: a cap at the extreme of the representation must still
+  // produce a deterministic draw in [0, cap]. The old modulus arithmetic
+  // was one wrap away from a zero modulus (undefined behavior) at the
+  // top of the range; the clamp keeps the draw well-defined there.
+  const microseconds max_cap(microseconds::max());
+  const auto at_max = host::jittered_backoff(7, 3, 2, max_cap);
+  EXPECT_EQ(at_max, host::jittered_backoff(7, 3, 2, max_cap));
+  EXPECT_GE(at_max.count(), 0);
+  EXPECT_LE(at_max.count(), max_cap.count());
+  // One below the extreme exercises the ordinary cap+1 modulus at its
+  // largest value.
+  const microseconds near_max(microseconds::max() - microseconds(1));
+  const auto below = host::jittered_backoff(7, 3, 2, near_max);
+  EXPECT_GE(below.count(), 0);
+  EXPECT_LE(below.count(), near_max.count());
+  // And the draws at huge caps still vary across commands.
+  bool varies = false;
+  for (std::uint64_t seq = 1; seq <= 32 && !varies; ++seq) {
+    varies = host::jittered_backoff(7, seq, 0, max_cap) != at_max;
+  }
+  EXPECT_TRUE(varies);
+}
+
 TEST(RetryJitter, FullJitterKeepsResultsAndStatsBitIdentical) {
   // Jitter only changes *when* a retry runs, never what it computes: the
   // corrupted-GEMM recovery must produce the same bits and the same

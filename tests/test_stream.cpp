@@ -68,6 +68,106 @@ TEST(Channel, RejectsZeroCapacity) {
   EXPECT_THROW(g.channel<int>("bad", 0), ConfigError);
 }
 
+TEST(Graph, RunResetsPreRunChannelStats) {
+  // Regression: host-side traffic staged through a channel *before* the
+  // run (pre-loads, test setup) used to leak into the run's statistics —
+  // an inflated peak that made backpressure readings meaningless. run()
+  // now resets per-run stats at entry.
+  Graph g;
+  auto& ch = g.channel<float>("c", 8);
+  float v = 0;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ch.try_put(static_cast<float>(i)));
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ch.try_take(v));
+  ASSERT_EQ(ch.peak_occupancy(), 5u);  // the pre-run burst
+  std::vector<float> in{1, 2}, out;
+  g.spawn("feed", feed(in, ch));
+  g.spawn("collect", collect<float>(2, ch, out));
+  g.run();
+  EXPECT_EQ(out, in);
+  // Fresh per-run stats: the 5-deep pre-run burst must not survive.
+  EXPECT_EQ(ch.total_pushed(), 2u);
+  EXPECT_EQ(ch.total_popped(), 2u);
+  EXPECT_LE(ch.peak_occupancy(), 2u);
+}
+
+TEST(Graph, RunPeakRestartsAtBufferedFill) {
+  // Values pre-loaded and NOT drained genuinely occupy the FIFO when the
+  // run starts: peak restarts at the current fill, not at zero.
+  Graph g;
+  auto& ch = g.channel<int>("c", 8);
+  ASSERT_TRUE(ch.try_put(41));
+  ASSERT_TRUE(ch.try_put(42));
+  std::vector<int> out;
+  g.spawn("collect", collect<int>(2, ch, out));
+  g.run();
+  EXPECT_EQ(out, (std::vector<int>{41, 42}));
+  EXPECT_EQ(ch.total_pushed(), 0u);  // pre-run pushes are not run traffic
+  EXPECT_EQ(ch.total_popped(), 2u);
+  EXPECT_EQ(ch.peak_occupancy(), 2u);
+}
+
+TEST(Scheduler, OccupancyTraceThrowsWhenNeverEnabled) {
+  Graph g(Mode::Cycle);
+  auto& ch = g.channel<float>("c", 4);
+  std::vector<float> in{1, 2, 3}, out;
+  g.spawn("feed", feed(in, ch));
+  g.spawn("collect", collect<float>(3, ch, out));
+  g.run();
+  // Regression: this used to silently index an empty sample table (UB on
+  // some inputs, silent empties on others). Now it names the misuse.
+  try {
+    g.scheduler().occupancy_trace(0);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("never enabled"), std::string::npos);
+  }
+}
+
+TEST(Scheduler, OccupancyTraceThrowsOnBadChannelIndex) {
+  Graph g(Mode::Cycle);
+  g.scheduler().enable_occupancy_trace();
+  auto& ch = g.channel<float>("c", 4);
+  std::vector<float> in{1, 2, 3}, out;
+  g.spawn("feed", feed(in, ch));
+  g.spawn("collect", collect<float>(3, ch, out));
+  g.run();
+  EXPECT_NO_THROW(g.scheduler().occupancy_trace(0));
+  try {
+    g.scheduler().occupancy_trace(7);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
+TEST(Scheduler, OccupancyTraceEmptyInFunctionalMode) {
+  // Enabled but the clock never advances (functional mode): defined-empty
+  // samples, not a throw and not an out-of-bounds read.
+  Graph g;  // Mode::Functional
+  g.scheduler().enable_occupancy_trace();
+  auto& ch = g.channel<float>("c", 4);
+  std::vector<float> in{1, 2, 3}, out;
+  g.spawn("feed", feed(in, ch));
+  g.spawn("collect", collect<float>(3, ch, out));
+  g.run();
+  EXPECT_TRUE(g.scheduler().occupancy_trace(0).empty());
+}
+
+TEST(Scheduler, StallAccountingCountsBlockedModules) {
+  // A wide producer forced through a capacity-1 channel spends cycles
+  // blocked pushing; both the per-channel stall events and the graph's
+  // blocked-module-cycle total must see it.
+  Graph g(Mode::Cycle);
+  auto& ch = g.channel<float>("c", 1);
+  std::vector<float> out;
+  g.spawn("gen", generate<float>(256, 1.0f, 8, ch));
+  g.spawn("collect", collect<float>(256, ch, out));
+  g.run();
+  EXPECT_EQ(out.size(), 256u);
+  EXPECT_GT(ch.stall_events(), 0u);
+  EXPECT_GT(g.scheduler().stall_module_cycles(), 0u);
+}
+
 TEST(Graph, FeedCollectRoundTrip) {
   Graph g;
   auto& ch = g.channel<float>("c", 8);
